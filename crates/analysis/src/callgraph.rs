@@ -1,0 +1,255 @@
+//! Call graph construction and bottom-up ordering.
+//!
+//! The interprocedural side-effect analysis processes functions in
+//! reverse topological (callee-first) order, substituting callee
+//! summaries into callers at each call site. PSL's analyzable subset
+//! excludes recursion (the paper's restricted C model has none in
+//! practice); recursive programs are rejected with a diagnostic.
+
+use fsr_lang::ast::*;
+use fsr_lang::diag::{Error, Span, Stage};
+use std::collections::HashSet;
+
+/// The call graph: `callees[f]` lists functions `f` calls (deduplicated).
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    pub callees: Vec<Vec<FuncId>>,
+    /// Functions in callee-before-caller order.
+    pub bottom_up: Vec<FuncId>,
+}
+
+/// Build the call graph of a checked program and topologically order it.
+pub fn build(prog: &Program) -> Result<CallGraph, Error> {
+    let n = prog.funcs.len();
+    let mut callees: Vec<HashSet<FuncId>> = vec![HashSet::new(); n];
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        collect_block(&f.body, &mut callees[fi]);
+    }
+    let callees: Vec<Vec<FuncId>> = callees
+        .into_iter()
+        .map(|s| {
+            let mut v: Vec<_> = s.into_iter().collect();
+            v.sort();
+            v
+        })
+        .collect();
+
+    // Iterative DFS with cycle detection for the topological order.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut mark = vec![Mark::White; n];
+    let mut order = Vec::with_capacity(n);
+    for root in 0..n {
+        if mark[root] != Mark::White {
+            continue;
+        }
+        // stack of (node, next-callee-index)
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        mark[root] = Mark::Grey;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < callees[node].len() {
+                let child = callees[node][*next].index();
+                *next += 1;
+                match mark[child] {
+                    Mark::White => {
+                        mark[child] = Mark::Grey;
+                        stack.push((child, 0));
+                    }
+                    Mark::Grey => {
+                        return Err(Error::new(
+                            Stage::Check,
+                            format!(
+                                "recursion involving `{}` is not supported by the analysis",
+                                prog.funcs[child].name
+                            ),
+                            prog.funcs[child].span,
+                        ));
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                mark[node] = Mark::Black;
+                order.push(FuncId(node as u32));
+                stack.pop();
+            }
+        }
+    }
+    Ok(CallGraph {
+        callees,
+        bottom_up: order,
+    })
+}
+
+fn collect_block(b: &Block, out: &mut HashSet<FuncId>) {
+    for s in &b.stmts {
+        collect_stmt(s, out);
+    }
+}
+
+fn collect_stmt(s: &Stmt, out: &mut HashSet<FuncId>) {
+    match &s.kind {
+        StmtKind::VarDecl { init, .. } => {
+            if let Some(e) = init {
+                collect_expr(e, out);
+            }
+        }
+        StmtKind::Assign { value, target } => {
+            collect_expr(value, out);
+            if let Target::Place(pl) = target {
+                collect_place(pl, out);
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            collect_expr(cond, out);
+            collect_block(then_blk, out);
+            if let Some(e) = else_blk {
+                collect_block(e, out);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            collect_expr(cond, out);
+            collect_block(body, out);
+        }
+        StmtKind::For {
+            lo, hi, step, body, ..
+        } => {
+            collect_expr(lo, out);
+            collect_expr(hi, out);
+            if let Some(st) = step {
+                collect_expr(st, out);
+            }
+            collect_block(body, out);
+        }
+        StmtKind::Forall { lo, hi, body, .. } => {
+            collect_expr(lo, out);
+            collect_expr(hi, out);
+            collect_block(body, out);
+        }
+        StmtKind::CallStmt { callee, args, .. } => {
+            if let Some(Callee::User(f)) = callee {
+                out.insert(*f);
+            }
+            for a in args {
+                collect_expr(a, out);
+            }
+        }
+        StmtKind::Return(Some(e)) => collect_expr(e, out),
+        StmtKind::Lock { target } | StmtKind::Unlock { target } => {
+            if let Target::Place(pl) = target {
+                collect_place(pl, out);
+            }
+        }
+        StmtKind::Block(b) => collect_block(b, out),
+        StmtKind::Barrier { .. }
+        | StmtKind::Return(None)
+        | StmtKind::Break
+        | StmtKind::Continue => {}
+    }
+}
+
+fn collect_place(pl: &Place, out: &mut HashSet<FuncId>) {
+    for e in &pl.idx {
+        collect_expr(e, out);
+    }
+    if let Some((_, Some(e))) = &pl.field {
+        collect_expr(e, out);
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut HashSet<FuncId>) {
+    match &e.kind {
+        ExprKind::Int(_) | ExprKind::Var(_) => {}
+        ExprKind::Load(pl) => collect_place(pl, out),
+        ExprKind::Unary(_, a) => collect_expr(a, out),
+        ExprKind::Binary(_, a, b) => {
+            collect_expr(a, out);
+            collect_expr(b, out);
+        }
+        ExprKind::Call(c, args) => {
+            if let Callee::User(f) = c {
+                out.insert(*f);
+            }
+            for a in args {
+                collect_expr(a, out);
+            }
+        }
+        ExprKind::Path(_) | ExprKind::CallNamed(..) => {
+            unreachable!("call graph runs on checked programs")
+        }
+    }
+}
+
+/// Validate span for error reporting convenience.
+pub fn _span_of(prog: &Program, f: FuncId) -> Span {
+    prog.func(f).span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(src: &str) -> Program {
+        fsr_lang::compile(src).unwrap()
+    }
+
+    #[test]
+    fn linear_chain_orders_callee_first() {
+        let p = prog(
+            "fn c() { barrier; } fn b() { c(); } fn a() { b(); }
+             fn main() { forall p in 0..2 { a(); } }",
+        );
+        let g = build(&p).unwrap();
+        let pos = |name: &str| {
+            let (id, _) = p.func_by_name(name).unwrap();
+            g.bottom_up.iter().position(|&f| f == id).unwrap()
+        };
+        assert!(pos("c") < pos("b"));
+        assert!(pos("b") < pos("a"));
+        assert!(pos("a") < pos("main"));
+    }
+
+    #[test]
+    fn diamond_is_fine() {
+        let p = prog(
+            "fn d() { barrier; } fn b() { d(); } fn c() { d(); } fn a() { b(); c(); }
+             fn main() { forall p in 0..2 { a(); } }",
+        );
+        let g = build(&p).unwrap();
+        assert_eq!(g.bottom_up.len(), 5);
+    }
+
+    #[test]
+    fn calls_inside_expressions_counted() {
+        let p = prog(
+            "fn g() { return 1; } fn f() { var x = g() + g(); return x; }
+             fn main() { forall p in 0..2 { var v = f(); } }",
+        );
+        let g_ = build(&p).unwrap();
+        let (fid, _) = p.func_by_name("f").unwrap();
+        let (gid, _) = p.func_by_name("g").unwrap();
+        assert_eq!(g_.callees[fid.index()], vec![gid]);
+    }
+
+    #[test]
+    fn rejects_direct_recursion() {
+        let p = prog("fn f() { f(); } fn main() { forall p in 0..2 { f(); } }");
+        let e = build(&p).unwrap_err();
+        assert!(e.msg.contains("recursion"));
+    }
+
+    #[test]
+    fn rejects_mutual_recursion() {
+        let p = prog(
+            "fn f() { g(); } fn g() { f(); } fn main() { forall p in 0..2 { f(); } }",
+        );
+        assert!(build(&p).is_err());
+    }
+}

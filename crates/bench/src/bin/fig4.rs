@@ -1,0 +1,35 @@
+//! Figure 4: speedup vs processor count for the three representative
+//! programs (Raytrace, Fmm, Pverify), all available versions.
+
+use fsr_bench::{Knobs, Table, SWEEP_PROCS};
+use fsr_core::experiments::{speedup_sweep, t1_unoptimized, Vsn};
+use fsr_workloads::Version;
+
+fn main() {
+    let k = Knobs::from_env();
+    let block = 128;
+    for name in ["raytrace", "fmm", "pverify"] {
+        let w = fsr_workloads::by_name(name).unwrap();
+        let t1 = t1_unoptimized(&w, k.scale, block).expect("t1");
+        let mut t = Table::new(&["procs", "unopt", "compiler", "programmer"]);
+        let curves: Vec<(Vsn, _)> = [Vsn::N, Vsn::C, Vsn::P]
+            .iter()
+            .filter(|v| match v {
+                Vsn::P => w.has(Version::Programmer),
+                _ => true,
+            })
+            .map(|&v| (v, speedup_sweep(&w, v, SWEEP_PROCS, k.scale, block, k.threads)))
+            .collect();
+        for (i, &p) in SWEEP_PROCS.iter().enumerate() {
+            let cell = |v: Vsn| -> String {
+                curves
+                    .iter()
+                    .find(|(cv, _)| *cv == v)
+                    .map(|(_, c)| format!("{:.2}", c.speedups(t1)[i].1))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row(vec![p.to_string(), cell(Vsn::N), cell(Vsn::C), cell(Vsn::P)]);
+        }
+        println!("Figure 4: {name} speedups (scale={})\n{}", k.scale, t.render());
+    }
+}

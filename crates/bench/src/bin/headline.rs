@@ -1,0 +1,29 @@
+//! §5 headline numbers: at 128-byte blocks, the share of misses due to
+//! false sharing, how much of it the transformations eliminate, and the
+//! cost in other misses. (Paper: ~70% / ~80% / +19%, total roughly
+//! halved.)
+
+use fsr_bench::Knobs;
+use fsr_core::experiments::headline;
+
+fn main() {
+    let k = Knobs::from_env();
+    let h = headline(k.nproc, k.scale, 128, k.threads);
+    println!("§5 headline (block={}B, {} processors):", h.block, k.nproc);
+    println!(
+        "  false sharing share of all misses (unoptimized): {:.1}%",
+        100.0 * h.fs_share_of_misses
+    );
+    println!(
+        "  false-sharing misses eliminated by the compiler: {:.1}%",
+        100.0 * h.fs_eliminated
+    );
+    println!(
+        "  change in other misses:                          {:+.1}%",
+        100.0 * h.other_miss_change
+    );
+    println!(
+        "  change in total misses:                          {:+.1}%",
+        100.0 * h.total_miss_change
+    );
+}

@@ -1,0 +1,22 @@
+//! Table 1: benchmark inventory and version availability.
+
+use fsr_bench::Table;
+use fsr_workloads::Version;
+
+fn main() {
+    let mut t = Table::new(&["Program", "Description", "Versions"]);
+    for w in fsr_workloads::all() {
+        let vs: String = [
+            (Version::Unoptimized, "N"),
+            (Version::Compiler, "C"),
+            (Version::Programmer, "P"),
+        ]
+        .iter()
+        .filter(|(v, _)| w.has(*v))
+        .map(|(_, s)| *s)
+        .collect::<Vec<_>>()
+        .join(" ");
+        t.row(vec![w.name.to_string(), w.description.to_string(), vs]);
+    }
+    println!("Table 1: benchmarks\n{}", t.render());
+}

@@ -1,0 +1,34 @@
+//! Table 2: false-sharing reduction broken down by transformation,
+//! averaged over 8..256-byte blocks.
+
+use fsr_bench::{Knobs, Table};
+use fsr_core::experiments::table2;
+
+fn main() {
+    let k = Knobs::from_env();
+    eprintln!("table2: nproc={} scale={}", k.nproc, k.scale);
+    let rows = table2(k.nproc, k.scale, &[8, 16, 32, 64, 128, 256], k.threads)
+        .expect("table2 experiment");
+    let mut t = Table::new(&[
+        "program",
+        "total FS reduction%",
+        "g&t only%",
+        "indirection only%",
+        "pad only%",
+        "locks only%",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.program,
+            format!("{:.1}", r.total_reduction_pct),
+            format!("{:.1}", r.transpose_pct),
+            format!("{:.1}", r.indirection_pct),
+            format!("{:.1}", r.pad_pct),
+            format!("{:.1}", r.locks_pct),
+        ]);
+    }
+    println!(
+        "Table 2: FS reduction by transformation (avg over 8-256B blocks)\n{}",
+        t.render()
+    );
+}

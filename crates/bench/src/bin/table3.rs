@@ -1,0 +1,22 @@
+//! Table 3: maximum speedups for original, compiler- and
+//! programmer-optimized versions, with the processor count at which each
+//! occurs.
+
+use fsr_bench::{fmt_speedup, Knobs, Table, SWEEP_PROCS};
+use fsr_core::experiments::table3;
+
+fn main() {
+    let k = Knobs::from_env();
+    eprintln!("table3: scale={} (sweep {:?})", k.scale, SWEEP_PROCS);
+    let rows = table3(SWEEP_PROCS, k.scale, 128, k.threads);
+    let mut t = Table::new(&["program", "original", "compiler", "programmer"]);
+    for r in rows {
+        t.row(vec![
+            r.program,
+            fmt_speedup(r.original),
+            fmt_speedup(Some(r.compiler)),
+            fmt_speedup(r.programmer),
+        ]);
+    }
+    println!("Table 3: maximum speedups (block=128B)\n{}", t.render());
+}

@@ -1,0 +1,72 @@
+//! Compile-cost accounting — the paper's "only 5% of total compile time"
+//! claim (§3.1/§7).
+//!
+//! Measures where front-end time goes: baseline work every compiler does
+//! (lexing, parsing, checking, code generation) versus the paper's added
+//! analyses (per-process control flow, phases, side-effect summaries,
+//! classification, transformation planning).
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock breakdown of one compilation.
+#[derive(Debug, Clone, Default)]
+pub struct CompileCost {
+    pub parse_check: Duration,
+    pub codegen: Duration,
+    pub analysis: Duration,
+    pub planning: Duration,
+}
+
+impl CompileCost {
+    pub fn total(&self) -> Duration {
+        self.parse_check + self.codegen + self.analysis + self.planning
+    }
+
+    /// Fraction of compile time spent in the false-sharing analyses.
+    pub fn analysis_fraction(&self) -> f64 {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        (self.analysis + self.planning).as_secs_f64() / t
+    }
+}
+
+/// Compile a program measuring each stage.
+pub fn measure(src: &str, params: &[(&str, i64)]) -> Result<CompileCost, crate::PipelineError> {
+    let mut cost = CompileCost::default();
+
+    let t = Instant::now();
+    let prog = fsr_lang::compile_with_params(src, params)?;
+    cost.parse_check = t.elapsed();
+
+    let t = Instant::now();
+    let _code = fsr_interp::compile_program(&prog)?;
+    cost.codegen = t.elapsed();
+
+    let t = Instant::now();
+    let analysis = fsr_analysis::analyze(&prog)?;
+    cost.analysis = t.elapsed();
+
+    let t = Instant::now();
+    let _plan = fsr_transform::plan_for(&prog, &analysis, &fsr_transform::PlanConfig::default());
+    cost.planning = t.elapsed();
+
+    Ok(cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_all_stages() {
+        let src = "param NPROC = 4; shared int c[NPROC];
+                   fn main() { forall p in 0 .. NPROC { var i;
+                       for i in 0 .. 100 { c[p] = c[p] + 1; } } }";
+        let cost = measure(src, &[]).unwrap();
+        assert!(cost.total() > Duration::ZERO);
+        let f = cost.analysis_fraction();
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

@@ -1,0 +1,130 @@
+//! Parallel experiment driver: runs independent pipeline configurations
+//! across OS threads. Each configuration is a self-contained simulation,
+//! so the driver is embarrassingly parallel — a scoped-thread worker pool
+//! pulls jobs from a shared queue.
+
+use crate::{run_pipeline, PipelineConfig, PipelineError, PlanSource, RunResult};
+use parking_lot::Mutex;
+
+/// One experiment job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub label: String,
+    pub src: String,
+    pub params: Vec<(String, i64)>,
+    pub plan: PlanSourceSpec,
+    pub cfg: PipelineConfig,
+}
+
+/// Cloneable plan-source description (function pointers are fine).
+#[derive(Debug, Clone)]
+pub enum PlanSourceSpec {
+    Unoptimized,
+    Compiler,
+    Programmer(fn(&crate::Program, u32) -> crate::LayoutPlan),
+    Explicit(crate::LayoutPlan),
+}
+
+impl From<&PlanSourceSpec> for PlanSource {
+    fn from(s: &PlanSourceSpec) -> PlanSource {
+        match s {
+            PlanSourceSpec::Unoptimized => PlanSource::Unoptimized,
+            PlanSourceSpec::Compiler => PlanSource::Compiler,
+            PlanSourceSpec::Programmer(f) => PlanSource::Programmer(*f),
+            PlanSourceSpec::Explicit(p) => PlanSource::Explicit(p.clone()),
+        }
+    }
+}
+
+/// Run all jobs, using up to `threads` worker threads (0 = available
+/// parallelism). Results keep job order.
+pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<(Job, Result<RunResult, PipelineError>)> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        threads
+    }
+    .min(jobs.len().max(1));
+
+    let n = jobs.len();
+    let queue = Mutex::new(0usize);
+    let jobs_ref = &jobs;
+    let mut results: Vec<Option<Result<RunResult, PipelineError>>> =
+        (0..n).map(|_| None).collect();
+    let results_mx = Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = {
+                    let mut q = queue.lock();
+                    if *q >= n {
+                        return;
+                    }
+                    let i = *q;
+                    *q += 1;
+                    i
+                };
+                let job = &jobs_ref[idx];
+                let params: Vec<(&str, i64)> =
+                    job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                let r = run_pipeline(&job.src, &params, (&job.plan).into(), &job.cfg);
+                results_mx.lock()[idx] = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    jobs.into_iter()
+        .zip(results.into_iter().map(|r| r.expect("job ran")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_jobs_produce_ordered_results() {
+        let src = "param NPROC = 2; shared int c[NPROC];
+                   fn main() { forall p in 0 .. NPROC { var i;
+                       for i in 0 .. 50 { c[p] = c[p] + 1; } } }";
+        let jobs: Vec<Job> = [16u32, 32, 64, 128]
+            .iter()
+            .map(|&b| Job {
+                label: format!("b{b}"),
+                src: src.to_string(),
+                params: vec![],
+                plan: PlanSourceSpec::Unoptimized,
+                cfg: PipelineConfig::with_block(b),
+            })
+            .collect();
+        let out = run_jobs(jobs, 2);
+        assert_eq!(out.len(), 4);
+        for (i, (job, r)) in out.iter().enumerate() {
+            assert_eq!(job.label, format!("b{}", [16, 32, 64, 128][i]));
+            assert!(r.is_ok());
+        }
+        // Larger blocks: at least as much false sharing.
+        let fs: Vec<u64> = out
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().sim.false_sharing())
+            .collect();
+        assert!(fs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn errors_are_reported_per_job() {
+        let jobs = vec![Job {
+            label: "bad".into(),
+            src: "fn main() {".into(),
+            params: vec![],
+            plan: PlanSourceSpec::Unoptimized,
+            cfg: PipelineConfig::default(),
+        }];
+        let out = run_jobs(jobs, 1);
+        assert!(out[0].1.is_err());
+    }
+}

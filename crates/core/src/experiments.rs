@@ -1,0 +1,325 @@
+//! The paper's experiments, reusable by the bench binaries and the
+//! integration suite.
+//!
+//! - [`figure3`]: total miss rate split into false-sharing vs other
+//!   misses, unoptimized vs compiler-transformed, per block size.
+//! - [`table2`]: false-sharing reduction attributed per transformation
+//!   (ablation: apply only one directive class at a time), averaged over
+//!   block sizes.
+//! - [`speedup_sweep`] / [`table3`]: execution-time scalability on the
+//!   ring machine model, per program version.
+//! - [`headline`]: the §5 aggregate claims (share of misses that are
+//!   false sharing, fraction eliminated, change in other misses).
+
+use crate::driver::{run_jobs, Job, PlanSourceSpec};
+use crate::{
+    plan_of, run_pipeline, PipelineConfig, PipelineError, PlanSource, RunResult,
+};
+use fsr_machine::SpeedupCurve;
+use fsr_transform::ObjPlan;
+use fsr_workloads::{Version, Workload};
+
+/// Which program version to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vsn {
+    N,
+    C,
+    P,
+}
+
+impl Vsn {
+    pub fn label(self) -> &'static str {
+        match self {
+            Vsn::N => "unopt",
+            Vsn::C => "compiler",
+            Vsn::P => "programmer",
+        }
+    }
+}
+
+/// Plan source for a workload version.
+pub fn plan_source(w: &Workload, v: Vsn) -> PlanSource {
+    match v {
+        Vsn::N => PlanSource::Unoptimized,
+        Vsn::C => PlanSource::Compiler,
+        Vsn::P => match w.programmer_plan {
+            Some(f) => PlanSource::Programmer(f),
+            None => PlanSource::Unoptimized,
+        },
+    }
+}
+
+fn plan_spec(w: &Workload, v: Vsn) -> PlanSourceSpec {
+    match v {
+        Vsn::N => PlanSourceSpec::Unoptimized,
+        Vsn::C => PlanSourceSpec::Compiler,
+        Vsn::P => match w.programmer_plan {
+            Some(f) => PlanSourceSpec::Programmer(f),
+            None => PlanSourceSpec::Unoptimized,
+        },
+    }
+}
+
+/// Run one workload version at a given processor count, scale and block.
+pub fn run_workload(
+    w: &Workload,
+    v: Vsn,
+    nproc: i64,
+    scale: i64,
+    block: u32,
+) -> Result<RunResult, PipelineError> {
+    let cfg = PipelineConfig::with_block(block);
+    run_pipeline(
+        w.source,
+        &[("NPROC", nproc), ("SCALE", scale)],
+        plan_source(w, v),
+        &cfg,
+    )
+}
+
+/// One Figure 3 bar: miss rates split into false-sharing and other.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Fig3Row {
+    pub program: String,
+    pub block: u32,
+    pub version: String,
+    pub refs: u64,
+    pub fs_miss_rate: f64,
+    pub other_miss_rate: f64,
+}
+
+/// Figure 3: the six N+C programs at the given block sizes (paper: 16
+/// and 128 bytes, 12 processors).
+pub fn figure3(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> Vec<Fig3Row> {
+    let mut jobs = Vec::new();
+    let set = fsr_workloads::figure3_set();
+    for w in &set {
+        for &b in blocks {
+            for v in [Vsn::N, Vsn::C] {
+                jobs.push(Job {
+                    label: format!("{}/{}/{}", w.name, b, v.label()),
+                    src: w.source.to_string(),
+                    params: vec![("NPROC".into(), nproc), ("SCALE".into(), scale)],
+                    plan: plan_spec(w, v),
+                    cfg: PipelineConfig::with_block(b),
+                });
+            }
+        }
+    }
+    run_jobs(jobs, threads)
+        .into_iter()
+        .filter_map(|(job, r)| {
+            let r = r.ok()?;
+            let parts: Vec<&str> = job.label.split('/').collect();
+            Some(Fig3Row {
+                program: parts[0].to_string(),
+                block: parts[1].parse().unwrap(),
+                version: parts[2].to_string(),
+                refs: r.sim.refs,
+                fs_miss_rate: r.sim.false_sharing() as f64 / r.sim.refs.max(1) as f64,
+                other_miss_rate: r.sim.other_misses() as f64 / r.sim.refs.max(1) as f64,
+            })
+        })
+        .collect()
+}
+
+/// Table 2 row: per-transformation attribution of the false-sharing
+/// reduction, as "apply only this class" ablations.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table2Row {
+    pub program: String,
+    /// Total reduction with the full plan, percent of baseline FS misses.
+    pub total_reduction_pct: f64,
+    /// Reduction with only group&transpose directives, etc.
+    pub transpose_pct: f64,
+    pub indirection_pct: f64,
+    pub pad_pct: f64,
+    pub locks_pct: f64,
+}
+
+/// Table 2: averaged over the given block sizes (paper: 8–256 bytes).
+pub fn table2(
+    nproc: i64,
+    scale: i64,
+    blocks: &[u32],
+    threads: usize,
+) -> Result<Vec<Table2Row>, PipelineError> {
+    let set = fsr_workloads::figure3_set();
+    let mut rows = Vec::new();
+    for w in &set {
+        let mut acc = [0.0f64; 5]; // total, transpose, ind, pad, locks
+        let mut samples = 0usize;
+        for &b in blocks {
+            let cfg = PipelineConfig::with_block(b);
+            let prog = fsr_lang::compile_with_params(
+                w.source,
+                &[("NPROC", nproc), ("SCALE", scale)],
+            )?;
+            let full = plan_of(&prog, &PlanSource::Compiler, &cfg)?;
+            let ablations: Vec<(usize, crate::LayoutPlan)> = vec![
+                (1, full.retain_kind(|p| matches!(p, ObjPlan::Transpose { .. }))),
+                (2, full.retain_kind(|p| matches!(p, ObjPlan::Indirect { .. }))),
+                (3, full.retain_kind(|p| matches!(p, ObjPlan::PadElems))),
+                (4, full.retain_kind(|p| matches!(p, ObjPlan::PadLock))),
+            ];
+            let mut jobs = vec![
+                Job {
+                    label: "base".into(),
+                    src: w.source.to_string(),
+                    params: vec![("NPROC".into(), nproc), ("SCALE".into(), scale)],
+                    plan: PlanSourceSpec::Unoptimized,
+                    cfg: cfg.clone(),
+                },
+                Job {
+                    label: "full".into(),
+                    src: w.source.to_string(),
+                    params: vec![("NPROC".into(), nproc), ("SCALE".into(), scale)],
+                    plan: PlanSourceSpec::Explicit(full.clone()),
+                    cfg: cfg.clone(),
+                },
+            ];
+            for (k, plan) in &ablations {
+                jobs.push(Job {
+                    label: format!("abl{k}"),
+                    src: w.source.to_string(),
+                    params: vec![("NPROC".into(), nproc), ("SCALE".into(), scale)],
+                    plan: PlanSourceSpec::Explicit(plan.clone()),
+                    cfg: cfg.clone(),
+                });
+            }
+            let out = run_jobs(jobs, threads);
+            let fs_of = |label: &str| -> Option<u64> {
+                out.iter()
+                    .find(|(j, _)| j.label == label)
+                    .and_then(|(_, r)| r.as_ref().ok().map(|r| r.sim.false_sharing()))
+            };
+            let base = fs_of("base").unwrap_or(0);
+            if base == 0 {
+                continue;
+            }
+            let reduction = |fs: u64| 100.0 * (base.saturating_sub(fs)) as f64 / base as f64;
+            if let Some(f) = fs_of("full") {
+                acc[0] += reduction(f);
+            }
+            for k in 1..=4 {
+                if let Some(f) = fs_of(&format!("abl{k}")) {
+                    acc[k] += reduction(f);
+                }
+            }
+            samples += 1;
+        }
+        let n = samples.max(1) as f64;
+        rows.push(Table2Row {
+            program: w.name.to_string(),
+            total_reduction_pct: acc[0] / n,
+            transpose_pct: acc[1] / n,
+            indirection_pct: acc[2] / n,
+            pad_pct: acc[3] / n,
+            locks_pct: acc[4] / n,
+        });
+    }
+    Ok(rows)
+}
+
+/// Speedup sweep for one program version over processor counts.
+/// Returns the curve plus the uniprocessor time of the *unoptimized*
+/// version (the paper's speedup baseline).
+pub fn speedup_sweep(
+    w: &Workload,
+    v: Vsn,
+    procs: &[u32],
+    scale: i64,
+    block: u32,
+    threads: usize,
+) -> SpeedupCurve {
+    let jobs: Vec<Job> = procs
+        .iter()
+        .map(|&p| Job {
+            label: format!("{p}"),
+            src: w.source.to_string(),
+            params: vec![("NPROC".into(), p as i64), ("SCALE".into(), scale)],
+            plan: plan_spec(w, v),
+            cfg: PipelineConfig::with_block(block),
+        })
+        .collect();
+    let mut curve = SpeedupCurve::default();
+    for (job, r) in run_jobs(jobs, threads) {
+        if let Ok(r) = r {
+            curve.push(job.label.parse().unwrap(), r.exec_cycles);
+        }
+    }
+    curve
+}
+
+/// The uniprocessor execution time of the unoptimized version — the
+/// baseline every speedup in Figure 4 / Table 3 is relative to.
+pub fn t1_unoptimized(w: &Workload, scale: i64, block: u32) -> Result<u64, PipelineError> {
+    Ok(run_workload(w, Vsn::N, 1, scale, block)?.exec_cycles)
+}
+
+/// One Table 3 row.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Table3Row {
+    pub program: String,
+    /// (max speedup, at #procs) per version; None when the version does
+    /// not exist for this program (Table 1).
+    pub original: Option<(f64, u32)>,
+    pub compiler: (f64, u32),
+    pub programmer: Option<(f64, u32)>,
+}
+
+/// Table 3 for all ten programs.
+pub fn table3(procs: &[u32], scale: i64, block: u32, threads: usize) -> Vec<Table3Row> {
+    fsr_workloads::all()
+        .iter()
+        .map(|w| {
+            let t1 = t1_unoptimized(w, scale, block).unwrap_or(1);
+            let sweep = |v: Vsn| speedup_sweep(w, v, procs, scale, block, threads).max_speedup(t1);
+            Table3Row {
+                program: w.name.to_string(),
+                original: w.has(Version::Unoptimized).then(|| sweep(Vsn::N)),
+                compiler: sweep(Vsn::C),
+                programmer: w.has(Version::Programmer).then(|| sweep(Vsn::P)),
+            }
+        })
+        .collect()
+}
+
+/// §5 headline aggregate at one block size: fraction of all misses that
+/// are false sharing (unoptimized), fraction of those eliminated, and
+/// relative change in other misses.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Headline {
+    pub block: u32,
+    pub fs_share_of_misses: f64,
+    pub fs_eliminated: f64,
+    pub other_miss_change: f64,
+    pub total_miss_change: f64,
+}
+
+pub fn headline(nproc: i64, scale: i64, block: u32, threads: usize) -> Headline {
+    let rows = figure3(nproc, scale, &[block], threads);
+    let mut base_fs = 0.0;
+    let mut base_other = 0.0;
+    let mut opt_fs = 0.0;
+    let mut opt_other = 0.0;
+    for r in &rows {
+        // Weight rates by references so the aggregate matches pooled
+        // miss counts.
+        let w = r.refs as f64;
+        if r.version == "unopt" {
+            base_fs += r.fs_miss_rate * w;
+            base_other += r.other_miss_rate * w;
+        } else {
+            opt_fs += r.fs_miss_rate * w;
+            opt_other += r.other_miss_rate * w;
+        }
+    }
+    Headline {
+        block,
+        fs_share_of_misses: base_fs / (base_fs + base_other).max(1e-12),
+        fs_eliminated: 1.0 - opt_fs / base_fs.max(1e-12),
+        other_miss_change: opt_other / base_other.max(1e-12) - 1.0,
+        total_miss_change: (opt_fs + opt_other) / (base_fs + base_other).max(1e-12) - 1.0,
+    }
+}

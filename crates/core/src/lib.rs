@@ -1,0 +1,346 @@
+//! End-to-end pipeline: PSL source → analysis → transformation plan →
+//! layout → SPMD execution → cache simulation → KSR2-style timing.
+//!
+//! This crate is the public face of the reproduction. A single call to
+//! [`run_pipeline`] does what the paper's toolchain did: compile-time
+//! analysis and restructuring (Parafrase-2 + the authors' passes), inline
+//! tracing, trace-driven multiprocessor cache simulation, and execution
+//! timing on the ring machine model.
+//!
+//! # Example
+//! ```
+//! use fsr_core::{run_pipeline, PipelineConfig, PlanSource};
+//!
+//! let src = "param NPROC = 4; shared int c[NPROC];
+//!            fn main() { forall p in 0 .. NPROC { var i;
+//!                for i in 0 .. 200 { c[p] = c[p] + 1; } } }";
+//! let base = run_pipeline(src, &[], PlanSource::Unoptimized,
+//!                         &PipelineConfig::default()).unwrap();
+//! let opt = run_pipeline(src, &[], PlanSource::Compiler,
+//!                        &PipelineConfig::default()).unwrap();
+//! assert!(opt.sim.false_sharing() < base.sim.false_sharing());
+//! ```
+
+pub mod cost;
+pub mod driver;
+pub mod experiments;
+
+pub use fsr_analysis::{Analysis, Pattern};
+pub use fsr_lang::Program;
+pub use fsr_machine::{MachineConfig, SpeedupCurve, TimingStats};
+pub use fsr_sim::{report::ObjMisses, CacheConfig, MissKind, SimStats};
+pub use fsr_transform::{LayoutPlan, ObjPlan, PlanConfig};
+
+use fsr_interp::{MemRef, RunConfig, RunStats, TraceSink};
+use fsr_machine::TimingModel;
+use fsr_sim::MultiSim;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where the layout plan comes from.
+#[derive(Clone)]
+pub enum PlanSource {
+    /// Original declaration-order packed layout ("N" versions).
+    Unoptimized,
+    /// The compiler's analysis + §3.3 heuristics ("C" versions).
+    Compiler,
+    /// A hand-written plan ("P" programmer versions), built from the
+    /// checked program.
+    Programmer(fn(&Program, u32) -> LayoutPlan),
+    /// An explicit plan (ablation studies).
+    Explicit(LayoutPlan),
+}
+
+impl fmt::Debug for PlanSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlanSource::Unoptimized => "Unoptimized",
+            PlanSource::Compiler => "Compiler",
+            PlanSource::Programmer(_) => "Programmer",
+            PlanSource::Explicit(_) => "Explicit",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Everything configurable about one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Block size used for both the plan and the cache simulation.
+    pub block_bytes: u32,
+    /// L1 capacity and associativity.
+    pub cache_bytes: u32,
+    pub assoc: u32,
+    pub machine: MachineConfig,
+    pub run: RunConfig,
+    pub plan_cfg: PlanConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            block_bytes: 128,
+            cache_bytes: 32 * 1024,
+            assoc: 4,
+            machine: MachineConfig::default(),
+            run: RunConfig::default(),
+            plan_cfg: PlanConfig::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    pub fn with_block(block_bytes: u32) -> PipelineConfig {
+        let mut c = PipelineConfig::default();
+        c.block_bytes = block_bytes;
+        c.plan_cfg.block_bytes = block_bytes;
+        c
+    }
+}
+
+/// Result of one pipeline run.
+#[derive(Debug)]
+pub struct RunResult {
+    pub nproc: u32,
+    pub plan: LayoutPlan,
+    pub sim: SimStats,
+    pub per_obj: BTreeMap<String, ObjMisses>,
+    /// Execution time (cycles) on the machine model.
+    pub exec_cycles: u64,
+    pub timing: TimingStats,
+    pub interp: RunStats,
+    /// False-sharing stall fraction of total cycles.
+    pub fs_stall_frac: f64,
+}
+
+impl RunResult {
+    pub fn miss_rate(&self) -> f64 {
+        self.sim.miss_rate()
+    }
+
+    pub fn false_sharing_miss_rate(&self) -> f64 {
+        if self.sim.refs == 0 {
+            0.0
+        } else {
+            self.sim.false_sharing() as f64 / self.sim.refs as f64
+        }
+    }
+}
+
+/// Pipeline errors.
+#[derive(Debug)]
+pub enum PipelineError {
+    Lang(fsr_lang::Error),
+    Runtime(fsr_interp::RuntimeError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Lang(e) => write!(f, "{e}"),
+            PipelineError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<fsr_lang::Error> for PipelineError {
+    fn from(e: fsr_lang::Error) -> Self {
+        PipelineError::Lang(e)
+    }
+}
+
+impl From<fsr_interp::RuntimeError> for PipelineError {
+    fn from(e: fsr_interp::RuntimeError) -> Self {
+        PipelineError::Runtime(e)
+    }
+}
+
+/// Sink wiring the interpreter to the cache simulator and timing model.
+struct PipelineSink {
+    sim: MultiSim,
+    timing: TimingModel,
+}
+
+impl TraceSink for PipelineSink {
+    fn access(&mut self, r: MemRef) {
+        let outcome = self.sim.access(r.pid, r.addr, r.write);
+        self.timing.record(r.pid, r.gap, &outcome);
+    }
+
+    fn sync(&mut self, pids: &[u32]) {
+        self.timing.sync(pids);
+    }
+
+    fn handoff(&mut self, from: u32, to: u32) {
+        self.timing.handoff(from, to);
+    }
+}
+
+/// Build the layout plan for a checked program.
+pub fn plan_of(
+    prog: &Program,
+    source: &PlanSource,
+    cfg: &PipelineConfig,
+) -> Result<LayoutPlan, PipelineError> {
+    Ok(match source {
+        PlanSource::Unoptimized => LayoutPlan::unoptimized(cfg.block_bytes),
+        PlanSource::Compiler => {
+            let analysis = fsr_analysis::analyze(prog)?;
+            let mut plan_cfg = cfg.plan_cfg;
+            plan_cfg.block_bytes = cfg.block_bytes;
+            fsr_transform::plan_for(prog, &analysis, &plan_cfg)
+        }
+        PlanSource::Programmer(f) => f(prog, cfg.block_bytes),
+        PlanSource::Explicit(p) => {
+            let mut p = p.clone();
+            p.block_bytes = cfg.block_bytes;
+            p
+        }
+    })
+}
+
+/// Run the full pipeline on PSL source text.
+///
+/// `params` override `param` declarations (e.g. `[("NPROC", 12)]`); the
+/// process count is taken from the program's `forall` bounds after
+/// binding.
+pub fn run_pipeline(
+    src: &str,
+    params: &[(&str, i64)],
+    plan_source: PlanSource,
+    cfg: &PipelineConfig,
+) -> Result<RunResult, PipelineError> {
+    let prog = fsr_lang::compile_with_params(src, params)?;
+    run_pipeline_checked(&prog, plan_source, cfg)
+}
+
+/// Run the pipeline on an already-checked program.
+pub fn run_pipeline_checked(
+    prog: &Program,
+    plan_source: PlanSource,
+    cfg: &PipelineConfig,
+) -> Result<RunResult, PipelineError> {
+    let nproc = fsr_analysis::nproc_of(prog).unwrap_or(1) as u32;
+    let plan = plan_of(prog, &plan_source, cfg)?;
+    let layout = fsr_layout::Layout::build(prog, &plan, nproc);
+    let code = fsr_interp::compile_program(prog)?;
+
+    let sim_cfg = fsr_sim::CacheConfig {
+        nproc,
+        block_bytes: cfg.block_bytes,
+        cache_bytes: cfg.cache_bytes,
+        assoc: cfg.assoc,
+    };
+    let mut sink = PipelineSink {
+        sim: MultiSim::new(sim_cfg, layout.total_words() * 4),
+        timing: TimingModel::new(cfg.machine, nproc),
+    };
+    let fin = fsr_interp::run(prog, &layout, &code, cfg.run, &mut sink)?;
+
+    let per_obj = fsr_sim::report::attribute_misses(&sink.sim, |addr| {
+        layout
+            .attribute(addr)
+            .map(|oid| prog.object(oid).name.clone())
+    });
+    Ok(RunResult {
+        nproc,
+        plan,
+        sim: sink.sim.stats().clone(),
+        per_obj,
+        exec_cycles: sink.timing.finish_time(),
+        timing: sink.timing.stats().clone(),
+        interp: fin.stats,
+        fs_stall_frac: sink.timing.false_sharing_stall_fraction(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTERS: &str = "param NPROC = 4; shared int c[NPROC];
+        fn main() { forall p in 0 .. NPROC { var i;
+            for i in 0 .. 500 { c[p] = c[p] + 1; } } }";
+
+    #[test]
+    fn compiler_plan_removes_false_sharing() {
+        let cfg = PipelineConfig::default();
+        let base = run_pipeline(COUNTERS, &[], PlanSource::Unoptimized, &cfg).unwrap();
+        let opt = run_pipeline(COUNTERS, &[], PlanSource::Compiler, &cfg).unwrap();
+        assert!(
+            base.sim.false_sharing() > 100,
+            "unoptimized adjacent counters must false-share: {}",
+            base.sim
+        );
+        assert_eq!(
+            opt.sim.false_sharing(),
+            0,
+            "transposed counters must not false-share: {}",
+            opt.sim
+        );
+        assert!(opt.exec_cycles < base.exec_cycles);
+    }
+
+    #[test]
+    fn per_object_attribution_names_the_culprit() {
+        let cfg = PipelineConfig::default();
+        let base = run_pipeline(COUNTERS, &[], PlanSource::Unoptimized, &cfg).unwrap();
+        let c = base.per_obj.get("c").expect("attributed");
+        assert!(c.false_sharing() > 100);
+    }
+
+    #[test]
+    fn nproc_override_applies() {
+        let cfg = PipelineConfig::default();
+        let r = run_pipeline(COUNTERS, &[("NPROC", 2)], PlanSource::Unoptimized, &cfg).unwrap();
+        assert_eq!(r.nproc, 2);
+    }
+
+    #[test]
+    fn explicit_plan_is_used() {
+        let prog = fsr_lang::compile(COUNTERS).unwrap();
+        let (c, _) = prog.object_by_name("c").unwrap();
+        let mut plan = LayoutPlan::unoptimized(128);
+        plan.insert(c, ObjPlan::PadElems, "test");
+        let cfg = PipelineConfig::default();
+        let r = run_pipeline(COUNTERS, &[], PlanSource::Explicit(plan), &cfg).unwrap();
+        assert_eq!(r.sim.false_sharing(), 0);
+    }
+
+    #[test]
+    fn block_size_sweep_shows_monotone_false_sharing() {
+        let mut last = 0;
+        for block in [16u32, 64, 256] {
+            let cfg = PipelineConfig::with_block(block);
+            let r = run_pipeline(COUNTERS, &[], PlanSource::Unoptimized, &cfg).unwrap();
+            assert!(
+                r.sim.false_sharing() >= last,
+                "false sharing should not shrink with larger blocks"
+            );
+            last = r.sim.false_sharing();
+        }
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn lang_errors_propagate() {
+        let cfg = PipelineConfig::default();
+        let e = run_pipeline("fn main() {", &[], PlanSource::Unoptimized, &cfg).unwrap_err();
+        assert!(matches!(e, PipelineError::Lang(_)));
+    }
+
+    #[test]
+    fn runtime_errors_propagate() {
+        let cfg = PipelineConfig::default();
+        let e = run_pipeline(
+            "shared int a[2]; fn main() { forall p in 0 .. 4 { a[p] = 1; } }",
+            &[],
+            PlanSource::Unoptimized,
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(e, PipelineError::Runtime(_)));
+    }
+}

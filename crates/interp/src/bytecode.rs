@@ -1,0 +1,160 @@
+//! Register bytecode for the SPMD interpreter.
+//!
+//! Each PSL function compiles to a flat instruction vector over a frame
+//! of `i32` registers: local slots first (matching the checker's slot
+//! numbering), expression temporaries after. The `forall` body is
+//! extracted into a synthetic function so process spawn/join is a single
+//! instruction pair in `main`.
+
+use fsr_lang::ast::{FieldId, ObjId};
+
+/// Register index within a frame.
+pub type Reg = u16;
+
+/// Binary ALU operations (subset semantics of PSL's `BinOp` on wrapping
+/// `i32`; comparisons and logic produce 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alu {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+}
+
+/// A memory access path: object + index registers + field selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSpec {
+    pub obj: ObjId,
+    /// One register per declared dimension.
+    pub idx: Vec<Reg>,
+    /// Field and optional field-array index register.
+    pub field: Option<(FieldId, Option<Reg>)>,
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = v`
+    Const { dst: Reg, v: i32 },
+    /// `dst = src`
+    Mov { dst: Reg, src: Reg },
+    /// `dst = a op b`
+    Bin { op: Alu, dst: Reg, a: Reg, b: Reg },
+    /// `dst = -src`
+    Neg { dst: Reg, src: Reg },
+    /// `dst = (src == 0)`
+    Not { dst: Reg, src: Reg },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+    /// Jump when `src == 0`.
+    Jz { src: Reg, target: u32 },
+    /// Jump when `src != 0`.
+    Jnz { src: Reg, target: u32 },
+    /// Load a shared/private element into `dst`.
+    Ld { dst: Reg, acc: AccessSpec },
+    /// Store `src` into an element.
+    St { src: Reg, acc: AccessSpec },
+    /// Call a user function; `args` are copied into the callee frame.
+    Call {
+        func: u32,
+        args: Box<[Reg]>,
+        dst: Option<Reg>,
+    },
+    /// Return, optionally with a value.
+    Ret { src: Option<Reg> },
+    /// Barrier synchronization.
+    Barrier,
+    /// Acquire a (test-and-set, spinning) lock.
+    LockAcq { acc: AccessSpec },
+    /// Release a lock.
+    LockRel { acc: AccessSpec },
+    /// `dst = prand(src)` — deterministic hash.
+    Prand { dst: Reg, src: Reg },
+    /// `dst = min(a, b)` / `max` / `abs(src)`.
+    Min { dst: Reg, a: Reg, b: Reg },
+    Max { dst: Reg, a: Reg, b: Reg },
+    Abs { dst: Reg, src: Reg },
+    /// Spawn the forall body on every process; the master joins before
+    /// continuing.
+    Spawn { body_func: u32, pdv_slot: Reg },
+}
+
+/// Compiled form of one function.
+#[derive(Debug, Clone)]
+pub struct FuncCode {
+    pub name: String,
+    pub code: Vec<Instr>,
+    pub num_regs: u16,
+    pub num_params: u16,
+}
+
+/// A compiled program: one `FuncCode` per source function plus the
+/// synthetic forall body (last).
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub funcs: Vec<FuncCode>,
+    pub main: u32,
+    pub body: u32,
+}
+
+impl Compiled {
+    pub fn func(&self, id: u32) -> &FuncCode {
+        &self.funcs[id as usize]
+    }
+
+    /// Total instruction count (compile metric).
+    pub fn total_instrs(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_spec_equality() {
+        let a = AccessSpec {
+            obj: ObjId(1),
+            idx: vec![3],
+            field: None,
+        };
+        assert_eq!(a, a.clone());
+    }
+
+    #[test]
+    fn compiled_totals() {
+        let c = Compiled {
+            funcs: vec![
+                FuncCode {
+                    name: "a".into(),
+                    code: vec![Instr::Ret { src: None }],
+                    num_regs: 1,
+                    num_params: 0,
+                },
+                FuncCode {
+                    name: "b".into(),
+                    code: vec![Instr::Barrier, Instr::Ret { src: None }],
+                    num_regs: 0,
+                    num_params: 0,
+                },
+            ],
+            main: 0,
+            body: 1,
+        };
+        assert_eq!(c.total_instrs(), 3);
+        assert_eq!(c.func(1).code.len(), 2);
+    }
+}

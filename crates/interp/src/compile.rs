@@ -1,0 +1,695 @@
+//! AST → bytecode compiler.
+
+use crate::bytecode::*;
+use fsr_lang::ast::{
+    BinOp, Block, Builtin, Callee, Expr, ExprKind, Func, Place, Program, Stmt, StmtKind, Target,
+    UnOp, VarRef,
+};
+use fsr_lang::diag::{Error, Span, Stage};
+
+struct FnCompiler<'p> {
+    prog: &'p Program,
+    code: Vec<Instr>,
+    next_temp: u16,
+    max_reg: u16,
+    num_slots: u16,
+    /// (break patch sites, continue target) per enclosing loop.
+    loops: Vec<LoopPatch>,
+}
+
+struct LoopPatch {
+    breaks: Vec<usize>,
+    continue_target: u32,
+    /// Continue sites patched later for `for` loops (jump to step code).
+    continues: Vec<usize>,
+    continue_known: bool,
+}
+
+fn err(msg: impl Into<String>, span: Span) -> Error {
+    Error::new(Stage::Check, msg, span)
+}
+
+impl<'p> FnCompiler<'p> {
+    fn new(prog: &'p Program, num_slots: u16) -> Self {
+        FnCompiler {
+            prog,
+            code: Vec::new(),
+            next_temp: num_slots,
+            max_reg: num_slots,
+            num_slots,
+            loops: Vec::new(),
+        }
+    }
+
+    fn temp(&mut self) -> Reg {
+        let r = self.next_temp;
+        self.next_temp += 1;
+        if self.next_temp > self.max_reg {
+            self.max_reg = self.next_temp;
+        }
+        if self.next_temp == u16::MAX {
+            panic!("expression too complex: register file exhausted");
+        }
+        r
+    }
+
+    /// Reset the temp cursor (between statements).
+    fn reset_temps(&mut self) {
+        self.next_temp = self.num_slots;
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch_jump(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Instr::Jmp { target: t } | Instr::Jz { target: t, .. } | Instr::Jnz { target: t, .. } => {
+                *t = target
+            }
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn alu_of(op: BinOp) -> Option<Alu> {
+        Some(match op {
+            BinOp::Add => Alu::Add,
+            BinOp::Sub => Alu::Sub,
+            BinOp::Mul => Alu::Mul,
+            BinOp::Div => Alu::Div,
+            BinOp::Rem => Alu::Rem,
+            BinOp::Eq => Alu::Eq,
+            BinOp::Ne => Alu::Ne,
+            BinOp::Lt => Alu::Lt,
+            BinOp::Le => Alu::Le,
+            BinOp::Gt => Alu::Gt,
+            BinOp::Ge => Alu::Ge,
+            BinOp::BitAnd => Alu::BitAnd,
+            BinOp::BitOr => Alu::BitOr,
+            BinOp::BitXor => Alu::BitXor,
+            BinOp::Shl => Alu::Shl,
+            BinOp::Shr => Alu::Shr,
+            BinOp::And | BinOp::Or => return None,
+        })
+    }
+
+    fn access_spec(&mut self, pl: &Place) -> Result<AccessSpec, Error> {
+        let mut idx = Vec::with_capacity(pl.idx.len());
+        for e in &pl.idx {
+            idx.push(self.expr(e)?);
+        }
+        let field = match &pl.field {
+            None => None,
+            Some((f, fe)) => {
+                let r = match fe {
+                    Some(fe) => Some(self.expr(fe)?),
+                    None => None,
+                };
+                Some((*f, r))
+            }
+        };
+        Ok(AccessSpec {
+            obj: pl.obj,
+            idx,
+            field,
+        })
+    }
+
+    /// Compile an expression into a register.
+    fn expr(&mut self, e: &Expr) -> Result<Reg, Error> {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let dst = self.temp();
+                self.emit(Instr::Const {
+                    dst,
+                    v: *v as i32,
+                });
+                Ok(dst)
+            }
+            ExprKind::Var(VarRef::Local(s)) => Ok(*s as Reg),
+            ExprKind::Var(VarRef::Param(i)) => {
+                let dst = self.temp();
+                let v = self.prog.params[*i as usize].value.unwrap_or(0) as i32;
+                self.emit(Instr::Const { dst, v });
+                Ok(dst)
+            }
+            ExprKind::Var(VarRef::Const(i)) => {
+                let dst = self.temp();
+                let v = self.prog.consts[*i as usize].value.unwrap_or(0) as i32;
+                self.emit(Instr::Const { dst, v });
+                Ok(dst)
+            }
+            ExprKind::Load(pl) => {
+                let acc = self.access_spec(pl)?;
+                let dst = self.temp();
+                self.emit(Instr::Ld { dst, acc });
+                Ok(dst)
+            }
+            ExprKind::Unary(UnOp::Neg, a) => {
+                let src = self.expr(a)?;
+                let dst = self.temp();
+                self.emit(Instr::Neg { dst, src });
+                Ok(dst)
+            }
+            ExprKind::Unary(UnOp::Not, a) => {
+                let src = self.expr(a)?;
+                let dst = self.temp();
+                self.emit(Instr::Not { dst, src });
+                Ok(dst)
+            }
+            ExprKind::Binary(op @ (BinOp::And | BinOp::Or), a, b) => {
+                // Short-circuit: dst = a; if (And: dst==0 / Or: dst!=0)
+                // skip b.
+                let dst = self.temp();
+                let ra = self.expr(a)?;
+                self.emit(Instr::Not { dst, src: ra });
+                self.emit(Instr::Not { dst, src: dst }); // normalize 0/1
+                let j = if matches!(op, BinOp::And) {
+                    self.emit(Instr::Jz {
+                        src: dst,
+                        target: 0,
+                    })
+                } else {
+                    self.emit(Instr::Jnz {
+                        src: dst,
+                        target: 0,
+                    })
+                };
+                let rb = self.expr(b)?;
+                self.emit(Instr::Not { dst, src: rb });
+                self.emit(Instr::Not { dst, src: dst });
+                let end = self.here();
+                self.patch_jump(j, end);
+                Ok(dst)
+            }
+            ExprKind::Binary(op, a, b) => {
+                let ra = self.expr(a)?;
+                let rb = self.expr(b)?;
+                let dst = self.temp();
+                let alu = Self::alu_of(*op).expect("non-logic op");
+                self.emit(Instr::Bin {
+                    op: alu,
+                    dst,
+                    a: ra,
+                    b: rb,
+                });
+                Ok(dst)
+            }
+            ExprKind::Call(Callee::Builtin(b), args) => {
+                let regs: Vec<Reg> = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<_, _>>()?;
+                let dst = self.temp();
+                match b {
+                    Builtin::Prand => self.emit(Instr::Prand { dst, src: regs[0] }),
+                    Builtin::Abs => self.emit(Instr::Abs { dst, src: regs[0] }),
+                    Builtin::Min => self.emit(Instr::Min {
+                        dst,
+                        a: regs[0],
+                        b: regs[1],
+                    }),
+                    Builtin::Max => self.emit(Instr::Max {
+                        dst,
+                        a: regs[0],
+                        b: regs[1],
+                    }),
+                };
+                Ok(dst)
+            }
+            ExprKind::Call(Callee::User(f), args) => {
+                let regs: Vec<Reg> = args
+                    .iter()
+                    .map(|a| self.expr(a))
+                    .collect::<Result<_, _>>()?;
+                let dst = self.temp();
+                self.emit(Instr::Call {
+                    func: f.0,
+                    args: regs.into_boxed_slice(),
+                    dst: Some(dst),
+                });
+                Ok(dst)
+            }
+            ExprKind::Path(_) | ExprKind::CallNamed(..) => {
+                Err(err("unresolved name in checked program", e.span))
+            }
+        }
+    }
+
+    fn block(&mut self, b: &Block) -> Result<(), Error> {
+        for s in &b.stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), Error> {
+        self.reset_temps();
+        match &s.kind {
+            StmtKind::VarDecl { init, slot, .. } => {
+                let dst = *slot as Reg;
+                match init {
+                    Some(e) => {
+                        let src = self.expr(e)?;
+                        self.emit(Instr::Mov { dst, src });
+                    }
+                    None => {
+                        self.emit(Instr::Const { dst, v: 0 });
+                    }
+                }
+            }
+            StmtKind::Assign { target, value } => {
+                let src = self.expr(value)?;
+                match target {
+                    Target::Local(slot) => {
+                        self.emit(Instr::Mov {
+                            dst: *slot as Reg,
+                            src,
+                        });
+                    }
+                    Target::Place(pl) => {
+                        let acc = self.access_spec(pl)?;
+                        self.emit(Instr::St { src, acc });
+                    }
+                    Target::Path(_) => return Err(err("unresolved target", s.span)),
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = self.expr(cond)?;
+                let jz = self.emit(Instr::Jz { src: c, target: 0 });
+                self.block(then_blk)?;
+                match else_blk {
+                    None => {
+                        let end = self.here();
+                        self.patch_jump(jz, end);
+                    }
+                    Some(e) => {
+                        let jend = self.emit(Instr::Jmp { target: 0 });
+                        let else_at = self.here();
+                        self.patch_jump(jz, else_at);
+                        self.block(e)?;
+                        let end = self.here();
+                        self.patch_jump(jend, end);
+                    }
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let top = self.here();
+                self.reset_temps();
+                let c = self.expr(cond)?;
+                let jz = self.emit(Instr::Jz { src: c, target: 0 });
+                self.loops.push(LoopPatch {
+                    breaks: Vec::new(),
+                    continue_target: top,
+                    continues: Vec::new(),
+                    continue_known: true,
+                });
+                self.block(body)?;
+                self.emit(Instr::Jmp { target: top });
+                let end = self.here();
+                self.patch_jump(jz, end);
+                let lp = self.loops.pop().unwrap();
+                for b in lp.breaks {
+                    self.patch_jump(b, end);
+                }
+            }
+            StmtKind::For {
+                slot,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
+                // var = lo; hi_r = hi; step_r = step;
+                // loop: cond = (step>0 && var<hi) || (step<0 && var>hi);
+                // if !cond break; body; continue: var += step; goto loop
+                let var = *slot as Reg;
+                let lo_r = self.expr(lo)?;
+                self.emit(Instr::Mov { dst: var, src: lo_r });
+                // hi/step are pinned in dedicated temps that survive the
+                // per-statement temp reset (allocated before the loop and
+                // never released until the loop ends).
+                let hi_r = {
+                    let v = self.expr(hi)?;
+                    let pin = self.temp();
+                    self.emit(Instr::Mov { dst: pin, src: v });
+                    pin
+                };
+                let step_r = {
+                    let pin = self.temp();
+                    match step {
+                        Some(e) => {
+                            let v = self.expr(e)?;
+                            self.emit(Instr::Mov { dst: pin, src: v });
+                        }
+                        None => {
+                            self.emit(Instr::Const { dst: pin, v: 1 });
+                        }
+                    }
+                    pin
+                };
+                // Protect pinned temps by bumping the reset floor.
+                let saved_floor = self.num_slots;
+                self.num_slots = self.next_temp;
+                let top = self.here();
+                self.reset_temps();
+                // cond computation
+                let zero = self.temp();
+                self.emit(Instr::Const { dst: zero, v: 0 });
+                let pos = self.temp();
+                self.emit(Instr::Bin {
+                    op: Alu::Gt,
+                    dst: pos,
+                    a: step_r,
+                    b: zero,
+                });
+                let lt = self.temp();
+                self.emit(Instr::Bin {
+                    op: Alu::Lt,
+                    dst: lt,
+                    a: var,
+                    b: hi_r,
+                });
+                let gt = self.temp();
+                self.emit(Instr::Bin {
+                    op: Alu::Gt,
+                    dst: gt,
+                    a: var,
+                    b: hi_r,
+                });
+                // cond = pos ? lt : gt  =  pos*lt + (1-pos)*gt
+                let t1 = self.temp();
+                self.emit(Instr::Bin {
+                    op: Alu::Mul,
+                    dst: t1,
+                    a: pos,
+                    b: lt,
+                });
+                let one = self.temp();
+                self.emit(Instr::Const { dst: one, v: 1 });
+                let npos = self.temp();
+                self.emit(Instr::Bin {
+                    op: Alu::Sub,
+                    dst: npos,
+                    a: one,
+                    b: pos,
+                });
+                let t2 = self.temp();
+                self.emit(Instr::Bin {
+                    op: Alu::Mul,
+                    dst: t2,
+                    a: npos,
+                    b: gt,
+                });
+                let cond = self.temp();
+                self.emit(Instr::Bin {
+                    op: Alu::Add,
+                    dst: cond,
+                    a: t1,
+                    b: t2,
+                });
+                let jz = self.emit(Instr::Jz {
+                    src: cond,
+                    target: 0,
+                });
+                self.loops.push(LoopPatch {
+                    breaks: Vec::new(),
+                    continue_target: 0,
+                    continues: Vec::new(),
+                    continue_known: false,
+                });
+                self.block(body)?;
+                // continue target: the increment.
+                let inc_at = self.here();
+                self.emit(Instr::Bin {
+                    op: Alu::Add,
+                    dst: var,
+                    a: var,
+                    b: step_r,
+                });
+                self.emit(Instr::Jmp { target: top });
+                let end = self.here();
+                self.patch_jump(jz, end);
+                let lp = self.loops.pop().unwrap();
+                for b in lp.breaks {
+                    self.patch_jump(b, end);
+                }
+                for c in lp.continues {
+                    self.patch_jump(c, inc_at);
+                }
+                self.num_slots = saved_floor;
+            }
+            StmtKind::Forall { slot, body: _, .. } => {
+                // The body was extracted into the synthetic function; its
+                // id is patched by `compile_program` (we use a marker with
+                // the slot and fix the func id afterwards).
+                self.emit(Instr::Spawn {
+                    body_func: u32::MAX,
+                    pdv_slot: *slot as Reg,
+                });
+            }
+            StmtKind::Barrier { .. } => {
+                self.emit(Instr::Barrier);
+            }
+            StmtKind::Lock { target } => {
+                let Target::Place(pl) = target else {
+                    return Err(err("unresolved lock target", s.span));
+                };
+                let acc = self.access_spec(pl)?;
+                self.emit(Instr::LockAcq { acc });
+            }
+            StmtKind::Unlock { target } => {
+                let Target::Place(pl) = target else {
+                    return Err(err("unresolved unlock target", s.span));
+                };
+                let acc = self.access_spec(pl)?;
+                self.emit(Instr::LockRel { acc });
+            }
+            StmtKind::CallStmt { callee, args, .. } => match callee {
+                Some(Callee::User(f)) => {
+                    let regs: Vec<Reg> = args
+                        .iter()
+                        .map(|a| self.expr(a))
+                        .collect::<Result<_, _>>()?;
+                    self.emit(Instr::Call {
+                        func: f.0,
+                        args: regs.into_boxed_slice(),
+                        dst: None,
+                    });
+                }
+                Some(Callee::Builtin(_)) => {
+                    // Builtins are pure; a builtin call statement is a
+                    // no-op beyond evaluating its arguments.
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                }
+                None => return Err(err("unresolved call", s.span)),
+            },
+            StmtKind::Return(e) => {
+                let src = match e {
+                    Some(e) => Some(self.expr(e)?),
+                    None => None,
+                };
+                self.emit(Instr::Ret { src });
+            }
+            StmtKind::Break => {
+                let j = self.emit(Instr::Jmp { target: 0 });
+                let lp = self
+                    .loops
+                    .last_mut()
+                    .ok_or_else(|| err("break outside loop", s.span))?;
+                lp.breaks.push(j);
+            }
+            StmtKind::Continue => {
+                let lp_known = self
+                    .loops
+                    .last()
+                    .map(|l| l.continue_known)
+                    .ok_or_else(|| err("continue outside loop", s.span))?;
+                if lp_known {
+                    let t = self.loops.last().unwrap().continue_target;
+                    self.emit(Instr::Jmp { target: t });
+                } else {
+                    let j = self.emit(Instr::Jmp { target: 0 });
+                    self.loops.last_mut().unwrap().continues.push(j);
+                }
+            }
+            StmtKind::Block(b) => self.block(b)?,
+        }
+        Ok(())
+    }
+}
+
+fn compile_func_body(
+    prog: &Program,
+    f: &Func,
+    body: &Block,
+    name: &str,
+) -> Result<FuncCode, Error> {
+    let mut c = FnCompiler::new(prog, f.num_slots as u16);
+    c.block(body)?;
+    c.emit(Instr::Ret { src: None });
+    Ok(FuncCode {
+        name: name.to_string(),
+        code: c.code,
+        num_regs: c.max_reg,
+        num_params: f.params.len() as u16,
+    })
+}
+
+/// Compile a checked program to bytecode.
+pub fn compile_program(prog: &Program) -> Result<Compiled, Error> {
+    let mut funcs = Vec::with_capacity(prog.funcs.len() + 1);
+    for f in &prog.funcs {
+        funcs.push(compile_func_body(prog, f, &f.body, &f.name)?);
+    }
+    // Synthetic forall body: shares main's frame layout (fork-with-copy
+    // semantics: children receive a copy of the master's locals).
+    let main_id = prog.main.expect("checked program").0;
+    let main_fn = prog.func(fsr_lang::ast::FuncId(main_id));
+    let mut body_code = None;
+    for s in &main_fn.body.stmts {
+        if let StmtKind::Forall { body, .. } = &s.kind {
+            let fc = compile_func_body(prog, main_fn, body, "__forall_body")?;
+            body_code = Some(fc);
+        }
+    }
+    let body_fc = body_code.ok_or_else(|| {
+        err(
+            "program has no forall",
+            main_fn.span,
+        )
+    })?;
+    let body_id = funcs.len() as u32;
+    funcs.push(body_fc);
+    // Patch Spawn instructions in main with the body id.
+    for inst in &mut funcs[main_id as usize].code {
+        if let Instr::Spawn { body_func, .. } = inst {
+            *body_func = body_id;
+        }
+    }
+    Ok(Compiled {
+        funcs,
+        main: main_id,
+        body: body_id,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Compiled {
+        let prog = fsr_lang::compile(src).unwrap();
+        compile_program(&prog).unwrap()
+    }
+
+    #[test]
+    fn compiles_minimal_program() {
+        let c = compile("fn main() { forall p in 0 .. 2 { } }");
+        assert_eq!(c.funcs.len(), 2); // main + body
+        let main = c.func(c.main);
+        assert!(main
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Spawn { body_func, .. } if *body_func == c.body)));
+    }
+
+    #[test]
+    fn compiles_arith_and_memory() {
+        let c = compile(
+            "shared int a[8];
+             fn main() { forall p in 0 .. 2 { a[p] = a[p] + p * 3; } }",
+        );
+        let body = c.func(c.body);
+        assert!(body.code.iter().any(|i| matches!(i, Instr::Ld { .. })));
+        assert!(body.code.iter().any(|i| matches!(i, Instr::St { .. })));
+        assert!(body
+            .code
+            .iter()
+            .any(|i| matches!(i, Instr::Bin { op: Alu::Mul, .. })));
+    }
+
+    #[test]
+    fn compiles_control_flow() {
+        let c = compile(
+            "fn main() { forall p in 0 .. 2 {
+                 var i; var s = 0;
+                 for i in 0 .. 10 step 2 {
+                     if (i == 4) { continue; }
+                     if (i == 8) { break; }
+                     s = s + i;
+                 }
+                 while (s > 0) { s = s - 1; }
+             } }",
+        );
+        let body = c.func(c.body);
+        assert!(body.code.iter().any(|i| matches!(i, Instr::Jz { .. })));
+        assert!(body.code.iter().any(|i| matches!(i, Instr::Jmp { .. })));
+    }
+
+    #[test]
+    fn compiles_calls_and_builtins() {
+        let c = compile(
+            "fn f(int x) { return x * 2; }
+             fn main() { forall p in 0 .. 2 {
+                 var v = f(p) + min(p, 1) + prand(p) % 4;
+             } }",
+        );
+        let body = c.func(c.body);
+        assert!(body.code.iter().any(|i| matches!(i, Instr::Call { .. })));
+        assert!(body.code.iter().any(|i| matches!(i, Instr::Prand { .. })));
+        assert!(body.code.iter().any(|i| matches!(i, Instr::Min { .. })));
+    }
+
+    #[test]
+    fn compiles_locks_and_barriers() {
+        let c = compile(
+            "shared lock lk; shared int x;
+             fn main() { forall p in 0 .. 2 {
+                 lock(lk); x = x + 1; unlock(lk); barrier;
+             } }",
+        );
+        let body = c.func(c.body);
+        assert!(body.code.iter().any(|i| matches!(i, Instr::LockAcq { .. })));
+        assert!(body.code.iter().any(|i| matches!(i, Instr::LockRel { .. })));
+        assert!(body.code.iter().any(|i| matches!(i, Instr::Barrier)));
+    }
+
+    #[test]
+    fn jump_targets_in_range() {
+        let c = compile(
+            "fn main() { forall p in 0 .. 2 {
+                 var i; for i in 0 .. 4 { if (i == 2) { break; } }
+             } }",
+        );
+        for f in &c.funcs {
+            for ins in &f.code {
+                let t = match ins {
+                    Instr::Jmp { target } | Instr::Jz { target, .. } | Instr::Jnz { target, .. } => {
+                        Some(*target)
+                    }
+                    _ => None,
+                };
+                if let Some(t) = t {
+                    assert!(
+                        (t as usize) <= f.code.len(),
+                        "target {t} out of range in {}",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! The SPMD virtual machine.
+//!
+//! All logical processes execute in lock-step rounds: each runnable
+//! process executes one instruction per round (the standard interleaving
+//! assumption of trace-driven multiprocessor simulation). Barriers block
+//! until every active process arrives; locks are test-and-set words whose
+//! spin rereads are *emitted into the trace* (that traffic is what lock
+//! padding addresses). Memory reference events stream to a [`TraceSink`]
+//! as they happen, with a `gap` carrying the compute cycles (instruction
+//! count) since the process's previous reference.
+
+use crate::bytecode::*;
+use fsr_lang::ast::{ObjId, Program, WORD_BYTES};
+use fsr_layout::{Arena, Layout, Resolved};
+use std::collections::BTreeMap;
+
+/// One shared-memory reference event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    pub pid: u8,
+    /// Byte address.
+    pub addr: u32,
+    pub write: bool,
+    /// Compute cycles (executed instructions) since this process's
+    /// previous memory reference.
+    pub gap: u32,
+}
+
+/// Consumer of the reference stream.
+pub trait TraceSink {
+    fn access(&mut self, r: MemRef);
+
+    /// Clock synchronization: the listed processes reached a
+    /// synchronization point together (barrier release, process
+    /// spawn/join). Timing models align their clocks; analyses that only
+    /// count references may ignore it.
+    fn sync(&mut self, pids: &[u32]) {
+        let _ = pids;
+    }
+
+    /// Lock hand-off: `to` acquired a lock last released by `from`.
+    /// Timing models order the acquirer after the releaser.
+    fn handoff(&mut self, from: u32, to: u32) {
+        let _ = (from, to);
+    }
+}
+
+/// Count-only sink.
+#[derive(Debug, Default, Clone)]
+pub struct CountingSink {
+    pub refs: u64,
+    pub writes: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn access(&mut self, r: MemRef) {
+        self.refs += 1;
+        self.writes += r.write as u64;
+    }
+}
+
+/// Buffer sink for tests and small traces.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink(pub Vec<MemRef>);
+
+impl TraceSink for VecSink {
+    fn access(&mut self, r: MemRef) {
+        self.0.push(r);
+    }
+}
+
+/// Run-time error (index out of bounds, division by zero, deadlock,
+/// step-limit exhaustion, arena overflow).
+#[derive(Debug, Clone)]
+pub struct RuntimeError {
+    pub pid: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error on process {}: {}", self.pid, self.msg)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Seed for the `prand` builtin (identical across layouts so control
+    /// flow is layout-independent).
+    pub seed: u64,
+    /// Abort after this many total executed instructions.
+    pub max_steps: u64,
+    /// While blocked on a lock, emit a spin reread every this many rounds.
+    pub spin_probe_period: u32,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0x5eed_cafe,
+            max_steps: 2_000_000_000,
+            spin_probe_period: 2,
+        }
+    }
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    pub instructions: u64,
+    pub refs: u64,
+    pub spin_rereads: u64,
+    pub barriers_crossed: u64,
+    pub lock_acquires: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ProcState {
+    Run,
+    AtBarrier,
+    /// Spinning on a lock word at this byte address.
+    Spin { addr: u32, rounds: u32 },
+    /// Master waiting for children to finish the parallel region.
+    Joining,
+    /// Child finished its body.
+    Idle,
+    Done,
+}
+
+struct Frame {
+    func: u32,
+    pc: u32,
+    regs: Vec<i32>,
+    ret_dst: Option<Reg>,
+    is_body: bool,
+}
+
+struct Proc {
+    pid: u32,
+    frames: Vec<Frame>,
+    state: ProcState,
+    gap: u32,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// The interpreter for one (program, layout) configuration.
+pub struct Interp<'a> {
+    layout: &'a Layout,
+    code: &'a Compiled,
+    dims: Vec<Vec<u32>>,
+    mem: Vec<i32>,
+    arenas: Vec<Arena>,
+    procs: Vec<Proc>,
+    cfg: RunConfig,
+    stats: RunStats,
+    barrier_arrived: u32,
+    /// Last releaser of each lock word (for hand-off ordering).
+    lock_releaser: std::collections::HashMap<u32, u32>,
+}
+
+impl<'a> Interp<'a> {
+    pub fn new(prog: &Program, layout: &'a Layout, code: &'a Compiled, cfg: RunConfig) -> Self {
+        let nproc = layout.nproc;
+        let main_fc = code.func(code.main);
+        let mut procs: Vec<Proc> = (0..nproc)
+            .map(|pid| Proc {
+                pid,
+                frames: Vec::new(),
+                state: ProcState::Idle,
+                gap: 0,
+            })
+            .collect();
+        procs[0].frames.push(Frame {
+            func: code.main,
+            pc: 0,
+            regs: vec![0; main_fc.num_regs as usize],
+            ret_dst: None,
+            is_body: false,
+        });
+        procs[0].state = ProcState::Run;
+        Interp {
+            layout,
+            code,
+            dims: prog.objects.iter().map(|o| o.dims.clone()).collect(),
+            mem: vec![0; layout.total_words() as usize],
+            arenas: layout.arenas.iter().map(Arena::new).collect(),
+            procs,
+            cfg,
+            stats: RunStats::default(),
+            barrier_arrived: 0,
+            lock_releaser: std::collections::HashMap::new(),
+        }
+    }
+
+    fn rt(&self, pid: u32, msg: impl Into<String>) -> RuntimeError {
+        RuntimeError {
+            pid,
+            msg: msg.into(),
+        }
+    }
+
+    /// Resolve an access spec against the registers of the current frame.
+    fn resolve(&self, p: usize, acc: &AccessSpec) -> Result<(Resolved, u64), RuntimeError> {
+        let pid = self.procs[p].pid;
+        let frame = self.procs[p].frames.last().unwrap();
+        let dims = &self.dims[acc.obj.index()];
+        let mut flat: u64 = 0;
+        for (k, &r) in acc.idx.iter().enumerate() {
+            let v = frame.regs[r as usize];
+            if v < 0 || v as u64 >= dims[k] as u64 {
+                return Err(self.rt(
+                    pid,
+                    format!(
+                        "index {} out of bounds 0..{} (dim {k}, object {})",
+                        v,
+                        dims[k],
+                        acc.obj.0
+                    ),
+                ));
+            }
+            flat = flat * dims[k] as u64 + v as u64;
+        }
+        let field_sel = match &acc.field {
+            None => None,
+            Some((f, fr)) => {
+                let (_, len) = self.layout.field_layout(acc.obj, *f);
+                let fi = match fr {
+                    None => 0,
+                    Some(r) => {
+                        let v = frame.regs[*r as usize];
+                        if v < 0 || v as u32 >= len {
+                            return Err(self.rt(
+                                pid,
+                                format!("field index {v} out of bounds 0..{len}"),
+                            ));
+                        }
+                        v as u32
+                    }
+                };
+                Some((*f, fi))
+            }
+        };
+        Ok((self.layout.resolve(acc.obj, flat, field_sel, pid), flat))
+    }
+
+    /// Perform a data access (load or store), emitting trace events.
+    fn access(
+        &mut self,
+        p: usize,
+        acc: &AccessSpec,
+        write: bool,
+        value: i32,
+        sink: &mut dyn TraceSink,
+    ) -> Result<i32, RuntimeError> {
+        let pid = self.procs[p].pid;
+        let (resolved, _flat) = self.resolve(p, acc)?;
+        let word = match resolved {
+            Resolved::Direct(w) => w,
+            Resolved::Indirect {
+                ptr,
+                off,
+                slot_words,
+                arena,
+                lane,
+            } => {
+                // Pointer read.
+                self.emit(p, ptr, false, sink);
+                let mut target = self.mem[ptr as usize];
+                if target == 0 {
+                    // First touch: allocate in the toucher's arena lane.
+                    let slot = self.arenas[arena as usize]
+                        .alloc(pid, lane, slot_words)
+                        .ok_or_else(|| self.rt(pid, "indirection arena exhausted"))?;
+                    self.mem[ptr as usize] = slot as i32;
+                    self.emit(p, ptr, true, sink);
+                    target = slot as i32;
+                }
+                target as u32 + off
+            }
+        };
+        self.emit(p, word, write, sink);
+        if write {
+            self.mem[word as usize] = value;
+            Ok(value)
+        } else {
+            Ok(self.mem[word as usize])
+        }
+    }
+
+    fn emit(&mut self, p: usize, word_addr: u32, write: bool, sink: &mut dyn TraceSink) {
+        let gap = self.procs[p].gap;
+        self.procs[p].gap = 0;
+        self.stats.refs += 1;
+        sink.access(MemRef {
+            pid: self.procs[p].pid as u8,
+            addr: word_addr * WORD_BYTES,
+            write,
+            gap,
+        });
+    }
+
+    fn active_count(&self) -> u32 {
+        self.procs
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p.state,
+                    ProcState::Run | ProcState::AtBarrier | ProcState::Spin { .. }
+                )
+            })
+            .count() as u32
+    }
+
+    /// Run to completion, streaming references into `sink`.
+    pub fn run(mut self, sink: &mut dyn TraceSink) -> Result<FinalState, RuntimeError> {
+        let nproc = self.procs.len();
+        loop {
+            if matches!(self.procs[0].state, ProcState::Done) {
+                break;
+            }
+            if self.stats.instructions > self.cfg.max_steps {
+                return Err(self.rt(0, "step limit exceeded (infinite loop?)"));
+            }
+            let mut progressed = false;
+            for p in 0..nproc {
+                match self.procs[p].state {
+                    ProcState::Run => {
+                        self.step(p, sink)?;
+                        progressed = true;
+                    }
+                    ProcState::AtBarrier => {
+                        if self.barrier_arrived >= self.active_count() {
+                            // Release everyone at the barrier.
+                            let mut released = Vec::new();
+                            for q in self.procs.iter_mut() {
+                                if q.state == ProcState::AtBarrier {
+                                    q.state = ProcState::Run;
+                                    released.push(q.pid);
+                                }
+                            }
+                            self.barrier_arrived = 0;
+                            self.stats.barriers_crossed += 1;
+                            progressed = !released.is_empty();
+                            sink.sync(&released);
+                        }
+                    }
+                    ProcState::Spin { addr, rounds } => {
+                        // Test the lock word; reread goes into the trace
+                        // every probe period.
+                        let word = addr / WORD_BYTES;
+                        let probe = rounds % self.cfg.spin_probe_period == 0;
+                        if probe {
+                            self.emit(p, word, false, sink);
+                            self.stats.spin_rereads += 1;
+                        }
+                        if self.mem[word as usize] == 0 {
+                            // Acquire: read saw it free; now test-and-set.
+                            self.emit(p, word, true, sink);
+                            self.mem[word as usize] = 1;
+                            self.stats.lock_acquires += 1;
+                            let pid = self.procs[p].pid;
+                            if let Some(&from) = self.lock_releaser.get(&word) {
+                                if from != pid {
+                                    sink.handoff(from, pid);
+                                }
+                            }
+                            self.procs[p].state = ProcState::Run;
+                            progressed = true;
+                        } else {
+                            self.procs[p].state = ProcState::Spin {
+                                addr,
+                                rounds: rounds + 1,
+                            };
+                        }
+                    }
+                    ProcState::Joining => {
+                        let all_idle = self
+                            .procs
+                            .iter()
+                            .all(|q| {
+                                q.pid == self.procs[p].pid
+                                    || matches!(q.state, ProcState::Idle | ProcState::Done)
+                            });
+                        if all_idle {
+                            self.procs[p].state = ProcState::Run;
+                            progressed = true;
+                            let all: Vec<u32> = self.procs.iter().map(|q| q.pid).collect();
+                            sink.sync(&all);
+                        }
+                    }
+                    ProcState::Idle | ProcState::Done => {}
+                }
+            }
+            if !progressed {
+                // Barrier release is handled above; reaching here means a
+                // real deadlock (e.g. everyone spinning on a held lock
+                // whose holder is blocked).
+                if self.barrier_arrived >= self.active_count() && self.barrier_arrived > 0 {
+                    continue;
+                }
+                return Err(self.rt(0, "deadlock: no process can make progress"));
+            }
+        }
+        Ok(FinalState {
+            mem: self.mem,
+            stats: self.stats,
+        })
+    }
+
+    /// Execute one instruction of process `p`.
+    fn step(&mut self, p: usize, sink: &mut dyn TraceSink) -> Result<(), RuntimeError> {
+        self.stats.instructions += 1;
+        self.procs[p].gap = self.procs[p].gap.saturating_add(1);
+        let pid = self.procs[p].pid;
+        let frame = self.procs[p].frames.last().unwrap();
+        let fc = self.code.func(frame.func);
+        if frame.pc as usize >= fc.code.len() {
+            return self.do_ret(p, None);
+        }
+        let instr = fc.code[frame.pc as usize].clone();
+        // Default: advance pc; jumps overwrite it.
+        self.procs[p].frames.last_mut().unwrap().pc += 1;
+        let regs = |procs: &Vec<Proc>, r: Reg| procs[p].frames.last().unwrap().regs[r as usize];
+        match instr {
+            Instr::Const { dst, v } => {
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::Mov { dst, src } => {
+                let v = regs(&self.procs, src);
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let x = regs(&self.procs, a);
+                let y = regs(&self.procs, b);
+                let v = match op {
+                    Alu::Add => x.wrapping_add(y),
+                    Alu::Sub => x.wrapping_sub(y),
+                    Alu::Mul => x.wrapping_mul(y),
+                    Alu::Div => {
+                        if y == 0 {
+                            return Err(self.rt(pid, "division by zero"));
+                        }
+                        x.wrapping_div(y)
+                    }
+                    Alu::Rem => {
+                        if y == 0 {
+                            return Err(self.rt(pid, "remainder by zero"));
+                        }
+                        x.wrapping_rem(y)
+                    }
+                    Alu::Eq => (x == y) as i32,
+                    Alu::Ne => (x != y) as i32,
+                    Alu::Lt => (x < y) as i32,
+                    Alu::Le => (x <= y) as i32,
+                    Alu::Gt => (x > y) as i32,
+                    Alu::Ge => (x >= y) as i32,
+                    Alu::BitAnd => x & y,
+                    Alu::BitOr => x | y,
+                    Alu::BitXor => x ^ y,
+                    Alu::Shl => x.wrapping_shl((y & 31) as u32),
+                    Alu::Shr => x.wrapping_shr((y & 31) as u32),
+                };
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::Neg { dst, src } => {
+                let v = regs(&self.procs, src).wrapping_neg();
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::Not { dst, src } => {
+                let v = (regs(&self.procs, src) == 0) as i32;
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::Jmp { target } => {
+                self.procs[p].frames.last_mut().unwrap().pc = target;
+            }
+            Instr::Jz { src, target } => {
+                if regs(&self.procs, src) == 0 {
+                    self.procs[p].frames.last_mut().unwrap().pc = target;
+                }
+            }
+            Instr::Jnz { src, target } => {
+                if regs(&self.procs, src) != 0 {
+                    self.procs[p].frames.last_mut().unwrap().pc = target;
+                }
+            }
+            Instr::Ld { dst, acc } => {
+                let v = self.access(p, &acc, false, 0, sink)?;
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::St { src, acc } => {
+                let v = regs(&self.procs, src);
+                self.access(p, &acc, true, v, sink)?;
+            }
+            Instr::Call { func, args, dst } => {
+                let fc = self.code.func(func);
+                let mut regs_new = vec![0i32; fc.num_regs as usize];
+                for (i, &r) in args.iter().enumerate() {
+                    regs_new[i] = regs(&self.procs, r);
+                }
+                if self.procs[p].frames.len() > 256 {
+                    return Err(self.rt(pid, "call stack overflow"));
+                }
+                self.procs[p].frames.push(Frame {
+                    func,
+                    pc: 0,
+                    regs: regs_new,
+                    ret_dst: dst,
+                    is_body: false,
+                });
+            }
+            Instr::Ret { src } => {
+                let v = src.map(|r| regs(&self.procs, r));
+                return self.do_ret(p, v);
+            }
+            Instr::Barrier => {
+                self.procs[p].state = ProcState::AtBarrier;
+                self.barrier_arrived += 1;
+            }
+            Instr::LockAcq { acc } => {
+                let (resolved, _) = self.resolve(p, &acc)?;
+                let Resolved::Direct(word) = resolved else {
+                    return Err(self.rt(pid, "lock storage cannot be indirected"));
+                };
+                // Test: read the lock word.
+                self.emit(p, word, false, sink);
+                if self.mem[word as usize] == 0 {
+                    self.emit(p, word, true, sink);
+                    self.mem[word as usize] = 1;
+                    self.stats.lock_acquires += 1;
+                    if let Some(&from) = self.lock_releaser.get(&word) {
+                        if from != pid {
+                            sink.handoff(from, pid);
+                        }
+                    }
+                } else {
+                    self.procs[p].state = ProcState::Spin {
+                        addr: word * WORD_BYTES,
+                        rounds: 1,
+                    };
+                }
+            }
+            Instr::LockRel { acc } => {
+                let (resolved, _) = self.resolve(p, &acc)?;
+                let Resolved::Direct(word) = resolved else {
+                    return Err(self.rt(pid, "lock storage cannot be indirected"));
+                };
+                self.emit(p, word, true, sink);
+                self.mem[word as usize] = 0;
+                self.lock_releaser.insert(word, pid);
+            }
+            Instr::Prand { dst, src } => {
+                let x = regs(&self.procs, src);
+                let h = splitmix64(self.cfg.seed ^ (x as u32 as u64));
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] =
+                    (h & 0x3fff_ffff) as i32;
+            }
+            Instr::Min { dst, a, b } => {
+                let v = regs(&self.procs, a).min(regs(&self.procs, b));
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::Max { dst, a, b } => {
+                let v = regs(&self.procs, a).max(regs(&self.procs, b));
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::Abs { dst, src } => {
+                let v = regs(&self.procs, src).wrapping_abs();
+                self.procs[p].frames.last_mut().unwrap().regs[dst as usize] = v;
+            }
+            Instr::Spawn {
+                body_func,
+                pdv_slot,
+            } => {
+                let master_regs = self.procs[p].frames.last().unwrap().regs.clone();
+                let fc = self.code.func(body_func);
+                for q in 0..self.procs.len() {
+                    let mut regs_new = vec![0i32; fc.num_regs as usize];
+                    let n = master_regs.len().min(regs_new.len());
+                    regs_new[..n].copy_from_slice(&master_regs[..n]);
+                    regs_new[pdv_slot as usize] = self.procs[q].pid as i32;
+                    let frame = Frame {
+                        func: body_func,
+                        pc: 0,
+                        regs: regs_new,
+                        ret_dst: None,
+                        is_body: true,
+                    };
+                    self.procs[q].frames.push(frame);
+                    self.procs[q].state = ProcState::Run;
+                }
+                let all: Vec<u32> = self.procs.iter().map(|q| q.pid).collect();
+                sink.sync(&all);
+            }
+        }
+        Ok(())
+    }
+
+    fn do_ret(&mut self, p: usize, v: Option<i32>) -> Result<(), RuntimeError> {
+        let frame = self.procs[p].frames.pop().unwrap();
+        if frame.is_body {
+            // End of the parallel body.
+            if self.procs[p].pid == 0 {
+                self.procs[p].state = ProcState::Joining;
+            } else {
+                self.procs[p].state = ProcState::Idle;
+            }
+            return Ok(());
+        }
+        if self.procs[p].frames.is_empty() {
+            // main returned.
+            self.procs[p].state = ProcState::Done;
+            return Ok(());
+        }
+        if let (Some(dst), Some(v)) = (frame.ret_dst, v) {
+            let fr = self.procs[p].frames.last_mut().unwrap();
+            fr.regs[dst as usize] = v;
+        } else if let Some(dst) = frame.ret_dst {
+            // Void return into an expression slot: defined as 0.
+            let fr = self.procs[p].frames.last_mut().unwrap();
+            fr.regs[dst as usize] = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Final memory image and statistics.
+#[derive(Debug)]
+pub struct FinalState {
+    pub mem: Vec<i32>,
+    pub stats: RunStats,
+}
+
+impl FinalState {
+    /// Logical value of every element word of every object — used by the
+    /// semantics-preservation tests: for any layout plan, these values
+    /// must be identical.
+    pub fn logical_snapshot(&self, prog: &Program, layout: &Layout) -> BTreeMap<u32, Vec<i32>> {
+        let mut out = BTreeMap::new();
+        for (i, obj) in prog.objects.iter().enumerate() {
+            let oid = ObjId(i as u32);
+            let words = prog.elem_words(obj.elem);
+            let nproc_copies = if obj.is_shared() { 1 } else { layout.nproc };
+            let mut vals = Vec::new();
+            for pid in 0..nproc_copies {
+                for e in 0..layout.elem_count(oid) {
+                    for w in 0..words {
+                        let field_sel = field_sel_for_word(prog, obj, w);
+                        let r = layout.resolve(oid, e, field_sel, pid);
+                        let v = match r {
+                            Resolved::Direct(a) => self.mem[a as usize],
+                            Resolved::Indirect { ptr, off, .. } => {
+                                let t = self.mem[ptr as usize];
+                                if t == 0 {
+                                    0
+                                } else {
+                                    self.mem[(t as u32 + off) as usize]
+                                }
+                            }
+                        };
+                        vals.push(v);
+                    }
+                }
+            }
+            out.insert(i as u32, vals);
+        }
+        out
+    }
+}
+
+/// Map a word offset within an element to its field selector.
+fn field_sel_for_word(
+    prog: &Program,
+    obj: &fsr_lang::ast::ObjectDecl,
+    w: u32,
+) -> Option<(fsr_lang::ast::FieldId, u32)> {
+    match obj.elem {
+        fsr_lang::ast::ElemTy::Int => None,
+        fsr_lang::ast::ElemTy::Struct(sid) => {
+            let s = prog.struct_(sid);
+            for (fi, f) in s.fields.iter().enumerate() {
+                if w >= f.offset_words && w < f.offset_words + f.len {
+                    return Some((
+                        fsr_lang::ast::FieldId(fi as u32),
+                        w - f.offset_words,
+                    ));
+                }
+            }
+            None
+        }
+    }
+}

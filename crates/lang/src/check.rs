@@ -1,0 +1,946 @@
+//! Name resolution, constant evaluation and typechecking for PSL.
+//!
+//! After [`check`] succeeds the program satisfies the invariants listed in
+//! the [`crate::ast`] module docs: no unresolved [`ExprKind::Path`] /
+//! [`ExprKind::CallNamed`] / [`Target::Path`] nodes remain, every constant
+//! expression (array dims, struct field lengths, `const` items) is
+//! evaluated, local slots are assigned, barrier statements are numbered,
+//! and the single `forall` sits at the top level of `main`.
+
+use crate::ast::*;
+use crate::diag::{Error, Span, Stage};
+use std::collections::HashMap;
+
+/// Bind `param` declarations to concrete values. `overrides` wins over
+/// source defaults; a param with neither is an error.
+pub fn bind_params(prog: &mut Program, overrides: &[(&str, i64)]) -> Result<(), Error> {
+    for (name, _) in overrides {
+        if !prog.params.iter().any(|p| &p.name == name) {
+            return Err(Error::new(
+                Stage::Check,
+                format!("override for unknown param `{name}`"),
+                Span::default(),
+            ));
+        }
+    }
+    for p in &mut prog.params {
+        let ov = overrides.iter().find(|(n, _)| *n == p.name).map(|(_, v)| *v);
+        p.value = ov.or(p.default);
+        if p.value.is_none() {
+            return Err(Error::new(
+                Stage::Check,
+                format!("param `{}` has no default and no override", p.name),
+                p.span,
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn err(msg: impl Into<String>, span: Span) -> Error {
+    Error::new(Stage::Check, msg, span)
+}
+
+/// Evaluate a constant expression over params and already-evaluated consts.
+fn const_eval(prog: &Program, e: &Expr) -> Result<i64, Error> {
+    Ok(match &e.kind {
+        ExprKind::Int(v) => *v,
+        ExprKind::Path(p) if p.segs.is_empty() => {
+            if let Some(pd) = prog.params.iter().find(|pd| pd.name == p.base) {
+                pd.value
+                    .ok_or_else(|| err(format!("param `{}` unbound", p.base), e.span))?
+            } else if let Some(cd) = prog.consts.iter().find(|cd| cd.name == p.base) {
+                cd.value
+                    .ok_or_else(|| err(format!("const `{}` used before definition", p.base), e.span))?
+            } else {
+                return Err(err(
+                    format!("`{}` is not a param or const", p.base),
+                    e.span,
+                ));
+            }
+        }
+        ExprKind::Var(VarRef::Param(i)) => prog.params[*i as usize]
+            .value
+            .ok_or_else(|| err("param unbound", e.span))?,
+        ExprKind::Var(VarRef::Const(i)) => prog.consts[*i as usize]
+            .value
+            .ok_or_else(|| err("const used before definition", e.span))?,
+        ExprKind::Unary(op, a) => {
+            let a = const_eval(prog, a)?;
+            match op {
+                UnOp::Neg => a.wrapping_neg(),
+                UnOp::Not => (a == 0) as i64,
+            }
+        }
+        ExprKind::Binary(op, a, b) => {
+            let a = const_eval(prog, a)?;
+            let b = const_eval(prog, b)?;
+            eval_binop(*op, a, b).map_err(|m| err(m, e.span))?
+        }
+        _ => return Err(err("expression is not a compile-time constant", e.span)),
+    })
+}
+
+/// Shared constant-fold semantics for binary operators (also used by the
+/// interpreter's constant folding). Division/remainder by zero is an error
+/// at compile time.
+pub fn eval_binop(op: BinOp, a: i64, b: i64) -> Result<i64, String> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err("division by zero in constant expression".into());
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err("remainder by zero in constant expression".into());
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::And => (a != 0 && b != 0) as i64,
+        BinOp::Or => (a != 0 || b != 0) as i64,
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+    })
+}
+
+fn eval_dim(prog: &Program, e: &Expr) -> Result<u32, Error> {
+    let v = const_eval(prog, e)?;
+    if v <= 0 || v > u32::MAX as i64 {
+        return Err(err(format!("array dimension must be positive, got {v}"), e.span));
+    }
+    Ok(v as u32)
+}
+
+/// What a top-level name refers to.
+#[derive(Clone, Copy)]
+enum GlobalRef {
+    Param(u32),
+    Const(u32),
+    Object(ObjId),
+    Func(FuncId),
+}
+
+struct Checker<'p> {
+    prog: &'p Program,
+    globals: HashMap<String, GlobalRef>,
+    /// Lexical scope stack of local name -> slot.
+    scopes: Vec<HashMap<String, u32>>,
+    next_slot: u32,
+    slot_names: Vec<String>,
+    loop_depth: u32,
+    next_barrier: u32,
+    saw_forall: bool,
+    in_main_top: bool,
+    returns_value: bool,
+}
+
+impl<'p> Checker<'p> {
+    fn lookup_local(&self, name: &str) -> Option<u32> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare_local(&mut self, name: &str, span: Span) -> Result<u32, Error> {
+        if self.scopes.last().unwrap().contains_key(name) {
+            return Err(err(format!("`{name}` already declared in this scope"), span));
+        }
+        if self.globals.contains_key(name) {
+            return Err(err(format!("local `{name}` shadows a global"), span));
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.slot_names.push(name.to_string());
+        self.scopes.last_mut().unwrap().insert(name.to_string(), slot);
+        Ok(slot)
+    }
+
+    fn resolve_callee(&self, name: &str, span: Span) -> Result<Callee, Error> {
+        if let Some(b) = Builtin::by_name(name) {
+            return Ok(Callee::Builtin(b));
+        }
+        match self.globals.get(name) {
+            Some(GlobalRef::Func(f)) => Ok(Callee::User(*f)),
+            _ => Err(err(format!("call to unknown function `{name}`"), span)),
+        }
+    }
+
+    fn check_call(&mut self, callee: Callee, args: &mut [Expr], span: Span) -> Result<(), Error> {
+        let arity = match callee {
+            Callee::Builtin(b) => b.arity(),
+            Callee::User(f) => self.prog.func(f).params.len(),
+        };
+        if args.len() != arity {
+            return Err(err(
+                format!("call expects {arity} argument(s), got {}", args.len()),
+                span,
+            ));
+        }
+        for a in args {
+            self.expr(a)?;
+        }
+        Ok(())
+    }
+
+    /// Resolve an unresolved path into a scalar var or a memory place.
+    fn resolve_path(&mut self, path: &mut Path) -> Result<Resolved, Error> {
+        if let Some(slot) = self.lookup_local(&path.base) {
+            if !path.segs.is_empty() {
+                return Err(err(
+                    format!("local `{}` is a scalar and cannot be indexed", path.base),
+                    path.span,
+                ));
+            }
+            return Ok(Resolved::Var(VarRef::Local(slot)));
+        }
+        match self.globals.get(&path.base).copied() {
+            Some(GlobalRef::Param(i)) => {
+                if !path.segs.is_empty() {
+                    return Err(err("params cannot be indexed", path.span));
+                }
+                Ok(Resolved::Var(VarRef::Param(i)))
+            }
+            Some(GlobalRef::Const(i)) => {
+                if !path.segs.is_empty() {
+                    return Err(err("consts cannot be indexed", path.span));
+                }
+                Ok(Resolved::Var(VarRef::Const(i)))
+            }
+            Some(GlobalRef::Func(_)) => Err(err(
+                format!("`{}` is a function, not a variable", path.base),
+                path.span,
+            )),
+            Some(GlobalRef::Object(oid)) => {
+                let obj = self.prog.object(oid);
+                let ndims = obj.dims.len();
+                let mut segs = std::mem::take(&mut path.segs).into_iter();
+                let mut idx = Vec::with_capacity(ndims);
+                for d in 0..ndims {
+                    match segs.next() {
+                        Some(PathSeg::Index(mut e)) => {
+                            self.expr(&mut e)?;
+                            idx.push(e);
+                        }
+                        _ => {
+                            return Err(err(
+                                format!(
+                                    "`{}` has {} dimension(s); index {} missing",
+                                    obj.name, ndims, d
+                                ),
+                                path.span,
+                            ))
+                        }
+                    }
+                }
+                let mut field = None;
+                match segs.next() {
+                    None => {}
+                    Some(PathSeg::Field(fname)) => {
+                        let ElemTy::Struct(sid) = obj.elem else {
+                            return Err(err(
+                                format!("`{}` elements are not structs", obj.name),
+                                path.span,
+                            ));
+                        };
+                        let (fid, fdecl) = self
+                            .prog
+                            .struct_(sid)
+                            .field_by_name(&fname)
+                            .ok_or_else(|| {
+                                err(
+                                    format!(
+                                        "struct `{}` has no field `{fname}`",
+                                        self.prog.struct_(sid).name
+                                    ),
+                                    path.span,
+                                )
+                            })?;
+                        let is_array = fdecl.len_expr.is_some();
+                        let fidx = match segs.next() {
+                            Some(PathSeg::Index(mut e)) => {
+                                if !is_array {
+                                    return Err(err(
+                                        format!("field `{fname}` is a scalar and cannot be indexed"),
+                                        path.span,
+                                    ));
+                                }
+                                self.expr(&mut e)?;
+                                Some(Box::new(e))
+                            }
+                            None => {
+                                if is_array {
+                                    return Err(err(
+                                        format!("array field `{fname}` requires an index"),
+                                        path.span,
+                                    ));
+                                }
+                                None
+                            }
+                            Some(PathSeg::Field(_)) => {
+                                return Err(err("nested struct fields are not supported", path.span))
+                            }
+                        };
+                        field = Some((fid, fidx));
+                    }
+                    Some(PathSeg::Index(_)) => {
+                        return Err(err(
+                            format!("too many indices for `{}`", obj.name),
+                            path.span,
+                        ))
+                    }
+                }
+                if segs.next().is_some() {
+                    return Err(err("trailing path segments", path.span));
+                }
+                if matches!(obj.elem, ElemTy::Struct(_)) && field.is_none() {
+                    return Err(err(
+                        format!("`{}` element is a struct; select a field", obj.name),
+                        path.span,
+                    ));
+                }
+                Ok(Resolved::Place(Place {
+                    obj: oid,
+                    idx,
+                    field,
+                    span: path.span,
+                }))
+            }
+            None => Err(err(format!("unknown identifier `{}`", path.base), path.span)),
+        }
+    }
+
+    fn expr(&mut self, e: &mut Expr) -> Result<(), Error> {
+        let span = e.span;
+        match &mut e.kind {
+            ExprKind::Int(_) | ExprKind::Var(_) => {}
+            ExprKind::Path(p) => {
+                let mut p = p.clone();
+                e.kind = match self.resolve_path(&mut p)? {
+                    Resolved::Var(v) => ExprKind::Var(v),
+                    Resolved::Place(pl) => {
+                        let obj = self.prog.object(pl.obj);
+                        if obj.kind == ObjectKind::Lock {
+                            return Err(err("locks can only be used with lock()/unlock()", span));
+                        }
+                        ExprKind::Load(pl)
+                    }
+                };
+            }
+            ExprKind::Load(_) => {}
+            ExprKind::Unary(_, a) => self.expr(a)?,
+            ExprKind::Binary(_, a, b) => {
+                self.expr(a)?;
+                self.expr(b)?;
+            }
+            ExprKind::CallNamed(name, args) => {
+                let callee = self.resolve_callee(name, span)?;
+                if let Callee::User(f) = callee {
+                    if !self.prog.func(f).returns_value {
+                        return Err(err(
+                            format!("function `{name}` returns no value; cannot use in expression"),
+                            span,
+                        ));
+                    }
+                }
+                let mut args = std::mem::take(args);
+                self.check_call(callee, &mut args, span)?;
+                e.kind = ExprKind::Call(callee, args);
+            }
+            ExprKind::Call(callee, args) => {
+                let callee = *callee;
+                let mut a = std::mem::take(args);
+                self.check_call(callee, &mut a, span)?;
+                e.kind = ExprKind::Call(callee, a);
+            }
+        }
+        Ok(())
+    }
+
+    fn block(&mut self, b: &mut Block) -> Result<(), Error> {
+        self.scopes.push(HashMap::new());
+        let r = b.stmts.iter_mut().try_for_each(|s| self.stmt(s));
+        self.scopes.pop();
+        r
+    }
+
+    fn stmt(&mut self, s: &mut Stmt) -> Result<(), Error> {
+        let span = s.span;
+        let was_main_top = self.in_main_top;
+        // `forall` must be at the *top level* of main's body: any nested
+        // statement context clears the flag for children.
+        match &mut s.kind {
+            StmtKind::VarDecl { name, init, slot } => {
+                if let Some(init) = init {
+                    self.expr(init)?;
+                }
+                *slot = self.declare_local(name, span)?;
+            }
+            StmtKind::Assign { target, value } => {
+                self.expr(value)?;
+                self.resolve_target(target, span, false)?;
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expr(cond)?;
+                self.in_main_top = false;
+                self.block(then_blk)?;
+                if let Some(e) = else_blk {
+                    self.block(e)?;
+                }
+                self.in_main_top = was_main_top;
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond)?;
+                self.loop_depth += 1;
+                self.in_main_top = false;
+                self.block(body)?;
+                self.in_main_top = was_main_top;
+                self.loop_depth -= 1;
+            }
+            StmtKind::For {
+                var,
+                slot,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
+                self.expr(lo)?;
+                self.expr(hi)?;
+                if let Some(st) = step {
+                    self.expr(st)?;
+                }
+                self.scopes.push(HashMap::new());
+                *slot = self.declare_local(var, span)?;
+                self.loop_depth += 1;
+                self.in_main_top = false;
+                let r = self.block(body);
+                self.in_main_top = was_main_top;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                r?;
+            }
+            StmtKind::Forall {
+                var,
+                slot,
+                lo,
+                hi,
+                body,
+            } => {
+                if !self.in_main_top {
+                    return Err(err(
+                        "forall is only allowed at the top level of main",
+                        span,
+                    ));
+                }
+                if self.saw_forall {
+                    return Err(err("only one forall is allowed per program", span));
+                }
+                self.saw_forall = true;
+                self.expr(lo)?;
+                self.expr(hi)?;
+                self.scopes.push(HashMap::new());
+                *slot = self.declare_local(var, span)?;
+                self.in_main_top = false;
+                let r = self.block(body);
+                self.in_main_top = was_main_top;
+                self.scopes.pop();
+                r?;
+            }
+            StmtKind::Barrier { id } => {
+                *id = self.next_barrier;
+                self.next_barrier += 1;
+            }
+            StmtKind::Lock { target } | StmtKind::Unlock { target } => {
+                self.resolve_target(target, span, true)?;
+            }
+            StmtKind::CallStmt { callee, name, args } => {
+                let c = self.resolve_callee(name, span)?;
+                self.check_call(c, args, span)?;
+                *callee = Some(c);
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(e)?;
+                    self.returns_value = true;
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(err("break/continue outside of a loop", span));
+                }
+            }
+            StmtKind::Block(b) => {
+                self.in_main_top = false;
+                self.block(b)?;
+                self.in_main_top = was_main_top;
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_target(&mut self, target: &mut Target, span: Span, want_lock: bool) -> Result<(), Error> {
+        if let Target::Path(p) = target {
+            let mut p = p.clone();
+            *target = match self.resolve_path(&mut p)? {
+                Resolved::Var(VarRef::Local(slot)) => {
+                    if want_lock {
+                        return Err(err("lock()/unlock() target must be a lock object", span));
+                    }
+                    Target::Local(slot)
+                }
+                Resolved::Var(_) => {
+                    return Err(err("cannot assign to a param or const", span));
+                }
+                Resolved::Place(pl) => {
+                    let is_lock = self.prog.object(pl.obj).kind == ObjectKind::Lock;
+                    if want_lock && !is_lock {
+                        return Err(err("lock()/unlock() target must be a lock object", span));
+                    }
+                    if !want_lock && is_lock {
+                        return Err(err("cannot assign to a lock; use lock()/unlock()", span));
+                    }
+                    Target::Place(pl)
+                }
+            };
+        }
+        Ok(())
+    }
+}
+
+enum Resolved {
+    Var(VarRef),
+    Place(Place),
+}
+
+/// Typecheck and resolve a parsed program in place. `bind_params` must run
+/// first (or all params must have defaults — [`crate::compile`] handles
+/// this).
+pub fn check(prog: &mut Program) -> Result<(), Error> {
+    // Params must be bound before any const evaluation.
+    for p in &mut prog.params {
+        if p.value.is_none() {
+            p.value = p.default;
+        }
+        if p.value.is_none() {
+            return Err(err(format!("param `{}` unbound", p.name), p.span));
+        }
+    }
+
+    // Duplicate top-level name detection.
+    {
+        let mut seen: HashMap<&str, Span> = HashMap::new();
+        let names = prog
+            .params
+            .iter()
+            .map(|p| (p.name.as_str(), p.span))
+            .chain(prog.consts.iter().map(|c| (c.name.as_str(), c.span)))
+            .chain(prog.objects.iter().map(|o| (o.name.as_str(), o.span)))
+            .chain(prog.funcs.iter().map(|f| (f.name.as_str(), f.span)))
+            .chain(prog.structs.iter().map(|s| (s.name.as_str(), s.span)));
+        for (n, sp) in names {
+            if seen.insert(n, sp).is_some() {
+                return Err(err(format!("duplicate top-level name `{n}`"), sp));
+            }
+        }
+    }
+
+    // Evaluate consts in declaration order.
+    for i in 0..prog.consts.len() {
+        let e = prog.consts[i].expr.clone();
+        let v = const_eval(prog, &e)?;
+        prog.consts[i].value = Some(v);
+    }
+
+    // Struct layout: field lengths, offsets, sizes.
+    for i in 0..prog.structs.len() {
+        let nfields = prog.structs[i].fields.len();
+        let mut offset = 0u32;
+        for j in 0..nfields {
+            let len = match prog.structs[i].fields[j].len_expr.clone() {
+                Some(e) => eval_dim(prog, &e)?,
+                None => 1,
+            };
+            prog.structs[i].fields[j].len = len;
+            prog.structs[i].fields[j].offset_words = offset;
+            offset = offset
+                .checked_add(len)
+                .ok_or_else(|| err("struct too large", prog.structs[i].span))?;
+        }
+        if offset == 0 {
+            return Err(err("empty structs are not allowed", prog.structs[i].span));
+        }
+        prog.structs[i].size_words = offset;
+    }
+
+    // Object element types and dimensions.
+    for i in 0..prog.objects.len() {
+        if let Some(ename) = prog.objects[i].elem_name.clone() {
+            let (sid, _) = prog
+                .struct_by_name(&ename)
+                .ok_or_else(|| err(format!("unknown struct type `{ename}`"), prog.objects[i].span))?;
+            prog.objects[i].elem = ElemTy::Struct(sid);
+        }
+        let dim_exprs = prog.objects[i].dim_exprs.clone();
+        let mut dims = Vec::with_capacity(dim_exprs.len());
+        for e in &dim_exprs {
+            dims.push(eval_dim(prog, e)?);
+        }
+        prog.objects[i].dims = dims;
+    }
+
+    // Global name table.
+    let mut globals = HashMap::new();
+    for (i, p) in prog.params.iter().enumerate() {
+        globals.insert(p.name.clone(), GlobalRef::Param(i as u32));
+    }
+    for (i, c) in prog.consts.iter().enumerate() {
+        globals.insert(c.name.clone(), GlobalRef::Const(i as u32));
+    }
+    for (i, o) in prog.objects.iter().enumerate() {
+        globals.insert(o.name.clone(), GlobalRef::Object(ObjId(i as u32)));
+    }
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if Builtin::by_name(&f.name).is_some() {
+            return Err(err(
+                format!("function `{}` shadows a builtin", f.name),
+                f.span,
+            ));
+        }
+        globals.insert(f.name.clone(), GlobalRef::Func(FuncId(i as u32)));
+    }
+
+    // `main` lookup.
+    let (main_id, main_fn) = prog
+        .func_by_name("main")
+        .ok_or_else(|| err("program has no `main` function", Span::default()))?;
+    if !main_fn.params.is_empty() {
+        return Err(err("`main` takes no parameters", main_fn.span));
+    }
+    prog.main = Some(main_id);
+
+    // Pre-pass: mark which functions return a value (needed before
+    // resolving calls in expressions, which may reference any function).
+    fn scan_returns(b: &Block) -> bool {
+        b.stmts.iter().any(|s| match &s.kind {
+            StmtKind::Return(Some(_)) => true,
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => scan_returns(then_blk) || else_blk.as_ref().is_some_and(scan_returns),
+            StmtKind::While { body, .. }
+            | StmtKind::For { body, .. }
+            | StmtKind::Forall { body, .. } => scan_returns(body),
+            StmtKind::Block(b) => scan_returns(b),
+            _ => false,
+        })
+    }
+    for f in &mut prog.funcs {
+        f.returns_value = scan_returns(&f.body);
+    }
+
+    // Check each function body. Bodies are temporarily detached so the
+    // checker can hold an immutable view of the program tables.
+    let mut next_barrier = 0u32;
+    let mut saw_forall = false;
+    for fi in 0..prog.funcs.len() {
+        let mut body = std::mem::take(&mut prog.funcs[fi].body);
+        let params = prog.funcs[fi].params.clone();
+        let is_main = FuncId(fi as u32) == main_id;
+        let mut ck = Checker {
+            prog,
+            globals: globals.clone(),
+            scopes: vec![HashMap::new()],
+            next_slot: 0,
+            slot_names: Vec::new(),
+            loop_depth: 0,
+            next_barrier,
+            saw_forall,
+            in_main_top: is_main,
+            returns_value: false,
+        };
+        for p in &params {
+            ck.declare_local(p, prog.funcs[fi].span)?;
+        }
+        let r = body.stmts.iter_mut().try_for_each(|s| ck.stmt(s));
+        let slots = ck.next_slot;
+        let slot_names = std::mem::take(&mut ck.slot_names);
+        next_barrier = ck.next_barrier;
+        saw_forall = ck.saw_forall;
+        prog.funcs[fi].body = body;
+        r?;
+        prog.funcs[fi].num_slots = slots;
+        prog.funcs[fi].slot_names = slot_names;
+    }
+    prog.num_barriers = next_barrier;
+
+    if !saw_forall {
+        return Err(err(
+            "program has no `forall` (no parallelism to analyze)",
+            prog.func(main_id).span,
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, compile_with_params, parse};
+
+    const OK_PROG: &str = r#"
+        param NPROC = 4;
+        const N = NPROC * 8;
+        struct Node { int val; int nbr[2]; }
+        shared int a[N];
+        shared Node nodes[N];
+        shared lock lk;
+        private int scratch[8];
+        fn work(int pid) {
+            var i;
+            for i in 0 .. N {
+                a[i] = a[i] + pid;
+                nodes[i].val = nodes[i].nbr[0];
+            }
+            lock(lk);
+            a[0] = a[0] + 1;
+            unlock(lk);
+            barrier;
+            scratch[pid % 8] = 1;
+        }
+        fn main() {
+            forall p in 0 .. NPROC { work(p); }
+        }
+    "#;
+
+    #[test]
+    fn accepts_valid_program() {
+        let p = compile(OK_PROG).unwrap();
+        assert_eq!(p.num_barriers, 1);
+        assert_eq!(p.param_value("NPROC"), Some(4));
+        assert_eq!(p.consts[0].value, Some(32));
+        let (_, nodes) = p.object_by_name("nodes").unwrap();
+        assert_eq!(nodes.dims, vec![32]);
+        let (sid, _) = p.struct_by_name("Node").unwrap();
+        assert_eq!(p.struct_(sid).size_words, 3);
+        assert_eq!(p.struct_(sid).fields[1].offset_words, 1);
+    }
+
+    #[test]
+    fn param_override_changes_dims() {
+        let p = compile_with_params(OK_PROG, &[("NPROC", 2)]).unwrap();
+        let (_, a) = p.object_by_name("a").unwrap();
+        assert_eq!(a.dims, vec![16]);
+    }
+
+    #[test]
+    fn unknown_param_override_rejected() {
+        let mut p = parse(OK_PROG).unwrap();
+        assert!(bind_params(&mut p, &[("NOPE", 1)]).is_err());
+    }
+
+    #[test]
+    fn unbound_param_rejected() {
+        let e = compile("param X; fn main() { forall p in 0 .. X { } }").unwrap_err();
+        assert!(e.msg.contains("no default"), "{}", e.msg);
+    }
+
+    fn expect_err(src: &str, needle: &str) {
+        let e = compile(src).unwrap_err();
+        assert!(e.msg.contains(needle), "expected {needle:?} in {:?}", e.msg);
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        expect_err("fn foo() { }", "no `main`");
+    }
+
+    #[test]
+    fn rejects_missing_forall() {
+        expect_err("fn main() { }", "no `forall`");
+    }
+
+    #[test]
+    fn rejects_two_foralls() {
+        expect_err(
+            "fn main() { forall p in 0..2 { } forall q in 0..2 { } }",
+            "only one forall",
+        );
+    }
+
+    #[test]
+    fn rejects_nested_forall() {
+        expect_err(
+            "fn main() { if (1) { forall p in 0..2 { } } }",
+            "top level of main",
+        );
+        expect_err(
+            "fn f() { forall p in 0..2 { } } fn main() { f(); }",
+            "top level of main",
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_identifier() {
+        expect_err("fn main() { forall p in 0..2 { zz = 1; } }", "unknown identifier");
+    }
+
+    #[test]
+    fn rejects_wrong_index_count() {
+        expect_err(
+            "shared int a[2][2]; fn main() { forall p in 0..2 { a[p] = 1; } }",
+            "index 1 missing",
+        );
+        expect_err(
+            "shared int a[2]; fn main() { forall p in 0..2 { a[p][0] = 1; } }",
+            "too many indices",
+        );
+    }
+
+    #[test]
+    fn rejects_scalar_field_index_and_missing_field() {
+        expect_err(
+            "struct S { int x; } shared S s[2]; fn main() { forall p in 0..2 { s[p].x[0] = 1; } }",
+            "scalar and cannot be indexed",
+        );
+        expect_err(
+            "struct S { int x; } shared S s[2]; fn main() { forall p in 0..2 { s[p].y = 1; } }",
+            "no field `y`",
+        );
+        expect_err(
+            "struct S { int x[2]; } shared S s[2]; fn main() { forall p in 0..2 { s[p].x = 1; } }",
+            "requires an index",
+        );
+    }
+
+    #[test]
+    fn rejects_struct_without_field_selection() {
+        expect_err(
+            "struct S { int x; } shared S s[2]; fn main() { forall p in 0..2 { var v = s[p]; } }",
+            "select a field",
+        );
+    }
+
+    #[test]
+    fn rejects_lock_misuse() {
+        expect_err(
+            "shared lock lk; fn main() { forall p in 0..2 { lk = 1; } }",
+            "cannot assign to a lock",
+        );
+        expect_err(
+            "shared lock lk; fn main() { forall p in 0..2 { var v = lk; } }",
+            "lock()/unlock()",
+        );
+        expect_err(
+            "shared int a; fn main() { forall p in 0..2 { lock(a); } }",
+            "must be a lock object",
+        );
+    }
+
+    #[test]
+    fn rejects_assign_to_const_or_param() {
+        expect_err(
+            "const C = 1; fn main() { forall p in 0..2 { C = 2; } }",
+            "param or const",
+        );
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        expect_err("fn main() { forall p in 0..2 { break; } }", "outside of a loop");
+    }
+
+    #[test]
+    fn break_in_loop_inside_forall_ok() {
+        compile("fn main() { forall p in 0..2 { var i; for i in 0..4 { break; } } }").unwrap();
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        expect_err("shared int a; shared int a; fn main() { forall p in 0..1 { } }", "duplicate");
+    }
+
+    #[test]
+    fn rejects_shadowing_global() {
+        expect_err(
+            "shared int a; fn main() { forall p in 0..2 { var a; } }",
+            "shadows a global",
+        );
+    }
+
+    #[test]
+    fn rejects_void_call_in_expression() {
+        expect_err(
+            "fn f(int x) { } fn main() { forall p in 0..2 { var v = f(p); } }",
+            "returns no value",
+        );
+    }
+
+    #[test]
+    fn value_call_in_expression_ok() {
+        compile("fn f(int x) { return x + 1; } fn main() { forall p in 0..2 { var v = f(p); } }")
+            .unwrap();
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        expect_err(
+            "fn f(int x) { return x; } fn main() { forall p in 0..2 { var v = f(p, p); } }",
+            "expects 1 argument",
+        );
+        expect_err("fn main() { forall p in 0..2 { var v = min(p); } }", "expects 2");
+    }
+
+    #[test]
+    fn rejects_builtin_shadow() {
+        expect_err("fn prand(int x) { return x; } fn main() { forall p in 0..2 { } }", "shadows a builtin");
+    }
+
+    #[test]
+    fn rejects_zero_dimension() {
+        expect_err("shared int a[0]; fn main() { forall p in 0..2 { } }", "positive");
+    }
+
+    #[test]
+    fn rejects_const_div_zero() {
+        expect_err("const C = 1 / 0; fn main() { forall p in 0..2 { } }", "division by zero");
+    }
+
+    #[test]
+    fn barrier_ids_are_sequential() {
+        let p = compile(
+            "fn w() { barrier; barrier; } fn main() { forall p in 0..2 { w(); barrier; } }",
+        )
+        .unwrap();
+        assert_eq!(p.num_barriers, 3);
+    }
+
+    #[test]
+    fn local_scopes_allow_reuse_across_blocks() {
+        compile(
+            "fn main() { forall p in 0..2 { { var x = 1; } { var x = 2; } } }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn slots_count_params_and_locals() {
+        let p = compile("fn f(int a, int b) { var c; return a + b; } fn main() { forall p in 0..2 { var v = f(1, 2); } }").unwrap();
+        let (_, f) = p.func_by_name("f").unwrap();
+        assert_eq!(f.num_slots, 3);
+    }
+}

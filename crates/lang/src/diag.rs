@@ -1,0 +1,116 @@
+//! Source spans and compiler diagnostics.
+
+use std::fmt;
+
+/// A byte range in the original source text, used to locate diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    pub start: u32,
+    pub end: u32,
+}
+
+impl Span {
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based (line, column) of the span start within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src[..(self.start as usize).min(src.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto.len() - upto.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        (line, col)
+    }
+}
+
+/// The stage of the front end that produced an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    Lex,
+    Parse,
+    Check,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Lex => write!(f, "lex"),
+            Stage::Parse => write!(f, "parse"),
+            Stage::Check => write!(f, "check"),
+        }
+    }
+}
+
+/// A front-end diagnostic with a message and source location.
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub stage: Stage,
+    pub msg: String,
+    pub span: Span,
+}
+
+impl Error {
+    pub fn new(stage: Stage, msg: impl Into<String>, span: Span) -> Self {
+        Error {
+            stage,
+            msg: msg.into(),
+            span,
+        }
+    }
+
+    /// Render with line/column resolved against the source text.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{} error at {}:{}: {}", self.stage, line, col, self.msg)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} error at bytes {}..{}: {}",
+            self.stage, self.span.start, self.span.end, self.msg
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn error_render_mentions_stage_and_position() {
+        let e = Error::new(Stage::Parse, "expected `;`", Span::new(4, 5));
+        let s = e.render("ab\ncd\nef");
+        assert!(s.contains("parse error"));
+        assert!(s.contains("2:2"));
+        assert!(s.contains("expected `;`"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Hand-written lexer for PSL.
+
+use crate::diag::{Error, Span, Stage};
+use crate::token::{Spanned, Token};
+
+/// Streaming tokenizer over PSL source bytes.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the whole input, appending an [`Token::Eof`] sentinel.
+    pub fn run(mut self) -> Result<Vec<Spanned>, Error> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.tok == Token::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek();
+        self.pos += 1;
+        b
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Error> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(Error::new(
+                                Stage::Lex,
+                                "unterminated block comment",
+                                Span::new(start as u32, self.pos as u32),
+                            ));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Spanned, Error> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let mk = |tok, start: usize, end: usize| Spanned {
+            tok,
+            span: Span::new(start as u32, end as u32),
+        };
+        if self.pos >= self.src.len() {
+            return Ok(mk(Token::Eof, start, start));
+        }
+        let c = self.bump();
+        let tok = match c {
+            b'0'..=b'9' => {
+                let mut v: i64 = (c - b'0') as i64;
+                while self.peek().is_ascii_digit() {
+                    let d = (self.bump() - b'0') as i64;
+                    v = v.checked_mul(10).and_then(|v| v.checked_add(d)).ok_or_else(|| {
+                        Error::new(
+                            Stage::Lex,
+                            "integer literal overflows i64",
+                            Span::new(start as u32, self.pos as u32),
+                        )
+                    })?;
+                }
+                Token::Int(v)
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                Token::keyword(s).unwrap_or_else(|| Token::Ident(s.to_string()))
+            }
+            b'(' => Token::LParen,
+            b')' => Token::RParen,
+            b'{' => Token::LBrace,
+            b'}' => Token::RBrace,
+            b'[' => Token::LBracket,
+            b']' => Token::RBracket,
+            b',' => Token::Comma,
+            b';' => Token::Semi,
+            b'.' => {
+                if self.peek() == b'.' {
+                    self.pos += 1;
+                    Token::DotDot
+                } else {
+                    Token::Dot
+                }
+            }
+            b'+' => Token::Plus,
+            b'-' => Token::Minus,
+            b'*' => Token::Star,
+            b'/' => Token::Slash,
+            b'%' => Token::Percent,
+            b'^' => Token::Caret,
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    Token::Eq
+                } else {
+                    Token::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.pos += 1;
+                    Token::Ne
+                } else {
+                    Token::Bang
+                }
+            }
+            b'<' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Token::Le
+                }
+                b'<' => {
+                    self.pos += 1;
+                    Token::Shl
+                }
+                _ => Token::Lt,
+            },
+            b'>' => match self.peek() {
+                b'=' => {
+                    self.pos += 1;
+                    Token::Ge
+                }
+                b'>' => {
+                    self.pos += 1;
+                    Token::Shr
+                }
+                _ => Token::Gt,
+            },
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.pos += 1;
+                    Token::AndAnd
+                } else {
+                    Token::Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.pos += 1;
+                    Token::OrOr
+                } else {
+                    Token::Pipe
+                }
+            }
+            other => {
+                return Err(Error::new(
+                    Stage::Lex,
+                    format!("unexpected character {:?}", other as char),
+                    Span::new(start as u32, self.pos as u32),
+                ))
+            }
+        };
+        Ok(mk(tok, start, self.pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        Lexer::new(src)
+            .run()
+            .unwrap()
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_simple_decl() {
+        assert_eq!(
+            toks("shared int a[8];"),
+            vec![
+                Token::KwShared,
+                Token::KwInt,
+                Token::Ident("a".into()),
+                Token::LBracket,
+                Token::Int(8),
+                Token::RBracket,
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_dot_and_dotdot() {
+        assert_eq!(
+            toks("a.b 0..9"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Int(0),
+                Token::DotDot,
+                Token::Int(9),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= && || << >>"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Le,
+                Token::Ge,
+                Token::AndAnd,
+                Token::OrOr,
+                Token::Shl,
+                Token::Shr,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(
+            toks("1 // c\n /* multi\nline */ 2"),
+            vec![Token::Int(1), Token::Int(2), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(Lexer::new("/* oops").run().is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(Lexer::new("a @ b").run().is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_error() {
+        assert!(Lexer::new("99999999999999999999999").run().is_err());
+    }
+
+    #[test]
+    fn spans_point_at_lexemes() {
+        let s = Lexer::new("ab  cd").run().unwrap();
+        assert_eq!(s[0].span, crate::diag::Span::new(0, 2));
+        assert_eq!(s[1].span, crate::diag::Span::new(4, 6));
+    }
+
+    #[test]
+    fn keywords_not_idents() {
+        assert_eq!(toks("barrier"), vec![Token::KwBarrier, Token::Eof]);
+        assert_eq!(
+            toks("barrierx"),
+            vec![Token::Ident("barrierx".into()), Token::Eof]
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! PSL — a small, explicitly parallel, C-like SPMD language.
+//!
+//! PSL is the source language for the false-sharing restructurer. It models
+//! the restricted parallel-C dialect of Jeremiassen & Eggers (PPoPP'95):
+//! coarse-grained SPMD programs with a single process-spawning `forall`,
+//! process-differentiating variables (PDVs), barrier and lock
+//! synchronization, and statically declared shared/private data (scalars,
+//! 1-/2-D arrays, structs and arrays of structs). Pointers are absent; the
+//! paper's own model restricts them to near-uselessness, and every analysis
+//! in the compiler relies only on the features PSL keeps.
+//!
+//! The crate provides:
+//! - [`lex`]: tokenizer ([`token::Token`])
+//! - [`parse`]: recursive-descent parser producing an [`ast::Program`]
+//! - [`check`]: name resolution + typechecking producing a [`ast::Program`]
+//!   with resolved symbol tables (errors via [`diag::Error`])
+//! - [`pretty`]: source renderer (round-trips through the parser)
+//!
+//! # Example
+//! ```
+//! let src = r#"
+//!     param NPROC = 4;
+//!     shared int count[NPROC];
+//!     fn main() {
+//!         forall p in 0 .. NPROC {
+//!             count[p] = count[p] + 1;
+//!         }
+//!     }
+//! "#;
+//! let program = fsr_lang::compile(src).unwrap();
+//! assert_eq!(program.shared_objects().count(), 1);
+//! ```
+
+pub mod ast;
+pub mod check;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use ast::Program;
+pub use diag::{Error, Span};
+
+/// Tokenize PSL source text.
+pub fn lex(src: &str) -> Result<Vec<token::Spanned>, Error> {
+    lexer::Lexer::new(src).run()
+}
+
+/// Parse PSL source text into an unchecked AST.
+pub fn parse(src: &str) -> Result<ast::Program, Error> {
+    let toks = lex(src)?;
+    parser::Parser::new(toks).program()
+}
+
+/// Parse and typecheck PSL source text, using default values for all
+/// `param` declarations.
+pub fn compile(src: &str) -> Result<ast::Program, Error> {
+    compile_with_params(src, &[])
+}
+
+/// Parse and typecheck PSL source text, overriding named `param`
+/// declarations with the supplied values (e.g. `[("NPROC", 12)]`).
+pub fn compile_with_params(src: &str, params: &[(&str, i64)]) -> Result<ast::Program, Error> {
+    let mut prog = parse(src)?;
+    check::bind_params(&mut prog, params)?;
+    check::check(&mut prog)?;
+    Ok(prog)
+}

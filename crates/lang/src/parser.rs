@@ -1,0 +1,732 @@
+//! Recursive-descent parser for PSL.
+
+use crate::ast::*;
+use crate::diag::{Error, Span, Stage};
+use crate::token::{Spanned, Token};
+
+/// Parser over a token stream (must end with [`Token::Eof`]).
+pub struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(toks: Vec<Spanned>) -> Self {
+        assert!(matches!(toks.last().map(|t| &t.tok), Some(Token::Eof)));
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.toks[self.pos].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<Span, Error> {
+        if self.peek() == t {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(format!("expected `{}`, found `{}`", t, self.peek())))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::new(Stage::Parse, msg, self.span())
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), Error> {
+        match self.peek() {
+            Token::Ident(_) => {
+                let t = self.bump();
+                if let Token::Ident(s) = t.tok {
+                    Ok((s, t.span))
+                } else {
+                    unreachable!()
+                }
+            }
+            other => Err(self.err(format!("expected identifier, found `{other}`"))),
+        }
+    }
+
+    /// Parse a complete program.
+    pub fn program(mut self) -> Result<Program, Error> {
+        let mut prog = Program::default();
+        loop {
+            match self.peek() {
+                Token::Eof => break,
+                Token::KwParam => {
+                    let span = self.bump().span;
+                    let (name, _) = self.ident()?;
+                    let default = if self.eat(&Token::Assign) {
+                        let neg = self.eat(&Token::Minus);
+                        match self.bump().tok {
+                            Token::Int(v) => Some(if neg { -v } else { v }),
+                            other => {
+                                return Err(self.err(format!(
+                                    "param default must be an integer literal, found `{other}`"
+                                )))
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    self.expect(&Token::Semi)?;
+                    prog.params.push(ParamDecl {
+                        name,
+                        default,
+                        value: None,
+                        span,
+                    });
+                }
+                Token::KwConst => {
+                    let span = self.bump().span;
+                    let (name, _) = self.ident()?;
+                    self.expect(&Token::Assign)?;
+                    let expr = self.expr()?;
+                    self.expect(&Token::Semi)?;
+                    prog.consts.push(ConstDecl {
+                        name,
+                        expr,
+                        value: None,
+                        span,
+                    });
+                }
+                Token::KwStruct => {
+                    let s = self.struct_decl()?;
+                    prog.structs.push(s);
+                }
+                Token::KwShared | Token::KwPrivate => {
+                    let o = self.object_decl()?;
+                    prog.objects.push(o);
+                }
+                Token::KwFn => {
+                    let f = self.func_decl()?;
+                    prog.funcs.push(f);
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected item (param/const/struct/shared/private/fn), found `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn struct_decl(&mut self) -> Result<StructDecl, Error> {
+        let span = self.expect(&Token::KwStruct)?;
+        let (name, _) = self.ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            self.expect(&Token::KwInt)?;
+            let (fname, fspan) = self.ident()?;
+            let len_expr = if self.eat(&Token::LBracket) {
+                let e = self.expr()?;
+                self.expect(&Token::RBracket)?;
+                Some(e)
+            } else {
+                None
+            };
+            self.expect(&Token::Semi)?;
+            fields.push(FieldDecl {
+                name: fname,
+                len_expr,
+                len: 0,
+                offset_words: 0,
+                span: fspan,
+            });
+        }
+        Ok(StructDecl {
+            name,
+            fields,
+            size_words: 0,
+            span,
+        })
+    }
+
+    fn object_decl(&mut self) -> Result<ObjectDecl, Error> {
+        let shared = matches!(self.peek(), Token::KwShared);
+        let span = self.bump().span;
+        let (kind, elem_name) = match self.peek().clone() {
+            Token::KwLock => {
+                self.bump();
+                if !shared {
+                    return Err(self.err("locks must be `shared`"));
+                }
+                (ObjectKind::Lock, None)
+            }
+            Token::KwInt => {
+                self.bump();
+                (
+                    if shared {
+                        ObjectKind::SharedData
+                    } else {
+                        ObjectKind::PrivateData
+                    },
+                    None,
+                )
+            }
+            Token::Ident(_) => {
+                let (n, _) = self.ident()?;
+                (
+                    if shared {
+                        ObjectKind::SharedData
+                    } else {
+                        ObjectKind::PrivateData
+                    },
+                    Some(n),
+                )
+            }
+            other => return Err(self.err(format!("expected type, found `{other}`"))),
+        };
+        let (name, _) = self.ident()?;
+        let mut dim_exprs = Vec::new();
+        while self.eat(&Token::LBracket) {
+            dim_exprs.push(self.expr()?);
+            self.expect(&Token::RBracket)?;
+            if dim_exprs.len() > 2 {
+                return Err(self.err("at most 2 array dimensions are supported"));
+            }
+        }
+        self.expect(&Token::Semi)?;
+        Ok(ObjectDecl {
+            name,
+            kind,
+            elem: ElemTy::Int, // patched by `check` for named struct types
+            elem_name,
+            dim_exprs,
+            dims: vec![],
+            span,
+        })
+    }
+
+    fn func_decl(&mut self) -> Result<Func, Error> {
+        let span = self.expect(&Token::KwFn)?;
+        let (name, _) = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                self.expect(&Token::KwInt)?;
+                let (p, _) = self.ident()?;
+                params.push(p);
+                if self.eat(&Token::RParen) {
+                    break;
+                }
+                self.expect(&Token::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Func {
+            name,
+            params,
+            body,
+            num_slots: 0,
+            slot_names: Vec::new(),
+            returns_value: false,
+            span,
+        })
+    }
+
+    fn block(&mut self) -> Result<Block, Error> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Token::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        let span = self.span();
+        let kind = match self.peek().clone() {
+            Token::KwVar => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                let init = if self.eat(&Token::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Token::Semi)?;
+                StmtKind::VarDecl {
+                    name,
+                    init,
+                    slot: u32::MAX,
+                }
+            }
+            Token::KwIf => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let then_blk = self.block()?;
+                let else_blk = if self.eat(&Token::KwElse) {
+                    if matches!(self.peek(), Token::KwIf) {
+                        // `else if` sugar: wrap the nested if in a block.
+                        let s = self.stmt()?;
+                        Some(Block { stmts: vec![s] })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                StmtKind::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                }
+            }
+            Token::KwWhile => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Token::RParen)?;
+                let body = self.block()?;
+                StmtKind::While { cond, body }
+            }
+            Token::KwFor | Token::KwForall => {
+                let is_forall = matches!(self.peek(), Token::KwForall);
+                self.bump();
+                let (var, _) = self.ident()?;
+                self.expect(&Token::KwIn)?;
+                let lo = self.expr()?;
+                self.expect(&Token::DotDot)?;
+                let hi = self.expr()?;
+                let step = if !is_forall && self.eat(&Token::KwStep) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                let body = self.block()?;
+                if is_forall {
+                    StmtKind::Forall {
+                        var,
+                        slot: u32::MAX,
+                        lo,
+                        hi,
+                        body,
+                    }
+                } else {
+                    StmtKind::For {
+                        var,
+                        slot: u32::MAX,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                    }
+                }
+            }
+            Token::KwBarrier => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                StmtKind::Barrier { id: u32::MAX }
+            }
+            Token::KwLock | Token::KwUnlock => {
+                let is_lock = matches!(self.peek(), Token::KwLock);
+                self.bump();
+                self.expect(&Token::LParen)?;
+                let path = self.path()?;
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::Semi)?;
+                let target = Target::Path(path);
+                if is_lock {
+                    StmtKind::Lock { target }
+                } else {
+                    StmtKind::Unlock { target }
+                }
+            }
+            Token::KwReturn => {
+                self.bump();
+                let e = if self.peek() == &Token::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Token::Semi)?;
+                StmtKind::Return(e)
+            }
+            Token::KwBreak => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                StmtKind::Break
+            }
+            Token::KwContinue => {
+                self.bump();
+                self.expect(&Token::Semi)?;
+                StmtKind::Continue
+            }
+            Token::LBrace => StmtKind::Block(self.block()?),
+            Token::Ident(_) => {
+                // Either a call statement `f(a,b);` or an assignment
+                // `path = e;`.
+                if matches!(self.peek2(), Token::LParen) {
+                    let (name, _) = self.ident()?;
+                    self.expect(&Token::LParen)?;
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma)?;
+                        }
+                    }
+                    self.expect(&Token::Semi)?;
+                    StmtKind::CallStmt {
+                        callee: None,
+                        name,
+                        args,
+                    }
+                } else {
+                    let path = self.path()?;
+                    self.expect(&Token::Assign)?;
+                    let value = self.expr()?;
+                    self.expect(&Token::Semi)?;
+                    StmtKind::Assign {
+                        target: Target::Path(path),
+                        value,
+                    }
+                }
+            }
+            other => return Err(self.err(format!("expected statement, found `{other}`"))),
+        };
+        Ok(Stmt {
+            kind,
+            span: span.to(self.prev_span()),
+        })
+    }
+
+    fn path(&mut self) -> Result<Path, Error> {
+        let (base, span) = self.ident()?;
+        let mut segs = Vec::new();
+        loop {
+            if self.eat(&Token::LBracket) {
+                let e = self.expr()?;
+                self.expect(&Token::RBracket)?;
+                segs.push(PathSeg::Index(e));
+            } else if self.eat(&Token::Dot) {
+                let (f, _) = self.ident()?;
+                segs.push(PathSeg::Field(f));
+            } else {
+                break;
+            }
+        }
+        Ok(Path {
+            base,
+            segs,
+            span: span.to(self.prev_span()),
+        })
+    }
+
+    /// Full expression (lowest precedence).
+    pub fn expr(&mut self) -> Result<Expr, Error> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, Error> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Token::OrOr => (BinOp::Or, 1),
+                Token::AndAnd => (BinOp::And, 2),
+                Token::Pipe => (BinOp::BitOr, 3),
+                Token::Caret => (BinOp::BitXor, 4),
+                Token::Amp => (BinOp::BitAnd, 5),
+                Token::Eq => (BinOp::Eq, 6),
+                Token::Ne => (BinOp::Ne, 6),
+                Token::Lt => (BinOp::Lt, 7),
+                Token::Le => (BinOp::Le, 7),
+                Token::Gt => (BinOp::Gt, 7),
+                Token::Ge => (BinOp::Ge, 7),
+                Token::Shl => (BinOp::Shl, 8),
+                Token::Shr => (BinOp::Shr, 8),
+                Token::Plus => (BinOp::Add, 9),
+                Token::Minus => (BinOp::Sub, 9),
+                Token::Star => (BinOp::Mul, 10),
+                Token::Slash => (BinOp::Div, 10),
+                Token::Percent => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Error> {
+        let span = self.span();
+        match self.peek() {
+            Token::Minus => {
+                self.bump();
+                let e = self.unary()?;
+                let span = span.to(e.span);
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                    span,
+                })
+            }
+            Token::Bang => {
+                self.bump();
+                let e = self.unary()?;
+                let span = span.to(e.span);
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+                    span,
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, Error> {
+        let span = self.span();
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.bump();
+                Ok(Expr::int(v, span))
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(_) => {
+                if matches!(self.peek2(), Token::LParen) {
+                    let (name, _) = self.ident()?;
+                    self.expect(&Token::LParen)?;
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma)?;
+                        }
+                    }
+                    Ok(Expr {
+                        kind: ExprKind::CallNamed(name, args),
+                        span: span.to(self.prev_span()),
+                    })
+                } else {
+                    let p = self.path()?;
+                    let span = p.span;
+                    Ok(Expr {
+                        kind: ExprKind::Path(p),
+                        span,
+                    })
+                }
+            }
+            other => Err(self.err(format!("expected expression, found `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+
+    fn parse(src: &str) -> Program {
+        Parser::new(lex(src).unwrap()).program().unwrap()
+    }
+
+    fn parse_err(src: &str) -> Error {
+        Parser::new(lex(src).unwrap()).program().unwrap_err()
+    }
+
+    #[test]
+    fn parses_params_and_consts() {
+        let p = parse("param NPROC = 8; param SEED; const N = NPROC * 2;");
+        assert_eq!(p.params.len(), 2);
+        assert_eq!(p.params[0].default, Some(8));
+        assert_eq!(p.params[1].default, None);
+        assert_eq!(p.consts.len(), 1);
+    }
+
+    #[test]
+    fn parses_negative_param_default() {
+        let p = parse("param X = -3;");
+        assert_eq!(p.params[0].default, Some(-3));
+    }
+
+    #[test]
+    fn parses_struct_with_array_field() {
+        let p = parse("struct Node { int val; int nbr[4]; }");
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert!(p.structs[0].fields[1].len_expr.is_some());
+    }
+
+    #[test]
+    fn parses_object_decls() {
+        let p = parse(
+            "shared int a[4][8]; private int t[16]; shared lock l[4]; shared Node nodes[10]; shared int s;",
+        );
+        assert_eq!(p.objects.len(), 5);
+        assert_eq!(p.objects[0].dim_exprs.len(), 2);
+        assert_eq!(p.objects[1].kind, ObjectKind::PrivateData);
+        assert_eq!(p.objects[2].kind, ObjectKind::Lock);
+        assert_eq!(p.objects[3].elem_name.as_deref(), Some("Node"));
+        assert!(p.objects[4].dim_exprs.is_empty());
+    }
+
+    #[test]
+    fn rejects_three_dimensions() {
+        let e = parse_err("shared int a[2][2][2];");
+        assert!(e.msg.contains("2 array dimensions"));
+    }
+
+    #[test]
+    fn rejects_private_lock() {
+        let e = parse_err("private lock l;");
+        assert!(e.msg.contains("expected type") || e.msg.contains("shared"));
+    }
+
+    #[test]
+    fn parses_function_and_statements() {
+        let p = parse(
+            r#"
+            fn work(int pid, int n) {
+                var i;
+                var sum = 0;
+                for i in 0 .. n step 2 {
+                    sum = sum + i;
+                    if (sum > 10) { break; } else { continue; }
+                }
+                while (sum > 0) { sum = sum - 1; }
+                barrier;
+                return sum;
+            }
+            fn main() {
+                forall p in 0 .. 4 { work(p, 10); }
+            }
+            "#,
+        );
+        assert_eq!(p.funcs.len(), 2);
+        assert_eq!(p.funcs[0].params, vec!["pid", "n"]);
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse("fn f(int x) { if (x == 0) { } else if (x == 1) { } else { } }");
+        let StmtKind::If { else_blk, .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let inner = else_blk.as_ref().unwrap();
+        assert!(matches!(inner.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn parses_lock_unlock() {
+        let p = parse("fn f(int i) { lock(l[i]); unlock(l[i]); }");
+        assert!(matches!(p.funcs[0].body.stmts[0].kind, StmtKind::Lock { .. }));
+        assert!(matches!(
+            p.funcs[0].body.stmts[1].kind,
+            StmtKind::Unlock { .. }
+        ));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse("fn f() { var x = 1 + 2 * 3; }");
+        let StmtKind::VarDecl { init: Some(e), .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::Add, _, rhs) = &e.kind else {
+            panic!("expected + at top")
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn precedence_compare_vs_logic() {
+        let p = parse("fn f() { var x = 1 < 2 && 3 == 4 || 0; }");
+        let StmtKind::VarDecl { init: Some(e), .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn parses_nested_path() {
+        let p = parse("fn f(int i) { nodes[i].nbr[2] = g[i][0] + 1; }");
+        let StmtKind::Assign {
+            target: Target::Path(path),
+            ..
+        } = &p.funcs[0].body.stmts[0].kind
+        else {
+            panic!()
+        };
+        assert_eq!(path.base, "nodes");
+        assert_eq!(path.segs.len(), 3);
+    }
+
+    #[test]
+    fn parses_calls_in_expressions() {
+        let p = parse("fn f(int i) { var x = prand(i) % min(i, 4); }");
+        let StmtKind::VarDecl { init: Some(e), .. } = &p.funcs[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Binary(BinOp::Rem, _, _)));
+    }
+
+    #[test]
+    fn unary_ops_parse() {
+        let p = parse("fn f() { var x = -1 + !0; }");
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let e = parse_err("fn f() { var x = 1 }");
+        assert!(e.msg.contains("`;`"), "{}", e.msg);
+    }
+
+    #[test]
+    fn error_on_stray_token_at_top_level() {
+        let e = parse_err("== fn f() {}");
+        assert!(e.msg.contains("expected item"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Source renderer for PSL programs.
+//!
+//! Renders both unchecked (path-form) and checked (resolved) programs back
+//! to parseable PSL text. Used by the transformation report to show the
+//! "restructured source" a source-to-source compiler would emit, and by
+//! round-trip tests.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Rendering context: the program plus (optionally) the enclosing
+/// function, used to name resolved local slots.
+#[derive(Clone, Copy)]
+pub struct Ctx<'a> {
+    pub prog: &'a Program,
+    pub func: Option<&'a Func>,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(prog: &'a Program) -> Self {
+        Ctx { prog, func: None }
+    }
+
+    fn slot_name(&self, slot: u32) -> String {
+        match self.func {
+            Some(f) if (slot as usize) < f.slot_names.len() => f.slot_names[slot as usize].clone(),
+            _ => format!("_local{slot}"),
+        }
+    }
+}
+
+/// Render a whole program to PSL source.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for pd in &p.params {
+        match pd.value.or(pd.default) {
+            Some(v) => writeln!(out, "param {} = {};", pd.name, v).unwrap(),
+            None => writeln!(out, "param {};", pd.name).unwrap(),
+        }
+    }
+    for c in &p.consts {
+        writeln!(out, "const {} = {};", c.name, expr(Ctx::new(p), &c.expr)).unwrap();
+    }
+    let ctx = Ctx::new(p);
+    for s in &p.structs {
+        writeln!(out, "struct {} {{", s.name).unwrap();
+        for f in &s.fields {
+            match &f.len_expr {
+                Some(e) => writeln!(out, "    int {}[{}];", f.name, expr(ctx, e)).unwrap(),
+                None => writeln!(out, "    int {};", f.name).unwrap(),
+            }
+        }
+        writeln!(out, "}}").unwrap();
+    }
+    for o in &p.objects {
+        if o.kind == ObjectKind::Arena {
+            continue; // synthetic; has no source form
+        }
+        let qual = match o.kind {
+            ObjectKind::PrivateData => "private",
+            _ => "shared",
+        };
+        let ty = match o.kind {
+            ObjectKind::Lock => "lock".to_string(),
+            _ => match o.elem {
+                ElemTy::Int => "int".to_string(),
+                ElemTy::Struct(sid) => p.struct_(sid).name.clone(),
+            },
+        };
+        let mut dims = String::new();
+        if !o.dim_exprs.is_empty() {
+            for e in &o.dim_exprs {
+                write!(dims, "[{}]", expr(ctx, e)).unwrap();
+            }
+        } else {
+            for d in &o.dims {
+                write!(dims, "[{d}]").unwrap();
+            }
+        }
+        writeln!(out, "{qual} {ty} {}{dims};", o.name).unwrap();
+    }
+    for f in &p.funcs {
+        let params = f
+            .params
+            .iter()
+            .map(|s| format!("int {s}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        writeln!(out, "fn {}({params}) {{", f.name).unwrap();
+        let fctx = Ctx { prog: p, func: Some(f) };
+        for s in &f.body.stmts {
+            stmt(fctx, s, 1, &mut out);
+        }
+        writeln!(out, "}}").unwrap();
+    }
+    out
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+fn block(p: Ctx, b: &Block, level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt(p, s, level + 1, out);
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+/// Render a statement at the given indentation level.
+pub fn stmt(p: Ctx, s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match &s.kind {
+        StmtKind::VarDecl { name, init, .. } => match init {
+            Some(e) => {
+                out.push_str("var ");
+                out.push_str(name);
+                out.push_str(" = ");
+                out.push_str(&expr(p, e));
+                out.push_str(";\n");
+            }
+            None => {
+                out.push_str("var ");
+                out.push_str(name);
+                out.push_str(";\n");
+            }
+        },
+        StmtKind::Assign { target, value } => {
+            out.push_str(&target_str(p, target));
+            out.push_str(" = ");
+            out.push_str(&expr(p, value));
+            out.push_str(";\n");
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            out.push_str("if (");
+            out.push_str(&expr(p, cond));
+            out.push_str(") ");
+            block(p, then_blk, level, out);
+            if let Some(e) = else_blk {
+                out.push_str(" else ");
+                block(p, e, level, out);
+            }
+            out.push('\n');
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str("while (");
+            out.push_str(&expr(p, cond));
+            out.push_str(") ");
+            block(p, body, level, out);
+            out.push('\n');
+        }
+        StmtKind::For {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            ..
+        } => {
+            out.push_str("for ");
+            out.push_str(var);
+            out.push_str(" in ");
+            out.push_str(&expr(p, lo));
+            out.push_str(" .. ");
+            out.push_str(&expr(p, hi));
+            if let Some(st) = step {
+                out.push_str(" step ");
+                out.push_str(&expr(p, st));
+            }
+            out.push(' ');
+            block(p, body, level, out);
+            out.push('\n');
+        }
+        StmtKind::Forall {
+            var, lo, hi, body, ..
+        } => {
+            out.push_str("forall ");
+            out.push_str(var);
+            out.push_str(" in ");
+            out.push_str(&expr(p, lo));
+            out.push_str(" .. ");
+            out.push_str(&expr(p, hi));
+            out.push(' ');
+            block(p, body, level, out);
+            out.push('\n');
+        }
+        StmtKind::Barrier { .. } => out.push_str("barrier;\n"),
+        StmtKind::Lock { target } => {
+            out.push_str("lock(");
+            out.push_str(&target_str(p, target));
+            out.push_str(");\n");
+        }
+        StmtKind::Unlock { target } => {
+            out.push_str("unlock(");
+            out.push_str(&target_str(p, target));
+            out.push_str(");\n");
+        }
+        StmtKind::CallStmt { name, args, .. } => {
+            out.push_str(name);
+            out.push('(');
+            out.push_str(
+                &args
+                    .iter()
+                    .map(|a| expr(p, a))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push_str(");\n");
+        }
+        StmtKind::Return(e) => match e {
+            Some(e) => {
+                out.push_str("return ");
+                out.push_str(&expr(p, e));
+                out.push_str(";\n");
+            }
+            None => out.push_str("return;\n"),
+        },
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+        StmtKind::Block(b) => {
+            block(p, b, level, out);
+            out.push('\n');
+        }
+    }
+}
+
+fn target_str(p: Ctx, t: &Target) -> String {
+    match t {
+        Target::Path(path) => path_str(p, path),
+        Target::Local(slot) => p.slot_name(*slot),
+        Target::Place(pl) => place(p, pl),
+    }
+}
+
+fn path_str(p: Ctx, path: &Path) -> String {
+    let mut s = path.base.clone();
+    for seg in &path.segs {
+        match seg {
+            PathSeg::Index(e) => {
+                s.push('[');
+                s.push_str(&expr(p, e));
+                s.push(']');
+            }
+            PathSeg::Field(f) => {
+                s.push('.');
+                s.push_str(f);
+            }
+        }
+    }
+    s
+}
+
+/// Render a resolved place.
+pub fn place(p: Ctx, pl: &Place) -> String {
+    let obj = p.prog.object(pl.obj);
+    let mut s = obj.name.clone();
+    for e in &pl.idx {
+        s.push('[');
+        s.push_str(&expr(p, e));
+        s.push(']');
+    }
+    if let Some((fid, fidx)) = &pl.field {
+        if let ElemTy::Struct(sid) = obj.elem {
+            s.push('.');
+            s.push_str(&p.prog.struct_(sid).fields[fid.index()].name);
+        }
+        if let Some(e) = fidx {
+            s.push('[');
+            s.push_str(&expr(p, e));
+            s.push(']');
+        }
+    }
+    s
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::BitAnd => "&",
+        BinOp::BitOr => "|",
+        BinOp::BitXor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+    }
+}
+
+/// Render an expression (fully parenthesized for unambiguous round-trips).
+pub fn expr(p: Ctx, e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Int(v) => v.to_string(),
+        ExprKind::Path(path) => path_str(p, path),
+        ExprKind::Var(v) => match v {
+            VarRef::Local(slot) => p.slot_name(*slot),
+            VarRef::Param(i) => p.prog.params[*i as usize].name.clone(),
+            VarRef::Const(i) => p.prog.consts[*i as usize].name.clone(),
+        },
+        ExprKind::Load(pl) => place(p, pl),
+        ExprKind::Unary(op, a) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{sym}({})", expr(p, a))
+        }
+        ExprKind::Binary(op, a, b) => {
+            format!("({} {} {})", expr(p, a), binop_str(*op), expr(p, b))
+        }
+        ExprKind::Call(callee, args) => {
+            let name = match callee {
+                Callee::User(f) => p.prog.func(*f).name.clone(),
+                Callee::Builtin(b) => b.name().to_string(),
+            };
+            format!(
+                "{name}({})",
+                args.iter().map(|a| expr(p, a)).collect::<Vec<_>>().join(", ")
+            )
+        }
+        ExprKind::CallNamed(name, args) => format!(
+            "{name}({})",
+            args.iter().map(|a| expr(p, a)).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, parse};
+
+    const SRC: &str = r#"
+        param NPROC = 4;
+        const N = NPROC * 8;
+        struct Node { int val; int nbr[2]; }
+        shared int a[N];
+        shared Node nodes[N];
+        shared lock lk;
+        fn work(int pid) {
+            var i;
+            for i in 0 .. N step 2 {
+                if (a[i] > 0) {
+                    a[i] = a[i] + pid;
+                } else {
+                    nodes[i].val = min(nodes[i].nbr[0], prand(i));
+                }
+            }
+            while (a[0] > 0) { a[0] = a[0] - 1; break; }
+            lock(lk);
+            unlock(lk);
+            barrier;
+            return;
+        }
+        fn main() {
+            forall p in 0 .. NPROC { work(p); }
+        }
+    "#;
+
+    #[test]
+    fn unchecked_render_reparses() {
+        let p = parse(SRC).unwrap();
+        let text = program(&p);
+        let p2 = parse(&text).unwrap();
+        assert_eq!(p2.funcs.len(), p.funcs.len());
+        assert_eq!(p2.objects.len(), p.objects.len());
+    }
+
+    #[test]
+    fn checked_render_reparses_and_rechecks() {
+        let p = compile(SRC).unwrap();
+        let text = program(&p);
+        // Resolved locals are renamed `_localN`, which still parses.
+        let p2 = compile(&text).unwrap();
+        assert_eq!(p2.num_barriers, p.num_barriers);
+        assert_eq!(p2.structs[0].size_words, p.structs[0].size_words);
+    }
+
+    #[test]
+    fn render_contains_expected_syntax() {
+        let p = compile(SRC).unwrap();
+        let text = program(&p);
+        assert!(text.contains("forall"));
+        assert!(text.contains("barrier;"));
+        assert!(text.contains("lock(lk);"));
+        assert!(text.contains("struct Node {"));
+        assert!(text.contains("step 2"));
+    }
+
+    #[test]
+    fn double_round_trip_is_stable() {
+        let p = compile(SRC).unwrap();
+        let t1 = program(&p);
+        let p2 = compile(&t1).unwrap();
+        let t2 = program(&p2);
+        let p3 = compile(&t2).unwrap();
+        let t3 = program(&p3);
+        assert_eq!(t2, t3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Token definitions for PSL.
+
+use crate::diag::Span;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    // Literals and identifiers
+    Int(i64),
+    Ident(String),
+
+    // Keywords
+    KwParam,
+    KwConst,
+    KwStruct,
+    KwShared,
+    KwPrivate,
+    KwLock,
+    KwUnlock,
+    KwFn,
+    KwVar,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwForall,
+    KwIn,
+    KwStep,
+    KwBarrier,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwInt,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    DotDot,
+
+    // Operators
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<Token> {
+        Some(match s {
+            "param" => Token::KwParam,
+            "const" => Token::KwConst,
+            "struct" => Token::KwStruct,
+            "shared" => Token::KwShared,
+            "private" => Token::KwPrivate,
+            "lock" => Token::KwLock,
+            "unlock" => Token::KwUnlock,
+            "fn" => Token::KwFn,
+            "var" => Token::KwVar,
+            "if" => Token::KwIf,
+            "else" => Token::KwElse,
+            "while" => Token::KwWhile,
+            "for" => Token::KwFor,
+            "forall" => Token::KwForall,
+            "in" => Token::KwIn,
+            "step" => Token::KwStep,
+            "barrier" => Token::KwBarrier,
+            "return" => Token::KwReturn,
+            "break" => Token::KwBreak,
+            "continue" => Token::KwContinue,
+            "int" => Token::KwInt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::KwParam => write!(f, "param"),
+            Token::KwConst => write!(f, "const"),
+            Token::KwStruct => write!(f, "struct"),
+            Token::KwShared => write!(f, "shared"),
+            Token::KwPrivate => write!(f, "private"),
+            Token::KwLock => write!(f, "lock"),
+            Token::KwUnlock => write!(f, "unlock"),
+            Token::KwFn => write!(f, "fn"),
+            Token::KwVar => write!(f, "var"),
+            Token::KwIf => write!(f, "if"),
+            Token::KwElse => write!(f, "else"),
+            Token::KwWhile => write!(f, "while"),
+            Token::KwFor => write!(f, "for"),
+            Token::KwForall => write!(f, "forall"),
+            Token::KwIn => write!(f, "in"),
+            Token::KwStep => write!(f, "step"),
+            Token::KwBarrier => write!(f, "barrier"),
+            Token::KwReturn => write!(f, "return"),
+            Token::KwBreak => write!(f, "break"),
+            Token::KwContinue => write!(f, "continue"),
+            Token::KwInt => write!(f, "int"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
+            Token::Assign => write!(f, "="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+            Token::Bang => write!(f, "!"),
+            Token::Amp => write!(f, "&"),
+            Token::Pipe => write!(f, "|"),
+            Token::Caret => write!(f, "^"),
+            Token::Shl => write!(f, "<<"),
+            Token::Shr => write!(f, ">>"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Token,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(Token::keyword("forall"), Some(Token::KwForall));
+        assert_eq!(Token::keyword("barrier"), Some(Token::KwBarrier));
+        assert_eq!(Token::keyword("notakeyword"), None);
+    }
+
+    #[test]
+    fn display_round_trips_symbols() {
+        assert_eq!(Token::DotDot.to_string(), "..");
+        assert_eq!(Token::Shl.to_string(), "<<");
+        assert_eq!(Token::Ident("abc".into()).to_string(), "abc");
+    }
+}

@@ -1,0 +1,444 @@
+//! KSR2-like ring-interconnect timing model.
+//!
+//! Replays a classified reference stream and accounts cycles per
+//! processor. The machine is modeled after the paper's 56-processor
+//! KSR2: processors are arranged on rings of 32; a miss serviced within
+//! the requester's ring costs 175 cycles, a miss serviced by a processor
+//! on another ring costs 600 cycles. Every coherence transaction (miss
+//! fill or invalidating upgrade) *occupies* its ring(s) for a fixed
+//! number of slot cycles, so aggregate coherence traffic is bounded by
+//! ring bandwidth: as more processors generate misses — in particular the
+//! superlinear ping-pong traffic of falsely shared blocks — queueing
+//! delay grows and the speedup curve rolls over, reproducing the paper's
+//! scalability collapse for unoptimized programs.
+//!
+//! The model deliberately stays analytic (per-ring next-free-time
+//! counters, no packet-level simulation): the paper's execution-time
+//! observations depend on latency and bandwidth saturation, not on ring
+//! micro-ordering. See DESIGN.md "Substitutions".
+
+use fsr_sim::{MissKind, Outcome};
+
+/// Machine parameters (defaults approximate the KSR2).
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct MachineConfig {
+    /// Processors per ring (KSR2: 32 per ring, two rings for 56 procs).
+    pub procs_per_ring: u32,
+    /// Latency of a miss served by the processor's local second-level
+    /// (ALLCACHE) partition: cold and capacity misses.
+    pub l2_miss_cycles: u64,
+    /// Miss latency when serviced within the requester's ring.
+    pub local_miss_cycles: u64,
+    /// Miss latency when serviced from another ring.
+    pub remote_miss_cycles: u64,
+    /// Latency of an invalidating upgrade (no data transfer).
+    pub upgrade_cycles: u64,
+    /// Ring occupancy of a miss fill (block transfer slots).
+    pub miss_occupancy: u64,
+    /// Ring occupancy of an upgrade/invalidate transaction.
+    pub upgrade_occupancy: u64,
+    /// Ring occupancy per remote cache invalidated: each invalidation is
+    /// a coherence message the ring must carry, which is what makes
+    /// false-sharing traffic grow *superlinearly* with the processor
+    /// count (every ping-pong write invalidates every current sharer).
+    pub invalidation_occupancy: u64,
+    /// Fixed cost of a barrier episode (hardware barrier / flag tree).
+    pub barrier_cycles: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            procs_per_ring: 32,
+            l2_miss_cycles: 30,
+            local_miss_cycles: 175,
+            remote_miss_cycles: 600,
+            upgrade_cycles: 90,
+            miss_occupancy: 8,
+            upgrade_occupancy: 4,
+            invalidation_occupancy: 4,
+            barrier_cycles: 60,
+        }
+    }
+}
+
+/// Cycle accounting per processor plus stall attribution.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct TimingStats {
+    /// Busy (compute + cache hit) cycles, per processor.
+    pub busy: Vec<u64>,
+    /// Memory stall cycles, per processor.
+    pub stall: Vec<u64>,
+    /// Of which: queueing delay waiting for the ring.
+    pub queue: Vec<u64>,
+    /// Stall cycles attributed to each miss kind (global).
+    pub stall_by_kind: [u64; 4],
+    /// Stall cycles from upgrades.
+    pub upgrade_stall: u64,
+}
+
+/// The timing model: feed it the same stream the cache simulator
+/// classifies, then read the execution time.
+#[derive(Debug)]
+pub struct TimingModel {
+    cfg: MachineConfig,
+    nproc: u32,
+    proc_time: Vec<u64>,
+    ring_free: Vec<u64>,
+    stats: TimingStats,
+}
+
+impl TimingModel {
+    pub fn new(cfg: MachineConfig, nproc: u32) -> TimingModel {
+        let rings = nproc.div_ceil(cfg.procs_per_ring).max(1);
+        TimingModel {
+            cfg,
+            nproc,
+            proc_time: vec![0; nproc as usize],
+            ring_free: vec![0; rings as usize],
+            stats: TimingStats {
+                busy: vec![0; nproc as usize],
+                stall: vec![0; nproc as usize],
+                queue: vec![0; nproc as usize],
+                ..Default::default()
+            },
+        }
+    }
+
+    pub fn ring_of(&self, pid: u32) -> usize {
+        (pid / self.cfg.procs_per_ring) as usize
+    }
+
+    /// Account one reference: `gap` compute cycles since the processor's
+    /// previous reference, then the access itself with its classified
+    /// outcome. `supplier` is the remote holder when the block came from
+    /// another cache.
+    pub fn record(&mut self, pid: u8, gap: u32, outcome: &Outcome) {
+        let p = pid as usize;
+        // Compute cycles plus one cycle for the (L1-hit) access itself.
+        let busy = gap as u64 + 1;
+        self.proc_time[p] += busy;
+        self.stats.busy[p] += busy;
+
+        if outcome.hit() {
+            return;
+        }
+
+        let my_ring = self.ring_of(pid as u32);
+        let inval_occ = outcome.invalidations as u64 * self.cfg.invalidation_occupancy;
+        let (latency, occupancy, remote_ring) = if let Some(kind) = outcome.miss {
+            let remote = outcome
+                .supplier
+                .map(|s| self.ring_of(s as u32))
+                .filter(|&r| r != my_ring);
+            // Cold/capacity misses with no remote supplier are served by
+            // the local ALLCACHE level; sharing misses travel the ring.
+            let served_locally = outcome.supplier.is_none()
+                && matches!(kind, MissKind::Cold | MissKind::Replacement);
+            let lat = if served_locally {
+                self.cfg.l2_miss_cycles
+            } else if remote.is_some() {
+                self.cfg.remote_miss_cycles
+            } else {
+                self.cfg.local_miss_cycles
+            };
+            let occ = if served_locally {
+                0
+            } else {
+                self.cfg.miss_occupancy
+            };
+            (lat, occ, remote)
+        } else {
+            // Upgrade.
+            (self.cfg.upgrade_cycles, self.cfg.upgrade_occupancy, None)
+        };
+
+        // Acquire the ring slot(s): wait until every ring involved is
+        // free, then occupy them.
+        let mut start = self.proc_time[p].max(self.ring_free[my_ring]);
+        if let Some(r) = remote_ring {
+            start = start.max(self.ring_free[r]);
+        }
+        let queue_delay = start - self.proc_time[p];
+        self.ring_free[my_ring] = start + occupancy + inval_occ;
+        if let Some(r) = remote_ring {
+            self.ring_free[r] = start + occupancy + inval_occ;
+        }
+        let done = start + latency;
+        let stall = done - self.proc_time[p];
+        self.proc_time[p] = done;
+        self.stats.stall[p] += stall;
+        self.stats.queue[p] += queue_delay;
+        match outcome.miss {
+            Some(kind) => self.stats.stall_by_kind[kind as usize] += stall,
+            None => self.stats.upgrade_stall += stall,
+        }
+    }
+
+    /// Synchronization point: align the listed processors' clocks to the
+    /// latest among them (barrier release / spawn / join). Optionally add
+    /// a fixed barrier overhead.
+    pub fn sync(&mut self, pids: &[u32]) {
+        let t = pids
+            .iter()
+            .map(|&p| self.proc_time[p as usize])
+            .max()
+            .unwrap_or(0)
+            + self.cfg.barrier_cycles;
+        for &p in pids {
+            self.proc_time[p as usize] = t;
+        }
+    }
+
+    /// Lock hand-off: the acquirer cannot proceed before the releaser's
+    /// current time (the release happened at or before it).
+    pub fn handoff(&mut self, from: u32, to: u32) {
+        let t = self.proc_time[from as usize];
+        let me = &mut self.proc_time[to as usize];
+        if *me < t {
+            *me = t;
+        }
+    }
+
+    /// Execution time = the slowest processor.
+    pub fn finish_time(&self) -> u64 {
+        self.proc_time.iter().copied().max().unwrap_or(0)
+    }
+
+    pub fn stats(&self) -> &TimingStats {
+        &self.stats
+    }
+
+    pub fn nproc(&self) -> u32 {
+        self.nproc
+    }
+
+    /// Fraction of total cycles spent stalled on false sharing.
+    pub fn false_sharing_stall_fraction(&self) -> f64 {
+        let total: u64 = self.proc_time.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.stats.stall_by_kind[MissKind::FalseSharing as usize] as f64 / total as f64
+    }
+}
+
+/// A speedup curve: execution times per processor count.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SpeedupCurve {
+    pub points: Vec<(u32, u64)>,
+}
+
+impl SpeedupCurve {
+    pub fn push(&mut self, nproc: u32, time: u64) {
+        self.points.push((nproc, time));
+    }
+
+    /// Speedups relative to the supplied uniprocessor baseline time.
+    pub fn speedups(&self, t1: u64) -> Vec<(u32, f64)> {
+        self.points
+            .iter()
+            .map(|&(p, t)| (p, if t == 0 { 0.0 } else { t1 as f64 / t as f64 }))
+            .collect()
+    }
+
+    /// Maximum speedup and the processor count where it occurs (Table 3).
+    pub fn max_speedup(&self, t1: u64) -> (f64, u32) {
+        let mut best = (0.0f64, 1u32);
+        for (p, s) in self.speedups(t1) {
+            if s > best.0 {
+                best = (s, p);
+            }
+        }
+        best
+    }
+
+    /// Largest processor count at which adding processors still helped
+    /// (the scaling knee).
+    pub fn scaling_limit(&self, t1: u64) -> u32 {
+        self.max_speedup(t1).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit() -> Outcome {
+        Outcome {
+            miss: None,
+            supplier: None,
+            upgrade: false,
+            invalidations: 0,
+        }
+    }
+
+    fn miss(kind: MissKind, supplier: Option<u8>) -> Outcome {
+        Outcome {
+            miss: Some(kind),
+            supplier,
+            upgrade: false,
+            invalidations: 0,
+        }
+    }
+
+    #[test]
+    fn hits_cost_one_cycle_plus_gap() {
+        let mut m = TimingModel::new(MachineConfig::default(), 2);
+        m.record(0, 9, &hit());
+        m.record(0, 0, &hit());
+        assert_eq!(m.finish_time(), 11);
+        assert_eq!(m.stats().busy[0], 11);
+        assert_eq!(m.stats().stall[0], 0);
+    }
+
+    #[test]
+    fn cold_miss_costs_l2_latency() {
+        let cfg = MachineConfig::default();
+        let mut m = TimingModel::new(cfg, 2);
+        m.record(0, 0, &miss(MissKind::Cold, None));
+        assert_eq!(m.finish_time(), 1 + cfg.l2_miss_cycles);
+        // A sharing miss travels the ring even without a dirty supplier.
+        let mut m2 = TimingModel::new(cfg, 2);
+        m2.record(0, 0, &miss(MissKind::FalseSharing, None));
+        assert_eq!(m2.finish_time(), 1 + cfg.local_miss_cycles);
+    }
+
+    #[test]
+    fn cross_ring_miss_costs_remote_latency() {
+        let cfg = MachineConfig::default();
+        let mut m = TimingModel::new(cfg, 56);
+        // Proc 0 (ring 0) misses; supplier is proc 40 (ring 1).
+        m.record(0, 0, &miss(MissKind::TrueSharing, Some(40)));
+        assert_eq!(m.finish_time(), 1 + cfg.remote_miss_cycles);
+        // Same-ring supplier: local latency.
+        let mut m2 = TimingModel::new(cfg, 56);
+        m2.record(0, 0, &miss(MissKind::TrueSharing, Some(3)));
+        assert_eq!(m2.finish_time(), 1 + cfg.local_miss_cycles);
+    }
+
+    #[test]
+    fn ring_contention_queues_transactions() {
+        let cfg = MachineConfig::default();
+        let mut m = TimingModel::new(cfg, 8);
+        // All eight processors miss at time ~1: their fills serialize on
+        // the ring in occupancy slots.
+        for p in 0..8u8 {
+            m.record(p, 0, &miss(MissKind::FalseSharing, None));
+        }
+        let q: u64 = m.stats().queue.iter().sum();
+        assert!(q > 0, "later misses must queue");
+        // The last requester waited ~7 occupancy slots.
+        assert!(m.finish_time() >= cfg.local_miss_cycles + 7 * cfg.miss_occupancy);
+        assert!(cfg.miss_occupancy >= 2);
+    }
+
+    #[test]
+    fn stall_attributed_to_miss_kind() {
+        let mut m = TimingModel::new(MachineConfig::default(), 4);
+        m.record(0, 0, &miss(MissKind::FalseSharing, None));
+        m.record(1, 0, &miss(MissKind::Cold, None));
+        assert!(m.stats().stall_by_kind[MissKind::FalseSharing as usize] > 0);
+        assert!(m.stats().stall_by_kind[MissKind::Cold as usize] > 0);
+        assert!(m.false_sharing_stall_fraction() > 0.0);
+    }
+
+    #[test]
+    fn upgrades_use_upgrade_costs() {
+        let cfg = MachineConfig::default();
+        let mut m = TimingModel::new(cfg, 2);
+        m.record(
+            0,
+            0,
+            &Outcome {
+                miss: None,
+                supplier: None,
+                upgrade: true,
+                invalidations: 1,
+            },
+        );
+        assert_eq!(m.finish_time(), 1 + cfg.upgrade_cycles);
+        assert_eq!(m.stats().upgrade_stall, cfg.upgrade_cycles);
+    }
+
+    #[test]
+    fn speedup_curve_finds_knee() {
+        let mut c = SpeedupCurve::default();
+        // Times: improves to 8 procs, then degrades.
+        c.push(1, 1000);
+        c.push(2, 520);
+        c.push(4, 270);
+        c.push(8, 160);
+        c.push(16, 240);
+        let (s, at) = c.max_speedup(1000);
+        assert_eq!(at, 8);
+        assert!((s - 6.25).abs() < 1e-9);
+        assert_eq!(c.scaling_limit(1000), 8);
+    }
+
+    #[test]
+    fn sync_aligns_clocks_to_the_latest() {
+        let cfg = MachineConfig::default();
+        let mut m = TimingModel::new(cfg, 3);
+        m.record(0, 99, &hit());
+        m.record(1, 9, &hit());
+        m.sync(&[0, 1, 2]);
+        let expect = 100 + cfg.barrier_cycles;
+        m.record(0, 0, &hit());
+        m.record(2, 0, &hit());
+        assert_eq!(m.finish_time(), expect + 1);
+        // Both latecomers were pulled up to the barrier release time.
+        assert!(m.stats().busy[2] > 0);
+    }
+
+    #[test]
+    fn handoff_orders_acquirer_after_releaser() {
+        let mut m = TimingModel::new(MachineConfig::default(), 2);
+        m.record(0, 499, &hit()); // releaser at t=500
+        m.record(1, 9, &hit()); // acquirer at t=10
+        m.handoff(0, 1);
+        m.record(1, 0, &hit());
+        assert_eq!(m.finish_time(), 501);
+        // Reverse direction is a no-op (acquirer already later).
+        m.handoff(1, 0);
+        m.record(0, 0, &hit());
+        assert_eq!(m.finish_time(), 502);
+    }
+
+    #[test]
+    fn invalidations_add_ring_occupancy() {
+        let cfg = MachineConfig::default();
+        let mut with_inv = TimingModel::new(cfg, 4);
+        with_inv.record(
+            0,
+            0,
+            &Outcome {
+                miss: Some(MissKind::FalseSharing),
+                supplier: None,
+                upgrade: false,
+                invalidations: 3,
+            },
+        );
+        with_inv.record(1, 0, &miss(MissKind::FalseSharing, None));
+        let mut without = TimingModel::new(cfg, 4);
+        without.record(0, 0, &miss(MissKind::FalseSharing, None));
+        without.record(1, 0, &miss(MissKind::FalseSharing, None));
+        // The second requester queues longer behind the invalidating
+        // transaction.
+        assert!(
+            with_inv.stats().queue[1] > without.stats().queue[1],
+            "{} vs {}",
+            with_inv.stats().queue[1],
+            without.stats().queue[1]
+        );
+    }
+
+    #[test]
+    fn independent_procs_overlap_in_time() {
+        // Two procs each compute 100 cycles: wall-clock ~101, not 202.
+        let mut m = TimingModel::new(MachineConfig::default(), 2);
+        m.record(0, 100, &hit());
+        m.record(1, 100, &hit());
+        assert_eq!(m.finish_time(), 101);
+    }
+}

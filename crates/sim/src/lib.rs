@@ -1,0 +1,661 @@
+//! Write-invalidate multiprocessor cache simulator with false-sharing
+//! miss classification.
+//!
+//! Models the paper's simulation substrate: per-processor set-associative
+//! first-level caches kept coherent by an MSI write-invalidate protocol,
+//! with an infinite second level (every miss is eventually satisfied;
+//! only L1 behaviour is classified). Block sizes from 4 to 256 bytes are
+//! supported.
+//!
+//! ## Miss classification
+//!
+//! Following the classification used by Eggers/Jeremiassen and Torrellas
+//! et al., every miss is attributed to exactly one cause:
+//!
+//! - **cold** — the processor never cached the block before;
+//! - **replacement** — the block was last lost to eviction
+//!   (capacity/conflict);
+//! - **true sharing** — the block was lost to an invalidation and the
+//!   *word now referenced* was modified by another processor since;
+//! - **false sharing** — the block was lost to an invalidation but the
+//!   referenced word was *not* modified since: only coherence at block
+//!   granularity forced the miss.
+//!
+//! The implementation keeps a global per-word last-write clock and a
+//! per-processor record of when and why each block was lost; the
+//! comparison is exact, not sampled.
+
+use std::fmt;
+
+pub mod report;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheConfig {
+    pub nproc: u32,
+    /// Coherence block size in bytes (power of two, 4..=256 typical).
+    pub block_bytes: u32,
+    /// Per-processor first-level cache capacity.
+    pub cache_bytes: u32,
+    /// Set associativity.
+    pub assoc: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            nproc: 12,
+            block_bytes: 128,
+            cache_bytes: 32 * 1024,
+            assoc: 4,
+        }
+    }
+}
+
+impl CacheConfig {
+    pub fn with_block(block_bytes: u32, nproc: u32) -> CacheConfig {
+        CacheConfig {
+            nproc,
+            block_bytes,
+            ..Default::default()
+        }
+    }
+
+    pub fn num_sets(&self) -> u32 {
+        (self.cache_bytes / self.block_bytes / self.assoc).max(1)
+    }
+}
+
+/// Miss cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MissKind {
+    Cold = 0,
+    Replacement = 1,
+    TrueSharing = 2,
+    FalseSharing = 3,
+}
+
+impl MissKind {
+    pub const ALL: [MissKind; 4] = [
+        MissKind::Cold,
+        MissKind::Replacement,
+        MissKind::TrueSharing,
+        MissKind::FalseSharing,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MissKind::Cold => "cold",
+            MissKind::Replacement => "replacement",
+            MissKind::TrueSharing => "true-sharing",
+            MissKind::FalseSharing => "false-sharing",
+        }
+    }
+}
+
+/// Result of one access, consumed by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    pub miss: Option<MissKind>,
+    /// For misses: the processor that held the block modified (the
+    /// remote supplier), when any. `None` = served by memory/L2.
+    pub supplier: Option<u8>,
+    /// Write hit on a Shared line: an invalidating upgrade transaction.
+    pub upgrade: bool,
+    /// Number of remote caches this access invalidated (coherence
+    /// traffic the interconnect must carry).
+    pub invalidations: u8,
+}
+
+impl Outcome {
+    pub fn hit(&self) -> bool {
+        self.miss.is_none() && !self.upgrade
+    }
+}
+
+/// Aggregate statistics.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimStats {
+    pub refs: u64,
+    pub reads: u64,
+    pub writes: u64,
+    pub misses: [u64; 4],
+    pub upgrades: u64,
+    pub invalidations: u64,
+}
+
+impl SimStats {
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    pub fn miss_of(&self, k: MissKind) -> u64 {
+        self.misses[k as usize]
+    }
+
+    pub fn false_sharing(&self) -> u64 {
+        self.miss_of(MissKind::FalseSharing)
+    }
+
+    /// Misses per reference.
+    pub fn miss_rate(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.total_misses() as f64 / self.refs as f64
+        }
+    }
+
+    /// Non-false-sharing misses ("other" in Figure 3).
+    pub fn other_misses(&self) -> u64 {
+        self.total_misses() - self.false_sharing()
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "refs {} misses {} (cold {} repl {} true {} false {}) upgrades {}",
+            self.refs,
+            self.total_misses(),
+            self.misses[0],
+            self.misses[1],
+            self.misses[2],
+            self.misses[3],
+            self.upgrades
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LineState {
+    Invalid,
+    Shared,
+    Modified,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: u32,
+    state: LineState,
+    lru: u64,
+}
+
+const NEVER: u64 = 0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LostReason {
+    None,
+    Eviction,
+    Invalidation,
+}
+
+/// One processor's cache.
+struct Cache {
+    sets: Vec<Line>,
+    num_sets: u32,
+    assoc: u32,
+    /// Per block: when and why this processor last lost it.
+    lost_time: Vec<u64>,
+    lost_reason: Vec<LostReason>,
+}
+
+impl Cache {
+    fn new(cfg: &CacheConfig, nblocks: u32) -> Cache {
+        Cache {
+            sets: vec![
+                Line {
+                    block: u32::MAX,
+                    state: LineState::Invalid,
+                    lru: 0,
+                };
+                (cfg.num_sets() * cfg.assoc) as usize
+            ],
+            num_sets: cfg.num_sets(),
+            assoc: cfg.assoc,
+            lost_time: vec![NEVER; nblocks as usize],
+            lost_reason: vec![LostReason::None; nblocks as usize],
+        }
+    }
+
+    fn set_range(&self, block: u32) -> std::ops::Range<usize> {
+        let set = (block % self.num_sets) as usize;
+        set * self.assoc as usize..(set + 1) * self.assoc as usize
+    }
+
+    fn find(&self, block: u32) -> Option<usize> {
+        self.set_range(block)
+            .find(|&i| self.sets[i].state != LineState::Invalid && self.sets[i].block == block)
+    }
+
+    /// Choose a victim way in the block's set (an invalid way if any,
+    /// else LRU).
+    fn victim(&self, block: u32) -> usize {
+        let range = self.set_range(block);
+        let mut best = range.start;
+        let mut best_lru = u64::MAX;
+        for i in range {
+            if self.sets[i].state == LineState::Invalid {
+                return i;
+            }
+            if self.sets[i].lru < best_lru {
+                best_lru = self.sets[i].lru;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn lose(&mut self, way: usize, time: u64, reason: LostReason) {
+        let b = self.sets[way].block as usize;
+        self.lost_time[b] = time;
+        self.lost_reason[b] = reason;
+        self.sets[way].state = LineState::Invalid;
+    }
+}
+
+/// The multiprocessor simulator.
+pub struct MultiSim {
+    cfg: CacheConfig,
+    caches: Vec<Cache>,
+    /// Directory: per block, bitmask of sharers and the modified owner.
+    sharers: Vec<u64>,
+    owner: Vec<u8>,
+    /// Per word (4 bytes): global time of last write.
+    word_write_time: Vec<u64>,
+    /// Per block per kind: miss counts (for per-object attribution).
+    per_block_misses: Vec<[u32; 4]>,
+    time: u64,
+    stats: SimStats,
+    block_shift: u32,
+}
+
+const NO_OWNER: u8 = u8::MAX;
+
+impl MultiSim {
+    /// `addr_space_bytes` bounds the addresses that will be accessed.
+    pub fn new(cfg: CacheConfig, addr_space_bytes: u32) -> MultiSim {
+        assert!(cfg.block_bytes.is_power_of_two() && cfg.block_bytes >= 4);
+        assert!(cfg.nproc >= 1 && cfg.nproc <= 64);
+        let nblocks = addr_space_bytes.div_ceil(cfg.block_bytes) + 1;
+        let nwords = addr_space_bytes.div_ceil(4) + 1;
+        MultiSim {
+            caches: (0..cfg.nproc).map(|_| Cache::new(&cfg, nblocks)).collect(),
+            sharers: vec![0; nblocks as usize],
+            owner: vec![NO_OWNER; nblocks as usize],
+            word_write_time: vec![NEVER; nwords as usize],
+            per_block_misses: vec![[0; 4]; nblocks as usize],
+            time: 1,
+            stats: SimStats::default(),
+            block_shift: cfg.block_bytes.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Per-block miss counts, indexed `[block][MissKind]` — callers map
+    /// block indices to data structures via the layout.
+    pub fn per_block_misses(&self) -> &[[u32; 4]] {
+        &self.per_block_misses
+    }
+
+    pub fn block_bytes(&self) -> u32 {
+        self.cfg.block_bytes
+    }
+
+    /// Simulate one reference.
+    pub fn access(&mut self, pid: u8, addr: u32, write: bool) -> Outcome {
+        let p = pid as usize;
+        debug_assert!(p < self.caches.len());
+        self.time += 1;
+        self.stats.refs += 1;
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let block = addr >> self.block_shift;
+        let word = (addr / 4) as usize;
+
+        let outcome = match self.caches[p].find(block) {
+            Some(way) => {
+                self.caches[p].sets[way].lru = self.time;
+                match (self.caches[p].sets[way].state, write) {
+                    (LineState::Modified, _) | (LineState::Shared, false) => Outcome {
+                        miss: None,
+                        supplier: None,
+                        upgrade: false,
+                        invalidations: 0,
+                    },
+                    (LineState::Shared, true) => {
+                        // Upgrade: invalidate all other sharers.
+                        let inv = self.invalidate_others(block, pid);
+                        self.caches[p].sets[way].state = LineState::Modified;
+                        self.owner[block as usize] = pid;
+                        self.stats.upgrades += 1;
+                        Outcome {
+                            miss: None,
+                            supplier: None,
+                            upgrade: true,
+                            invalidations: inv,
+                        }
+                    }
+                    (LineState::Invalid, _) => unreachable!("find returns valid lines"),
+                }
+            }
+            None => {
+                // Miss: classify, then fill.
+                let kind = self.classify(p, block, word);
+                self.stats.misses[kind as usize] += 1;
+                self.per_block_misses[block as usize][kind as usize] += 1;
+                let supplier = {
+                    let o = self.owner[block as usize];
+                    if o != NO_OWNER && o != pid {
+                        Some(o)
+                    } else {
+                        None
+                    }
+                };
+                let mut invalidations = 0;
+                if write {
+                    invalidations = self.invalidate_others(block, pid);
+                    self.install(p, block, LineState::Modified);
+                    self.owner[block as usize] = pid;
+                    self.sharers[block as usize] = 1 << pid;
+                } else {
+                    // Downgrade a modified owner to Shared.
+                    let o = self.owner[block as usize];
+                    if o != NO_OWNER && o != pid {
+                        let oc = &mut self.caches[o as usize];
+                        if let Some(oway) = oc.find(block) {
+                            oc.sets[oway].state = LineState::Shared;
+                        }
+                    }
+                    self.owner[block as usize] = NO_OWNER;
+                    self.install(p, block, LineState::Shared);
+                    self.sharers[block as usize] |= 1 << pid;
+                }
+                Outcome {
+                    miss: Some(kind),
+                    supplier,
+                    upgrade: false,
+                    invalidations,
+                }
+            }
+        };
+        if write {
+            self.word_write_time[word] = self.time;
+        }
+        outcome
+    }
+
+    fn classify(&self, p: usize, block: u32, word: usize) -> MissKind {
+        let c = &self.caches[p];
+        match c.lost_reason[block as usize] {
+            LostReason::None => MissKind::Cold,
+            LostReason::Eviction => MissKind::Replacement,
+            LostReason::Invalidation => {
+                // `>=`: an invalidation at time t is always caused by a
+                // write at that same timestamp, and timestamps are unique
+                // per access — equality means "the invalidating write hit
+                // this very word".
+                if self.word_write_time[word] >= c.lost_time[block as usize] {
+                    MissKind::TrueSharing
+                } else {
+                    MissKind::FalseSharing
+                }
+            }
+        }
+    }
+
+    fn invalidate_others(&mut self, block: u32, keeper: u8) -> u8 {
+        let mask = self.sharers[block as usize] & !(1u64 << keeper);
+        if mask == 0 {
+            self.sharers[block as usize] &= 1u64 << keeper;
+            return 0;
+        }
+        let mut count = 0u8;
+        for q in 0..self.cfg.nproc {
+            if mask & (1 << q) == 0 {
+                continue;
+            }
+            let qc = &mut self.caches[q as usize];
+            if let Some(way) = qc.find(block) {
+                qc.lose(way, self.time, LostReason::Invalidation);
+                self.stats.invalidations += 1;
+                count += 1;
+            }
+        }
+        self.sharers[block as usize] &= 1u64 << keeper;
+        if self.owner[block as usize] != keeper {
+            self.owner[block as usize] = NO_OWNER;
+        }
+        count
+    }
+
+    fn install(&mut self, p: usize, block: u32, state: LineState) {
+        let way = self.caches[p].victim(block);
+        let old = self.caches[p].sets[way];
+        if old.state != LineState::Invalid {
+            let ob = old.block;
+            self.caches[p].lose(way, self.time, LostReason::Eviction);
+            self.sharers[ob as usize] &= !(1u64 << p);
+            if self.owner[ob as usize] == p as u8 {
+                self.owner[ob as usize] = NO_OWNER;
+            }
+        }
+        self.caches[p].sets[way] = Line {
+            block,
+            state,
+            lru: self.time,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(nproc: u32, block: u32) -> MultiSim {
+        MultiSim::new(
+            CacheConfig {
+                nproc,
+                block_bytes: block,
+                cache_bytes: 1024,
+                assoc: 2,
+            },
+            1 << 20,
+        )
+    }
+
+    #[test]
+    fn first_access_is_cold() {
+        let mut s = sim(2, 64);
+        let o = s.access(0, 0x100, false);
+        assert_eq!(o.miss, Some(MissKind::Cold));
+        // Second access hits.
+        let o = s.access(0, 0x104, false);
+        assert!(o.hit());
+    }
+
+    #[test]
+    fn write_invalidate_then_reread_same_word_is_true_sharing() {
+        let mut s = sim(2, 64);
+        s.access(0, 0x100, false); // P0 caches block
+        s.access(1, 0x100, true); // P1 writes same word -> invalidates P0
+        let o = s.access(0, 0x100, false); // P0 rereads the written word
+        assert_eq!(o.miss, Some(MissKind::TrueSharing));
+    }
+
+    #[test]
+    fn write_invalidate_then_reread_other_word_is_false_sharing() {
+        let mut s = sim(2, 64);
+        s.access(0, 0x100, false); // P0 caches block (word 0x100)
+        s.access(1, 0x13c, true); // P1 writes a *different* word, same block
+        let o = s.access(0, 0x100, false); // P0 rereads its own word
+        assert_eq!(o.miss, Some(MissKind::FalseSharing));
+    }
+
+    #[test]
+    fn upgrade_on_shared_write() {
+        let mut s = sim(2, 64);
+        s.access(0, 0x100, false);
+        s.access(1, 0x100, false);
+        let o = s.access(0, 0x100, true);
+        assert!(o.upgrade);
+        assert_eq!(o.miss, None);
+        assert_eq!(s.stats().upgrades, 1);
+        assert_eq!(s.stats().invalidations, 1);
+        // P1's reread of the written word: true sharing.
+        let o = s.access(1, 0x100, false);
+        assert_eq!(o.miss, Some(MissKind::TrueSharing));
+    }
+
+    #[test]
+    fn eviction_makes_replacement_miss() {
+        // cache 1024B, 64B blocks, assoc 2 -> 8 sets; blocks spaced by
+        // 8*64 = 512 bytes map to the same set.
+        let mut s = sim(1, 64);
+        s.access(0, 0x0, false);
+        s.access(0, 0x200, false);
+        s.access(0, 0x400, false); // evicts 0x0 (LRU)
+        let o = s.access(0, 0x0, false);
+        assert_eq!(o.miss, Some(MissKind::Replacement));
+    }
+
+    #[test]
+    fn supplier_reported_for_dirty_remote_block() {
+        let mut s = sim(2, 64);
+        s.access(1, 0x100, true); // P1 owns modified
+        let o = s.access(0, 0x100, false);
+        assert_eq!(o.supplier, Some(1));
+        // After the downgrade both share; P1 hits.
+        assert!(s.access(1, 0x100, false).hit());
+    }
+
+    #[test]
+    fn write_miss_invalidates_sharers() {
+        let mut s = sim(3, 64);
+        s.access(0, 0x100, false);
+        s.access(1, 0x100, false);
+        s.access(2, 0x108, true); // write miss, invalidates P0 and P1
+        assert_eq!(s.stats().invalidations, 2);
+        // P0 rereads its word (not written): false sharing.
+        assert_eq!(s.access(0, 0x100, false).miss, Some(MissKind::FalseSharing));
+        // P1 reads the written word: true sharing.
+        assert_eq!(s.access(1, 0x108, false).miss, Some(MissKind::TrueSharing));
+    }
+
+    #[test]
+    fn ping_pong_counts_false_sharing_on_both_sides() {
+        let mut s = sim(2, 128);
+        // P0 writes word A, P1 writes word B in the same block, repeatedly.
+        s.access(0, 0x1000, true);
+        s.access(1, 0x1040, true); // cold (never cached) but invalidates P0
+        let mut fs = 0;
+        for _ in 0..10 {
+            if s.access(0, 0x1000, true).miss == Some(MissKind::FalseSharing) {
+                fs += 1;
+            }
+            if s.access(1, 0x1040, true).miss == Some(MissKind::FalseSharing) {
+                fs += 1;
+            }
+        }
+        assert_eq!(fs, 20, "every miss in the ping-pong is false sharing");
+    }
+
+    #[test]
+    fn small_blocks_eliminate_false_sharing() {
+        let mut s = sim(2, 4);
+        s.access(0, 0x1000, true);
+        s.access(1, 0x1040, true);
+        for _ in 0..10 {
+            assert!(s.access(0, 0x1000, true).hit());
+            assert!(s.access(1, 0x1040, true).hit());
+        }
+        assert_eq!(s.stats().false_sharing(), 0);
+    }
+
+    #[test]
+    fn per_block_attribution_accumulates() {
+        let mut s = sim(2, 64);
+        s.access(0, 0x100, false);
+        s.access(1, 0x108, true);
+        s.access(0, 0x100, false); // false sharing on block 4
+        let b = (0x100u32 >> s.block_bytes().trailing_zeros()) as usize;
+        assert_eq!(s.per_block_misses()[b][MissKind::FalseSharing as usize], 1);
+    }
+
+    #[test]
+    fn stats_counts_are_consistent() {
+        let mut s = sim(4, 64);
+        for i in 0..100u32 {
+            s.access((i % 4) as u8, 0x1000 + (i * 12) % 512, i % 3 == 0);
+        }
+        let st = s.stats();
+        assert_eq!(st.refs, 100);
+        assert_eq!(st.reads + st.writes, 100);
+        assert!(st.total_misses() <= st.refs);
+        assert!(st.miss_rate() <= 1.0);
+    }
+
+    #[test]
+    fn larger_blocks_increase_false_sharing() {
+        // Two procs write adjacent words in a loop: false sharing exists
+        // at 64B but not at 4B.
+        let run = |block: u32| {
+            let mut s = sim(2, block);
+            for _ in 0..50 {
+                s.access(0, 0x1000, true);
+                s.access(1, 0x1004, true);
+            }
+            s.stats().false_sharing()
+        };
+        assert_eq!(run(4), 0);
+        assert!(run(64) > 50);
+    }
+
+    #[test]
+    fn outcome_reports_invalidation_counts() {
+        let mut s = sim(4, 64);
+        for p in 0..4u8 {
+            s.access(p, 0x100, false);
+        }
+        // Upgrade invalidates the other three sharers.
+        let o = s.access(0, 0x100, true);
+        assert!(o.upgrade);
+        assert_eq!(o.invalidations, 3);
+        // A write miss by another proc invalidates the single owner.
+        let o = s.access(1, 0x104, true);
+        assert_eq!(o.miss, Some(MissKind::FalseSharing));
+        assert_eq!(o.invalidations, 1);
+        // Hits invalidate nobody.
+        let o = s.access(1, 0x108, true);
+        assert!(o.hit());
+        assert_eq!(o.invalidations, 0);
+    }
+
+    #[test]
+    fn read_only_sharing_has_no_coherence_misses() {
+        let mut s = sim(4, 64);
+        for p in 0..4u8 {
+            s.access(p, 0x2000, false);
+        }
+        for _ in 0..10 {
+            for p in 0..4u8 {
+                assert!(s.access(p, 0x2000, false).hit());
+            }
+        }
+        assert_eq!(s.stats().false_sharing(), 0);
+        assert_eq!(s.stats().miss_of(MissKind::TrueSharing), 0);
+        assert_eq!(s.stats().total_misses(), 4); // cold only
+    }
+}

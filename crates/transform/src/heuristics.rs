@@ -1,0 +1,401 @@
+//! The §3.3 transformation heuristics.
+//!
+//! The decision factors are the *type* (read/write, shared/per-process),
+//! *stride* (known/unknown) and *frequency* of access:
+//!
+//! - group & transpose / indirection require per-process writes and reads
+//!   that are per-process, read-shared without spatial or processor
+//!   locality, or dominated by writes (≥ 10×);
+//! - pad & align requires both reads and writes to be shared without
+//!   processor or spatial locality, and enough estimated frequency to
+//!   matter (this frequency threshold is the mechanism by which static
+//!   profiling can *underestimate* busy scalars — the paper's residual
+//!   false sharing in Maxflow and Raytrace);
+//! - locks are always padded.
+
+use crate::plan::{LayoutPlan, ObjPlan};
+use fsr_analysis::{AccessClass, Analysis, Pattern};
+use fsr_lang::ast::{ObjectKind, Program, WORD_BYTES};
+
+/// Tunable heuristic thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    /// Coherence-block size the layout targets.
+    pub block_bytes: u32,
+    /// Write weight must exceed read weight by this factor to transform
+    /// data whose reads are shared *with* locality.
+    pub write_dominance: f64,
+    /// Minimum fraction of the program's total access weight a shared
+    /// structure needs before pad & align is applied.
+    pub pad_weight_frac: f64,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        PlanConfig {
+            block_bytes: 128,
+            write_dominance: 10.0,
+            pad_weight_frac: 0.01,
+        }
+    }
+}
+
+impl PlanConfig {
+    pub fn with_block(block_bytes: u32) -> PlanConfig {
+        PlanConfig {
+            block_bytes,
+            ..Default::default()
+        }
+    }
+}
+
+/// Do the reads permit restructuring for processor locality?
+fn reads_allow_restructure(c: &AccessClass, cfg: &PlanConfig) -> bool {
+    match c.read.pattern {
+        Pattern::None | Pattern::PerProcess | Pattern::OneProc => true,
+        Pattern::Shared => {
+            // Read-shared without locality: restructuring costs nothing.
+            if !c.read.has_spatial_locality() {
+                true
+            } else {
+                // Read-shared with locality: only when writes dominate.
+                c.write.weight >= cfg.write_dominance * c.read.weight
+            }
+        }
+    }
+}
+
+/// Compute the transformation plan for a program from its analysis.
+pub fn plan_for(prog: &Program, analysis: &Analysis, cfg: &PlanConfig) -> LayoutPlan {
+    let mut plan = LayoutPlan::unoptimized(cfg.block_bytes);
+
+    // Locks are always padded (§3.2 "Locks").
+    for (oid, obj) in prog
+        .objects
+        .iter()
+        .enumerate()
+        .map(|(i, o)| (fsr_lang::ast::ObjId(i as u32), o))
+    {
+        if obj.kind == ObjectKind::Lock {
+            plan.insert(oid, ObjPlan::PadLock, "locks are always padded");
+        }
+    }
+
+    // Group id allocation for gathered per-process vectors: all
+    // transposed objects whose per-process region is smaller than a block
+    // share group 0, so their per-process slices co-locate.
+    let small_group: u32 = 0;
+
+    // Field-level indirection candidates are gathered per object.
+    let mut indirect_fields: std::collections::BTreeMap<fsr_lang::ast::ObjId, Vec<_>> =
+        std::collections::BTreeMap::new();
+
+    for c in &analysis.classes {
+        let obj = prog.object(c.obj);
+        if !matches!(obj.kind, ObjectKind::SharedData) {
+            continue;
+        }
+        if c.write.pattern == Pattern::PerProcess && reads_allow_restructure(c, cfg) {
+            match (c.field, c.owner_map) {
+                (None, Some(owner)) => {
+                    // Statically transposable: group & transpose. Gathering
+                    // several objects' per-process slices into one block is
+                    // only safe when the object is *accessed* per-process
+                    // on both sides — co-locating read-shared data with
+                    // another object's per-process writes would create the
+                    // very false sharing we are removing.
+                    let per_proc_elems = obj.elem_count() / (analysis.nproc.max(1) as u64);
+                    let per_proc_bytes =
+                        per_proc_elems * (prog.elem_words(obj.elem) as u64) * WORD_BYTES as u64;
+                    let private_reads = matches!(
+                        c.read.pattern,
+                        Pattern::None | Pattern::PerProcess | Pattern::OneProc
+                    );
+                    let group = if per_proc_bytes < cfg.block_bytes as u64 && private_reads {
+                        Some(small_group)
+                    } else {
+                        None
+                    };
+                    plan.insert(
+                        c.obj,
+                        ObjPlan::Transpose { owner, group },
+                        format!(
+                            "per-process writes (owner {:?}); reads {:?}",
+                            owner, c.read.pattern
+                        ),
+                    );
+                }
+                (Some(f), _) => {
+                    // Per-process field of an aggregate that cannot be
+                    // statically regrouped: indirection.
+                    indirect_fields.entry(c.obj).or_default().push(f);
+                }
+                (None, None) => {
+                    // Per-process but not statically transposable (e.g.
+                    // run-time partition arrays): indirection of whole
+                    // elements.
+                    plan.insert(
+                        c.obj,
+                        ObjPlan::Indirect { fields: vec![] },
+                        "per-process writes with run-time partition; \
+                         elements moved to per-process arenas",
+                    );
+                }
+            }
+            continue;
+        }
+
+        // Pad & align: shared on both sides, no processor or spatial
+        // locality, and frequent enough to matter.
+        let both_shared = c.write.pattern == Pattern::Shared
+            && matches!(c.read.pattern, Pattern::Shared | Pattern::None);
+        let no_locality = !c.write.has_spatial_locality() && !c.read.has_spatial_locality();
+        let frequent = c.total_weight() >= cfg.pad_weight_frac * analysis.total_weight;
+        if both_shared && no_locality && frequent {
+            // Padding is only useful when elements are currently smaller
+            // than a block (otherwise layout is unchanged).
+            let elem_bytes = prog.elem_words(obj.elem) * WORD_BYTES;
+            if elem_bytes < cfg.block_bytes {
+                // Never pad huge arrays: the paper pads records and busy
+                // scalars. Cap the padded footprint growth at 64 blocks.
+                if obj.elem_count() <= 64 {
+                    plan.insert(
+                        c.obj,
+                        ObjPlan::PadElems,
+                        "write-shared without processor or spatial locality",
+                    );
+                }
+            }
+        }
+    }
+
+    // Merge field-level indirection decisions. If a struct object was
+    // already planned (e.g. transposed as a whole), field indirection is
+    // unnecessary.
+    for (oid, mut fields) in indirect_fields {
+        if plan.get(oid).is_some() {
+            continue;
+        }
+        fields.sort();
+        fields.dedup();
+        plan.insert(
+            oid,
+            ObjPlan::Indirect { fields },
+            "per-process fields embedded in a shared aggregate",
+        );
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsr_analysis::{analyze, OwnerMap};
+
+    fn make_plan(src: &str) -> (fsr_lang::Program, LayoutPlan) {
+        let prog = fsr_lang::compile(src).unwrap();
+        let a = analyze(&prog).unwrap();
+        let plan = plan_for(&prog, &a, &PlanConfig::default());
+        (prog, plan)
+    }
+
+    fn directive<'a>(prog: &fsr_lang::Program, plan: &'a LayoutPlan, name: &str) -> Option<&'a ObjPlan> {
+        let (oid, _) = prog.object_by_name(name)?;
+        plan.get(oid)
+    }
+
+    #[test]
+    fn per_proc_counter_vector_transposed_and_grouped() {
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int c[NPROC];
+             fn main() { forall p in 0 .. NPROC { var i; for i in 0 .. 100 {
+                 c[p] = c[p] + 1; } } }",
+        );
+        match directive(&p, &plan, "c") {
+            Some(ObjPlan::Transpose { owner, group }) => {
+                assert_eq!(*owner, OwnerMap::Dim { dim: 0 });
+                assert_eq!(*group, Some(0)); // 4 bytes/proc < 128B block
+            }
+            other => panic!("expected transpose, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn big_per_proc_rows_not_grouped() {
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int m[64][NPROC];
+             fn main() { forall p in 0 .. NPROC { var i; for i in 0 .. 64 {
+                 m[i][p] = m[i][p] + 1; } } }",
+        );
+        match directive(&p, &plan, "m") {
+            // 64 elems * 4B = 256B per proc >= 128B block: own region.
+            Some(ObjPlan::Transpose { group, .. }) => assert_eq!(*group, None),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn locks_always_padded() {
+        let (p, plan) = make_plan(
+            "param NPROC = 2; shared lock lk[8]; shared int x;
+             fn main() { forall p in 0 .. NPROC { lock(lk[p]); x = x + 1; unlock(lk[p]); } }",
+        );
+        assert_eq!(directive(&p, &plan, "lk"), Some(&ObjPlan::PadLock));
+    }
+
+    #[test]
+    fn busy_shared_scalar_padded() {
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int hot; shared int other;
+             fn main() { forall p in 0 .. NPROC { var i;
+                 for i in 0 .. 1000 { hot = hot + 1; }
+                 other = other + 1;
+             } }",
+        );
+        assert_eq!(directive(&p, &plan, "hot"), Some(&ObjPlan::PadElems));
+        // `other` is infrequent: below the pad threshold.
+        assert_eq!(directive(&p, &plan, "other"), None);
+    }
+
+    #[test]
+    fn underestimated_scalar_missed() {
+        // Accesses inside a `while` loop (static trip estimate 8) behind
+        // nested data-dependent branches (0.5^k) get a tiny static weight
+        // even when they are dynamically hot — the paper's
+        // Maxflow/Raytrace residual-false-sharing mechanism.
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int busy; shared int work[4096];
+             fn main() { forall p in 0 .. NPROC { var i;
+                 for i in 0 .. 1024 {
+                     work[i * NPROC + p] = work[i * NPROC + p] + 1;
+                 }
+                 var going = 1;
+                 while (going > 0) {
+                     if (prand(going) % 2 == 0) { if (prand(going + 1) % 2 == 0) {
+                         if (prand(going + 2) % 2 == 0) {
+                             busy = busy + 1;
+                         }
+                     } }
+                     going = going - 1;
+                 }
+             } }",
+        );
+        assert_eq!(directive(&p, &plan, "busy"), None);
+    }
+
+    #[test]
+    fn sequentially_scanned_array_not_padded() {
+        // Shared, but unit-stride scans: spatial locality wins.
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int seq[64];
+             fn main() { forall p in 0 .. NPROC { var i;
+                 for i in 0 .. 64 { seq[i] = seq[i] + 1; } } }",
+        );
+        assert_eq!(directive(&p, &plan, "seq"), None);
+    }
+
+    #[test]
+    fn partitioned_via_runtime_partition_gets_indirection() {
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int first[NPROC + 1]; shared int d[256];
+             fn main() {
+                 var q;
+                 for q in 0 .. NPROC + 1 { first[q] = q * 64; }
+                 forall p in 0 .. NPROC {
+                     var i; var t;
+                     for t in 0 .. 50 {
+                     for i in first[p] .. first[p + 1] { d[i] = d[i] + 1; }
+                     }
+                 }
+             }",
+        );
+        match directive(&p, &plan, "d") {
+            Some(ObjPlan::Indirect { fields }) => assert!(fields.is_empty()),
+            other => panic!("expected indirection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_proc_struct_field_gets_field_indirection() {
+        let (p, plan) = make_plan(
+            "param NPROC = 4; struct Node { int key; int acc; }
+             shared Node nodes[64];
+             fn main() { forall p in 0 .. NPROC { var i;
+                 for i in 0 .. 16 {
+                     // key: read-shared scan; acc: per-process writes at
+                     // data-dependent nodes — detected per-process via the
+                     // interleave and thus field-indirected.
+                     nodes[i * NPROC + p].acc = nodes[i * NPROC + p].acc + 1;
+                 }
+             } }",
+        );
+        match directive(&p, &plan, "nodes") {
+            Some(ObjPlan::Indirect { fields }) => {
+                assert_eq!(fields.len(), 1); // the `acc` field
+            }
+            other => panic!("expected field indirection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_dominated_shared_reads_blocks_transform() {
+        // Per-process writes but heavy shared unit-stride reads: the
+        // spatial locality of the readers wins (no transform without
+        // write dominance).
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int v[NPROC];
+             fn main() { forall p in 0 .. NPROC {
+                 var t; var i; var s;
+                 s = 0;
+                 v[p] = p;
+                 for t in 0 .. 1000 {
+                     for i in 0 .. NPROC { s = s + v[i]; }
+                 }
+             } }",
+        );
+        assert_eq!(directive(&p, &plan, "v"), None);
+    }
+
+    #[test]
+    fn write_dominance_overrides_read_locality() {
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int v[NPROC];
+             fn main() { forall p in 0 .. NPROC {
+                 var i; var s;
+                 s = 0;
+                 for i in 0 .. 2000 { v[p] = v[p] + 1; }
+                 for i in 0 .. 4 { s = s + v[i % NPROC]; }
+             } }",
+        );
+        assert!(matches!(
+            directive(&p, &plan, "v"),
+            Some(ObjPlan::Transpose { .. })
+        ));
+    }
+
+    #[test]
+    fn revolving_partition_left_alone() {
+        // Topopt pattern: partition recomputed each phase — analysis
+        // cannot prove disjointness; unit-stride writes look spatially
+        // local, so pad & align does not fire either.
+        let (p, plan) = make_plan(
+            "param NPROC = 4; shared int first[NPROC + 1]; shared int d[256];
+             fn main() {
+                 forall p in 0 .. NPROC {
+                     var t; var i;
+                     for t in 0 .. 10 {
+                         if (p == 0) {
+                             var q;
+                             for q in 0 .. NPROC + 1 { first[q] = (q * 64 + t * 4) % 256; }
+                         }
+                         barrier;
+                         for i in first[p] .. first[p + 1] { d[i] = d[i] + 1; }
+                         barrier;
+                     }
+                 }
+             }",
+        );
+        assert_eq!(directive(&p, &plan, "d"), None);
+    }
+}

@@ -1,0 +1,31 @@
+//! Transformation heuristics and layout plans.
+//!
+//! Implements §3.3 of Jeremiassen & Eggers (PPoPP'95): given the
+//! per-data-structure sharing classification from `fsr-analysis`, decide
+//! which of the four shared-data transformations to apply to each
+//! structure:
+//!
+//! - **group & transpose** — per-process written data whose element→owner
+//!   map is statically known is regrouped so each process's elements are
+//!   contiguous and padded to cache-block boundaries; small per-process
+//!   vectors are gathered into one per-process block (*grouping*).
+//! - **indirection** — per-process written data embedded where a static
+//!   regrouping is impossible (struct fields of dynamically-partitioned
+//!   aggregates, or arrays partitioned through run-time partition arrays)
+//!   is moved into per-process arenas behind a pointer.
+//! - **pad & align** — write-shared data with no processor or spatial
+//!   locality gets one cache block per element.
+//! - **lock padding** — locks always get their own cache block.
+//!
+//! The output is a [`LayoutPlan`]: a set of per-object directives that
+//! `fsr-layout` turns into concrete addresses. Applying transformations at
+//! the layout level keeps program *semantics* bit-identical (testable as a
+//! property) while changing the address stream — exactly what a
+//! source-to-source restructurer effects through declarations.
+
+pub mod heuristics;
+pub mod plan;
+pub mod report;
+
+pub use heuristics::{plan_for, PlanConfig};
+pub use plan::{LayoutPlan, ObjPlan};

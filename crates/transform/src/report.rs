@@ -1,0 +1,136 @@
+//! Rendering of transformation plans: the decision table and the
+//! "restructured source" a source-to-source compiler would emit.
+
+use crate::plan::{LayoutPlan, ObjPlan};
+use fsr_analysis::OwnerMap;
+use fsr_lang::ast::{ElemTy, ObjId, Program, WORD_BYTES};
+use std::fmt::Write;
+
+/// Render the plan as a decision table.
+pub fn render(prog: &Program, plan: &LayoutPlan) -> String {
+    let mut out = String::new();
+    writeln!(out, "layout plan (block = {} bytes)", plan.block_bytes).unwrap();
+    if plan.is_empty() {
+        writeln!(out, "  (no transformations)").unwrap();
+        return out;
+    }
+    for (oid, p) in &plan.directives {
+        let obj = prog.object(*oid);
+        let what = match p {
+            ObjPlan::Transpose { owner, group } => {
+                let o = match owner {
+                    OwnerMap::Dim { dim } => format!("owner=dim{dim}"),
+                    OwnerMap::Chunk { chunk } => format!("owner=chunk({chunk})"),
+                    OwnerMap::Interleave { stride, base } => {
+                        format!("owner=cyclic({stride},{base})")
+                    }
+                };
+                match group {
+                    Some(g) => format!("group&transpose [{o}, group {g}]"),
+                    None => format!("group&transpose [{o}]"),
+                }
+            }
+            ObjPlan::Indirect { fields } if fields.is_empty() => "indirection".to_string(),
+            ObjPlan::Indirect { fields } => {
+                let names: Vec<String> = match obj.elem {
+                    ElemTy::Struct(sid) => fields
+                        .iter()
+                        .map(|f| prog.struct_(sid).fields[f.index()].name.clone())
+                        .collect(),
+                    _ => fields.iter().map(|f| format!("f{}", f.0)).collect(),
+                };
+                format!("indirection [fields: {}]", names.join(", "))
+            }
+            ObjPlan::PadElems => "pad & align".to_string(),
+            ObjPlan::PadLock => "pad lock".to_string(),
+        };
+        let why = plan
+            .reasons
+            .get(oid)
+            .map(String::as_str)
+            .unwrap_or_default();
+        writeln!(out, "  {:<20} {:<44} {}", obj.name, what, why).unwrap();
+    }
+    out
+}
+
+/// Render the transformed declarations the way a source-to-source
+/// restructurer would emit them, followed by the (unchanged) code.
+pub fn render_transformed_source(prog: &Program, plan: &LayoutPlan, nproc: i64) -> String {
+    let mut out = String::new();
+    let block_words = (plan.block_bytes / WORD_BYTES).max(1) as u64;
+    for (i, obj) in prog.objects.iter().enumerate() {
+        let oid = ObjId(i as u32);
+        let Some(p) = plan.get(oid) else { continue };
+        match p {
+            ObjPlan::Transpose { .. } => {
+                let elems = obj.elem_count();
+                let per_proc = elems.div_ceil(nproc.max(1) as u64);
+                let padded =
+                    (per_proc * prog.elem_words(obj.elem) as u64).div_ceil(block_words) * block_words;
+                writeln!(
+                    out,
+                    "// group&transpose: {n}[{d}] -> {n}_T[NPROC][{padded}w]",
+                    n = obj.name,
+                    d = obj
+                        .dims
+                        .iter()
+                        .map(|d| d.to_string())
+                        .collect::<Vec<_>>()
+                        .join("]["),
+                )
+                .unwrap();
+            }
+            ObjPlan::Indirect { .. } => {
+                writeln!(
+                    out,
+                    "// indirection: {n}.* -> per-process arena; {n} holds pointers",
+                    n = obj.name
+                )
+                .unwrap();
+            }
+            ObjPlan::PadElems => {
+                writeln!(
+                    out,
+                    "// pad&align: each element of {} padded to {} bytes",
+                    obj.name, plan.block_bytes
+                )
+                .unwrap();
+            }
+            ObjPlan::PadLock => {
+                writeln!(
+                    out,
+                    "// pad lock: each lock of {} in its own {}-byte block",
+                    obj.name, plan.block_bytes
+                )
+                .unwrap();
+            }
+        }
+    }
+    out.push_str(&fsr_lang::pretty::program(prog));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::{plan_for, PlanConfig};
+
+    #[test]
+    fn report_names_transformations() {
+        let prog = fsr_lang::compile(
+            "param NPROC = 4; shared int c[NPROC]; shared lock lk;
+             fn main() { forall p in 0 .. NPROC { var i; for i in 0 .. 100 {
+                 lock(lk); c[p] = c[p] + 1; unlock(lk); } } }",
+        )
+        .unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = plan_for(&prog, &a, &PlanConfig::default());
+        let r = render(&prog, &plan);
+        assert!(r.contains("group&transpose"));
+        assert!(r.contains("pad lock"));
+        let src = render_transformed_source(&prog, &plan, 4);
+        assert!(src.contains("group&transpose"));
+        assert!(src.contains("forall"));
+    }
+}

@@ -1,0 +1,16 @@
+fn main() {
+    for name in std::env::args().skip(1) {
+        let w = fsr_workloads::by_name(&name).unwrap();
+        let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        println!("==== {name} ====");
+        println!("{}", fsr_analysis::report::render(&prog, &a));
+        for obj in ["bx", "excess", "active_count", "push_ops", "cell_count", "bound_tests"] {
+            if let Some(r) = fsr_analysis::report::render_rsds(&prog, &a, obj) {
+                println!("{r}");
+            }
+        }
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        println!("{}", fsr_transform::report::render(&prog, &plan));
+    }
+}

@@ -1,0 +1,23 @@
+use fsr_core::experiments::{run_workload, Vsn};
+fn main() {
+    let name = std::env::args().nth(1).unwrap();
+    let np: i64 = std::env::args().nth(2).unwrap().parse().unwrap();
+    let w = fsr_workloads::by_name(&name).unwrap();
+    for v in [Vsn::N, Vsn::C, Vsn::P] {
+        let r = run_workload(&w, v, np, 2, 128).unwrap();
+        println!(
+            "{:10} plan={:?} refs={} misses={} fs={} true={} upg={} inval={} cycles={} queue={} fs_stall={:.2}",
+            v.label(),
+            r.plan.counts(),
+            r.sim.refs,
+            r.sim.total_misses(),
+            r.sim.false_sharing(),
+            r.sim.miss_of(fsr_core::MissKind::TrueSharing),
+            r.sim.upgrades,
+            r.sim.invalidations,
+            r.exec_cycles,
+            r.timing.queue.iter().sum::<u64>(),
+            r.fs_stall_frac,
+        );
+    }
+}

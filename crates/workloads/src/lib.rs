@@ -1,0 +1,364 @@
+//! The ten PPoPP'95 workload kernels, written in PSL.
+//!
+//! Each kernel reproduces the *sharing structure* the paper documents for
+//! the corresponding benchmark — which data structures are per-process
+//! vs. write-shared, which transformation the compiler applies to each,
+//! where the programmer-optimized version falls short, and where residual
+//! false sharing survives (Table 2 and §5). Absolute instruction counts
+//! differ from the 1995 originals; the transformation mix and the shape
+//! of the miss/speedup results are the reproduction target.
+//!
+//! Every kernel takes two params: `NPROC` (process count) and `SCALE`
+//! (problem size multiplier; 1 = test-sized, benches use larger values).
+//!
+//! Version availability follows Table 1: Maxflow has no programmer
+//! version; LocusRoute/Mp3d/Pthor/Water have no unoptimized version in
+//! the paper's tables (we can still *run* their packed layout, but the
+//! paper comparisons use C and P).
+
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub(crate) mod fmm;
+mod locusroute;
+mod maxflow;
+mod mp3d;
+mod pthor;
+mod pverify;
+mod radiosity;
+mod raytrace;
+mod topopt;
+pub(crate) mod water;
+
+/// Program versions from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// (N)ot optimized.
+    Unoptimized,
+    /// (C)ompiler optimized.
+    Compiler,
+    /// (P)rogrammer optimized.
+    Programmer,
+}
+
+/// Paper-reported numbers for EXPERIMENTS.md comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperFacts {
+    /// Table 2: total false-sharing reduction (%), when reported.
+    pub fs_reduction_pct: Option<f64>,
+    /// Table 2: the dominant transformation.
+    pub dominant_transform: &'static str,
+    /// Table 3: (original, compiler, programmer) max speedups.
+    pub max_speedup: (Option<f64>, f64, Option<f64>),
+}
+
+/// One benchmark.
+#[derive(Clone)]
+pub struct Workload {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub source: &'static str,
+    pub versions: &'static [Version],
+    /// Hand-written plan mirroring the paper's programmer transformations
+    /// (including their documented mistakes and omissions).
+    pub programmer_plan: Option<fn(&Program, u32) -> LayoutPlan>,
+    pub paper: PaperFacts,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload").field("name", &self.name).finish()
+    }
+}
+
+impl Workload {
+    pub fn has(&self, v: Version) -> bool {
+        self.versions.contains(&v)
+    }
+}
+
+/// All ten workloads, in Table 1 order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        maxflow::workload(),
+        pverify::workload(),
+        topopt::workload(),
+        fmm::workload(),
+        radiosity::workload(),
+        raytrace::workload(),
+        locusroute::workload(),
+        mp3d::workload(),
+        pthor::workload(),
+        water::workload(),
+    ]
+}
+
+/// Lookup by (case-insensitive) name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+/// The six programs with both N and C versions (Figure 3 / Table 2).
+pub fn figure3_set() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.has(Version::Unoptimized))
+        .collect()
+}
+
+/// Plan-construction helpers shared by the programmer plans.
+pub(crate) mod planutil {
+    use fsr_analysis::OwnerMap;
+    use fsr_lang::Program;
+    use fsr_transform::{LayoutPlan, ObjPlan};
+
+    pub fn pad(plan: &mut LayoutPlan, prog: &Program, name: &str) {
+        if let Some((oid, _)) = prog.object_by_name(name) {
+            plan.insert(oid, ObjPlan::PadElems, "programmer: pad & align");
+        }
+    }
+
+    pub fn pad_lock(plan: &mut LayoutPlan, prog: &Program, name: &str) {
+        if let Some((oid, _)) = prog.object_by_name(name) {
+            plan.insert(oid, ObjPlan::PadLock, "programmer: padded lock");
+        }
+    }
+
+    pub fn transpose_dim(plan: &mut LayoutPlan, prog: &Program, name: &str, dim: usize) {
+        if let Some((oid, _)) = prog.object_by_name(name) {
+            plan.insert(
+                oid,
+                ObjPlan::Transpose {
+                    owner: OwnerMap::Dim { dim },
+                    group: None,
+                },
+                "programmer: group & transpose",
+            );
+        }
+    }
+
+    pub fn transpose_grouped(plan: &mut LayoutPlan, prog: &Program, name: &str, dim: usize) {
+        if let Some((oid, _)) = prog.object_by_name(name) {
+            plan.insert(
+                oid,
+                ObjPlan::Transpose {
+                    owner: OwnerMap::Dim { dim },
+                    group: Some(0),
+                },
+                "programmer: group & transpose (grouped)",
+            );
+        }
+    }
+
+    /// Cyclic (interleaved) ownership: owner = index % NPROC. The usual
+    /// programmer transpose for round-robin work distribution.
+    pub fn transpose_cyclic(plan: &mut LayoutPlan, prog: &Program, name: &str, grouped: bool) {
+        let nproc = prog.param_value("NPROC").unwrap_or(1);
+        if let Some((oid, _)) = prog.object_by_name(name) {
+            plan.insert(
+                oid,
+                ObjPlan::Transpose {
+                    owner: OwnerMap::Interleave {
+                        stride: nproc,
+                        base: 0,
+                    },
+                    group: grouped.then_some(0),
+                },
+                "programmer: group & transpose (cyclic)",
+            );
+        }
+    }
+
+    /// Blocked ownership with an explicit chunk length (available to
+    /// hand-written plans; the in-tree programmer plans use the cyclic
+    /// and dim variants).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn transpose_chunk(plan: &mut LayoutPlan, prog: &Program, name: &str, chunk: i64) {
+        if let Some((oid, _)) = prog.object_by_name(name) {
+            plan.insert(
+                oid,
+                ObjPlan::Transpose {
+                    owner: OwnerMap::Chunk { chunk },
+                    group: None,
+                },
+                "programmer: group & transpose (blocked)",
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_present_with_table1_versions() {
+        let ws = all();
+        assert_eq!(ws.len(), 10);
+        let names: Vec<&str> = ws.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "maxflow",
+                "pverify",
+                "topopt",
+                "fmm",
+                "radiosity",
+                "raytrace",
+                "locusroute",
+                "mp3d",
+                "pthor",
+                "water"
+            ]
+        );
+        // Table 1 version availability.
+        let w = by_name("maxflow").unwrap();
+        assert!(w.has(Version::Unoptimized) && w.has(Version::Compiler));
+        assert!(!w.has(Version::Programmer));
+        let w = by_name("water").unwrap();
+        assert!(!w.has(Version::Unoptimized));
+        assert!(w.has(Version::Programmer));
+        assert_eq!(figure3_set().len(), 6);
+    }
+
+    #[test]
+    fn every_source_compiles_and_analyzes() {
+        for w in all() {
+            let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 4)])
+                .unwrap_or_else(|e| panic!("{}: {}", w.name, e.render(w.source)));
+            fsr_analysis::analyze(&prog)
+                .unwrap_or_else(|e| panic!("{}: analysis: {}", w.name, e));
+        }
+    }
+
+    #[test]
+    fn every_source_runs_under_unoptimized_layout() {
+        for w in all() {
+            let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 4)])
+                .unwrap_or_else(|e| panic!("{}: {}", w.name, e.render(w.source)));
+            let plan = fsr_transform::LayoutPlan::unoptimized(64);
+            let layout = fsr_layout::Layout::build(&prog, &plan, 4);
+            let code = fsr_interp::compile_program(&prog).unwrap();
+            let mut sink = fsr_interp::CountingSink::default();
+            let fin = fsr_interp::run(
+                &prog,
+                &layout,
+                &code,
+                fsr_interp::RunConfig::default(),
+                &mut sink,
+            )
+            .unwrap_or_else(|e| panic!("{}: {}", w.name, e));
+            assert!(fin.stats.refs > 1000, "{} too small: {:?}", w.name, fin.stats);
+        }
+    }
+
+    #[test]
+    fn planutil_helpers_build_valid_directives() {
+        let prog = fsr_lang::compile_with_params(
+            crate::water::SOURCE, &[("NPROC", 4)]).unwrap();
+        let mut plan = fsr_transform::LayoutPlan::unoptimized(128);
+        planutil::transpose_chunk(&mut plan, &prog, "mx", 16);
+        planutil::transpose_cyclic(&mut plan, &prog, "mv", false);
+        planutil::transpose_dim(&mut plan, &prog, "mf", 0);
+        planutil::pad(&mut plan, &prog, "potential");
+        planutil::pad_lock(&mut plan, &prog, "flock");
+        assert_eq!(plan.counts(), (3, 0, 1, 1));
+        // The plan must build a layout and run.
+        let layout = fsr_layout::Layout::build(&prog, &plan, 4);
+        let code = fsr_interp::compile_program(&prog).unwrap();
+        fsr_interp::run(
+            &prog,
+            &layout,
+            &code,
+            fsr_interp::RunConfig::default(),
+            &mut fsr_interp::CountingSink::default(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn programmer_plans_build() {
+        for w in all() {
+            if let Some(f) = w.programmer_plan {
+                let prog =
+                    fsr_lang::compile_with_params(w.source, &[("NPROC", 4)]).unwrap();
+                let plan = f(&prog, 128);
+                assert_eq!(plan.block_bytes, 128, "{}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn every_source_pretty_prints_and_reparses() {
+        for w in all() {
+            let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 4)])
+                .unwrap_or_else(|e| panic!("{}: {}", w.name, e.render(w.source)));
+            let text = fsr_lang::pretty::program(&prog);
+            let reparsed = fsr_lang::compile_with_params(&text, &[("NPROC", 4)])
+                .unwrap_or_else(|e| panic!("{}: round-trip: {}", w.name, e.render(&text)));
+            // The round-tripped program must classify identically.
+            let a1 = fsr_analysis::analyze(&prog).unwrap();
+            let a2 = fsr_analysis::analyze(&reparsed).unwrap();
+            assert_eq!(a1.classes.len(), a2.classes.len(), "{}", w.name);
+            for (c1, c2) in a1.classes.iter().zip(&a2.classes) {
+                assert_eq!(c1.write.pattern, c2.write.pattern, "{}", w.name);
+                assert_eq!(c1.read.pattern, c2.read.pattern, "{}", w.name);
+                assert_eq!(c1.owner_map, c2.owner_map, "{}", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_reports_render_for_all_workloads() {
+        for w in all() {
+            let prog =
+                fsr_lang::compile_with_params(w.source, &[("NPROC", 4)]).unwrap();
+            let a = fsr_analysis::analyze(&prog).unwrap();
+            let text = fsr_analysis::report::render(&prog, &a);
+            assert!(text.contains("data structure"), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn paper_facts_are_consistent_with_versions() {
+        for w in all() {
+            // Table 3 original-speedup entries exist iff the program has
+            // an unoptimized version; programmer entries iff P exists.
+            assert_eq!(
+                w.paper.max_speedup.0.is_some(),
+                w.has(Version::Unoptimized),
+                "{}",
+                w.name
+            );
+            assert_eq!(
+                w.paper.max_speedup.2.is_some(),
+                w.has(Version::Programmer),
+                "{}",
+                w.name
+            );
+            assert_eq!(w.programmer_plan.is_some(), w.has(Version::Programmer), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_scale_with_nproc() {
+        // Every kernel must run at an awkward processor count too.
+        for w in all() {
+            let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 3)])
+                .unwrap_or_else(|e| panic!("{}: {}", w.name, e.render(w.source)));
+            let plan = fsr_transform::LayoutPlan::unoptimized(64);
+            let layout = fsr_layout::Layout::build(&prog, &plan, 3);
+            let code = fsr_interp::compile_program(&prog).unwrap();
+            let mut sink = fsr_interp::CountingSink::default();
+            fsr_interp::run(
+                &prog,
+                &layout,
+                &code,
+                fsr_interp::RunConfig::default(),
+                &mut sink,
+            )
+            .unwrap_or_else(|e| panic!("{} @3 procs: {}", w.name, e));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! LocusRoute — VLSI standard-cell router (SPLASH; Table 1: versions
+//! C, P only).
+//!
+//! The router threads wires through a shared cost grid. Per-process
+//! route scratch is cyclically interleaved (group & transpose); the cost
+//! grid is written along data-dependent routes (left alone); region
+//! locks protect density counters. The programmer version (paper: 12.0
+//! vs compiler 12.3 — nearly equal) differs only in leaving the region
+//! locks co-allocated with their density counters.
+
+use crate::planutil;
+use crate::{PaperFacts, Version, Workload};
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub const SOURCE: &str = r#"
+// LocusRoute: route wires through a cost grid.
+param NPROC = 12;
+param SCALE = 1;
+const WIRES = 144 * SCALE;
+const GRID = 256;
+const REGIONS = 8;
+const PER = WIRES / NPROC + 1;
+const PASSES = 4;
+
+// Per-process routing scratch (cyclic ownership).
+shared int wire_cost[WIRES];
+shared int wire_bend[WIRES];
+// The shared cost grid: data-dependent writes along routes.
+shared int grid[GRID];
+// Region density counters, each protected by its own lock; in the
+// unoptimized layout each lock is packed right next to its counter.
+shared lock region_lock[REGIONS];
+shared int region_density[REGIONS];
+
+fn setup() {
+    var g;
+    for g in 0 .. GRID {
+        grid[g] = prand(g) % 8;
+    }
+}
+
+fn route(int p, int t) {
+    var routed = 0;
+    var k;
+    for k in 0 .. PER {
+        var w = k * NPROC + p;
+        if (w < WIRES) {
+            // Walk a route through the wire's own district of the grid,
+            // occasionally crossing into the neighbour district.
+            var base = (w % REGIONS) * (GRID / REGIONS);
+            var pos = base + prand(w * 7 + t) % (GRID / REGIONS);
+            var cost = 0;
+            var s;
+            for s in 0 .. 12 {
+                // Cost evaluation (register-local work).
+                var e = 0;
+                var q;
+                for q in 0 .. 8 {
+                    e = (e * 5 + pos + q) % 211;
+                }
+                cost = cost + grid[pos] + e % 2;
+                grid[pos] = grid[pos] + 1;
+                pos = base + (pos - base + prand(w + s) % 5 + 1) % (GRID / REGIONS + 4);
+                if (pos >= GRID) {
+                    pos = pos - GRID;
+                }
+            }
+            wire_cost[w] = cost;
+            wire_bend[w] = wire_bend[w] + cost % 3;
+            routed = routed + 1;
+        }
+    }
+    // Flush this pass's routing count under the process's region lock.
+    var r = p % REGIONS;
+    lock(region_lock[r]);
+    region_density[r] = region_density[r] + routed;
+    unlock(region_lock[r]);
+}
+
+fn main() {
+    setup();
+    forall p in 0 .. NPROC {
+        var t;
+        for t in 0 .. PASSES {
+            route(p, t);
+            barrier;
+        }
+    }
+}
+"#;
+
+fn programmer_plan(prog: &Program, block: u32) -> LayoutPlan {
+    let mut plan = LayoutPlan::unoptimized(block);
+    // Same wire-scratch transposes as the compiler; locks left
+    // co-allocated with the density counters (unpadded).
+    planutil::transpose_cyclic(&mut plan, prog, "wire_cost", true);
+    planutil::transpose_cyclic(&mut plan, prog, "wire_bend", true);
+    plan
+}
+
+pub fn workload() -> Workload {
+    Workload {
+        name: "locusroute",
+        description: "VLSI standard cell router",
+        source: SOURCE,
+        versions: &[Version::Compiler, Version::Programmer],
+        programmer_plan: Some(programmer_plan),
+        paper: PaperFacts {
+            fs_reduction_pct: None,
+            dominant_transform: "group & transpose + lock padding",
+            max_speedup: (None, 12.3, Some(12.0)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fsr_transform::ObjPlan;
+
+    #[test]
+    fn compiler_plan_matches_expectations() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let get = |n: &str| {
+            prog.object_by_name(n)
+                .and_then(|(oid, _)| plan.get(oid).cloned())
+        };
+        assert!(matches!(get("wire_cost"), Some(ObjPlan::Transpose { .. })));
+        assert!(matches!(get("wire_bend"), Some(ObjPlan::Transpose { .. })));
+        assert_eq!(get("region_lock"), Some(ObjPlan::PadLock));
+        // The grid is shared/data-dependent and too large to pad.
+        assert_eq!(get("grid"), None);
+    }
+}

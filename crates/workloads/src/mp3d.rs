@@ -1,0 +1,124 @@
+//! Mp3d — rarefied fluid flow particle simulation (SPLASH; Table 1:
+//! versions C, P only).
+//!
+//! Particles are cyclically owned (group & transpose); space cells are
+//! written by whichever particle lands in them — heavy data-dependent
+//! write sharing that no transformation can remove (Mp3d is the paper's
+//! poorest scaler: compiler 2.9, programmer 1.3). The small space-cell
+//! property table is padded by the compiler; the programmer version —
+//! the original, locality-oblivious SPLASH code — applied nothing.
+
+use crate::{PaperFacts, Version, Workload};
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub const SOURCE: &str = r#"
+// Mp3d: particles moving through space cells.
+param NPROC = 12;
+param SCALE = 1;
+const PARTS = 192 * SCALE;
+const CELLS = 48;            // small enough that padding is feasible
+const PER = PARTS / NPROC + 1;
+const STEPS = 5;
+
+// Cyclic per-process particle state.
+shared int px[PARTS];
+shared int pv[PARTS];
+// Space cells: written by whoever's particle lands there (shared,
+// scattered) — the unremovable sharing that limits Mp3d.
+shared int cell_count[CELLS];
+shared int cell_energy[CELLS];
+
+fn init_parts(int p) {
+    var k;
+    for k in 0 .. PER {
+        var i = k * NPROC + p;
+        if (i < PARTS) {
+            px[i] = prand(i) % (CELLS * 16);
+            pv[i] = prand(i * 3) % 15 - 7;
+        }
+    }
+}
+
+fn advance(int p, int t) {
+    var k;
+    for k in 0 .. PER {
+        var i = k * NPROC + p;
+        if (i < PARTS) {
+            // Movement physics (register-local work).
+            var e = 0;
+            var s;
+            for s in 0 .. 12 {
+                e = (e * 7 + i + s) % 127;
+            }
+            var oldc = px[i] / 16;
+            px[i] = (px[i] + pv[i] + e % 2 + CELLS * 16) % (CELLS * 16);
+            var c = px[i] / 16;
+            if (c != oldc) {
+                // Only cell crossings touch the shared cell tables.
+                cell_count[c] = cell_count[c] + 1;
+                cell_energy[c] = cell_energy[c] + abs(pv[i]);
+            }
+            // Occasional collision changes velocity.
+            if (prand(i + t) % 4 == 0) {
+                pv[i] = prand(i * 5 + t) % 15 - 7;
+            }
+        }
+    }
+}
+
+fn main() {
+    forall p in 0 .. NPROC {
+        init_parts(p);
+        barrier;
+        var t;
+        for t in 0 .. STEPS {
+            advance(p, t);
+            barrier;
+        }
+    }
+}
+"#;
+
+fn programmer_plan(prog: &Program, block: u32) -> LayoutPlan {
+    let _ = prog;
+    // The original Mp3d made no locality effort at all (the paper's worst
+    // programmer result: 1.3 max speedup).
+    LayoutPlan::unoptimized(block)
+}
+
+pub fn workload() -> Workload {
+    Workload {
+        name: "mp3d",
+        description: "Rarefied fluid flow (particle-in-cell)",
+        source: SOURCE,
+        versions: &[Version::Compiler, Version::Programmer],
+        programmer_plan: Some(programmer_plan),
+        paper: PaperFacts {
+            fs_reduction_pct: None,
+            dominant_transform: "group & transpose + pad & align",
+            max_speedup: (None, 2.9, Some(1.3)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fsr_transform::ObjPlan;
+
+    #[test]
+    fn compiler_plan_matches_expectations() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let get = |n: &str| {
+            prog.object_by_name(n)
+                .and_then(|(oid, _)| plan.get(oid).cloned())
+        };
+        assert!(matches!(get("px"), Some(ObjPlan::Transpose { .. })));
+        assert!(matches!(get("pv"), Some(ObjPlan::Transpose { .. })));
+        // Space cells: shared scattered writes, small enough to pad.
+        assert_eq!(get("cell_count"), Some(ObjPlan::PadElems));
+        assert_eq!(get("cell_energy"), Some(ObjPlan::PadElems));
+    }
+}

@@ -1,0 +1,140 @@
+//! Pthor — parallel logic-level circuit simulator (SPLASH; Table 1:
+//! versions C, P only).
+//!
+//! Event-driven simulation over a shared element list: per-process event
+//! counters are transposed; the global simulated-clock scalar is padded;
+//! the element activation array is written data-dependently by all
+//! processes (unremovable sharing — Pthor scales to only a handful of
+//! processors in the paper: compiler 2.8, programmer 2.2 at 4). The
+//! programmer version missed the group & transpose and pad & align
+//! opportunities the paper lists for Pthor.
+
+use crate::planutil;
+use crate::{PaperFacts, Version, Workload};
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub const SOURCE: &str = r#"
+// Pthor: event-driven circuit simulation.
+param NPROC = 12;
+param SCALE = 1;
+const ELEMS = 144 * SCALE;
+const PER = ELEMS / NPROC + 1;
+const TICKS = 6;
+
+// Element state: activated data-dependently by fanout propagation.
+shared int active[ELEMS];
+shared int level[ELEMS];
+// Per-process event accounting (transposable).
+shared int events[NPROC];
+shared int stalls[NPROC];
+// Global simulated clock + lock: busy shared scalar.
+shared lock clk_lock;
+shared int sim_clock;
+
+fn init_elems(int p) {
+    var k;
+    for k in 0 .. PER {
+        var i = k * NPROC + p;
+        if (i < ELEMS) {
+            active[i] = (prand(i) % 8 == 0);
+            level[i] = 0;
+        }
+    }
+}
+
+fn tick(int p, int t) {
+    var k;
+    for k in 0 .. PER {
+        var i = k * NPROC + p;
+        if (i < ELEMS) {
+            // Element evaluation (register-local work).
+            var e = 0;
+            var q;
+            for q in 0 .. 8 {
+                e = (e * 3 + i + q) % 199;
+            }
+            if (active[i] > 0 && e >= 0) {
+                level[i] = 1 - level[i];
+                // Propagate to nearby fanout elements (wiring locality)
+                // with an occasional long wire.
+                var f0 = (i + 1 + prand(i * 5 + t) % 8) % ELEMS;
+                var f1 = prand(i * 5 + t + 1) % ELEMS;
+                active[f0] = 1;
+                if (prand(i + t) % 4 == 0) {
+                    active[f1] = 1;
+                }
+                active[i] = 0;
+                // Readers of the global clock make it hot enough for
+                // the pad heuristic (its writes happen under the lock).
+                events[p] = events[p] + 1 + sim_clock % 2;
+            } else {
+                stalls[p] = stalls[p] + 1;
+            }
+        }
+    }
+    if (p == t % NPROC) {
+        // One process advances the simulated clock per tick.
+        lock(clk_lock);
+        sim_clock = sim_clock + 1;
+        unlock(clk_lock);
+    }
+}
+
+fn main() {
+    forall p in 0 .. NPROC {
+        init_elems(p);
+        barrier;
+        var t;
+        for t in 0 .. TICKS {
+            tick(p, t);
+            barrier;
+        }
+    }
+}
+"#;
+
+fn programmer_plan(prog: &Program, block: u32) -> LayoutPlan {
+    let mut plan = LayoutPlan::unoptimized(block);
+    // Programmer padded the lock but missed the counter transposes and
+    // the clock pad (the paper's listed omissions for Pthor).
+    planutil::pad_lock(&mut plan, prog, "clk_lock");
+    plan
+}
+
+pub fn workload() -> Workload {
+    Workload {
+        name: "pthor",
+        description: "Logic-level circuit simulator (event driven)",
+        source: SOURCE,
+        versions: &[Version::Compiler, Version::Programmer],
+        programmer_plan: Some(programmer_plan),
+        paper: PaperFacts {
+            fs_reduction_pct: None,
+            dominant_transform: "group & transpose + pad & align",
+            max_speedup: (None, 2.8, Some(2.2)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fsr_transform::ObjPlan;
+
+    #[test]
+    fn compiler_plan_matches_expectations() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let get = |n: &str| {
+            prog.object_by_name(n)
+                .and_then(|(oid, _)| plan.get(oid).cloned())
+        };
+        assert!(matches!(get("events"), Some(ObjPlan::Transpose { .. })));
+        assert!(matches!(get("stalls"), Some(ObjPlan::Transpose { .. })));
+        assert_eq!(get("clk_lock"), Some(ObjPlan::PadLock));
+        assert_eq!(get("sim_clock"), Some(ObjPlan::PadElems));
+        // The activation array: shared scattered, too large to pad.
+        assert_eq!(get("active"), None);
+    }
+}

@@ -1,0 +1,214 @@
+//! Pverify — parallel logic verification (Ma/Devadas/Wei/
+//! Sangiovanni-Vincentelli; Table 1: versions N, C, P).
+//!
+//! Sharing structure per the paper:
+//! - per-process data (`val`, `cnt`, `mark`) is **embedded in the gate
+//!   records** of a netlist whose fan-in edges cross the partition, so
+//!   every processor reads remote gates' `val` while owners rewrite the
+//!   neighbouring fields in the same block — the dominant false sharing.
+//!   The partition is established at run time (`first[]`), so a static
+//!   transpose is impossible: the compiler applies **indirection**
+//!   (Table 2: 81.6% of the reduction);
+//! - two small per-process counter vectors are grouped & transposed
+//!   (6.4%);
+//! - the scheduling lock is padded (3.1%).
+//!
+//! The programmer version (paper: max speedup 3.5 vs the compiler's 5.9)
+//! padded the obvious scheduling structures and one counter vector but
+//! missed both the indirection and the second counter vector.
+
+use crate::planutil;
+use crate::{PaperFacts, Version, Workload};
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub const SOURCE: &str = r#"
+// Pverify: iterative gate re-evaluation over a random netlist.
+param NPROC = 12;
+param SCALE = 1;
+const G = 144 * SCALE;         // gates
+const ROUNDS = 10;
+
+struct Gate {
+    int typ;      // 0=and 1=or 2=not   (read-only after setup)
+    int fan0;     // fan-in gate ids    (read-only after setup)
+    int fan1;
+    int val;      // output value: written by owner, read by everyone
+    int cnt;      // owner's evaluation counter
+    int mark;     // owner's last-round mark
+}
+
+shared Gate gates[G];
+shared int first[NPROC + 1];      // run-time partition bounds
+shared int done_count[NPROC];     // per-process counter vector
+shared int vecs_checked[NPROC];   // second per-process counter vector
+shared lock sched_lock;
+shared int next_vector;
+
+fn setup() {
+    var q;
+    for q in 0 .. NPROC + 1 {
+        first[q] = q * G / NPROC;
+    }
+}
+
+// Parallel initialization over the same partition the evaluator uses:
+// the per-process write pattern of the gate fields is uniform across
+// phases.
+fn init_gates(int p) {
+    var i;
+    for i in first[p] .. first[p + 1] {
+        gates[i].typ = prand(i) % 3;
+        // Fan-ins come from a local neighbourhood (netlists have
+        // locality): mostly the owner's partition, crossing it near the
+        // boundary.
+        gates[i].fan0 = (i + 1 + prand(i * 3 + 1) % 8) % G;
+        gates[i].fan1 = prand(i * 3 + 2) % G;
+        gates[i].val = prand(i * 3) % 2;
+        gates[i].cnt = 0;
+        gates[i].mark = 0;
+    }
+}
+
+fn eval(int p, int r) {
+    var dc = 0;
+    var i;
+    for i in first[p] .. first[p + 1] {
+        // Cross-partition fan-in reads: remote gates' val.
+        var a = gates[gates[i].fan0].val;
+        var b = gates[gates[i].fan1].val;
+        var nv = 0;
+        if (gates[i].typ == 0) {
+            nv = a & b;
+        } else if (gates[i].typ == 1) {
+            nv = a | b;
+        } else {
+            nv = 1 - a;
+        }
+        // Justification bookkeeping (register-local work).
+        var e = 0;
+        var q;
+        for q in 0 .. 10 {
+            e = (e * 3 + i + q) % 251;
+        }
+        nv = nv ^ (e & 0);
+        // Logic activity: only a small fraction of gates change per
+        // vector (the netlist is mostly quiescent), so the output is
+        // rarely rewritten; the owner's bookkeeping fields are rewritten
+        // every evaluation — in the packed layout THEY are what keeps
+        // invalidating remote fan-in readers.
+        if (nv != gates[i].val && prand(i * 17 + r) % 8 == 0) {
+            gates[i].val = nv;          // owner writes (low activity)
+        }
+        gates[i].cnt = gates[i].cnt + 1;
+        gates[i].mark = r;
+        dc = dc + 1;
+    }
+    done_count[p] = done_count[p] + dc;
+    if (p == r % NPROC) {
+        // One process advances the vector counter per round.
+        lock(sched_lock);
+        next_vector = next_vector + 1;
+        unlock(sched_lock);
+    }
+    vecs_checked[p] = vecs_checked[p] + 1;
+}
+
+// A new input vector: the master toggles a few primary inputs so
+// activity keeps propagating round after round.
+fn apply_vector(int p, int r) {
+    if (p == 0) {
+        var k;
+        for k in 0 .. 8 {
+            var g = prand(r * 31 + k) % G;
+            gates[g].val = 1 - gates[g].val;
+        }
+    }
+}
+
+fn main() {
+    setup();
+    forall p in 0 .. NPROC {
+        init_gates(p);
+        barrier;
+        var r;
+        for r in 0 .. ROUNDS {
+            apply_vector(p, r);
+            barrier;
+            eval(p, r);
+            barrier;
+        }
+    }
+}
+
+"#;
+
+fn programmer_plan(prog: &Program, block: u32) -> LayoutPlan {
+    let mut plan = LayoutPlan::unoptimized(block);
+    // The programmer padded the scheduling machinery and transposed the
+    // counter vector they knew about — but missed the gate-record
+    // indirection and the second vector (the paper notes missed
+    // group&transpose *and* indirection opportunities in Pverify).
+    planutil::pad_lock(&mut plan, prog, "sched_lock");
+    planutil::pad(&mut plan, prog, "next_vector");
+    planutil::transpose_grouped(&mut plan, prog, "done_count", 0);
+    plan
+}
+
+pub fn workload() -> Workload {
+    Workload {
+        name: "pverify",
+        description: "Parallel logic verification over a gate netlist",
+        source: SOURCE,
+        versions: &[Version::Unoptimized, Version::Compiler, Version::Programmer],
+        programmer_plan: Some(programmer_plan),
+        paper: PaperFacts {
+            fs_reduction_pct: Some(91.2),
+            dominant_transform: "indirection (81.6%)",
+            max_speedup: (Some(2.5), 5.9, Some(3.5)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fsr_transform::ObjPlan;
+
+    #[test]
+    fn compiler_plan_matches_paper_mix() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let get = |n: &str| {
+            prog.object_by_name(n)
+                .and_then(|(oid, _)| plan.get(oid).cloned())
+        };
+        // Gate records: field indirection of the owner-written fields.
+        match get("gates") {
+            Some(ObjPlan::Indirect { fields }) => {
+                assert!(!fields.is_empty(), "at least val/cnt/mark indirected");
+            }
+            other => panic!("expected indirection on gates, got {other:?}"),
+        }
+        // Per-process counter vectors: grouped transposes.
+        assert!(matches!(
+            get("done_count"),
+            Some(ObjPlan::Transpose { group: Some(_), .. })
+        ));
+        assert!(matches!(
+            get("vecs_checked"),
+            Some(ObjPlan::Transpose { group: Some(_), .. })
+        ));
+        assert_eq!(get("sched_lock"), Some(ObjPlan::PadLock));
+        // The partition array itself is read-mostly: untouched.
+        assert_eq!(get("first"), None);
+    }
+
+    #[test]
+    fn partition_is_validated_by_phase_analysis() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let (fid, _) = prog.object_by_name("first").unwrap();
+        assert!(a.validated_partitions.contains(&fid));
+    }
+}

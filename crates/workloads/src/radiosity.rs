@@ -1,0 +1,160 @@
+//! Radiosity — equilibrium light distribution (SPLASH-2; Table 1:
+//! versions N, C, P).
+//!
+//! Sharing structure per the paper:
+//! - per-process radiosity accumulators indexed `[bin][pid]`: group &
+//!   transpose dominates (Table 2: 85.6%);
+//! - a busy task-queue head scalar: pad & align (1.0%);
+//! - the task-queue lock: padding (6.8%).
+//!
+//! The programmer version (paper: 7.4 vs compiler 19.2) kept the
+//! accumulator transpose but left the lock unpadded *and* co-allocated
+//! with the queue head it protects, and missed the pad & align — at
+//! scale the queue block ping-pong dominates.
+
+use crate::planutil;
+use crate::{PaperFacts, Version, Workload};
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub const SOURCE: &str = r#"
+// Radiosity: gather iterations with a central task queue.
+param NPROC = 12;
+param SCALE = 1;
+const PATCHES = 144 * SCALE;
+const BINS = 16;
+const ITERS = 5;
+const PER = PATCHES / NPROC + 1;
+// Queue batch size: a couple of grabs per process per iteration.
+const BATCH = PATCHES / (NPROC * 2) + 2;
+
+// Task queue: lock and head scalar packed together with the patch data.
+shared lock q_lock;
+shared int q_head;
+// Per-process accumulators: [bin][pid] interleaves owners.
+shared int rad[BINS][NPROC];
+shared int patches_done[NPROC];
+// Patch data: read-shared form factors (serial-built).
+shared int ff[PATCHES];
+shared int bright[PATCHES];
+
+fn setup() {
+    q_head = 0;
+}
+
+// Parallel patch initialization (cyclic).
+fn init_patches(int p) {
+    var k;
+    for k in 0 .. PER {
+        var i = k * NPROC + p;
+        if (i < PATCHES) {
+            ff[i] = prand(i) % 100 + 1;
+            bright[i] = prand(i * 7) % 256;
+        }
+    }
+}
+
+fn gather(int p, int t) {
+    var done = 0;
+    while (done == 0) {
+        // Grab a batch of patches from the central queue.
+        lock(q_lock);
+        var mine = q_head;
+        q_head = q_head + BATCH;
+        unlock(q_lock);
+        if (mine >= PATCHES) {
+            done = 1;
+        } else {
+            var k;
+            for k in 0 .. BATCH {
+                var i = mine + k;
+                if (i < PATCHES) {
+                    // Gather light from a few interacting patches.
+                    var g = 0;
+                    var n;
+                    for n in 0 .. 6 {
+                        var j = prand(i * 11 + n + t) % PATCHES;
+                        g = g + bright[j] * ff[j] / 100;
+                    }
+                    // Shading integration (register-local work).
+                    var s;
+                    for s in 0 .. 48 {
+                        g = (g * 3 + s) % 4093;
+                    }
+                    rad[g % BINS][p] = rad[g % BINS][p] + g;
+                    patches_done[p] = patches_done[p] + 1;
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    setup();
+    forall p in 0 .. NPROC {
+        init_patches(p);
+        barrier;
+        var t;
+        for t in 0 .. ITERS {
+            gather(p, t);
+            barrier;
+            if (p == 0) {
+                q_head = 0;
+            }
+            barrier;
+        }
+    }
+}
+"#;
+
+fn programmer_plan(prog: &Program, block: u32) -> LayoutPlan {
+    let mut plan = LayoutPlan::unoptimized(block);
+    // Accumulator transpose kept; lock left co-allocated with q_head and
+    // unpadded; q_head not padded either.
+    planutil::transpose_dim(&mut plan, prog, "rad", 1);
+    planutil::transpose_grouped(&mut plan, prog, "patches_done", 0);
+    plan
+}
+
+pub fn workload() -> Workload {
+    Workload {
+        name: "radiosity",
+        description: "Equilibrium distribution of light (task-queue gather)",
+        source: SOURCE,
+        versions: &[Version::Unoptimized, Version::Compiler, Version::Programmer],
+        programmer_plan: Some(programmer_plan),
+        paper: PaperFacts {
+            fs_reduction_pct: Some(93.5),
+            dominant_transform: "group & transpose (85.6%) + locks (6.8%) + pad (1.0%)",
+            max_speedup: (Some(7.0), 19.2, Some(7.4)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fsr_transform::ObjPlan;
+
+    #[test]
+    fn compiler_plan_matches_paper_mix() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let get = |n: &str| {
+            prog.object_by_name(n)
+                .and_then(|(oid, _)| plan.get(oid).cloned())
+        };
+        assert!(matches!(get("rad"), Some(ObjPlan::Transpose { .. })));
+        assert!(matches!(get("patches_done"), Some(ObjPlan::Transpose { .. })));
+        assert_eq!(get("q_lock"), Some(ObjPlan::PadLock));
+        assert_eq!(get("q_head"), Some(ObjPlan::PadElems));
+        // Patch tables are parallel-initialized cyclically; their
+        // init-only writes are per-process, so a transpose is acceptable
+        // (read-only afterwards).
+        assert!(matches!(get("ff"), None | Some(ObjPlan::Transpose { .. })));
+        assert!(matches!(
+            get("bright"),
+            None | Some(ObjPlan::Transpose { .. })
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! Raytrace — 3-D scene rendering (SPLASH-2; Table 1: versions N, C, P).
+//!
+//! Sharing structure per the paper:
+//! - per-process ray state, cyclically interleaved: group & transpose
+//!   (Table 2: 70.4%);
+//! - a busy shared bounding counter: pad & align (3.3%);
+//! - the ray-id lock: padding (4.6%);
+//! - **residual**: a pair of busy write-shared shading counters updated
+//!   in a data-dependent bounce loop whose static weight estimate is far
+//!   below the dynamic frequency — the analysis misses them (the paper's
+//!   Raytrace residual);
+//! - the programmer version (9.2 vs compiler 9.6) applied the transposes
+//!   and padded the locks, but **also padded the scene-vertex array that
+//!   the analysis concluded was not predominantly per-process** — the
+//!   paper's example of the compiler making a better
+//!   spatial-vs-processor-locality tradeoff.
+
+use crate::planutil;
+use crate::{PaperFacts, Version, Workload};
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub const SOURCE: &str = r#"
+// Raytrace: trace rays through a gridded scene.
+param NPROC = 12;
+param SCALE = 1;
+const RAYS = 192 * SCALE;
+const VERTS = 64;
+const PER = RAYS / NPROC + 1;
+const FRAMES = 4;
+
+// Cyclic per-process ray state.
+shared int ray_org[RAYS];
+shared int ray_dir[RAYS];
+shared int ray_hits[RAYS];
+// Scene vertices: read-shared with spatial locality (scanned).
+shared int verts[VERTS];
+// Busy shared counters + lock, packed together.
+shared int bound_tests;       // hot, statically visible -> padded
+shared int shade_calls;       // hot, statically invisible -> residual
+shared int bounce_depth;      // hot, statically invisible -> residual
+shared lock ray_lock;
+shared int next_ray;
+
+fn setup() {
+    var v;
+    for v in 0 .. VERTS {
+        verts[v] = prand(v) % 512;
+    }
+}
+
+// Parallel ray initialization (cyclic, matching the trace loop).
+fn init_rays(int p) {
+    var k;
+    for k in 0 .. PER {
+        var i = k * NPROC + p;
+        if (i < RAYS) {
+            ray_org[i] = prand(i * 3) % 512;
+            ray_dir[i] = prand(i * 3 + 1) % 32 - 16;
+            ray_hits[i] = 0;
+        }
+    }
+}
+
+// Data-dependent bounce loop: statically weighted as a short while, but
+// dynamically hot — the updates inside are the residual false sharing.
+fn shade(int p, int r) {
+    var depth = prand(r) % 24 + 8;
+    while (depth > 0) {
+        shade_calls = shade_calls + 1;
+        if (prand(r + depth) % 8 != 0) {
+            bounce_depth = bounce_depth + 1;
+        }
+        depth = depth - 1;
+    }
+}
+
+fn trace(int p, int t) {
+    var k;
+    for k in 0 .. PER {
+        var i = k * NPROC + p;
+        if (i < RAYS) {
+            // Walk the scene: unit-stride vertex scan (spatial locality).
+            var best = 1 << 20;
+            var bt = 0;
+            var v;
+            for v in 0 .. VERTS {
+                // Intersection test (register-local work).
+                var d = abs(verts[v] - ray_org[i]);
+                d = (d * 3 + v) % 1021;
+                if (d < best) {
+                    best = d;
+                }
+                bt = bt + 1;
+            }
+            bound_tests = bound_tests + bt;
+            ray_hits[i] = ray_hits[i] + best % 7;
+            ray_org[i] = (ray_org[i] + ray_dir[i] + 512) % 512;
+            ray_dir[i] = (ray_dir[i] + best) % 32 - 16;
+        }
+    }
+    shade(p, prand(p * 31 + t) % RAYS);
+    lock(ray_lock);
+    next_ray = next_ray + 1;
+    unlock(ray_lock);
+}
+
+fn main() {
+    setup();
+    forall p in 0 .. NPROC {
+        init_rays(p);
+        barrier;
+        var t;
+        for t in 0 .. FRAMES {
+            trace(p, t);
+            barrier;
+        }
+    }
+}
+"#;
+
+fn programmer_plan(prog: &Program, block: u32) -> LayoutPlan {
+    let mut plan = LayoutPlan::unoptimized(block);
+    // Same transposes as the compiler, padded lock and counter — but
+    // also the mistaken pad of the scanned vertex array (hurting its
+    // spatial locality).
+    planutil::transpose_cyclic(&mut plan, prog, "ray_org", true);
+    planutil::transpose_cyclic(&mut plan, prog, "ray_dir", true);
+    planutil::transpose_cyclic(&mut plan, prog, "ray_hits", true);
+    planutil::pad_lock(&mut plan, prog, "ray_lock");
+    planutil::pad(&mut plan, prog, "bound_tests");
+    planutil::pad(&mut plan, prog, "verts"); // the documented mistake
+    plan
+}
+
+pub fn workload() -> Workload {
+    Workload {
+        name: "raytrace",
+        description: "Rendering of a 3-dimensional scene",
+        source: SOURCE,
+        versions: &[Version::Unoptimized, Version::Compiler, Version::Programmer],
+        programmer_plan: Some(programmer_plan),
+        paper: PaperFacts {
+            fs_reduction_pct: Some(78.3),
+            dominant_transform: "group & transpose (70.4%) + locks (4.6%) + pad (3.3%)",
+            max_speedup: (Some(7.0), 9.6, Some(9.2)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fsr_transform::ObjPlan;
+
+    #[test]
+    fn compiler_plan_matches_paper_mix() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let get = |n: &str| {
+            prog.object_by_name(n)
+                .and_then(|(oid, _)| plan.get(oid).cloned())
+        };
+        for arr in ["ray_org", "ray_dir", "ray_hits"] {
+            assert!(
+                matches!(get(arr), Some(ObjPlan::Transpose { .. })),
+                "{arr}: {:?}",
+                get(arr)
+            );
+        }
+        assert_eq!(get("bound_tests"), Some(ObjPlan::PadElems));
+        assert_eq!(get("ray_lock"), Some(ObjPlan::PadLock));
+        // The compiler does NOT pad the scanned vertex array (the
+        // programmer did — their documented mistake).
+        assert_eq!(get("verts"), None);
+        // Underestimated busy counters missed: residual.
+        assert_eq!(get("shade_calls"), None);
+        assert_eq!(get("bounce_depth"), None);
+    }
+}

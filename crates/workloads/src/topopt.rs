@@ -1,0 +1,171 @@
+//! Topopt — topological optimization of multi-level array logic
+//! (Devadas & Newton; Table 1: versions N, C, P).
+//!
+//! Sharing structure per the paper:
+//! - a 2-D gain histogram indexed `[bin][pid]` interleaves processors in
+//!   every block — **group & transpose** dominates (Table 2: 61.3%);
+//! - per-process scores embedded in cell records behind a run-time
+//!   partition — **indirection** (18.6%);
+//! - a *revolving* partition (`zfirst` recomputed every phase) over the
+//!   `zone` array: the static analysis cannot prove disjointness — this
+//!   is the paper's residual false sharing for Topopt (~20%). The writes
+//!   within each revolving slice are unit-stride, so pad & align does not
+//!   fire either.
+//!
+//! The programmer version applied the histogram transpose but missed the
+//! cell indirection (paper: P 10.2 vs C 10.3 — close, both well above
+//! the unoptimized knee).
+
+use crate::planutil;
+use crate::{PaperFacts, Version, Workload};
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub const SOURCE: &str = r#"
+// Topopt: iterative cell-swap optimization with a revolving zone sweep.
+param NPROC = 12;
+param SCALE = 1;
+const CELLS = 144 * SCALE;
+const ROWS = 24;              // gain histogram bins
+const Z = 768 * SCALE;        // revolving zone array
+const ROUNDS = 6;
+
+struct Cell {
+    int state;    // read by everyone (setup-written)
+    int score;    // owner-accumulated
+}
+
+shared Cell cells[CELLS];
+shared int first[NPROC + 1];      // static partition (setup once)
+shared int gain[ROWS][NPROC];     // per-process histogram -> transpose
+shared int moves[NPROC];          // per-process counter -> grouped
+shared int zfirst[NPROC + 1];     // revolving partition bounds
+shared int zone[Z];
+
+fn setup() {
+    var q;
+    for q in 0 .. NPROC + 1 {
+        first[q] = q * CELLS / NPROC;
+    }
+    var z;
+    for z in 0 .. Z {
+        zone[z] = 0;
+    }
+}
+
+// Parallel cell init over the static partition.
+fn init_cells(int p) {
+    var i;
+    for i in first[p] .. first[p + 1] {
+        cells[i].state = prand(i) % 16;
+        cells[i].score = 0;
+    }
+}
+
+fn optimize(int p, int t) {
+    var i;
+    for i in first[p] .. first[p + 1] {
+        var other = prand(i * 13 + t) % CELLS;
+        // Swap-gain evaluation (register-local work).
+        var e = 0;
+        var q;
+        for q in 0 .. 10 {
+            e = (e * 7 + i + q) % 229;
+        }
+        var delta = cells[other].state - cells[i].state + e % 2;
+        cells[i].score = cells[i].score + delta;
+        gain[abs(delta) % ROWS][p] = gain[abs(delta) % ROWS][p] + 1;
+        moves[p] = moves[p] + 1;
+    }
+}
+
+// The revolving zone sweep: proc 0 recomputes the partition *every
+// round*, so the bounds are not loop-invariant and the static analysis
+// cannot prove per-process disjointness.
+fn zone_sweep(int p, int t) {
+    if (p == 0) {
+        var q;
+        for q in 0 .. NPROC + 1 {
+            zfirst[q] = (q * (Z / NPROC) + t * 5) % Z;
+        }
+    }
+    barrier;
+    var j;
+    for j in zfirst[p] .. zfirst[p] + Z / NPROC {
+        var jj = j % Z;       // wraps; index is data-dependent to the analysis
+        zone[jj] = zone[jj] + p + 1;
+    }
+}
+
+fn main() {
+    setup();
+    forall p in 0 .. NPROC {
+        init_cells(p);
+        barrier;
+        var t;
+        for t in 0 .. ROUNDS {
+            optimize(p, t);
+            barrier;
+            zone_sweep(p, t);
+            barrier;
+        }
+    }
+}
+"#;
+
+fn programmer_plan(prog: &Program, block: u32) -> LayoutPlan {
+    let mut plan = LayoutPlan::unoptimized(block);
+    // The programmer transposed the gain histogram and the move counters
+    // (the "natural" restructuring) but missed the cell-score
+    // indirection.
+    planutil::transpose_dim(&mut plan, prog, "gain", 1);
+    planutil::transpose_grouped(&mut plan, prog, "moves", 0);
+    plan
+}
+
+pub fn workload() -> Workload {
+    Workload {
+        name: "topopt",
+        description: "Topological optimization of multi-level array logic",
+        source: SOURCE,
+        versions: &[Version::Unoptimized, Version::Compiler, Version::Programmer],
+        programmer_plan: Some(programmer_plan),
+        paper: PaperFacts {
+            fs_reduction_pct: Some(79.9),
+            dominant_transform: "group & transpose (61.3%) + indirection (18.6%)",
+            max_speedup: (Some(9.2), 10.3, Some(10.2)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fsr_transform::ObjPlan;
+
+    #[test]
+    fn compiler_plan_matches_paper_mix() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let get = |n: &str| {
+            prog.object_by_name(n)
+                .and_then(|(oid, _)| plan.get(oid).cloned())
+        };
+        assert!(matches!(get("gain"), Some(ObjPlan::Transpose { .. })));
+        assert!(matches!(get("moves"), Some(ObjPlan::Transpose { .. })));
+        assert!(matches!(get("cells"), Some(ObjPlan::Indirect { .. })));
+        // The revolving zone stays untransformed: residual false sharing.
+        assert_eq!(get("zone"), None);
+        assert_eq!(get("zfirst"), None);
+    }
+
+    #[test]
+    fn revolving_partition_not_validated() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let (z, _) = prog.object_by_name("zfirst").unwrap();
+        assert!(!a.validated_partitions.contains(&z));
+        let (f, _) = prog.object_by_name("first").unwrap();
+        assert!(a.validated_partitions.contains(&f));
+    }
+}

@@ -1,0 +1,149 @@
+//! Water — n-body molecular dynamics (SPLASH; Table 1: versions C, P
+//! only).
+//!
+//! Molecules are block-partitioned per process (`p*CHUNK ..`): the
+//! compiler's chunk-owner group & transpose pads each process's block of
+//! molecule state to cache-line boundaries and pads the per-molecule
+//! force locks. The programmer version (paper: 4.6 vs compiler 9.9) only
+//! padded locks — the molecule state keeps its partition-boundary and
+//! inter-array false sharing.
+
+use crate::planutil;
+use crate::{PaperFacts, Version, Workload};
+use fsr_lang::Program;
+use fsr_transform::LayoutPlan;
+
+pub const SOURCE: &str = r#"
+// Water: molecular dynamics with blocked molecule ownership.
+param NPROC = 12;
+param SCALE = 1;
+const MOLS = 192 * SCALE;
+const CHUNK = MOLS / NPROC + 1;
+const NLOCKS = 16;
+const STEPS = 4;
+
+// Blocked per-process molecule state (owner = i / CHUNK).
+shared int mx[NPROC * CHUNK];
+shared int mv[NPROC * CHUNK];
+shared int mf[NPROC * CHUNK];
+// Per-region force locks (co-located with the potential accumulator in
+// the unoptimized layout).
+shared lock flock[NLOCKS];
+shared int potential[NLOCKS];
+
+fn setup(int p) {
+    var i;
+    for i in p * CHUNK .. p * CHUNK + CHUNK {
+        if (i < MOLS) {
+            mx[i] = prand(i) % 1000;
+            mv[i] = prand(i * 3) % 21 - 10;
+            mf[i] = 0;
+        }
+    }
+}
+
+fn forces(int p, int t) {
+    var pot = 0;
+    var i;
+    for i in p * CHUNK .. p * CHUNK + CHUNK {
+        if (i < MOLS) {
+            var f = 0;
+            // Interact with a few data-dependent partners (reads of
+            // remote molecules).
+            var n;
+            for n in 0 .. 6 {
+                var j = prand(i * 7 + n + t) % MOLS;
+                // Pairwise potential evaluation (register-local work).
+                var e = 0;
+                var s;
+                for s in 0 .. 6 {
+                    e = (e * 5 + j + s) % 173;
+                }
+                f = f + (mx[j] - mx[i]) / (abs(mx[j] - mx[i]) + 1) + e % 2;
+            }
+            mf[i] = f;
+            pot = pot + abs(f);
+        }
+    }
+    // Flush the accumulated potential once per step under the process's
+    // region lock.
+    var r = p % NLOCKS;
+    lock(flock[r]);
+    potential[r] = potential[r] + pot;
+    unlock(flock[r]);
+}
+
+fn advance(int p) {
+    var i;
+    for i in p * CHUNK .. p * CHUNK + CHUNK {
+        if (i < MOLS) {
+            mv[i] = mv[i] + mf[i];
+            mx[i] = (mx[i] + mv[i] / 8 + 1000) % 1000;
+        }
+    }
+}
+
+fn main() {
+    forall p in 0 .. NPROC {
+        setup(p);
+        barrier;
+        var t;
+        for t in 0 .. STEPS {
+            forces(p, t);
+            barrier;
+            advance(p);
+            barrier;
+        }
+    }
+}
+"#;
+
+fn programmer_plan(prog: &Program, block: u32) -> LayoutPlan {
+    let mut plan = LayoutPlan::unoptimized(block);
+    // Locks padded; molecule state left as-is (the missed group &
+    // transpose the paper credits the compiler with).
+    planutil::pad_lock(&mut plan, prog, "flock");
+    plan
+}
+
+pub fn workload() -> Workload {
+    Workload {
+        name: "water",
+        description: "N-body molecular dynamics",
+        source: SOURCE,
+        versions: &[Version::Compiler, Version::Programmer],
+        programmer_plan: Some(programmer_plan),
+        paper: PaperFacts {
+            fs_reduction_pct: None,
+            dominant_transform: "group & transpose (blocked) + lock padding",
+            max_speedup: (None, 9.9, Some(4.6)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use fsr_analysis::OwnerMap;
+    use fsr_transform::ObjPlan;
+
+    #[test]
+    fn compiler_plan_matches_expectations() {
+        let prog = fsr_lang::compile_with_params(super::SOURCE, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let get = |n: &str| {
+            prog.object_by_name(n)
+                .and_then(|(oid, _)| plan.get(oid).cloned())
+        };
+        // Blocked ownership -> chunk transposes.
+        for arr in ["mx", "mv", "mf"] {
+            match get(arr) {
+                Some(ObjPlan::Transpose { owner, .. }) => {
+                    assert!(matches!(owner, OwnerMap::Chunk { .. }), "{arr}: {owner:?}");
+                }
+                other => panic!("expected chunk transpose on {arr}, got {other:?}"),
+            }
+        }
+        assert_eq!(get("flock"), Some(ObjPlan::PadLock));
+    }
+}

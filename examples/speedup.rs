@@ -1,0 +1,42 @@
+//! Speedup curves for one workload on the KSR2-like machine model: the
+//! paper's Figure 4 for any benchmark.
+//!
+//! Usage: cargo run --release -p fsr-core --example speedup -- [workload] [scale]
+
+use fsr_core::experiments::{speedup_sweep, t1_unoptimized, Vsn};
+use fsr_workloads::Version;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fmm".into());
+    let scale: i64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let w = fsr_workloads::by_name(&name).expect("known workload");
+    let procs = [1u32, 2, 4, 8, 12, 16, 20, 28, 40, 48, 56];
+    let t1 = t1_unoptimized(&w, scale, 128).unwrap();
+
+    println!("speedups for {} (scale {scale}, 128B blocks)\n", w.name);
+    println!("{:>6} {:>10} {:>10} {:>10}", "procs", "unopt", "compiler", "programmer");
+    let n = speedup_sweep(&w, Vsn::N, &procs, scale, 128, 0);
+    let c = speedup_sweep(&w, Vsn::C, &procs, scale, 128, 0);
+    let p = w
+        .has(Version::Programmer)
+        .then(|| speedup_sweep(&w, Vsn::P, &procs, scale, 128, 0));
+    for (i, &np) in procs.iter().enumerate() {
+        let ps = p
+            .as_ref()
+            .map(|c| format!("{:.2}", c.speedups(t1)[i].1))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>6} {:>10.2} {:>10.2} {:>10}",
+            np,
+            n.speedups(t1)[i].1,
+            c.speedups(t1)[i].1,
+            ps
+        );
+    }
+    let (ns, na) = n.max_speedup(t1);
+    let (cs, ca) = c.max_speedup(t1);
+    println!("\nmax speedup: unopt {ns:.1} ({na} procs), compiler {cs:.1} ({ca} procs)");
+}

@@ -1,0 +1,260 @@
+//! Property-based tests of the analysis algebra and the layout engine.
+
+use fsr_analysis::lin::Lin;
+use fsr_analysis::section::{concrete_overlap, progressions_intersect, Bound, Section};
+use fsr_layout::Layout;
+use fsr_transform::{LayoutPlan, ObjPlan};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashSet};
+
+fn brute_progression(lo: i64, hi: i64, s: i64) -> Vec<i64> {
+    let mut v = Vec::new();
+    let mut x = lo;
+    while x <= hi {
+        v.push(x);
+        x += s;
+    }
+    v
+}
+
+proptest! {
+    /// Arithmetic-progression intersection matches brute force.
+    #[test]
+    fn progression_intersection_exact(
+        lo1 in -50i64..50, len1 in 0i64..40, s1 in 1i64..12,
+        lo2 in -50i64..50, len2 in 0i64..40, s2 in 1i64..12,
+    ) {
+        let hi1 = lo1 + len1;
+        let hi2 = lo2 + len2;
+        let a: HashSet<i64> = brute_progression(lo1, hi1, s1).into_iter().collect();
+        let b: HashSet<i64> = brute_progression(lo2, hi2, s2).into_iter().collect();
+        let expect = !a.is_disjoint(&b);
+        prop_assert_eq!(progressions_intersect(lo1, hi1, s1, lo2, hi2, s2), expect);
+    }
+
+    /// Lin substitution is linear: subst(a+b) = subst(a) + subst(b).
+    #[test]
+    fn lin_subst_is_linear(
+        c0a in -100i64..100, ka in -5i64..5,
+        c0b in -100i64..100, kb in -5i64..5,
+        rc0 in -100i64..100, rk in -5i64..5,
+    ) {
+        let a = Lin::slot(0).scale(ka).add(&Lin::constant(c0a));
+        let b = Lin::slot(0).scale(kb).add(&Lin::constant(c0b));
+        let repl = Lin::pdv().scale(rk).add(&Lin::constant(rc0));
+        let lhs = a.add(&b).subst(0, &repl);
+        let rhs = a.subst(0, &repl).add(&b.subst(0, &repl));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Evaluating after substitution equals substituting the value.
+    #[test]
+    fn lin_subst_then_eval(
+        c0 in -100i64..100, k in -5i64..5, pid in 0i64..16,
+    ) {
+        let e = Lin::slot(3).scale(k).add(&Lin::constant(c0));
+        let substituted = e.subst(3, &Lin::pdv());
+        let direct = c0 + k * pid;
+        prop_assert_eq!(substituted.eval_pdv(pid), Some(direct));
+    }
+
+    /// Section concretization: a section that depends on the PDV with a
+    /// nonzero unit coefficient never overlaps itself across distinct
+    /// pids (points), and always overlaps itself for the same pid.
+    #[test]
+    fn pdv_point_sections_disjoint(p in 0i64..12, q in 0i64..12, c0 in -8i64..8) {
+        let s = Section::Elem(Bound::Lin(Lin::pdv().add(&Lin::constant(c0))));
+        let a = s.concretize(p, 64);
+        let b = s.concretize(q, 64);
+        prop_assert_eq!(concrete_overlap(a, b, false), p == q);
+    }
+
+    /// merge_sections is an over-approximation: every point of both
+    /// inputs is contained in the merge (checked for constant sections).
+    #[test]
+    fn merge_sections_covers_inputs(
+        lo1 in 0i64..32, len1 in 0i64..16, s1 in 1i64..4,
+        lo2 in 0i64..32, len2 in 0i64..16, s2 in 1i64..4,
+    ) {
+        use fsr_analysis::section::merge_sections;
+        let mk = |lo: i64, hi: i64, s: i64| Section::Range {
+            lo: Bound::constant(lo),
+            hi: Bound::constant(hi),
+            stride: s,
+        };
+        let a = mk(lo1, lo1 + len1, s1);
+        let b = mk(lo2, lo2 + len2, s2);
+        let m = merge_sections(&a, &b);
+        let covers = |sec: &Section, x: i64| -> bool {
+            match sec.concretize(0, 1 << 20) {
+                fsr_analysis::section::Concrete::Progression { lo, hi, stride } => {
+                    x >= lo && x <= hi && (x - lo) % stride == 0
+                }
+                fsr_analysis::section::Concrete::Opaque => true,
+                _ => false,
+            }
+        };
+        for x in brute_progression(lo1, lo1 + len1, s1) {
+            prop_assert!(covers(&m, x), "merge {m:?} lost {x} from a");
+        }
+        for x in brute_progression(lo2, lo2 + len2, s2) {
+            prop_assert!(covers(&m, x), "merge {m:?} lost {x} from b");
+        }
+    }
+}
+
+/// A fixed program with a variety of object shapes for layout testing.
+fn layout_test_prog() -> fsr_lang::Program {
+    fsr_lang::compile(
+        "param NPROC = 4;
+         struct S { int a; int b[3]; }
+         shared int x;
+         shared int v[17];
+         shared int m[5][4];
+         shared S recs[7];
+         shared lock lk[3];
+         private int priv[6];
+         fn main() { forall p in 0 .. NPROC { x = p; } }",
+    )
+    .unwrap()
+}
+
+fn arb_layout_plan() -> impl Strategy<Value = LayoutPlan> {
+    proptest::collection::vec(0u8..5, 6).prop_map(|choices| {
+        let mut plan = LayoutPlan::unoptimized(64);
+        // Objects: x, v, m, recs, lk, priv (ids 0..6 in decl order).
+        for (i, c) in choices.iter().enumerate() {
+            let oid = fsr_lang::ast::ObjId(i as u32);
+            let d = match (i, c) {
+                (4, 0 | 1) => Some(ObjPlan::PadLock),
+                (4, _) | (5, _) => None,
+                (_, 1) => Some(ObjPlan::PadElems),
+                (1, 2) => Some(ObjPlan::Transpose {
+                    owner: fsr_analysis::OwnerMap::Interleave { stride: 4, base: 0 },
+                    group: None,
+                }),
+                (2, 2) => Some(ObjPlan::Transpose {
+                    owner: fsr_analysis::OwnerMap::Dim { dim: 1 },
+                    group: Some(0),
+                }),
+                (3, 3) => Some(ObjPlan::Indirect {
+                    fields: vec![fsr_lang::ast::FieldId(1)],
+                }),
+                (1, 4) => Some(ObjPlan::Indirect { fields: vec![] }),
+                _ => None,
+            };
+            if let Some(d) = d {
+                plan.insert(oid, d, "prop");
+            }
+        }
+        plan
+    })
+}
+
+proptest! {
+    /// Layout injectivity: under any plan, no two distinct logical words
+    /// resolve to the same address, and every address lies inside the
+    /// arena. (Indirected words are checked for pointer-slot uniqueness.)
+    #[test]
+    fn layout_addresses_are_injective(plan in arb_layout_plan()) {
+        let prog = layout_test_prog();
+        let layout = Layout::build(&prog, &plan, 4);
+        let mut seen: BTreeMap<u32, (u32, u64, u32)> = BTreeMap::new();
+        for (i, obj) in prog.objects.iter().enumerate() {
+            let oid = fsr_lang::ast::ObjId(i as u32);
+            let words = prog.elem_words(obj.elem);
+            let copies = if obj.is_shared() { 1 } else { 4 };
+            for pid in 0..copies {
+                for e in 0..layout.elem_count(oid) {
+                    for w in 0..words {
+                        let field_sel = match obj.elem {
+                            fsr_lang::ast::ElemTy::Int => None,
+                            fsr_lang::ast::ElemTy::Struct(sid) => {
+                                let sd = prog.struct_(sid);
+                                let mut sel = None;
+                                for (fi, f) in sd.fields.iter().enumerate() {
+                                    if w >= f.offset_words && w < f.offset_words + f.len {
+                                        sel = Some((
+                                            fsr_lang::ast::FieldId(fi as u32),
+                                            w - f.offset_words,
+                                        ));
+                                    }
+                                }
+                                sel
+                            }
+                        };
+                        let addr = match layout.resolve(oid, e, field_sel, pid) {
+                            fsr_layout::Resolved::Direct(a) => a,
+                            // For indirection the *pointer* word must be
+                            // unique per (elem, field); data slots are
+                            // assigned at run time.
+                            fsr_layout::Resolved::Indirect { ptr, off, .. } => {
+                                if off > 0 { continue; }
+                                ptr
+                            }
+                        };
+                        prop_assert!(
+                            (addr as u64) < layout.total_words() as u64,
+                            "address {addr} beyond arena"
+                        );
+                        // Private copies of the same logical word differ per pid.
+                        let key = addr;
+                        if let Some(prev) = seen.insert(key, (i as u32, e, w + pid * 1000)) {
+                            prop_assert!(
+                                false,
+                                "address collision at {addr}: {:?} vs ({i},{e},{w},pid{pid})",
+                                prev
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attribution: every resolved address maps back to its object.
+    #[test]
+    fn layout_attribution_roundtrips(plan in arb_layout_plan()) {
+        let prog = layout_test_prog();
+        let layout = Layout::build(&prog, &plan, 4);
+        for (i, obj) in prog.objects.iter().enumerate() {
+            let oid = fsr_lang::ast::ObjId(i as u32);
+            for e in 0..layout.elem_count(oid) {
+                let field_sel = match obj.elem {
+                    fsr_lang::ast::ElemTy::Struct(_) => {
+                        Some((fsr_lang::ast::FieldId(0), 0))
+                    }
+                    _ => None,
+                };
+                let addr = match layout.resolve(oid, e, field_sel, 0) {
+                    fsr_layout::Resolved::Direct(a) => a,
+                    fsr_layout::Resolved::Indirect { ptr, .. } => ptr,
+                };
+                let got = layout.attribute(addr * 4);
+                // Grouped transposes attribute to a group member; all other
+                // layouts attribute exactly.
+                prop_assert!(got.is_some(), "unattributed address {addr}");
+            }
+        }
+    }
+}
+
+#[test]
+fn descriptor_limit_is_enforced_everywhere() {
+    // Build a program with many distinct point accesses; classification
+    // must keep at most MAX_DESCRIPTORS per side.
+    let mut body = String::new();
+    for k in 0..30 {
+        body.push_str(&format!("d[{}] = d[{}] + 1;\n", k * 7 % 64, (k * 11 + 3) % 64));
+    }
+    let src = format!(
+        "param NPROC = 2; shared int d[64];
+         fn main() {{ forall p in 0 .. NPROC {{ {body} }} }}"
+    );
+    let prog = fsr_lang::compile(&src).unwrap();
+    let a = fsr_analysis::analyze(&prog).unwrap();
+    for c in &a.classes {
+        assert!(c.read.rsds.len() <= fsr_analysis::MAX_DESCRIPTORS);
+        assert!(c.write.rsds.len() <= fsr_analysis::MAX_DESCRIPTORS);
+    }
+}

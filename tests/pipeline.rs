@@ -1,0 +1,227 @@
+//! End-to-end pipeline assertions over the workload suite: the paper's
+//! headline effects, expressed as tests.
+
+use fsr_core::{MissKind, PipelineConfig, PlanSource};
+use fsr_integration::run_version;
+use fsr_workloads::Version;
+
+#[test]
+fn compiler_reduces_false_sharing_on_every_unoptimized_program() {
+    for w in fsr_workloads::figure3_set() {
+        let base = run_version(&w, PlanSource::Unoptimized, 8, 128);
+        let opt = run_version(&w, PlanSource::Compiler, 8, 128);
+        assert!(
+            opt.sim.false_sharing() < base.sim.false_sharing(),
+            "{}: FS not reduced ({} -> {})",
+            w.name,
+            base.sim.false_sharing(),
+            opt.sim.false_sharing()
+        );
+        // The paper: reduction in false sharing always outweighed any
+        // spatial-locality loss — total misses fall.
+        assert!(
+            opt.sim.total_misses() < base.sim.total_misses(),
+            "{}: total misses grew ({} -> {})",
+            w.name,
+            base.sim.total_misses(),
+            opt.sim.total_misses()
+        );
+    }
+}
+
+#[test]
+fn compiler_improves_execution_time_at_moderate_scale() {
+    for w in fsr_workloads::figure3_set() {
+        let base = run_version(&w, PlanSource::Unoptimized, 12, 128);
+        let opt = run_version(&w, PlanSource::Compiler, 12, 128);
+        assert!(
+            opt.exec_cycles < base.exec_cycles,
+            "{}: compiler version slower at 12 procs ({} vs {})",
+            w.name,
+            opt.exec_cycles,
+            base.exec_cycles
+        );
+    }
+}
+
+#[test]
+fn compiler_beats_or_matches_programmer_everywhere() {
+    // Table 3's qualitative claim at a representative processor count.
+    for w in fsr_workloads::all() {
+        if !w.has(Version::Programmer) {
+            continue;
+        }
+        let c = run_version(&w, PlanSource::Compiler, 12, 128);
+        let p = run_version(
+            &w,
+            PlanSource::Programmer(w.programmer_plan.unwrap()),
+            12,
+            128,
+        );
+        // Allow a small tolerance: the two coincide for programs where
+        // the programmer found everything (LocusRoute).
+        assert!(
+            c.sim.false_sharing() <= p.sim.false_sharing() + p.sim.false_sharing() / 10 + 8,
+            "{}: compiler FS ({}) worse than programmer ({})",
+            w.name,
+            c.sim.false_sharing(),
+            p.sim.false_sharing()
+        );
+    }
+}
+
+#[test]
+fn false_sharing_grows_with_block_size() {
+    for w in fsr_workloads::figure3_set() {
+        let small = run_version(&w, PlanSource::Unoptimized, 8, 16);
+        let large = run_version(&w, PlanSource::Unoptimized, 8, 256);
+        assert!(
+            large.sim.false_sharing() >= small.sim.false_sharing(),
+            "{}: FS shrank with larger blocks ({} -> {})",
+            w.name,
+            small.sim.false_sharing(),
+            large.sim.false_sharing()
+        );
+    }
+}
+
+#[test]
+fn four_byte_blocks_have_no_false_sharing() {
+    // With one word per block, false sharing is impossible by definition.
+    for w in fsr_workloads::figure3_set() {
+        let r = run_version(&w, PlanSource::Unoptimized, 4, 4);
+        assert_eq!(r.sim.false_sharing(), 0, "{}", w.name);
+        assert_eq!(r.sim.miss_of(MissKind::FalseSharing), 0);
+    }
+}
+
+#[test]
+fn per_object_misses_sum_to_totals() {
+    for w in ["maxflow", "pverify", "water"] {
+        let w = fsr_workloads::by_name(w).unwrap();
+        let r = run_version(&w, PlanSource::Unoptimized, 6, 128);
+        let attributed: u64 = r.per_obj.values().map(|m| m.total()).sum();
+        assert_eq!(
+            attributed,
+            r.sim.total_misses(),
+            "{}: attribution mismatch",
+            w.name
+        );
+        let attributed_fs: u64 = r.per_obj.values().map(|m| m.false_sharing()).sum();
+        assert_eq!(attributed_fs, r.sim.false_sharing());
+    }
+}
+
+#[test]
+fn uniprocessor_runs_have_no_coherence_misses() {
+    for w in fsr_workloads::all() {
+        let r = run_version(&w, PlanSource::Unoptimized, 1, 128);
+        assert_eq!(r.sim.false_sharing(), 0, "{}", w.name);
+        assert_eq!(r.sim.miss_of(MissKind::TrueSharing), 0, "{}", w.name);
+        assert_eq!(r.sim.invalidations, 0, "{}", w.name);
+    }
+}
+
+#[test]
+fn execution_time_exceeds_busy_time_only_by_stalls() {
+    let w = fsr_workloads::by_name("fmm").unwrap();
+    let r = run_version(&w, PlanSource::Unoptimized, 8, 128);
+    for p in 0..r.nproc as usize {
+        let accounted = r.timing.busy[p] + r.timing.stall[p];
+        assert!(
+            r.exec_cycles >= r.timing.busy[p],
+            "proc {p}: finish before busy time"
+        );
+        // Each processor's own clock is busy + stall (+ sync jumps, which
+        // only move clocks forward).
+        assert!(accounted > 0);
+    }
+}
+
+#[test]
+fn fs_stall_fraction_is_meaningful() {
+    let w = fsr_workloads::by_name("topopt").unwrap();
+    let base = run_version(&w, PlanSource::Unoptimized, 12, 128);
+    let opt = run_version(&w, PlanSource::Compiler, 12, 128);
+    assert!(base.fs_stall_frac > 0.05, "unopt: {}", base.fs_stall_frac);
+    assert!(
+        opt.fs_stall_frac < base.fs_stall_frac,
+        "fs stall fraction must fall"
+    );
+}
+
+#[test]
+fn indirection_adds_reference_overhead() {
+    // The paper: indirection costs an additional memory access per
+    // reference to the moved data.
+    let w = fsr_workloads::by_name("pverify").unwrap();
+    let base = run_version(&w, PlanSource::Unoptimized, 6, 128);
+    let opt = run_version(&w, PlanSource::Compiler, 6, 128);
+    assert!(
+        opt.sim.refs > base.sim.refs,
+        "indirection should add pointer reads ({} vs {})",
+        opt.sim.refs,
+        base.sim.refs
+    );
+}
+
+#[test]
+fn transformed_source_renders_for_all_workloads() {
+    for w in fsr_workloads::all() {
+        let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 4)]).unwrap();
+        let a = fsr_analysis::analyze(&prog).unwrap();
+        let plan = fsr_transform::plan_for(&prog, &a, &fsr_transform::PlanConfig::default());
+        let text = fsr_transform::report::render_transformed_source(&prog, &plan, 4);
+        assert!(text.contains("fn main"), "{}", w.name);
+        // The rendered source must still be valid PSL.
+        fsr_lang::compile_with_params(
+            &text
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("//"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+            &[("NPROC", 4)],
+        )
+        .unwrap_or_else(|e| panic!("{}: rendered source invalid: {e}", w.name));
+    }
+}
+
+#[test]
+fn pipeline_runs_at_fifty_six_processors() {
+    // The full KSR2 configuration must work for every program.
+    for w in fsr_workloads::all() {
+        let r = run_version(&w, PlanSource::Compiler, 56, 128);
+        assert_eq!(r.nproc, 56, "{}", w.name);
+        assert!(r.exec_cycles > 0);
+    }
+}
+
+#[test]
+fn analysis_compile_cost_is_small() {
+    // §7: the analyses cost ~5% of compile time. Generous bound here —
+    // the point is the order of magnitude, measured on the real suite.
+    let mut worst: f64 = 0.0;
+    for w in fsr_workloads::all() {
+        let cost = fsr_core::cost::measure(w.source, &[("NPROC", 12)]).unwrap();
+        worst = worst.max(cost.analysis_fraction());
+    }
+    assert!(worst < 0.75, "analysis dominates compile time: {worst}");
+}
+
+#[test]
+fn driver_matches_sequential_results() {
+    let w = fsr_workloads::by_name("water").unwrap();
+    let seq = run_version(&w, PlanSource::Compiler, 4, 128);
+    let jobs = vec![fsr_core::driver::Job {
+        label: "x".into(),
+        src: w.source.to_string(),
+        params: vec![("NPROC".into(), 4), ("SCALE".into(), 1)],
+        plan: fsr_core::driver::PlanSourceSpec::Compiler,
+        cfg: PipelineConfig::with_block(128),
+    }];
+    let out = fsr_core::driver::run_jobs(jobs, 2);
+    let par = out[0].1.as_ref().unwrap();
+    assert_eq!(par.sim.refs, seq.sim.refs);
+    assert_eq!(par.sim.misses, seq.sim.misses);
+    assert_eq!(par.exec_cycles, seq.exec_cycles);
+}
