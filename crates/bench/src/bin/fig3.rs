@@ -7,6 +7,21 @@ use fsr_core::experiments::figure3;
 
 fn main() {
     let k = Knobs::from_env();
+    if std::env::args().any(|a| a == "--smoke") {
+        // Quick end-to-end sanity pass for CI: small config, shape checks
+        // only. Used by scripts/tier1.sh.
+        let rows = figure3(4, 1, &[16, 128], k.threads);
+        assert_eq!(rows.len(), 24, "6 programs x 2 blocks x 2 versions");
+        assert!(rows
+            .iter()
+            .all(|r| r.fs_miss_rate.is_finite() && r.other_miss_rate.is_finite()));
+        assert!(
+            rows.iter().any(|r| r.fs_miss_rate > 0.0),
+            "some unoptimized version must false-share"
+        );
+        println!("fig3 --smoke OK ({} rows)", rows.len());
+        return;
+    }
     eprintln!("fig3: nproc={} scale={}", k.nproc, k.scale);
     let rows = figure3(k.nproc, k.scale, &[16, 128], k.threads);
     for block in [16u32, 128] {

@@ -16,6 +16,7 @@ fn main() {
         "indirection only%",
         "pad only%",
         "locks only%",
+        "dropped blocks",
     ]);
     for r in rows {
         t.row(vec![
@@ -25,6 +26,7 @@ fn main() {
             format!("{:.1}", r.indirection_pct),
             format!("{:.1}", r.pad_pct),
             format!("{:.1}", r.locks_pct),
+            r.dropped_blocks.to_string(),
         ]);
     }
     println!(

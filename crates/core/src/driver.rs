@@ -1,19 +1,70 @@
-//! Parallel experiment driver: runs independent pipeline configurations
-//! across OS threads. Each configuration is a self-contained simulation,
-//! so the driver is embarrassingly parallel — a scoped-thread worker pool
-//! pulls jobs from a shared queue.
+//! Experiment drivers.
+//!
+//! Two entry points run a set of independent experiment configurations:
+//!
+//! - [`run_jobs`] — the reference path: every job runs the full pipeline
+//!   (parse, check, analyze, plan, lay out, interpret, simulate) by
+//!   itself on a worker pool.
+//! - [`run_batch`] — the trace-once/simulate-many engine. Front-end
+//!   artifacts (checked [`Program`](crate::Program), analysis, bytecode)
+//!   are compiled once per distinct (source, params) and shared via
+//!   `Arc`; jobs whose memory layouts are address-identical (equal
+//!   [`Layout::trace_fingerprint`], confirmed by `trace_eq`) share a
+//!   *single* interpretation whose trace fans out through a
+//!   [`TeeSink`](fsr_interp::TeeSink) to one cache simulator + timing
+//!   model per job. Beyond exact matches, *direct-only* layout groups of
+//!   the same (front end, run config) — everything except indirection,
+//!   whose first-touch allocation is interpreter state — differ only by
+//!   a static address bijection, so they also merge into one pass with a
+//!   per-group [`Layout::word_map_to`] translation applied on the way
+//!   into each simulator bank. This mirrors the paper's own methodology
+//!   — trace each program once, replay the trace through every simulator
+//!   configuration — and produces bit-identical statistics to the
+//!   reference path (asserted by `tests/batch.rs`).
 
 use crate::{run_pipeline, PipelineConfig, PipelineError, PlanSource, RunResult};
-use parking_lot::Mutex;
+use fsr_interp::{MemRef, TeeSink, TraceSink};
+use fsr_lang::ast::WORD_BYTES;
+use fsr_layout::Layout;
+use fsr_machine::TimingModel;
+use fsr_sim::{CacheConfig, MultiSim};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One experiment job.
+///
+/// `M` is caller-owned metadata (program name, block size, version tag…)
+/// carried through the driver untouched — experiment generators match
+/// results back to cells structurally instead of round-tripping them
+/// through parsed label strings. `src` is shared (`Arc<str>`), so
+/// enqueueing the same workload source many times costs one allocation,
+/// and the batch engine can key its front-end cache on it by content.
 #[derive(Debug, Clone)]
-pub struct Job {
-    pub label: String,
-    pub src: String,
+pub struct Job<M = ()> {
+    pub meta: M,
+    pub src: Arc<str>,
     pub params: Vec<(String, i64)>,
     pub plan: PlanSourceSpec,
     pub cfg: PipelineConfig,
+}
+
+impl<M> Job<M> {
+    pub fn new(
+        meta: M,
+        src: impl Into<Arc<str>>,
+        params: &[(&str, i64)],
+        plan: PlanSourceSpec,
+        cfg: PipelineConfig,
+    ) -> Job<M> {
+        Job {
+            meta,
+            src: src.into(),
+            params: params.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            plan,
+            cfg,
+        }
+    }
 }
 
 /// Cloneable plan-source description (function pointers are fine).
@@ -36,75 +87,457 @@ impl From<&PlanSourceSpec> for PlanSource {
     }
 }
 
-/// Run all jobs, using up to `threads` worker threads (0 = available
-/// parallelism). Results keep job order.
-pub fn run_jobs(jobs: Vec<Job>, threads: usize) -> Vec<(Job, Result<RunResult, PipelineError>)> {
-    let threads = if threads == 0 {
+fn effective_threads(threads: usize, njobs: usize) -> usize {
+    let t = if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
     } else {
         threads
+    };
+    t.clamp(1, njobs.max(1))
+}
+
+/// Order-preserving parallel map over a slice on a scoped worker pool.
+fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = effective_threads(threads, items.len());
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
     }
-    .min(jobs.len().max(1));
-
-    let n = jobs.len();
-    let queue = Mutex::new(0usize);
-    let jobs_ref = &jobs;
-    let mut results: Vec<Option<Result<RunResult, PipelineError>>> =
-        (0..n).map(|_| None).collect();
-    let results_mx = Mutex::new(&mut results);
-
-    crossbeam::scope(|scope| {
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut q = queue.lock();
-                    if *q >= n {
-                        return;
-                    }
-                    let i = *q;
-                    *q += 1;
-                    i
-                };
-                let job = &jobs_ref[idx];
-                let params: Vec<(&str, i64)> =
-                    job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-                let r = run_pipeline(&job.src, &params, (&job.plan).into(), &job.cfg);
-                results_mx.lock()[idx] = Some(r);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    return;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().unwrap() = Some(r);
             });
         }
-    })
-    .expect("worker panicked");
-
-    jobs.into_iter()
-        .zip(results.into_iter().map(|r| r.expect("job ran")))
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("worker completed"))
         .collect()
+}
+
+/// Run all jobs independently, using up to `threads` worker threads
+/// (0 = available parallelism). Results keep job order.
+pub fn run_jobs<M: Sync>(
+    jobs: Vec<Job<M>>,
+    threads: usize,
+) -> Vec<(Job<M>, Result<RunResult, PipelineError>)> {
+    let results = parallel_map(&jobs, threads, |job: &Job<M>| {
+        let params: Vec<(&str, i64)> = job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        run_pipeline(&job.src, &params, (&job.plan).into(), &job.cfg)
+    });
+    jobs.into_iter().zip(results).collect()
+}
+
+/// What a batch actually cost, versus `jobs` full pipelines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Distinct (source, params) front ends compiled.
+    pub front_ends: usize,
+    /// Front ends that additionally ran the sharing analysis.
+    pub analyses: usize,
+    /// Trace groups after fingerprinting: sets of jobs whose layouts are
+    /// address-identical and so share one trace verbatim.
+    pub trace_groups: usize,
+    /// Interpreter passes actually executed. At most `trace_groups`:
+    /// direct-only groups of the same (front end, run config) are merged
+    /// into one pass via per-group address translation
+    /// ([`Layout::word_map_to`]), so `jobs - interpretations` interpreter
+    /// runs were saved in total.
+    pub interpretations: usize,
+}
+
+/// Shared front-end artifacts for one (source, params) key.
+struct FrontEnd {
+    prog: Arc<crate::Program>,
+    code: Arc<fsr_interp::Compiled>,
+    nproc: u32,
+    /// Present iff some job of this front end uses the compiler plan;
+    /// kept as a `Result` so an analysis failure fails only those jobs.
+    analysis: Option<Result<Arc<crate::Analysis>, PipelineError>>,
+}
+
+/// Per-job prepared state: the plan and the concrete address map.
+struct Prep {
+    plan: crate::LayoutPlan,
+    layout: Layout,
+    fingerprint: u64,
+}
+
+/// Run all jobs through the batched engine. Results keep job order and
+/// are bit-identical to [`run_jobs`] (same `SimStats`, per-object
+/// attribution, timing and interpreter statistics).
+pub fn run_batch<M: Sync>(
+    jobs: Vec<Job<M>>,
+    threads: usize,
+) -> Vec<(Job<M>, Result<RunResult, PipelineError>)> {
+    run_batch_with_stats(jobs, threads).0
+}
+
+/// [`run_batch`], additionally reporting how much work was shared.
+pub fn run_batch_with_stats<M: Sync>(
+    jobs: Vec<Job<M>>,
+    threads: usize,
+) -> (Vec<(Job<M>, Result<RunResult, PipelineError>)>, BatchStats) {
+    let n = jobs.len();
+    let mut stats = BatchStats {
+        jobs: n,
+        ..BatchStats::default()
+    };
+    if n == 0 {
+        return (Vec::new(), stats);
+    }
+
+    // Phase A — front ends: one compile (+ bytecode, + analysis when any
+    // job needs the compiler plan) per distinct (source, params).
+    let mut fe_ids: HashMap<(Arc<str>, Vec<(String, i64)>), usize> = HashMap::new();
+    let mut fe_of_job: Vec<usize> = Vec::with_capacity(n);
+    let mut fe_needs_analysis: Vec<bool> = Vec::new();
+    let mut fe_rep: Vec<usize> = Vec::new();
+    for (j, job) in jobs.iter().enumerate() {
+        let next_id = fe_ids.len();
+        let id = *fe_ids
+            .entry((job.src.clone(), job.params.clone()))
+            .or_insert(next_id);
+        if id == fe_needs_analysis.len() {
+            fe_needs_analysis.push(false);
+            fe_rep.push(j);
+        }
+        if matches!(job.plan, PlanSourceSpec::Compiler) {
+            fe_needs_analysis[id] = true;
+        }
+        fe_of_job.push(id);
+    }
+    stats.front_ends = fe_rep.len();
+    stats.analyses = fe_needs_analysis.iter().filter(|&&b| b).count();
+
+    let fe_inputs: Vec<(usize, bool)> = fe_rep
+        .iter()
+        .copied()
+        .zip(fe_needs_analysis.iter().copied())
+        .collect();
+    let fronts: Vec<Result<FrontEnd, PipelineError>> =
+        parallel_map(&fe_inputs, threads, |&(j, needs_analysis)| {
+            let job = &jobs[j];
+            let params: Vec<(&str, i64)> =
+                job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            let prog = fsr_lang::compile_with_params(&job.src, &params)?;
+            let nproc = fsr_analysis::nproc_of(&prog).unwrap_or(1) as u32;
+            let code = fsr_interp::compile_program(&prog)?;
+            let analysis = needs_analysis.then(|| {
+                fsr_analysis::analyze(&prog)
+                    .map(Arc::new)
+                    .map_err(PipelineError::from)
+            });
+            Ok(FrontEnd {
+                prog: Arc::new(prog),
+                code: Arc::new(code),
+                nproc,
+                analysis,
+            })
+        });
+
+    // Phase B — per-job plan, layout and trace fingerprint.
+    let idxs: Vec<usize> = (0..n).collect();
+    let preps: Vec<Result<Prep, PipelineError>> = parallel_map(&idxs, threads, |&j| {
+        let fe = fronts[fe_of_job[j]].as_ref().map_err(PipelineError::clone)?;
+        let job = &jobs[j];
+        let plan = match &job.plan {
+            PlanSourceSpec::Unoptimized => crate::LayoutPlan::unoptimized(job.cfg.block_bytes),
+            PlanSourceSpec::Compiler => {
+                let analysis = fe
+                    .analysis
+                    .as_ref()
+                    .expect("analysis computed for compiler-planned front ends")
+                    .as_ref()
+                    .map_err(PipelineError::clone)?;
+                let mut plan_cfg = job.cfg.plan_cfg;
+                plan_cfg.block_bytes = job.cfg.block_bytes;
+                fsr_transform::plan_for(&fe.prog, analysis, &plan_cfg)
+            }
+            PlanSourceSpec::Programmer(f) => f(&fe.prog, job.cfg.block_bytes),
+            PlanSourceSpec::Explicit(p) => {
+                let mut p = p.clone();
+                p.block_bytes = job.cfg.block_bytes;
+                p
+            }
+        };
+        let layout = Layout::build(&fe.prog, &plan, fe.nproc);
+        let fingerprint = layout.trace_fingerprint();
+        Ok(Prep {
+            plan,
+            layout,
+            fingerprint,
+        })
+    });
+
+    // Phase C — group jobs whose traces are provably identical: same
+    // front end, same interpreter config, same address map. The
+    // fingerprint buckets candidates; exact `trace_eq` splits any hash
+    // collision.
+    let mut buckets: HashMap<(usize, fsr_interp::RunConfig, u64), Vec<usize>> = HashMap::new();
+    for (j, prep) in preps.iter().enumerate() {
+        if let Ok(p) = prep {
+            buckets
+                .entry((fe_of_job[j], jobs[j].cfg.run, p.fingerprint))
+                .or_default()
+                .push(j);
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for bucket in buckets.into_values() {
+        let mut parts: Vec<Vec<usize>> = Vec::new();
+        for j in bucket {
+            let lay = &preps[j].as_ref().unwrap().layout;
+            match parts
+                .iter_mut()
+                .find(|p| preps[p[0]].as_ref().unwrap().layout.trace_eq(lay))
+            {
+                Some(p) => p.push(j),
+                None => parts.push(vec![j]),
+            }
+        }
+        groups.append(&mut parts);
+    }
+    stats.trace_groups = groups.len();
+
+    // Phase C' — translation super-groups. Two direct-only layouts of the
+    // same front end are related by a static word-address bijection (the
+    // interpreter's only layout dependence is the pure `resolve`; with no
+    // indirection there is no first-touch state). All direct-only groups
+    // sharing a (front end, run config) therefore merge into ONE
+    // interpreter pass: the first group's layout drives the VM, and each
+    // other group rewrites the address stream through its
+    // [`Layout::word_map_to`] map on the way into its simulator bank.
+    // Groups with indirection keep their own pass.
+    let mut unit_ids: HashMap<(usize, fsr_interp::RunConfig), usize> = HashMap::new();
+    let mut units: Vec<Vec<Vec<usize>>> = Vec::new();
+    for group in groups {
+        let rep = group[0];
+        if preps[rep].as_ref().unwrap().layout.direct_only() {
+            let next = units.len();
+            let id = *unit_ids
+                .entry((fe_of_job[rep], jobs[rep].cfg.run))
+                .or_insert(next);
+            if id == units.len() {
+                units.push(Vec::new());
+            }
+            units[id].push(group);
+        } else {
+            units.push(vec![group]);
+        }
+    }
+    stats.interpretations = units.len();
+
+    // Phase D — one interpretation per unit, fanned out to per-job
+    // simulators + timing models.
+    let group_outputs: Vec<Vec<(usize, Result<RunResult, PipelineError>)>> =
+        parallel_map(&units, threads, |unit| {
+            run_unit(&jobs, &fronts, &fe_of_job, &preps, unit)
+        });
+
+    let mut slots: Vec<Option<Result<RunResult, PipelineError>>> =
+        (0..n).map(|_| None).collect();
+    for (j, prep) in preps.iter().enumerate() {
+        if let Err(e) = prep {
+            slots[j] = Some(Err(e.clone()));
+        }
+    }
+    for out in group_outputs {
+        for (j, r) in out {
+            slots[j] = Some(r);
+        }
+    }
+    let results = jobs
+        .into_iter()
+        .zip(slots)
+        .map(|(job, r)| (job, r.expect("every job resolved")))
+        .collect();
+    (results, stats)
+}
+
+/// One trace group's receiving end inside a translation unit: rewrites
+/// each reference through the group's word map (identity for the group
+/// whose layout drives the interpreter), then fans it out to the group's
+/// per-job simulator + timing sinks.
+struct GroupSink {
+    /// Word-indexed translation from the driving layout's addresses to
+    /// this group's; `None` = identity (the driving group itself).
+    map: Option<Vec<u32>>,
+    sinks: Vec<crate::PipelineSink>,
+}
+
+impl TraceSink for GroupSink {
+    fn access(&mut self, r: MemRef) {
+        let r = match &self.map {
+            None => r,
+            Some(map) => {
+                let w = map[(r.addr / WORD_BYTES) as usize];
+                debug_assert_ne!(w, u32::MAX, "resolvable addresses are always mapped");
+                MemRef {
+                    addr: w * WORD_BYTES,
+                    ..r
+                }
+            }
+        };
+        for s in &mut self.sinks {
+            s.access(r);
+        }
+    }
+
+    fn sync(&mut self, pids: &[u32]) {
+        for s in &mut self.sinks {
+            s.sync(pids);
+        }
+    }
+
+    fn handoff(&mut self, from: u32, to: u32) {
+        for s in &mut self.sinks {
+            s.handoff(from, to);
+        }
+    }
+}
+
+/// Interpret a unit's shared trace once, driving every member job's
+/// cache simulator and timing model through a [`TeeSink`] of per-group
+/// translating [`GroupSink`]s.
+fn run_unit<M>(
+    jobs: &[Job<M>],
+    fronts: &[Result<FrontEnd, PipelineError>],
+    fe_of_job: &[usize],
+    preps: &[Result<Prep, PipelineError>],
+    unit: &[Vec<usize>],
+) -> Vec<(usize, Result<RunResult, PipelineError>)> {
+    let rep = unit[0][0];
+    let fe = fronts[fe_of_job[rep]]
+        .as_ref()
+        .expect("units only contain prepared jobs");
+    let nproc = fe.nproc;
+    let rep_layout = &preps[rep].as_ref().unwrap().layout;
+
+    let group_sinks: Vec<GroupSink> = unit
+        .iter()
+        .enumerate()
+        .map(|(gi, group)| {
+            let map = (gi != 0).then(|| {
+                rep_layout
+                    .word_map_to(&preps[group[0]].as_ref().unwrap().layout)
+                    .expect("direct-only layouts of one front end are translation compatible")
+            });
+            // One address-space bound per group bank: group members differ
+            // at most in trailing alignment slack, and a larger bound only
+            // sizes vectors — statistics are unaffected.
+            let bound_bytes = group
+                .iter()
+                .map(|&j| preps[j].as_ref().unwrap().layout.total_words())
+                .max()
+                .unwrap()
+                * WORD_BYTES;
+            let sim_cfgs: Vec<CacheConfig> = group
+                .iter()
+                .map(|&j| {
+                    let cfg = &jobs[j].cfg;
+                    CacheConfig {
+                        nproc,
+                        block_bytes: cfg.block_bytes,
+                        cache_bytes: cfg.cache_bytes,
+                        assoc: cfg.assoc,
+                    }
+                })
+                .collect();
+            let sinks = MultiSim::bank(&sim_cfgs, bound_bytes)
+                .into_iter()
+                .zip(group)
+                .map(|(sim, &j)| crate::PipelineSink {
+                    sim,
+                    timing: TimingModel::new(jobs[j].cfg.machine, nproc),
+                })
+                .collect();
+            GroupSink { map, sinks }
+        })
+        .collect();
+    let mut tee = TeeSink::new(group_sinks);
+
+    match fsr_interp::run(&fe.prog, rep_layout, &fe.code, jobs[rep].cfg.run, &mut tee) {
+        Err(e) => unit
+            .iter()
+            .flatten()
+            .map(|&j| (j, Err(PipelineError::Runtime(e.clone()))))
+            .collect(),
+        Ok(fin) => tee
+            .into_inner()
+            .into_iter()
+            .zip(unit)
+            .flat_map(|(gs, group)| {
+                gs.sinks
+                    .into_iter()
+                    .zip(group)
+                    .map(|(sink, &j)| {
+                        let prep = preps[j].as_ref().unwrap();
+                        let per_obj = fsr_sim::report::attribute_misses(&sink.sim, |addr| {
+                            prep.layout
+                                .attribute(addr)
+                                .map(|oid| fe.prog.object(oid).name.clone())
+                        });
+                        let r = RunResult {
+                            nproc,
+                            plan: prep.plan.clone(),
+                            sim: sink.sim.stats().clone(),
+                            per_obj,
+                            exec_cycles: sink.timing.finish_time(),
+                            timing: sink.timing.stats().clone(),
+                            interp: fin.stats.clone(),
+                            fs_stall_frac: sink.timing.false_sharing_stall_fraction(),
+                        };
+                        (j, Ok(r))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn parallel_jobs_produce_ordered_results() {
-        let src = "param NPROC = 2; shared int c[NPROC];
-                   fn main() { forall p in 0 .. NPROC { var i;
-                       for i in 0 .. 50 { c[p] = c[p] + 1; } } }";
-        let jobs: Vec<Job> = [16u32, 32, 64, 128]
+    const COUNTERS: &str = "param NPROC = 2; shared int c[NPROC];
+               fn main() { forall p in 0 .. NPROC { var i;
+                   for i in 0 .. 50 { c[p] = c[p] + 1; } } }";
+
+    fn block_jobs(blocks: &[u32]) -> Vec<Job<u32>> {
+        blocks
             .iter()
             .map(|&b| Job {
-                label: format!("b{b}"),
-                src: src.to_string(),
+                meta: b,
+                src: Arc::from(COUNTERS),
                 params: vec![],
                 plan: PlanSourceSpec::Unoptimized,
                 cfg: PipelineConfig::with_block(b),
             })
-            .collect();
-        let out = run_jobs(jobs, 2);
+            .collect()
+    }
+
+    #[test]
+    fn parallel_jobs_produce_ordered_results() {
+        let out = run_jobs(block_jobs(&[16, 32, 64, 128]), 2);
         assert_eq!(out.len(), 4);
         for (i, (job, r)) in out.iter().enumerate() {
-            assert_eq!(job.label, format!("b{}", [16, 32, 64, 128][i]));
+            assert_eq!(job.meta, [16, 32, 64, 128][i]);
             assert!(r.is_ok());
         }
         // Larger blocks: at least as much false sharing.
@@ -118,13 +551,111 @@ mod tests {
     #[test]
     fn errors_are_reported_per_job() {
         let jobs = vec![Job {
-            label: "bad".into(),
-            src: "fn main() {".into(),
+            meta: (),
+            src: Arc::from("fn main() {"),
             params: vec![],
             plan: PlanSourceSpec::Unoptimized,
             cfg: PipelineConfig::default(),
         }];
         let out = run_jobs(jobs, 1);
         assert!(out[0].1.is_err());
+    }
+
+    #[test]
+    fn batch_matches_reference_path_per_block() {
+        let blocks = [16u32, 32, 64, 128];
+        let reference = run_jobs(block_jobs(&blocks), 1);
+        let (batched, stats) = run_batch_with_stats(block_jobs(&blocks), 1);
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.front_ends, 1, "one (source, params) key");
+        // Unoptimized layouts ignore the block size: one shared trace.
+        assert_eq!(stats.trace_groups, 1);
+        assert_eq!(stats.interpretations, 1);
+        for ((_, want), (job, got)) in reference.iter().zip(&batched) {
+            let want = want.as_ref().unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(want.sim, got.sim, "block {}", job.meta);
+            assert_eq!(want.per_obj, got.per_obj, "block {}", job.meta);
+            assert_eq!(want.exec_cycles, got.exec_cycles, "block {}", job.meta);
+            assert_eq!(want.timing, got.timing, "block {}", job.meta);
+            assert_eq!(want.interp, got.interp, "block {}", job.meta);
+        }
+    }
+
+    #[test]
+    fn batch_splits_groups_when_layouts_differ() {
+        // Compiler plans pad/transpose by block size: distinct traces.
+        let jobs: Vec<Job<u32>> = [32u32, 128]
+            .iter()
+            .flat_map(|&b| {
+                [PlanSourceSpec::Unoptimized, PlanSourceSpec::Compiler]
+                    .into_iter()
+                    .map(move |plan| Job {
+                        meta: b,
+                        src: Arc::from(COUNTERS),
+                        params: vec![],
+                        plan,
+                        cfg: PipelineConfig::with_block(b),
+                    })
+            })
+            .collect();
+        let reference = run_jobs(jobs.clone(), 1);
+        let (out, stats) = run_batch_with_stats(jobs, 0);
+        assert_eq!(stats.front_ends, 1);
+        assert_eq!(stats.analyses, 1);
+        // 1 shared unoptimized group + one compiler group per block.
+        assert_eq!(stats.trace_groups, 3);
+        // All three groups are direct-only layouts of one front end, so
+        // address translation collapses them into a single interpreter
+        // pass...
+        assert_eq!(stats.interpretations, 1);
+        // ...whose translated statistics still match the reference path
+        // exactly.
+        for ((_, want), (job, got)) in reference.iter().zip(&out) {
+            let want = want.as_ref().unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(want.sim, got.sim, "block {}", job.meta);
+            assert_eq!(want.per_obj, got.per_obj, "block {}", job.meta);
+            assert_eq!(want.exec_cycles, got.exec_cycles, "block {}", job.meta);
+            assert_eq!(want.timing, got.timing, "block {}", job.meta);
+        }
+    }
+
+    #[test]
+    fn batch_reports_front_end_errors_per_job() {
+        let jobs: Vec<Job<()>> = (0..3)
+            .map(|_| Job {
+                meta: (),
+                src: Arc::from("fn main() {"),
+                params: vec![],
+                plan: PlanSourceSpec::Unoptimized,
+                cfg: PipelineConfig::default(),
+            })
+            .collect();
+        let (out, stats) = run_batch_with_stats(jobs, 1);
+        assert_eq!(stats.front_ends, 1, "broken source compiled once");
+        assert_eq!(stats.trace_groups, 0);
+        assert_eq!(stats.interpretations, 0);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|(_, r)| r.is_err()));
+    }
+
+    #[test]
+    fn batch_reports_runtime_errors_for_every_group_member() {
+        let src = "shared int a[2]; fn main() { forall p in 0 .. 4 { a[p] = 1; } }";
+        let jobs: Vec<Job<u32>> = [16u32, 64]
+            .iter()
+            .map(|&b| Job {
+                meta: b,
+                src: Arc::from(src),
+                params: vec![],
+                plan: PlanSourceSpec::Unoptimized,
+                cfg: PipelineConfig::with_block(b),
+            })
+            .collect();
+        let out = run_batch(jobs, 1);
+        for (_, r) in &out {
+            assert!(matches!(r, Err(PipelineError::Runtime(_))));
+        }
     }
 }

@@ -10,17 +10,23 @@
 //!   ring machine model, per program version.
 //! - [`headline`]: the §5 aggregate claims (share of misses that are
 //!   false sharing, fraction eliminated, change in other misses).
+//!
+//! All generators enqueue their full grid as one [`run_batch`] call, so
+//! front ends are compiled once per (program, params) and configurations
+//! with address-identical layouts — e.g. the unoptimized baseline across
+//! every block size — share a single interpretation (the paper's own
+//! trace-once, simulate-many methodology).
 
-use crate::driver::{run_jobs, Job, PlanSourceSpec};
-use crate::{
-    plan_of, run_pipeline, PipelineConfig, PipelineError, PlanSource, RunResult,
-};
+use crate::driver::{run_batch, Job, PlanSourceSpec};
+use crate::{run_pipeline, PipelineConfig, PipelineError, PlanSource, RunResult};
 use fsr_machine::SpeedupCurve;
 use fsr_transform::ObjPlan;
 use fsr_workloads::{Version, Workload};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which program version to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Vsn {
     N,
     C,
@@ -49,7 +55,8 @@ pub fn plan_source(w: &Workload, v: Vsn) -> PlanSource {
     }
 }
 
-fn plan_spec(w: &Workload, v: Vsn) -> PlanSourceSpec {
+/// Driver-level plan spec for a workload version.
+pub fn plan_spec(w: &Workload, v: Vsn) -> PlanSourceSpec {
     match v {
         Vsn::N => PlanSourceSpec::Unoptimized,
         Vsn::C => PlanSourceSpec::Compiler,
@@ -58,6 +65,10 @@ fn plan_spec(w: &Workload, v: Vsn) -> PlanSourceSpec {
             None => PlanSourceSpec::Unoptimized,
         },
     }
+}
+
+fn std_params(nproc: i64, scale: i64) -> Vec<(String, i64)> {
+    vec![("NPROC".to_string(), nproc), ("SCALE".to_string(), scale)]
 }
 
 /// Run one workload version at a given processor count, scale and block.
@@ -88,33 +99,44 @@ pub struct Fig3Row {
     pub other_miss_rate: f64,
 }
 
+#[derive(Debug, Clone, Copy)]
+struct Fig3Meta {
+    program: &'static str,
+    block: u32,
+    version: Vsn,
+}
+
 /// Figure 3: the six N+C programs at the given block sizes (paper: 16
 /// and 128 bytes, 12 processors).
 pub fn figure3(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> Vec<Fig3Row> {
-    let mut jobs = Vec::new();
     let set = fsr_workloads::figure3_set();
+    let mut jobs = Vec::new();
     for w in &set {
+        let src: Arc<str> = Arc::from(w.source);
         for &b in blocks {
             for v in [Vsn::N, Vsn::C] {
                 jobs.push(Job {
-                    label: format!("{}/{}/{}", w.name, b, v.label()),
-                    src: w.source.to_string(),
-                    params: vec![("NPROC".into(), nproc), ("SCALE".into(), scale)],
+                    meta: Fig3Meta {
+                        program: w.name,
+                        block: b,
+                        version: v,
+                    },
+                    src: src.clone(),
+                    params: std_params(nproc, scale),
                     plan: plan_spec(w, v),
                     cfg: PipelineConfig::with_block(b),
                 });
             }
         }
     }
-    run_jobs(jobs, threads)
+    run_batch(jobs, threads)
         .into_iter()
         .filter_map(|(job, r)| {
             let r = r.ok()?;
-            let parts: Vec<&str> = job.label.split('/').collect();
             Some(Fig3Row {
-                program: parts[0].to_string(),
-                block: parts[1].parse().unwrap(),
-                version: parts[2].to_string(),
+                program: job.meta.program.to_string(),
+                block: job.meta.block,
+                version: job.meta.version.label().to_string(),
                 refs: r.sim.refs,
                 fs_miss_rate: r.sim.false_sharing() as f64 / r.sim.refs.max(1) as f64,
                 other_miss_rate: r.sim.other_misses() as f64 / r.sim.refs.max(1) as f64,
@@ -135,9 +157,25 @@ pub struct Table2Row {
     pub indirection_pct: f64,
     pub pad_pct: f64,
     pub locks_pct: f64,
+    /// Block sizes excluded from the average because the unoptimized
+    /// baseline had zero false-sharing misses there (a 0% denominator).
+    pub dropped_blocks: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct T2Meta {
+    prog_idx: usize,
+    block: u32,
+    /// 0 = unoptimized baseline, 1 = full plan, 2..=5 = per-class
+    /// ablations (transpose, indirection, pad, locks).
+    cell: usize,
 }
 
 /// Table 2: averaged over the given block sizes (paper: 8–256 bytes).
+///
+/// All (program, block, cell) samples run as one batch; baselines whose
+/// layout does not depend on the block size collapse into a single
+/// interpretation.
 pub fn table2(
     nproc: i64,
     scale: i64,
@@ -145,65 +183,73 @@ pub fn table2(
     threads: usize,
 ) -> Result<Vec<Table2Row>, PipelineError> {
     let set = fsr_workloads::figure3_set();
-    let mut rows = Vec::new();
-    for w in &set {
-        let mut acc = [0.0f64; 5]; // total, transpose, ind, pad, locks
-        let mut samples = 0usize;
+    let mut jobs: Vec<Job<T2Meta>> = Vec::new();
+    for (wi, w) in set.iter().enumerate() {
+        let src: Arc<str> = Arc::from(w.source);
+        let prog =
+            fsr_lang::compile_with_params(w.source, &[("NPROC", nproc), ("SCALE", scale)])?;
+        let analysis = fsr_analysis::analyze(&prog)?;
         for &b in blocks {
             let cfg = PipelineConfig::with_block(b);
-            let prog = fsr_lang::compile_with_params(
-                w.source,
-                &[("NPROC", nproc), ("SCALE", scale)],
-            )?;
-            let full = plan_of(&prog, &PlanSource::Compiler, &cfg)?;
-            let ablations: Vec<(usize, crate::LayoutPlan)> = vec![
-                (1, full.retain_kind(|p| matches!(p, ObjPlan::Transpose { .. }))),
-                (2, full.retain_kind(|p| matches!(p, ObjPlan::Indirect { .. }))),
-                (3, full.retain_kind(|p| matches!(p, ObjPlan::PadElems))),
-                (4, full.retain_kind(|p| matches!(p, ObjPlan::PadLock))),
+            let full = fsr_transform::plan_for(&prog, &analysis, &cfg.plan_cfg);
+            let cells = [
+                PlanSourceSpec::Unoptimized,
+                PlanSourceSpec::Explicit(full.clone()),
+                PlanSourceSpec::Explicit(
+                    full.retain_kind(|p| matches!(p, ObjPlan::Transpose { .. })),
+                ),
+                PlanSourceSpec::Explicit(
+                    full.retain_kind(|p| matches!(p, ObjPlan::Indirect { .. })),
+                ),
+                PlanSourceSpec::Explicit(full.retain_kind(|p| matches!(p, ObjPlan::PadElems))),
+                PlanSourceSpec::Explicit(full.retain_kind(|p| matches!(p, ObjPlan::PadLock))),
             ];
-            let mut jobs = vec![
-                Job {
-                    label: "base".into(),
-                    src: w.source.to_string(),
-                    params: vec![("NPROC".into(), nproc), ("SCALE".into(), scale)],
-                    plan: PlanSourceSpec::Unoptimized,
-                    cfg: cfg.clone(),
-                },
-                Job {
-                    label: "full".into(),
-                    src: w.source.to_string(),
-                    params: vec![("NPROC".into(), nproc), ("SCALE".into(), scale)],
-                    plan: PlanSourceSpec::Explicit(full.clone()),
-                    cfg: cfg.clone(),
-                },
-            ];
-            for (k, plan) in &ablations {
+            for (cell, plan) in cells.into_iter().enumerate() {
                 jobs.push(Job {
-                    label: format!("abl{k}"),
-                    src: w.source.to_string(),
-                    params: vec![("NPROC".into(), nproc), ("SCALE".into(), scale)],
-                    plan: PlanSourceSpec::Explicit(plan.clone()),
+                    meta: T2Meta {
+                        prog_idx: wi,
+                        block: b,
+                        cell,
+                    },
+                    src: src.clone(),
+                    params: std_params(nproc, scale),
+                    plan,
                     cfg: cfg.clone(),
                 });
             }
-            let out = run_jobs(jobs, threads);
-            let fs_of = |label: &str| -> Option<u64> {
-                out.iter()
-                    .find(|(j, _)| j.label == label)
-                    .and_then(|(_, r)| r.as_ref().ok().map(|r| r.sim.false_sharing()))
-            };
-            let base = fs_of("base").unwrap_or(0);
+        }
+    }
+
+    let mut fs: HashMap<(usize, u32, usize), u64> = HashMap::new();
+    for (job, r) in run_batch(jobs, threads) {
+        if let Ok(r) = r {
+            fs.insert(
+                (job.meta.prog_idx, job.meta.block, job.meta.cell),
+                r.sim.false_sharing(),
+            );
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (wi, w) in set.iter().enumerate() {
+        let mut acc = [0.0f64; 5]; // total, transpose, ind, pad, locks
+        let mut samples = 0usize;
+        let mut dropped = 0usize;
+        for &b in blocks {
+            let base = fs.get(&(wi, b, 0)).copied().unwrap_or(0);
             if base == 0 {
+                dropped += 1;
+                eprintln!(
+                    "table2: dropping {} @ {b}B from the average \
+                     (baseline has no false-sharing misses)",
+                    w.name
+                );
                 continue;
             }
-            let reduction = |fs: u64| 100.0 * (base.saturating_sub(fs)) as f64 / base as f64;
-            if let Some(f) = fs_of("full") {
-                acc[0] += reduction(f);
-            }
-            for k in 1..=4 {
-                if let Some(f) = fs_of(&format!("abl{k}")) {
-                    acc[k] += reduction(f);
+            let reduction = |v: u64| 100.0 * base.saturating_sub(v) as f64 / base as f64;
+            for k in 0..5 {
+                if let Some(&v) = fs.get(&(wi, b, k + 1)) {
+                    acc[k] += reduction(v);
                 }
             }
             samples += 1;
@@ -216,6 +262,7 @@ pub fn table2(
             indirection_pct: acc[2] / n,
             pad_pct: acc[3] / n,
             locks_pct: acc[4] / n,
+            dropped_blocks: dropped,
         });
     }
     Ok(rows)
@@ -232,20 +279,21 @@ pub fn speedup_sweep(
     block: u32,
     threads: usize,
 ) -> SpeedupCurve {
-    let jobs: Vec<Job> = procs
+    let src: Arc<str> = Arc::from(w.source);
+    let jobs: Vec<Job<u32>> = procs
         .iter()
         .map(|&p| Job {
-            label: format!("{p}"),
-            src: w.source.to_string(),
-            params: vec![("NPROC".into(), p as i64), ("SCALE".into(), scale)],
+            meta: p,
+            src: src.clone(),
+            params: std_params(p as i64, scale),
             plan: plan_spec(w, v),
             cfg: PipelineConfig::with_block(block),
         })
         .collect();
     let mut curve = SpeedupCurve::default();
-    for (job, r) in run_jobs(jobs, threads) {
+    for (job, r) in run_batch(jobs, threads) {
         if let Ok(r) = r {
-            curve.push(job.label.parse().unwrap(), r.exec_cycles);
+            curve.push(job.meta, r.exec_cycles);
         }
     }
     curve
@@ -268,18 +316,87 @@ pub struct Table3Row {
     pub programmer: Option<(f64, u32)>,
 }
 
-/// Table 3 for all ten programs.
+#[derive(Debug, Clone, Copy)]
+struct T3Meta {
+    prog_idx: usize,
+    version: Vsn,
+    procs: u32,
+    /// The unoptimized uniprocessor baseline time job.
+    baseline: bool,
+}
+
+/// Table 3 for all ten programs, as one batch over every (program,
+/// version, #procs) point plus the per-program baselines.
 pub fn table3(procs: &[u32], scale: i64, block: u32, threads: usize) -> Vec<Table3Row> {
-    fsr_workloads::all()
-        .iter()
-        .map(|w| {
-            let t1 = t1_unoptimized(w, scale, block).unwrap_or(1);
-            let sweep = |v: Vsn| speedup_sweep(w, v, procs, scale, block, threads).max_speedup(t1);
+    let all = fsr_workloads::all();
+    let mut jobs: Vec<Job<T3Meta>> = Vec::new();
+    for (wi, w) in all.iter().enumerate() {
+        let src: Arc<str> = Arc::from(w.source);
+        jobs.push(Job {
+            meta: T3Meta {
+                prog_idx: wi,
+                version: Vsn::N,
+                procs: 1,
+                baseline: true,
+            },
+            src: src.clone(),
+            params: std_params(1, scale),
+            plan: plan_spec(w, Vsn::N),
+            cfg: PipelineConfig::with_block(block),
+        });
+        let mut versions = vec![Vsn::C];
+        if w.has(Version::Unoptimized) {
+            versions.push(Vsn::N);
+        }
+        if w.has(Version::Programmer) {
+            versions.push(Vsn::P);
+        }
+        for v in versions {
+            for &p in procs {
+                jobs.push(Job {
+                    meta: T3Meta {
+                        prog_idx: wi,
+                        version: v,
+                        procs: p,
+                        baseline: false,
+                    },
+                    src: src.clone(),
+                    params: std_params(p as i64, scale),
+                    plan: plan_spec(w, v),
+                    cfg: PipelineConfig::with_block(block),
+                });
+            }
+        }
+    }
+
+    let mut t1: Vec<u64> = vec![1; all.len()];
+    let mut curves: HashMap<(usize, Vsn), SpeedupCurve> = HashMap::new();
+    for (job, r) in run_batch(jobs, threads) {
+        let Ok(r) = r else { continue };
+        if job.meta.baseline {
+            t1[job.meta.prog_idx] = r.exec_cycles;
+        } else {
+            curves
+                .entry((job.meta.prog_idx, job.meta.version))
+                .or_default()
+                .push(job.meta.procs, r.exec_cycles);
+        }
+    }
+
+    all.iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let ms = |v: Vsn| {
+                curves
+                    .get(&(wi, v))
+                    .map(|c| c.max_speedup(t1[wi]))
+                    .unwrap_or_else(|| SpeedupCurve::default().max_speedup(t1[wi]))
+            };
             Table3Row {
                 program: w.name.to_string(),
-                original: w.has(Version::Unoptimized).then(|| sweep(Vsn::N)),
-                compiler: sweep(Vsn::C),
-                programmer: w.has(Version::Programmer).then(|| sweep(Vsn::P)),
+                original: w.has(Version::Unoptimized).then(|| ms(Vsn::N)),
+                compiler: ms(Vsn::C),
+                programmer: w.has(Version::Programmer).then(|| ms(Vsn::P)),
             }
         })
         .collect()
@@ -297,13 +414,15 @@ pub struct Headline {
     pub total_miss_change: f64,
 }
 
-pub fn headline(nproc: i64, scale: i64, block: u32, threads: usize) -> Headline {
-    let rows = figure3(nproc, scale, &[block], threads);
+/// Pool already-computed [`figure3`] rows at one block size into the
+/// headline aggregate. Lets callers that also render Figure 3 derive the
+/// headline without re-running any simulation.
+pub fn headline_from_rows(rows: &[Fig3Row], block: u32) -> Headline {
     let mut base_fs = 0.0;
     let mut base_other = 0.0;
     let mut opt_fs = 0.0;
     let mut opt_other = 0.0;
-    for r in &rows {
+    for r in rows.iter().filter(|r| r.block == block) {
         // Weight rates by references so the aggregate matches pooled
         // miss counts.
         let w = r.refs as f64;
@@ -322,4 +441,8 @@ pub fn headline(nproc: i64, scale: i64, block: u32, threads: usize) -> Headline 
         other_miss_change: opt_other / base_other.max(1e-12) - 1.0,
         total_miss_change: (opt_fs + opt_other) / (base_fs + base_other).max(1e-12) - 1.0,
     }
+}
+
+pub fn headline(nproc: i64, scale: i64, block: u32, threads: usize) -> Headline {
+    headline_from_rows(&figure3(nproc, scale, &[block], threads), block)
 }

@@ -127,8 +127,9 @@ impl RunResult {
     }
 }
 
-/// Pipeline errors.
-#[derive(Debug)]
+/// Pipeline errors. `Clone` lets the batched driver report one shared
+/// front-end or interpretation failure against every affected job.
+#[derive(Debug, Clone)]
 pub enum PipelineError {
     Lang(fsr_lang::Error),
     Runtime(fsr_interp::RuntimeError),

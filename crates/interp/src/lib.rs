@@ -29,8 +29,8 @@ pub mod vm;
 pub use bytecode::{Compiled, Instr};
 pub use compile::compile_program;
 pub use vm::{
-    CountingSink, FinalState, Interp, MemRef, RunConfig, RunStats, RuntimeError, TraceSink,
-    VecSink,
+    runs_started, CountingSink, FinalState, Interp, MemRef, RecordedTrace, RunConfig, RunStats,
+    RuntimeError, TeeSink, TraceEvent, TraceSink, VecSink,
 };
 
 use fsr_lang::ast::Program;

@@ -490,3 +490,60 @@ fn uncontended_lock_reacquisition_by_same_proc_has_no_handoff() {
     run(&prog, &layout, &code, RunConfig::default(), &mut sink).unwrap();
     assert!(sink.handoffs.is_empty());
 }
+
+const TEE_SRC: &str = "param NPROC = 4; shared lock lk; shared int c[NPROC]; shared int x;
+     fn main() { forall p in 0 .. NPROC { var i;
+         for i in 0 .. 20 { c[p] = c[p] + 1; }
+         lock(lk); x = x + 1; unlock(lk); } }";
+
+fn tee_fixture() -> (fsr_lang::Program, fsr_layout::Layout, Compiled) {
+    let prog = fsr_lang::compile(TEE_SRC).unwrap();
+    let layout = fsr_layout::Layout::build(&prog, &LayoutPlan::unoptimized(64), 4);
+    let code = compile_program(&prog).unwrap();
+    (prog, layout, code)
+}
+
+#[test]
+fn tee_sink_forwards_every_event_to_every_inner_sink() {
+    let (prog, layout, code) = tee_fixture();
+    let mut direct = RecordedTrace::default();
+    let fin1 = run(&prog, &layout, &code, RunConfig::default(), &mut direct).unwrap();
+
+    let mut tee = TeeSink::new(vec![RecordedTrace::default(), RecordedTrace::default()]);
+    let fin2 = run(&prog, &layout, &code, RunConfig::default(), &mut tee).unwrap();
+
+    assert_eq!(fin1.stats, fin2.stats, "interpretation is sink-independent");
+    let inner = tee.into_inner();
+    assert!(!direct.events.is_empty());
+    assert!(direct.events.iter().any(|e| matches!(e, TraceEvent::Sync(_))));
+    for s in &inner {
+        assert_eq!(s.events, direct.events, "each fan-out sees the full stream");
+    }
+}
+
+#[test]
+fn recorded_trace_replay_reproduces_the_stream() {
+    let (prog, layout, code) = tee_fixture();
+    let mut rec = RecordedTrace::default();
+    run(&prog, &layout, &code, RunConfig::default(), &mut rec).unwrap();
+
+    let mut replayed = RecordedTrace::default();
+    rec.replay(&mut replayed);
+    assert_eq!(rec.events, replayed.events);
+
+    // Replaying only accesses into a VecSink matches a direct VecSink run.
+    let mut vec_direct = VecSink::default();
+    run(&prog, &layout, &code, RunConfig::default(), &mut vec_direct).unwrap();
+    let mut vec_replayed = VecSink::default();
+    rec.replay(&mut vec_replayed);
+    assert_eq!(vec_direct.0, vec_replayed.0);
+}
+
+#[test]
+fn runs_started_counts_interpreter_constructions() {
+    let (prog, layout, code) = tee_fixture();
+    let before = runs_started();
+    run(&prog, &layout, &code, RunConfig::default(), &mut VecSink::default()).unwrap();
+    run(&prog, &layout, &code, RunConfig::default(), &mut VecSink::default()).unwrap();
+    assert!(runs_started() - before >= 2);
+}

@@ -69,6 +69,102 @@ impl TraceSink for VecSink {
     }
 }
 
+/// Fan-out sink: forwards every trace event to each inner sink in order.
+///
+/// This is the "trace once, simulate many" primitive: the interpreter is
+/// sink-agnostic, so one interpretation can drive N cache simulators (one
+/// per block size) plus timing models simultaneously, producing exactly
+/// the event stream each would have seen in its own run.
+#[derive(Debug, Default)]
+pub struct TeeSink<S: TraceSink> {
+    pub sinks: Vec<S>,
+}
+
+impl<S: TraceSink> TeeSink<S> {
+    pub fn new(sinks: Vec<S>) -> Self {
+        TeeSink { sinks }
+    }
+
+    pub fn into_inner(self) -> Vec<S> {
+        self.sinks
+    }
+}
+
+impl<S: TraceSink> TraceSink for TeeSink<S> {
+    fn access(&mut self, r: MemRef) {
+        for s in &mut self.sinks {
+            s.access(r);
+        }
+    }
+
+    fn sync(&mut self, pids: &[u32]) {
+        for s in &mut self.sinks {
+            s.sync(pids);
+        }
+    }
+
+    fn handoff(&mut self, from: u32, to: u32) {
+        for s in &mut self.sinks {
+            s.handoff(from, to);
+        }
+    }
+}
+
+/// One recorded trace event (access, barrier sync, or lock hand-off).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    Access(MemRef),
+    Sync(Vec<u32>),
+    Handoff { from: u32, to: u32 },
+}
+
+/// Sink that records the full event stream for later replay.
+///
+/// Recording costs memory proportional to the trace, so the batched
+/// driver prefers [`TeeSink`] (replay-free fan-out); `RecordedTrace` is
+/// for cases where consumers cannot all be constructed up front.
+#[derive(Debug, Default, Clone)]
+pub struct RecordedTrace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl RecordedTrace {
+    /// Feed the recorded stream into another sink, in original order.
+    pub fn replay(&self, sink: &mut dyn TraceSink) {
+        for e in &self.events {
+            match e {
+                TraceEvent::Access(r) => sink.access(*r),
+                TraceEvent::Sync(pids) => sink.sync(pids),
+                TraceEvent::Handoff { from, to } => sink.handoff(*from, *to),
+            }
+        }
+    }
+}
+
+impl TraceSink for RecordedTrace {
+    fn access(&mut self, r: MemRef) {
+        self.events.push(TraceEvent::Access(r));
+    }
+
+    fn sync(&mut self, pids: &[u32]) {
+        self.events.push(TraceEvent::Sync(pids.to_vec()));
+    }
+
+    fn handoff(&mut self, from: u32, to: u32) {
+        self.events.push(TraceEvent::Handoff { from, to });
+    }
+}
+
+/// Process-wide count of interpreter runs started, for tests and batch
+/// accounting: trace-sharing optimizations can assert that N jobs really
+/// cost one interpretation.
+static RUNS_STARTED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total interpreter runs started in this process.
+pub fn runs_started() -> u64 {
+    RUNS_STARTED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Run-time error (index out of bounds, division by zero, deadlock,
 /// step-limit exhaustion, arena overflow).
 #[derive(Debug, Clone)]
@@ -86,7 +182,11 @@ impl std::fmt::Display for RuntimeError {
 impl std::error::Error for RuntimeError {}
 
 /// Interpreter configuration.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq`/`Hash` matter: the batched driver groups jobs whose
+/// (layout, run config) pairs are identical, because those produce
+/// identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RunConfig {
     /// Seed for the `prand` builtin (identical across layouts so control
     /// flow is layout-independent).
@@ -108,7 +208,7 @@ impl Default for RunConfig {
 }
 
 /// Execution statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
     pub instructions: u64,
     pub refs: u64,
@@ -169,6 +269,7 @@ pub struct Interp<'a> {
 
 impl<'a> Interp<'a> {
     pub fn new(prog: &Program, layout: &'a Layout, code: &'a Compiled, cfg: RunConfig) -> Self {
+        RUNS_STARTED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let nproc = layout.nproc;
         let main_fc = code.func(code.main);
         let mut procs: Vec<Proc> = (0..nproc)

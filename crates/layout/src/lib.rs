@@ -44,7 +44,7 @@ pub enum Resolved {
 }
 
 /// Per-object layout record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum ObjLayout {
     /// Row-major contiguous at `base` with `stride_words` per element
     /// (equal to element size when unpadded, block words when padded).
@@ -66,7 +66,7 @@ enum ObjLayout {
 
 /// Specification of one indirection arena (instantiated as mutable state
 /// by the interpreter).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArenaSpec {
     pub obj: ObjId,
     pub base_word: u32,
@@ -80,7 +80,7 @@ pub struct ArenaSpec {
 }
 
 /// Address range attribution for miss accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
     pub start_word: u32,
     pub end_word: u32,
@@ -510,6 +510,165 @@ impl Layout {
     pub fn regions(&self) -> &[Region] {
         &self.regions
     }
+
+    /// Fingerprint of everything that determines the reference trace a
+    /// program produces under this layout: the per-object address maps,
+    /// element geometry, arena allocation behaviour, attribution regions
+    /// and the process count.
+    ///
+    /// Deliberately **excluded**: `block_bytes` (pure metadata — address
+    /// resolution never consults it) and `total_words` (trailing
+    /// alignment slack that only sizes memory images; no resolvable
+    /// address lands there). Two layouts with equal fingerprints — e.g.
+    /// the unoptimized layout built at different block sizes — drive the
+    /// interpreter through identical address streams, so a batched
+    /// driver can interpret once and fan the trace out to every
+    /// simulator configuration. Confirm candidate groups with
+    /// [`Layout::trace_eq`]; the hash alone admits collisions.
+    pub fn trace_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.nproc.hash(&mut h);
+        self.elem_words.hash(&mut h);
+        self.elem_counts.hash(&mut h);
+        self.field_offsets.hash(&mut h);
+        for o in &self.objs {
+            match o {
+                ObjLayout::Contiguous { base, stride_words } => {
+                    (0u8, base, stride_words).hash(&mut h);
+                }
+                ObjLayout::Transposed { elem_base } => {
+                    1u8.hash(&mut h);
+                    elem_base.hash(&mut h);
+                }
+                ObjLayout::Indirect {
+                    base,
+                    stride_words,
+                    slots,
+                    arena,
+                } => {
+                    (2u8, base, stride_words, arena).hash(&mut h);
+                    for (f, w) in slots {
+                        (f.map(|f| f.index()), w).hash(&mut h);
+                    }
+                }
+                ObjLayout::Private {
+                    base,
+                    per_proc_words,
+                } => {
+                    (3u8, base, per_proc_words).hash(&mut h);
+                }
+            }
+        }
+        for a in &self.arenas {
+            (
+                a.obj.index(),
+                a.base_word,
+                a.total_words,
+                a.chunk_words,
+                a.nproc,
+                a.lanes,
+            )
+                .hash(&mut h);
+        }
+        for r in &self.regions {
+            (r.start_word, r.end_word, r.obj.index(), r.kind).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Exact equality on the trace-determining fields hashed by
+    /// [`Layout::trace_fingerprint`] — the collision-proof check used
+    /// before two jobs are allowed to share one interpretation.
+    pub fn trace_eq(&self, other: &Layout) -> bool {
+        self.nproc == other.nproc
+            && self.objs == other.objs
+            && self.elem_words == other.elem_words
+            && self.elem_counts == other.elem_counts
+            && self.field_offsets == other.field_offsets
+            && self.arenas == other.arenas
+            && self.regions == other.regions
+    }
+
+    /// True when no object uses indirection. For such layouts `resolve`
+    /// is a pure function of (object, element, field, pid): there is no
+    /// first-touch arena allocation and no pointer words, so the whole
+    /// layout is a static bijection from logical coordinates to word
+    /// addresses.
+    pub fn direct_only(&self) -> bool {
+        self.arenas.is_empty()
+            && self
+                .objs
+                .iter()
+                .all(|o| !matches!(o, ObjLayout::Indirect { .. }))
+    }
+
+    /// Word-address translation `self -> other` for two direct-only
+    /// layouts of the same program geometry: `map[w]` is the word in
+    /// `other` that holds the same logical datum as word `w` of `self`
+    /// (`u32::MAX` for padding/slack words no resolvable access can
+    /// touch).
+    ///
+    /// Because interpreter control flow consults the layout only through
+    /// `resolve` — and indirection, the one case with interpreter-side
+    /// state, is excluded — a reference trace produced under `self`
+    /// becomes the trace `other` would produce by rewriting each address
+    /// through this map. The batched driver exploits that to interpret a
+    /// program once per (source, run config) and replay the stream into
+    /// every direct-only layout variant's simulator bank.
+    ///
+    /// Returns `None` when the two layouts are not translation
+    /// compatible: different element geometry (they were built from
+    /// different programs), different process counts, or indirection on
+    /// either side.
+    pub fn word_map_to(&self, other: &Layout) -> Option<Vec<u32>> {
+        if !(self.direct_only()
+            && other.direct_only()
+            && self.nproc == other.nproc
+            && self.objs.len() == other.objs.len()
+            && self.elem_words == other.elem_words
+            && self.elem_counts == other.elem_counts
+            && self.field_offsets == other.field_offsets)
+        {
+            return None;
+        }
+        // Base word of element `flat` (copy `pid` for private objects).
+        fn elem_base_word(o: &ObjLayout, ew: u32, flat: u64, pid: u32) -> Option<u32> {
+            Some(match o {
+                ObjLayout::Contiguous { base, stride_words } => {
+                    base + (flat as u32) * stride_words
+                }
+                ObjLayout::Transposed { elem_base } => elem_base[flat as usize],
+                ObjLayout::Private {
+                    base,
+                    per_proc_words,
+                } => base + pid * per_proc_words + (flat as u32) * ew,
+                ObjLayout::Indirect { .. } => return None,
+            })
+        }
+        let mut map = vec![u32::MAX; self.total_words as usize];
+        for i in 0..self.objs.len() {
+            let ew = self.elem_words[i];
+            // Private objects exist once per process; everything else
+            // once. Object kinds come from the program, so both layouts
+            // agree on which objects are private.
+            let copies = match (&self.objs[i], &other.objs[i]) {
+                (ObjLayout::Private { .. }, ObjLayout::Private { .. }) => self.nproc,
+                (ObjLayout::Private { .. }, _) | (_, ObjLayout::Private { .. }) => return None,
+                _ => 1,
+            };
+            for pid in 0..copies {
+                for flat in 0..self.elem_counts[i] {
+                    let a = elem_base_word(&self.objs[i], ew, flat, pid)?;
+                    let b = elem_base_word(&other.objs[i], ew, flat, pid)?;
+                    for off in 0..ew {
+                        map[(a + off) as usize] = b + off;
+                    }
+                }
+            }
+        }
+        Some(map)
+    }
 }
 
 /// Mutable first-touch arena state (owned by the interpreter).
@@ -801,6 +960,46 @@ mod tests {
     }
 
     #[test]
+    fn unoptimized_fingerprints_are_block_size_independent() {
+        // The unoptimized packed layout never consults the block size, so
+        // the same program traced at different simulated block sizes
+        // yields one shared address stream — the table2 baseline is
+        // interpreted once for all six block sizes.
+        let prog = fsr_lang::compile(
+            "param NPROC = 4; shared int c[NPROC]; shared int x;
+             fn main() { forall p in 0 .. NPROC { c[p] = c[p] + 1; } }",
+        )
+        .unwrap();
+        let a = Layout::build(&prog, &LayoutPlan::unoptimized(8), 4);
+        let b = Layout::build(&prog, &LayoutPlan::unoptimized(256), 4);
+        assert_eq!(a.trace_fingerprint(), b.trace_fingerprint());
+        assert!(a.trace_eq(&b));
+        // Different process counts genuinely change the trace.
+        let c = Layout::build(&prog, &LayoutPlan::unoptimized(8), 2);
+        assert!(!a.trace_eq(&c));
+    }
+
+    #[test]
+    fn padded_fingerprints_differ_per_block_size() {
+        let prog = fsr_lang::compile(
+            "param NPROC = 2; shared int c[8];
+             fn main() { forall p in 0 .. NPROC { c[p] = 1; } }",
+        )
+        .unwrap();
+        let (c, _) = prog.object_by_name("c").unwrap();
+        let mk = |block: u32| {
+            let mut plan = LayoutPlan::unoptimized(block);
+            plan.insert(c, ObjPlan::PadElems, "test");
+            Layout::build(&prog, &plan, 2)
+        };
+        let a = mk(16);
+        let b = mk(128);
+        // Element padding spreads addresses by block size: distinct traces.
+        assert!(!a.trace_eq(&b));
+        assert_ne!(a.trace_fingerprint(), b.trace_fingerprint());
+    }
+
+    #[test]
     fn total_words_covers_all_regions() {
         let (_, _, l) = setup(
             "param NPROC = 4; shared int c[NPROC]; private int t[4];
@@ -811,5 +1010,87 @@ mod tests {
         for r in l.regions() {
             assert!(r.end_word <= l.total_words());
         }
+    }
+
+    #[test]
+    fn word_map_translates_every_resolvable_address() {
+        // Struct array + lock + private scratch: exercises field offsets,
+        // per-proc copies and element padding in one program.
+        let prog = fsr_lang::compile(
+            "param NPROC = 4; struct N { int a; int b[3]; }
+             shared N nodes[8]; shared lock lk; private int t[2];
+             fn main() { forall p in 0 .. NPROC {
+                 lock(lk); nodes[p].a = t[0]; unlock(lk); } }",
+        )
+        .unwrap();
+        let (nodes, _) = prog.object_by_name("nodes").unwrap();
+        let (lk, _) = prog.object_by_name("lk").unwrap();
+        let unopt = Layout::build(&prog, &LayoutPlan::unoptimized(64), 4);
+        let mut plan = LayoutPlan::unoptimized(64);
+        plan.insert(nodes, ObjPlan::PadElems, "test");
+        plan.insert(lk, ObjPlan::PadLock, "test");
+        let padded = Layout::build(&prog, &plan, 4);
+        assert!(unopt.direct_only() && padded.direct_only());
+        let map = unopt.word_map_to(&padded).expect("translation compatible");
+        assert_eq!(map.len(), unopt.total_words() as usize);
+        // Every resolvable coordinate maps to the padded layout's own
+        // resolution of the same coordinate.
+        let mut checked = 0u32;
+        for (oid, flat, sel, pid) in [
+            (nodes, 0u64, None, 0u32),
+            (nodes, 3, Some((FieldId(0), 0)), 0),
+            (nodes, 3, Some((FieldId(1), 2)), 0),
+            (nodes, 7, Some((FieldId(1), 0)), 0),
+            (lk, 0, None, 0),
+        ]
+        .into_iter()
+        .chain((0..4).map(|pid| (prog.object_by_name("t").unwrap().0, 1u64, None, pid)))
+        {
+            let a = direct(unopt.resolve(oid, flat, sel, pid));
+            let b = direct(padded.resolve(oid, flat, sel, pid));
+            assert_eq!(map[a as usize], b, "obj {oid:?} flat {flat} pid {pid}");
+            checked += 1;
+        }
+        assert_eq!(checked, 9);
+        // The reverse map round-trips.
+        let back = padded.word_map_to(&unopt).expect("reverse map");
+        for (w, &m) in map.iter().enumerate() {
+            if m != u32::MAX {
+                assert_eq!(back[m as usize], w as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn word_map_refuses_indirection_and_mismatched_geometry() {
+        let (prog, plan, ind) = setup(
+            "param NPROC = 4; shared int first[NPROC + 1]; shared int d[256];
+             fn main() {
+                 var q;
+                 for q in 0 .. NPROC + 1 { first[q] = q * 64; }
+                 forall p in 0 .. NPROC { var i; var t;
+                     for t in 0 .. 50 {
+                     for i in first[p] .. first[p + 1] { d[i] = d[i] + 1; } }
+                 }
+             }",
+            4,
+        );
+        let (d, _) = prog.object_by_name("d").unwrap();
+        assert!(matches!(plan.get(d), Some(ObjPlan::Indirect { .. })));
+        assert!(!ind.direct_only());
+        let unopt = Layout::build(&prog, &LayoutPlan::unoptimized(64), 4);
+        assert!(unopt.word_map_to(&ind).is_none(), "indirection is interpreter state");
+        assert!(ind.word_map_to(&unopt).is_none());
+        // Different program geometry: refused.
+        let other = fsr_lang::compile(
+            "param NPROC = 4; shared int c[8];
+             fn main() { forall p in 0 .. NPROC { c[p] = 1; } }",
+        )
+        .unwrap();
+        let ol = Layout::build(&other, &LayoutPlan::unoptimized(64), 4);
+        assert!(unopt.word_map_to(&ol).is_none());
+        // Different process counts: refused.
+        let n2 = Layout::build(&prog, &LayoutPlan::unoptimized(64), 2);
+        assert!(unopt.word_map_to(&n2).is_none());
     }
 }

@@ -63,7 +63,7 @@ impl Default for MachineConfig {
 }
 
 /// Cycle accounting per processor plus stall attribution.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TimingStats {
     /// Busy (compute + cache hit) cycles, per processor.
     pub busy: Vec<u64>,

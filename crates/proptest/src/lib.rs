@@ -1,0 +1,236 @@
+//! Vendored offline mini-implementation of the slice of the `proptest`
+//! API this workspace's property tests use: integer-range strategies,
+//! `prop_map`, `collection::vec`, deterministic runners, value trees and
+//! the `proptest!`/`prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is no
+//! shrinking — a failing case reports the panic directly. Generation is
+//! deterministic (fixed-seed splitmix64), so failures are reproducible
+//! run-to-run, which is what the suite relies on
+//! (`TestRunner::deterministic` + derived plans in `tests/semantics.rs`).
+
+pub mod test_runner {
+    /// Runner configuration; only the case count is meaningful here.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic random source (splitmix64, fixed seed).
+    #[derive(Debug, Clone)]
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        pub fn deterministic() -> Self {
+            TestRunner {
+                state: 0x5eed_0bad_cafe_f00d,
+            }
+        }
+
+        pub fn new(_cfg: ProptestConfig) -> Self {
+            Self::deterministic()
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+
+    /// A sampled value; `current` yields it. (No shrinking.)
+    pub trait ValueTree {
+        type Value;
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The trivial value tree holding one sampled value.
+    pub struct Sampled<T: Clone>(pub T);
+
+    impl<T: Clone> ValueTree for Sampled<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value from the strategy.
+        fn pick(&self, runner: &mut TestRunner) -> Self::Value;
+
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<Sampled<Self::Value>, String>
+        where
+            Self::Value: Clone,
+        {
+            Ok(Sampled(self.pick(runner)))
+        }
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn pick(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.pick(runner))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn pick(&self, runner: &mut TestRunner) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy {lo}..{hi}");
+                    let span = (hi - lo) as u128;
+                    (lo + (runner.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.elem.pick(runner)).collect()
+        }
+    }
+
+    /// Fixed-length vector of draws from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __runner = $crate::test_runner::TestRunner::deterministic();
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::pick(&($strat), &mut __runner);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..1000 {
+            let v = (-50i64..50).pick(&mut r);
+            assert!((-50..50).contains(&v));
+            let u = (0u8..5).pick(&mut r);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_runner_reproduces() {
+        let mut a = crate::test_runner::TestRunner::deterministic();
+        let mut b = crate::test_runner::TestRunner::deterministic();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn map_and_vec_compose() {
+        let mut r = crate::test_runner::TestRunner::deterministic();
+        let s = crate::collection::vec(0u8..5, 6).prop_map(|v| v.len());
+        let t = s.new_tree(&mut r).unwrap();
+        assert_eq!(t.current(), 6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_generates_cases(x in 0u64..10, y in -3i64..3) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(y.signum().abs() <= 1, true);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Vendored offline stand-in for the `serde` facade.
+//!
+//! The build environment has no crates.io access, and this workspace uses
+//! serde purely as derive markers on report/config types (there is no
+//! serializer backend such as `serde_json` in the tree). `Serialize` and
+//! `Deserialize` are therefore marker traits; the derive macros live in
+//! the sibling `serde_derive` crate. Swapping back to the real serde is a
+//! one-line change in the workspace `Cargo.toml`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de> {}

@@ -1,0 +1,43 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! The workspace only ever uses `#[derive(serde::Serialize)]` /
+//! `#[derive(serde::Deserialize)]` as markers on concrete types (no
+//! `#[serde(...)]` attributes, no generic types, no serializer backend),
+//! so the derives simply emit marker-trait impls. Parsing is done over
+//! the raw token stream: the type name is the identifier following the
+//! `struct`/`enum` keyword.
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut after_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if after_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                after_kw = true;
+            }
+        }
+    }
+    panic!("derive(Serialize/Deserialize): no struct or enum name in input")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    format!("impl ::serde::Serialize for {} {{}}", type_name(input))
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {} {{}}",
+        type_name(input)
+    )
+    .parse()
+    .unwrap()
+}

@@ -114,7 +114,7 @@ impl Outcome {
 }
 
 /// Aggregate statistics.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SimStats {
     pub refs: u64,
     pub reads: u64,
@@ -291,6 +291,16 @@ impl MultiSim {
             block_shift: cfg.block_bytes.trailing_zeros(),
             cfg,
         }
+    }
+
+    /// Build one simulator per configuration over a single address-space
+    /// bound — the "simulate many" half of trace-once/simulate-many. The
+    /// bound only sizes internal vectors, so a shared (maximal) bound
+    /// yields statistics identical to per-config exact bounds.
+    pub fn bank(cfgs: &[CacheConfig], addr_space_bytes: u32) -> Vec<MultiSim> {
+        cfgs.iter()
+            .map(|&cfg| MultiSim::new(cfg, addr_space_bytes))
+            .collect()
     }
 
     pub fn config(&self) -> &CacheConfig {

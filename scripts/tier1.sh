@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and a quick end-to-end
+# smoke run of the Figure 3 regeneration.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo run -q --release --bin fig3 -- --smoke
+echo "tier1: OK"
