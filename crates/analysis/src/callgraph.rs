@@ -247,9 +247,7 @@ mod tests {
 
     #[test]
     fn rejects_mutual_recursion() {
-        let p = prog(
-            "fn f() { g(); } fn g() { f(); } fn main() { forall p in 0..2 { f(); } }",
-        );
+        let p = prog("fn f() { g(); } fn g() { f(); } fn main() { forall p in 0..2 { f(); } }");
         assert!(build(&p).is_err());
     }
 }

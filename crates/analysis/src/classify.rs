@@ -201,10 +201,7 @@ pub fn classify(prog: &Program, summary: ProgramSummary, nproc: i64) -> Analysis
     let mut classes = Vec::new();
     for (obj, field) in keys {
         let dims = &prog.object(obj).dims;
-        let writes = by_key
-            .get(&(obj, field, true))
-            .cloned()
-            .unwrap_or_default();
+        let writes = by_key.get(&(obj, field, true)).cloned().unwrap_or_default();
         let reads = by_key
             .get(&(obj, field, false))
             .cloned()
@@ -310,9 +307,7 @@ fn side_summary(
 
     // Single-process?
     let single = rsds.iter().all(|r| matches!(r.procs, ProcCond::One(_)))
-        && rsds
-            .windows(2)
-            .all(|w| w[0].procs == w[1].procs);
+        && rsds.windows(2).all(|w| w[0].procs == w[1].procs);
     if single {
         return (
             SideSummary {
@@ -395,14 +390,14 @@ fn derive_owner_map(writes: &[Rsd], dims: &[u32], nproc: i64) -> Option<OwnerMap
     use crate::section::Bound;
 
     // Dim case: some dimension is Elem(pid) in every descriptor.
-    'dims: for d in 0..dims.len() {
+    'dims: for (d, &dim) in dims.iter().enumerate() {
         for r in writes {
             match &r.sections[d] {
                 Section::Elem(Bound::Lin(l)) if l.is_exactly_pdv() => {}
                 _ => continue 'dims,
             }
         }
-        if dims[d] as i64 >= nproc {
+        if dim as i64 >= nproc {
             return Some(OwnerMap::Dim { dim: d });
         }
     }
@@ -500,11 +495,7 @@ mod tests {
         (prog, a)
     }
 
-    fn class<'a>(
-        prog: &fsr_lang::Program,
-        a: &'a Analysis,
-        name: &str,
-    ) -> &'a AccessClass {
+    fn class<'a>(prog: &fsr_lang::Program, a: &'a Analysis, name: &str) -> &'a AccessClass {
         let (oid, _) = prog.object_by_name(name).unwrap();
         a.class_for(oid, None).expect("class exists")
     }

@@ -92,19 +92,16 @@ mod tests {
 
     #[test]
     fn nproc_from_param() {
-        let prog = fsr_lang::compile(
-            "param NPROC = 12; fn main() { forall p in 0 .. NPROC { } }",
-        )
-        .unwrap();
+        let prog = fsr_lang::compile("param NPROC = 12; fn main() { forall p in 0 .. NPROC { } }")
+            .unwrap();
         assert_eq!(nproc_of(&prog), Some(12));
     }
 
     #[test]
     fn nproc_from_expression() {
-        let prog = fsr_lang::compile(
-            "param NPROC = 8; fn main() { forall p in 1 .. NPROC - 1 { } }",
-        )
-        .unwrap();
+        let prog =
+            fsr_lang::compile("param NPROC = 8; fn main() { forall p in 1 .. NPROC - 1 { } }")
+                .unwrap();
         assert_eq!(nproc_of(&prog), Some(6));
     }
 

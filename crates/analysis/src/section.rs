@@ -167,7 +167,11 @@ impl fmt::Display for Section {
 pub enum Concrete {
     Empty,
     /// `lo, lo+stride, ..., <= hi` (inclusive, stride >= 1).
-    Progression { lo: i64, hi: i64, stride: i64 },
+    Progression {
+        lo: i64,
+        hi: i64,
+        stride: i64,
+    },
     /// Symbolic partition bounds — not evaluatable.
     Symbolic,
     /// Statically unknown positions — assume anything.

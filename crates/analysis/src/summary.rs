@@ -39,7 +39,11 @@ pub mod weights {
 pub enum Abs {
     Lin(Lin),
     /// Value loaded from `arr[idx] + off` (1-D shared int array).
-    Sym { arr: ObjId, idx: Lin, off: i64 },
+    Sym {
+        arr: ObjId,
+        idx: Lin,
+        off: i64,
+    },
     /// Anything else.
     Other,
 }
@@ -287,8 +291,11 @@ impl<'p> Walker<'p> {
             .collect();
         let call_phase = self.phase.current();
         for acc in &summary.accesses {
-            let sections: Vec<Section> =
-                acc.sections.iter().map(|s| subst_section(s, &map)).collect();
+            let sections: Vec<Section> = acc
+                .sections
+                .iter()
+                .map(|s| subst_section(s, &map))
+                .collect();
             let phase = shift_phase(acc.phase, call_phase);
             let guard = match (&acc.guard, &self.guard) {
                 (Some((l, c)), _) => subst_lin(l, &map).map(|l2| (l2, *c)).or(self.guard.clone()),
@@ -504,9 +511,7 @@ fn expand_loop_var(sec: Section, ctx: &LoopCtx) -> Section {
                                 Abs::Other => None,
                             };
                             let hi_b = match hi_abs {
-                                Abs::Lin(l) => {
-                                    Some(Bound::Lin(l.add(&Lin::constant(k - 1))))
-                                }
+                                Abs::Lin(l) => Some(Bound::Lin(l.add(&Lin::constant(k - 1)))),
                                 Abs::Sym { arr, idx, off } => Some(Bound::Sym {
                                     arr: *arr,
                                     idx: idx.clone(),
@@ -604,7 +609,9 @@ impl<'p> Walker<'p> {
             StmtKind::Barrier { .. } => true,
             StmtKind::If {
                 then_blk, else_blk, ..
-            } => self.has_barrier(then_blk) || else_blk.as_ref().is_some_and(|b| self.has_barrier(b)),
+            } => {
+                self.has_barrier(then_blk) || else_blk.as_ref().is_some_and(|b| self.has_barrier(b))
+            }
             StmtKind::While { body, .. }
             | StmtKind::For { body, .. }
             | StmtKind::Forall { body, .. } => self.has_barrier(body),
@@ -960,23 +967,23 @@ pub fn summarize(prog: &Program, graph: &CallGraph) -> Result<ProgramSummary, Er
             ProcCond::One(0)
         } else {
             match &acc.guard {
-            None => ProcCond::All,
-            Some((l, c)) => {
-                if l.is_exactly_pdv() {
-                    ProcCond::One(*c)
-                } else if l.is_pdv_affine() && l.pdv_coef() != 0 {
-                    // a·pid + b == c → pid == (c-b)/a when divisible.
-                    let a = l.pdv_coef();
-                    let b = l.c0;
-                    if (c - b) % a == 0 {
-                        ProcCond::One((c - b) / a)
+                None => ProcCond::All,
+                Some((l, c)) => {
+                    if l.is_exactly_pdv() {
+                        ProcCond::One(*c)
+                    } else if l.is_pdv_affine() && l.pdv_coef() != 0 {
+                        // a·pid + b == c → pid == (c-b)/a when divisible.
+                        let a = l.pdv_coef();
+                        let b = l.c0;
+                        if (c - b) % a == 0 {
+                            ProcCond::One((c - b) / a)
+                        } else {
+                            ProcCond::All
+                        }
                     } else {
                         ProcCond::All
                     }
-                } else {
-                    ProcCond::All
                 }
-            }
             }
         };
         if acc.is_write {

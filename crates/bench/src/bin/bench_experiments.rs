@@ -109,9 +109,9 @@ fn table2_unbatched(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> V
                 continue;
             }
             let reduction = |fs: u64| 100.0 * (base.saturating_sub(fs)) as f64 / base as f64;
-            for k in 0..5 {
+            for (k, a) in acc.iter_mut().enumerate() {
                 if let Some(f) = fs_of(k + 1) {
-                    acc[k] += reduction(f);
+                    *a += reduction(f);
                 }
             }
             samples += 1;

@@ -19,5 +19,8 @@ fn main() {
         ]);
     }
     println!("Compile-time cost of the analyses\n{}", t.render());
-    println!("average analysis share: {:.1}%", 100.0 * frac_sum / n as f64);
+    println!(
+        "average analysis share: {:.1}%",
+        100.0 * frac_sum / n as f64
+    );
 }

@@ -26,7 +26,12 @@ fn main() {
     let rows = figure3(k.nproc, k.scale, &[16, 128], k.threads);
     for block in [16u32, 128] {
         let mut t = Table::new(&[
-            "program", "version", "refs", "fs miss%", "other miss%", "total miss%",
+            "program",
+            "version",
+            "refs",
+            "fs miss%",
+            "other miss%",
+            "total miss%",
         ]);
         for r in rows.iter().filter(|r| r.block == block) {
             t.row(vec![

@@ -18,7 +18,12 @@ fn main() {
                 Vsn::P => w.has(Version::Programmer),
                 _ => true,
             })
-            .map(|&v| (v, speedup_sweep(&w, v, SWEEP_PROCS, k.scale, block, k.threads)))
+            .map(|&v| {
+                (
+                    v,
+                    speedup_sweep(&w, v, SWEEP_PROCS, k.scale, block, k.threads),
+                )
+            })
             .collect();
         for (i, &p) in SWEEP_PROCS.iter().enumerate() {
             let cell = |v: Vsn| -> String {
@@ -28,8 +33,17 @@ fn main() {
                     .map(|(_, c)| format!("{:.2}", c.speedups(t1)[i].1))
                     .unwrap_or_else(|| "-".into())
             };
-            t.row(vec![p.to_string(), cell(Vsn::N), cell(Vsn::C), cell(Vsn::P)]);
+            t.row(vec![
+                p.to_string(),
+                cell(Vsn::N),
+                cell(Vsn::C),
+                cell(Vsn::P),
+            ]);
         }
-        println!("Figure 4: {name} speedups (scale={})\n{}", k.scale, t.render());
+        println!(
+            "Figure 4: {name} speedups (scale={})\n{}",
+            k.scale,
+            t.render()
+        );
     }
 }

@@ -7,8 +7,8 @@ use fsr_core::experiments::table2;
 fn main() {
     let k = Knobs::from_env();
     eprintln!("table2: nproc={} scale={}", k.nproc, k.scale);
-    let rows = table2(k.nproc, k.scale, &[8, 16, 32, 64, 128, 256], k.threads)
-        .expect("table2 experiment");
+    let rows =
+        table2(k.nproc, k.scale, &[8, 16, 32, 64, 128, 256], k.threads).expect("table2 experiment");
     let mut t = Table::new(&[
         "program",
         "total FS reduction%",

@@ -128,12 +128,13 @@ fn parallel_map<T: Sync, R: Send>(
         .collect()
 }
 
+/// What every driver entry point returns: each job, in submission
+/// order, paired with its pipeline result.
+pub type JobResults<M> = Vec<(Job<M>, Result<RunResult, PipelineError>)>;
+
 /// Run all jobs independently, using up to `threads` worker threads
 /// (0 = available parallelism). Results keep job order.
-pub fn run_jobs<M: Sync>(
-    jobs: Vec<Job<M>>,
-    threads: usize,
-) -> Vec<(Job<M>, Result<RunResult, PipelineError>)> {
+pub fn run_jobs<M: Sync>(jobs: Vec<Job<M>>, threads: usize) -> JobResults<M> {
     let results = parallel_map(&jobs, threads, |job: &Job<M>| {
         let params: Vec<(&str, i64)> = job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         run_pipeline(&job.src, &params, (&job.plan).into(), &job.cfg)
@@ -181,10 +182,7 @@ struct Prep {
 /// Run all jobs through the batched engine. Results keep job order and
 /// are bit-identical to [`run_jobs`] (same `SimStats`, per-object
 /// attribution, timing and interpreter statistics).
-pub fn run_batch<M: Sync>(
-    jobs: Vec<Job<M>>,
-    threads: usize,
-) -> Vec<(Job<M>, Result<RunResult, PipelineError>)> {
+pub fn run_batch<M: Sync>(jobs: Vec<Job<M>>, threads: usize) -> JobResults<M> {
     run_batch_with_stats(jobs, threads).0
 }
 
@@ -192,7 +190,7 @@ pub fn run_batch<M: Sync>(
 pub fn run_batch_with_stats<M: Sync>(
     jobs: Vec<Job<M>>,
     threads: usize,
-) -> (Vec<(Job<M>, Result<RunResult, PipelineError>)>, BatchStats) {
+) -> (JobResults<M>, BatchStats) {
     let n = jobs.len();
     let mut stats = BatchStats {
         jobs: n,
@@ -204,7 +202,8 @@ pub fn run_batch_with_stats<M: Sync>(
 
     // Phase A — front ends: one compile (+ bytecode, + analysis when any
     // job needs the compiler plan) per distinct (source, params).
-    let mut fe_ids: HashMap<(Arc<str>, Vec<(String, i64)>), usize> = HashMap::new();
+    type FeKey = (Arc<str>, Vec<(String, i64)>);
+    let mut fe_ids: HashMap<FeKey, usize> = HashMap::new();
     let mut fe_of_job: Vec<usize> = Vec::with_capacity(n);
     let mut fe_needs_analysis: Vec<bool> = Vec::new();
     let mut fe_rep: Vec<usize> = Vec::new();
@@ -254,7 +253,9 @@ pub fn run_batch_with_stats<M: Sync>(
     // Phase B — per-job plan, layout and trace fingerprint.
     let idxs: Vec<usize> = (0..n).collect();
     let preps: Vec<Result<Prep, PipelineError>> = parallel_map(&idxs, threads, |&j| {
-        let fe = fronts[fe_of_job[j]].as_ref().map_err(PipelineError::clone)?;
+        let fe = fronts[fe_of_job[j]]
+            .as_ref()
+            .map_err(PipelineError::clone)?;
         let job = &jobs[j];
         let plan = match &job.plan {
             PlanSourceSpec::Unoptimized => crate::LayoutPlan::unoptimized(job.cfg.block_bytes),
@@ -276,7 +277,7 @@ pub fn run_batch_with_stats<M: Sync>(
                 p
             }
         };
-        let layout = Layout::build(&fe.prog, &plan, fe.nproc);
+        let layout = Layout::try_build(&fe.prog, &plan, fe.nproc)?;
         let fingerprint = layout.trace_fingerprint();
         Ok(Prep {
             plan,
@@ -350,8 +351,7 @@ pub fn run_batch_with_stats<M: Sync>(
             run_unit(&jobs, &fronts, &fe_of_job, &preps, unit)
         });
 
-    let mut slots: Vec<Option<Result<RunResult, PipelineError>>> =
-        (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<RunResult, PipelineError>>> = (0..n).map(|_| None).collect();
     for (j, prep) in preps.iter().enumerate() {
         if let Err(e) = prep {
             slots[j] = Some(Err(e.clone()));
@@ -456,15 +456,15 @@ fn run_unit<M>(
                         block_bytes: cfg.block_bytes,
                         cache_bytes: cfg.cache_bytes,
                         assoc: cfg.assoc,
+                        protocol: cfg.protocol,
                     }
                 })
                 .collect();
             let sinks = MultiSim::bank(&sim_cfgs, bound_bytes)
                 .into_iter()
                 .zip(group)
-                .map(|(sim, &j)| crate::PipelineSink {
-                    sim,
-                    timing: TimingModel::new(jobs[j].cfg.machine, nproc),
+                .map(|(sim, &j)| {
+                    crate::PipelineSink::new(sim, TimingModel::new(jobs[j].cfg.machine, nproc))
                 })
                 .collect();
             GroupSink { map, sinks }
@@ -488,21 +488,12 @@ fn run_unit<M>(
                     .zip(group)
                     .map(|(sink, &j)| {
                         let prep = preps[j].as_ref().unwrap();
-                        let per_obj = fsr_sim::report::attribute_misses(&sink.sim, |addr| {
-                            prep.layout
-                                .attribute(addr)
-                                .map(|oid| fe.prog.object(oid).name.clone())
-                        });
-                        let r = RunResult {
-                            nproc,
-                            plan: prep.plan.clone(),
-                            sim: sink.sim.stats().clone(),
-                            per_obj,
-                            exec_cycles: sink.timing.finish_time(),
-                            timing: sink.timing.stats().clone(),
-                            interp: fin.stats.clone(),
-                            fs_stall_frac: sink.timing.false_sharing_stall_fraction(),
-                        };
+                        let r =
+                            sink.into_result(nproc, prep.plan.clone(), fin.stats.clone(), |addr| {
+                                prep.layout
+                                    .attribute(addr)
+                                    .map(|oid| fe.prog.object(oid).name.clone())
+                            });
                         (j, Ok(r))
                     })
                     .collect::<Vec<_>>()

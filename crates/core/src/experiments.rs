@@ -18,7 +18,10 @@
 //! trace-once, simulate-many methodology).
 
 use crate::driver::{run_batch, Job, PlanSourceSpec};
-use crate::{run_pipeline, PipelineConfig, PipelineError, PlanSource, RunResult};
+use crate::{
+    run_pipeline, InterconnectKind, ObjCoherence, PipelineConfig, PipelineError, PlanSource,
+    ProtocolKind, RunResult, SimStats,
+};
 use fsr_machine::SpeedupCurve;
 use fsr_transform::ObjPlan;
 use fsr_workloads::{Version, Workload};
@@ -186,8 +189,7 @@ pub fn table2(
     let mut jobs: Vec<Job<T2Meta>> = Vec::new();
     for (wi, w) in set.iter().enumerate() {
         let src: Arc<str> = Arc::from(w.source);
-        let prog =
-            fsr_lang::compile_with_params(w.source, &[("NPROC", nproc), ("SCALE", scale)])?;
+        let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", nproc), ("SCALE", scale)])?;
         let analysis = fsr_analysis::analyze(&prog)?;
         for &b in blocks {
             let cfg = PipelineConfig::with_block(b);
@@ -247,9 +249,9 @@ pub fn table2(
                 continue;
             }
             let reduction = |v: u64| 100.0 * base.saturating_sub(v) as f64 / base as f64;
-            for k in 0..5 {
+            for (k, a) in acc.iter_mut().enumerate() {
                 if let Some(&v) = fs.get(&(wi, b, k + 1)) {
-                    acc[k] += reduction(v);
+                    *a += reduction(v);
                 }
             }
             samples += 1;
@@ -445,4 +447,91 @@ pub fn headline_from_rows(rows: &[Fig3Row], block: u32) -> Headline {
 
 pub fn headline(nproc: i64, scale: i64, block: u32, threads: usize) -> Headline {
     headline_from_rows(&figure3(nproc, scale, &[block], threads), block)
+}
+
+/// One cell of the backend matrix: a (program, version, protocol,
+/// interconnect) run with its coherence-event observability.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct MatrixCell {
+    pub program: String,
+    pub version: String,
+    pub protocol: String,
+    pub interconnect: String,
+    pub block: u32,
+    pub nproc: u32,
+    pub sim: SimStats,
+    pub exec_cycles: u64,
+    /// Total interconnect queueing stall cycles.
+    pub queue_stall: u64,
+    /// Per-object coherence events + queue stalls, via the layout map.
+    pub per_obj: Vec<(String, ObjCoherence)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MxMeta {
+    prog_idx: usize,
+    version: Vsn,
+    protocol: ProtocolKind,
+    ic: InterconnectKind,
+}
+
+/// Cross-backend sweep: every workload × version × coherence protocol ×
+/// interconnect, one cell each, as a single [`run_batch`] call.
+///
+/// The batch groups by (front end, run config, layout fingerprint) —
+/// protocol and interconnect are simulator/timing state, not trace
+/// state — so all backend variants of one program version share a
+/// single interpretation, exactly like a block-size sweep does.
+pub fn protocol_matrix(
+    programs: &[&str],
+    versions: &[Vsn],
+    nproc: i64,
+    scale: i64,
+    block: u32,
+    threads: usize,
+) -> Vec<MatrixCell> {
+    let set: Vec<_> = programs
+        .iter()
+        .filter_map(|n| fsr_workloads::by_name(n))
+        .collect();
+    let mut jobs: Vec<Job<MxMeta>> = Vec::new();
+    for (wi, w) in set.iter().enumerate() {
+        let src: Arc<str> = Arc::from(w.source);
+        for &v in versions {
+            for protocol in ProtocolKind::ALL {
+                for ic in InterconnectKind::ALL {
+                    jobs.push(Job {
+                        meta: MxMeta {
+                            prog_idx: wi,
+                            version: v,
+                            protocol,
+                            ic,
+                        },
+                        src: src.clone(),
+                        params: std_params(nproc, scale),
+                        plan: plan_spec(w, v),
+                        cfg: PipelineConfig::with_block(block).with_backends(protocol, ic),
+                    });
+                }
+            }
+        }
+    }
+    run_batch(jobs, threads)
+        .into_iter()
+        .filter_map(|(job, r)| {
+            let r = r.ok()?;
+            Some(MatrixCell {
+                program: set[job.meta.prog_idx].name.to_string(),
+                version: job.meta.version.label().to_string(),
+                protocol: job.meta.protocol.name().to_string(),
+                interconnect: job.meta.ic.name().to_string(),
+                block,
+                nproc: r.nproc,
+                queue_stall: r.timing.total_queue(),
+                exec_cycles: r.exec_cycles,
+                sim: r.sim,
+                per_obj: r.per_obj_coherence.into_iter().collect(),
+            })
+        })
+        .collect()
 }

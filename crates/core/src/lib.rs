@@ -27,8 +27,13 @@ pub mod experiments;
 
 pub use fsr_analysis::{Analysis, Pattern};
 pub use fsr_lang::Program;
-pub use fsr_machine::{MachineConfig, SpeedupCurve, TimingStats};
-pub use fsr_sim::{report::ObjMisses, CacheConfig, MissKind, SimStats};
+pub use fsr_machine::{
+    Interconnect, InterconnectKind, MachineConfig, SpeedupCurve, TimingStats, TxCost,
+};
+pub use fsr_sim::{
+    report::{ObjCoherence, ObjMisses},
+    CacheConfig, CoherenceEvent, CoherenceProtocol, MissKind, ProtocolKind, SimStats,
+};
 pub use fsr_transform::{LayoutPlan, ObjPlan, PlanConfig};
 
 use fsr_interp::{MemRef, RunConfig, RunStats, TraceSink};
@@ -71,6 +76,10 @@ pub struct PipelineConfig {
     /// L1 capacity and associativity.
     pub cache_bytes: u32,
     pub assoc: u32,
+    /// Coherence protocol the cache simulator runs (MSI is the paper's).
+    pub protocol: ProtocolKind,
+    /// Machine/timing parameters, including the interconnect topology
+    /// (`machine.interconnect`; the KSR2 ring is the paper's).
     pub machine: MachineConfig,
     pub run: RunConfig,
     pub plan_cfg: PlanConfig,
@@ -82,6 +91,7 @@ impl Default for PipelineConfig {
             block_bytes: 128,
             cache_bytes: 32 * 1024,
             assoc: 4,
+            protocol: ProtocolKind::Msi,
             machine: MachineConfig::default(),
             run: RunConfig::default(),
             plan_cfg: PlanConfig::default(),
@@ -91,10 +101,20 @@ impl Default for PipelineConfig {
 
 impl PipelineConfig {
     pub fn with_block(block_bytes: u32) -> PipelineConfig {
-        let mut c = PipelineConfig::default();
-        c.block_bytes = block_bytes;
+        let mut c = PipelineConfig {
+            block_bytes,
+            ..PipelineConfig::default()
+        };
         c.plan_cfg.block_bytes = block_bytes;
         c
+    }
+
+    /// Select a (protocol, interconnect) backend pair, leaving every
+    /// other knob alone.
+    pub fn with_backends(mut self, protocol: ProtocolKind, ic: InterconnectKind) -> PipelineConfig {
+        self.protocol = protocol;
+        self.machine.interconnect = ic;
+        self
     }
 }
 
@@ -105,6 +125,10 @@ pub struct RunResult {
     pub plan: LayoutPlan,
     pub sim: SimStats,
     pub per_obj: BTreeMap<String, ObjMisses>,
+    /// Per-object coherence-event counters (invalidations, upgrades,
+    /// interventions, exclusive hits) plus interconnect queueing stalls,
+    /// attributed via the layout address map.
+    pub per_obj_coherence: BTreeMap<String, ObjCoherence>,
     /// Execution time (cycles) on the machine model.
     pub exec_cycles: u64,
     pub timing: TimingStats,
@@ -133,6 +157,9 @@ impl RunResult {
 pub enum PipelineError {
     Lang(fsr_lang::Error),
     Runtime(fsr_interp::RuntimeError),
+    /// The layout engine could not assign addresses (e.g. the plan's
+    /// padded/replicated footprint overflows the 32-bit address space).
+    Layout(fsr_layout::LayoutError),
 }
 
 impl fmt::Display for PipelineError {
@@ -140,6 +167,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Lang(e) => write!(f, "{e}"),
             PipelineError::Runtime(e) => write!(f, "{e}"),
+            PipelineError::Layout(e) => write!(f, "{e}"),
         }
     }
 }
@@ -158,16 +186,74 @@ impl From<fsr_interp::RuntimeError> for PipelineError {
     }
 }
 
+impl From<fsr_layout::LayoutError> for PipelineError {
+    fn from(e: fsr_layout::LayoutError) -> Self {
+        PipelineError::Layout(e)
+    }
+}
+
 /// Sink wiring the interpreter to the cache simulator and timing model.
+/// Also accumulates per-block interconnect queueing stalls (the sink is
+/// the one place that sees both the address and the transaction cost),
+/// so queue pressure can be attributed per object alongside the
+/// simulator's coherence events.
 struct PipelineSink {
     sim: MultiSim,
     timing: TimingModel,
+    block_queue: Vec<u64>,
+}
+
+impl PipelineSink {
+    fn new(sim: MultiSim, timing: TimingModel) -> PipelineSink {
+        let nblocks = sim.per_block_misses().len();
+        PipelineSink {
+            sim,
+            timing,
+            block_queue: vec![0; nblocks],
+        }
+    }
+
+    /// Fold the finished sink into a [`RunResult`], attributing misses,
+    /// coherence events and queueing stalls per object through
+    /// `name_of` (layout address → object name).
+    fn into_result(
+        self,
+        nproc: u32,
+        plan: LayoutPlan,
+        interp: RunStats,
+        mut name_of: impl FnMut(u32) -> Option<String>,
+    ) -> RunResult {
+        let per_obj = fsr_sim::report::attribute_misses(&self.sim, &mut name_of);
+        let mut per_obj_coherence = fsr_sim::report::attribute_coherence(&self.sim, &mut name_of);
+        let bb = self.sim.block_bytes();
+        for (b, &q) in self.block_queue.iter().enumerate() {
+            if q == 0 {
+                continue;
+            }
+            let name = name_of(b as u32 * bb).unwrap_or_else(|| "<unattributed>".to_string());
+            per_obj_coherence.entry(name).or_default().queue_stall += q;
+        }
+        RunResult {
+            nproc,
+            plan,
+            sim: self.sim.stats().clone(),
+            per_obj,
+            per_obj_coherence,
+            exec_cycles: self.timing.finish_time(),
+            timing: self.timing.stats().clone(),
+            interp,
+            fs_stall_frac: self.timing.false_sharing_stall_fraction(),
+        }
+    }
 }
 
 impl TraceSink for PipelineSink {
     fn access(&mut self, r: MemRef) {
         let outcome = self.sim.access(r.pid, r.addr, r.write);
-        self.timing.record(r.pid, r.gap, &outcome);
+        let cost = self.timing.record(r.pid, r.gap, &outcome);
+        if cost.queue > 0 {
+            self.block_queue[(r.addr / self.sim.block_bytes()) as usize] += cost.queue;
+        }
     }
 
     fn sync(&mut self, pids: &[u32]) {
@@ -225,7 +311,7 @@ pub fn run_pipeline_checked(
 ) -> Result<RunResult, PipelineError> {
     let nproc = fsr_analysis::nproc_of(prog).unwrap_or(1) as u32;
     let plan = plan_of(prog, &plan_source, cfg)?;
-    let layout = fsr_layout::Layout::build(prog, &plan, nproc);
+    let layout = fsr_layout::Layout::try_build(prog, &plan, nproc)?;
     let code = fsr_interp::compile_program(prog)?;
 
     let sim_cfg = fsr_sim::CacheConfig {
@@ -233,28 +319,19 @@ pub fn run_pipeline_checked(
         block_bytes: cfg.block_bytes,
         cache_bytes: cfg.cache_bytes,
         assoc: cfg.assoc,
+        protocol: cfg.protocol,
     };
-    let mut sink = PipelineSink {
-        sim: MultiSim::new(sim_cfg, layout.total_words() * 4),
-        timing: TimingModel::new(cfg.machine, nproc),
-    };
+    let mut sink = PipelineSink::new(
+        MultiSim::new(sim_cfg, layout.total_words() * 4),
+        TimingModel::new(cfg.machine, nproc),
+    );
     let fin = fsr_interp::run(prog, &layout, &code, cfg.run, &mut sink)?;
 
-    let per_obj = fsr_sim::report::attribute_misses(&sink.sim, |addr| {
+    Ok(sink.into_result(nproc, plan, fin.stats, |addr| {
         layout
             .attribute(addr)
             .map(|oid| prog.object(oid).name.clone())
-    });
-    Ok(RunResult {
-        nproc,
-        plan,
-        sim: sink.sim.stats().clone(),
-        per_obj,
-        exec_cycles: sink.timing.finish_time(),
-        timing: sink.timing.stats().clone(),
-        interp: fin.stats,
-        fs_stall_frac: sink.timing.false_sharing_stall_fraction(),
-    })
+    }))
 }
 
 #[cfg(test)]

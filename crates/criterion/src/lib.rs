@@ -85,12 +85,7 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(
-    name: &str,
-    samples: usize,
-    tp: Option<Throughput>,
-    mut f: F,
-) {
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, tp: Option<Throughput>, mut f: F) {
     let mut warm = Bencher {
         elapsed: Duration::ZERO,
         ran: false,

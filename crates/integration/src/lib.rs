@@ -6,12 +6,7 @@ use fsr_core::{PipelineConfig, PlanSource, RunResult};
 use fsr_workloads::Workload;
 
 /// Run one workload version at test scale.
-pub fn run_version(
-    w: &Workload,
-    plan: PlanSource,
-    nproc: i64,
-    block: u32,
-) -> RunResult {
+pub fn run_version(w: &Workload, plan: PlanSource, nproc: i64, block: u32) -> RunResult {
     fsr_core::run_pipeline(
         w.source,
         &[("NPROC", nproc), ("SCALE", 1)],

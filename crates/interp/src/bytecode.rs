@@ -47,25 +47,56 @@ pub struct AccessSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Instr {
     /// `dst = v`
-    Const { dst: Reg, v: i32 },
+    Const {
+        dst: Reg,
+        v: i32,
+    },
     /// `dst = src`
-    Mov { dst: Reg, src: Reg },
+    Mov {
+        dst: Reg,
+        src: Reg,
+    },
     /// `dst = a op b`
-    Bin { op: Alu, dst: Reg, a: Reg, b: Reg },
+    Bin {
+        op: Alu,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
     /// `dst = -src`
-    Neg { dst: Reg, src: Reg },
+    Neg {
+        dst: Reg,
+        src: Reg,
+    },
     /// `dst = (src == 0)`
-    Not { dst: Reg, src: Reg },
+    Not {
+        dst: Reg,
+        src: Reg,
+    },
     /// Unconditional jump.
-    Jmp { target: u32 },
+    Jmp {
+        target: u32,
+    },
     /// Jump when `src == 0`.
-    Jz { src: Reg, target: u32 },
+    Jz {
+        src: Reg,
+        target: u32,
+    },
     /// Jump when `src != 0`.
-    Jnz { src: Reg, target: u32 },
+    Jnz {
+        src: Reg,
+        target: u32,
+    },
     /// Load a shared/private element into `dst`.
-    Ld { dst: Reg, acc: AccessSpec },
+    Ld {
+        dst: Reg,
+        acc: AccessSpec,
+    },
     /// Store `src` into an element.
-    St { src: Reg, acc: AccessSpec },
+    St {
+        src: Reg,
+        acc: AccessSpec,
+    },
     /// Call a user function; `args` are copied into the callee frame.
     Call {
         func: u32,
@@ -73,22 +104,45 @@ pub enum Instr {
         dst: Option<Reg>,
     },
     /// Return, optionally with a value.
-    Ret { src: Option<Reg> },
+    Ret {
+        src: Option<Reg>,
+    },
     /// Barrier synchronization.
     Barrier,
     /// Acquire a (test-and-set, spinning) lock.
-    LockAcq { acc: AccessSpec },
+    LockAcq {
+        acc: AccessSpec,
+    },
     /// Release a lock.
-    LockRel { acc: AccessSpec },
+    LockRel {
+        acc: AccessSpec,
+    },
     /// `dst = prand(src)` — deterministic hash.
-    Prand { dst: Reg, src: Reg },
+    Prand {
+        dst: Reg,
+        src: Reg,
+    },
     /// `dst = min(a, b)` / `max` / `abs(src)`.
-    Min { dst: Reg, a: Reg, b: Reg },
-    Max { dst: Reg, a: Reg, b: Reg },
-    Abs { dst: Reg, src: Reg },
+    Min {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Max {
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Abs {
+        dst: Reg,
+        src: Reg,
+    },
     /// Spawn the forall body on every process; the master joins before
     /// continuing.
-    Spawn { body_func: u32, pdv_slot: Reg },
+    Spawn {
+        body_func: u32,
+        pdv_slot: Reg,
+    },
 }
 
 /// Compiled form of one function.

@@ -69,9 +69,9 @@ impl<'p> FnCompiler<'p> {
 
     fn patch_jump(&mut self, at: usize, target: u32) {
         match &mut self.code[at] {
-            Instr::Jmp { target: t } | Instr::Jz { target: t, .. } | Instr::Jnz { target: t, .. } => {
-                *t = target
-            }
+            Instr::Jmp { target: t }
+            | Instr::Jz { target: t, .. }
+            | Instr::Jnz { target: t, .. } => *t = target,
             other => panic!("patching non-jump {other:?}"),
         }
     }
@@ -125,10 +125,7 @@ impl<'p> FnCompiler<'p> {
         match &e.kind {
             ExprKind::Int(v) => {
                 let dst = self.temp();
-                self.emit(Instr::Const {
-                    dst,
-                    v: *v as i32,
-                });
+                self.emit(Instr::Const { dst, v: *v as i32 });
                 Ok(dst)
             }
             ExprKind::Var(VarRef::Local(s)) => Ok(*s as Reg),
@@ -335,7 +332,10 @@ impl<'p> FnCompiler<'p> {
                 // if !cond break; body; continue: var += step; goto loop
                 let var = *slot as Reg;
                 let lo_r = self.expr(lo)?;
-                self.emit(Instr::Mov { dst: var, src: lo_r });
+                self.emit(Instr::Mov {
+                    dst: var,
+                    src: lo_r,
+                });
                 // hi/step are pinned in dedicated temps that survive the
                 // per-statement temp reset (allocated before the loop and
                 // never released until the loop ends).
@@ -565,12 +565,7 @@ pub fn compile_program(prog: &Program) -> Result<Compiled, Error> {
             body_code = Some(fc);
         }
     }
-    let body_fc = body_code.ok_or_else(|| {
-        err(
-            "program has no forall",
-            main_fn.span,
-        )
-    })?;
+    let body_fc = body_code.ok_or_else(|| err("program has no forall", main_fn.span))?;
     let body_id = funcs.len() as u32;
     funcs.push(body_fc);
     // Patch Spawn instructions in main with the body id.
@@ -677,9 +672,9 @@ mod tests {
         for f in &c.funcs {
             for ins in &f.code {
                 let t = match ins {
-                    Instr::Jmp { target } | Instr::Jz { target, .. } | Instr::Jnz { target, .. } => {
-                        Some(*target)
-                    }
+                    Instr::Jmp { target }
+                    | Instr::Jz { target, .. }
+                    | Instr::Jnz { target, .. } => Some(*target),
                     _ => None,
                 };
                 if let Some(t) = t {

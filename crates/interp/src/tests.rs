@@ -306,11 +306,8 @@ fn semantics_identical_across_plans() {
     .unwrap();
 
     let analysis = fsr_analysis::analyze(&prog).unwrap();
-    let plan = fsr_transform::plan_for(
-        &prog,
-        &analysis,
-        &fsr_transform::PlanConfig::with_block(64),
-    );
+    let plan =
+        fsr_transform::plan_for(&prog, &analysis, &fsr_transform::PlanConfig::with_block(64));
     assert!(!plan.is_empty());
     let opt_layout = fsr_layout::Layout::build(&prog, &plan, 4);
     let opt = run(
@@ -392,11 +389,8 @@ fn indirection_access_works_end_to_end() {
          }";
     let prog = fsr_lang::compile(src).unwrap();
     let analysis = fsr_analysis::analyze(&prog).unwrap();
-    let plan = fsr_transform::plan_for(
-        &prog,
-        &analysis,
-        &fsr_transform::PlanConfig::with_block(64),
-    );
+    let plan =
+        fsr_transform::plan_for(&prog, &analysis, &fsr_transform::PlanConfig::with_block(64));
     let (d, _) = prog.object_by_name("d").unwrap();
     assert!(matches!(
         plan.get(d),
@@ -515,7 +509,10 @@ fn tee_sink_forwards_every_event_to_every_inner_sink() {
     assert_eq!(fin1.stats, fin2.stats, "interpretation is sink-independent");
     let inner = tee.into_inner();
     assert!(!direct.events.is_empty());
-    assert!(direct.events.iter().any(|e| matches!(e, TraceEvent::Sync(_))));
+    assert!(direct
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Sync(_))));
     for s in &inner {
         assert_eq!(s.events, direct.events, "each fan-out sees the full stream");
     }
@@ -543,7 +540,21 @@ fn recorded_trace_replay_reproduces_the_stream() {
 fn runs_started_counts_interpreter_constructions() {
     let (prog, layout, code) = tee_fixture();
     let before = runs_started();
-    run(&prog, &layout, &code, RunConfig::default(), &mut VecSink::default()).unwrap();
-    run(&prog, &layout, &code, RunConfig::default(), &mut VecSink::default()).unwrap();
+    run(
+        &prog,
+        &layout,
+        &code,
+        RunConfig::default(),
+        &mut VecSink::default(),
+    )
+    .unwrap();
+    run(
+        &prog,
+        &layout,
+        &code,
+        RunConfig::default(),
+        &mut VecSink::default(),
+    )
+    .unwrap();
     assert!(runs_started() - before >= 2);
 }

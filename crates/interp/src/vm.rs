@@ -222,7 +222,10 @@ enum ProcState {
     Run,
     AtBarrier,
     /// Spinning on a lock word at this byte address.
-    Spin { addr: u32, rounds: u32 },
+    Spin {
+        addr: u32,
+        rounds: u32,
+    },
     /// Master waiting for children to finish the parallel region.
     Joining,
     /// Child finished its body.
@@ -322,9 +325,7 @@ impl<'a> Interp<'a> {
                     pid,
                     format!(
                         "index {} out of bounds 0..{} (dim {k}, object {})",
-                        v,
-                        dims[k],
-                        acc.obj.0
+                        v, dims[k], acc.obj.0
                     ),
                 ));
             }
@@ -339,10 +340,9 @@ impl<'a> Interp<'a> {
                     Some(r) => {
                         let v = frame.regs[*r as usize];
                         if v < 0 || v as u32 >= len {
-                            return Err(self.rt(
-                                pid,
-                                format!("field index {v} out of bounds 0..{len}"),
-                            ));
+                            return Err(
+                                self.rt(pid, format!("field index {v} out of bounds 0..{len}"))
+                            );
                         }
                         v as u32
                     }
@@ -484,13 +484,10 @@ impl<'a> Interp<'a> {
                         }
                     }
                     ProcState::Joining => {
-                        let all_idle = self
-                            .procs
-                            .iter()
-                            .all(|q| {
-                                q.pid == self.procs[p].pid
-                                    || matches!(q.state, ProcState::Idle | ProcState::Done)
-                            });
+                        let all_idle = self.procs.iter().all(|q| {
+                            q.pid == self.procs[p].pid
+                                || matches!(q.state, ProcState::Idle | ProcState::Done)
+                        });
                         if all_idle {
                             self.procs[p].state = ProcState::Run;
                             progressed = true;
@@ -788,10 +785,7 @@ fn field_sel_for_word(
             let s = prog.struct_(sid);
             for (fi, f) in s.fields.iter().enumerate() {
                 if w >= f.offset_words && w < f.offset_words + f.len {
-                    return Some((
-                        fsr_lang::ast::FieldId(fi as u32),
-                        w - f.offset_words,
-                    ));
+                    return Some((fsr_lang::ast::FieldId(fi as u32), w - f.offset_words));
                 }
             }
             None

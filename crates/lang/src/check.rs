@@ -24,7 +24,10 @@ pub fn bind_params(prog: &mut Program, overrides: &[(&str, i64)]) -> Result<(), 
         }
     }
     for p in &mut prog.params {
-        let ov = overrides.iter().find(|(n, _)| *n == p.name).map(|(_, v)| *v);
+        let ov = overrides
+            .iter()
+            .find(|(n, _)| *n == p.name)
+            .map(|(_, v)| *v);
         p.value = ov.or(p.default);
         if p.value.is_none() {
             return Err(Error::new(
@@ -50,13 +53,11 @@ fn const_eval(prog: &Program, e: &Expr) -> Result<i64, Error> {
                 pd.value
                     .ok_or_else(|| err(format!("param `{}` unbound", p.base), e.span))?
             } else if let Some(cd) = prog.consts.iter().find(|cd| cd.name == p.base) {
-                cd.value
-                    .ok_or_else(|| err(format!("const `{}` used before definition", p.base), e.span))?
+                cd.value.ok_or_else(|| {
+                    err(format!("const `{}` used before definition", p.base), e.span)
+                })?
             } else {
-                return Err(err(
-                    format!("`{}` is not a param or const", p.base),
-                    e.span,
-                ));
+                return Err(err(format!("`{}` is not a param or const", p.base), e.span));
             }
         }
         ExprKind::Var(VarRef::Param(i)) => prog.params[*i as usize]
@@ -120,7 +121,10 @@ pub fn eval_binop(op: BinOp, a: i64, b: i64) -> Result<i64, String> {
 fn eval_dim(prog: &Program, e: &Expr) -> Result<u32, Error> {
     let v = const_eval(prog, e)?;
     if v <= 0 || v > u32::MAX as i64 {
-        return Err(err(format!("array dimension must be positive, got {v}"), e.span));
+        return Err(err(
+            format!("array dimension must be positive, got {v}"),
+            e.span,
+        ));
     }
     Ok(v as u32)
 }
@@ -155,7 +159,10 @@ impl<'p> Checker<'p> {
 
     fn declare_local(&mut self, name: &str, span: Span) -> Result<u32, Error> {
         if self.scopes.last().unwrap().contains_key(name) {
-            return Err(err(format!("`{name}` already declared in this scope"), span));
+            return Err(err(
+                format!("`{name}` already declared in this scope"),
+                span,
+            ));
         }
         if self.globals.contains_key(name) {
             return Err(err(format!("local `{name}` shadows a global"), span));
@@ -163,7 +170,10 @@ impl<'p> Checker<'p> {
         let slot = self.next_slot;
         self.next_slot += 1;
         self.slot_names.push(name.to_string());
-        self.scopes.last_mut().unwrap().insert(name.to_string(), slot);
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), slot);
         Ok(slot)
     }
 
@@ -272,7 +282,9 @@ impl<'p> Checker<'p> {
                             Some(PathSeg::Index(mut e)) => {
                                 if !is_array {
                                     return Err(err(
-                                        format!("field `{fname}` is a scalar and cannot be indexed"),
+                                        format!(
+                                            "field `{fname}` is a scalar and cannot be indexed"
+                                        ),
                                         path.span,
                                     ));
                                 }
@@ -289,7 +301,10 @@ impl<'p> Checker<'p> {
                                 None
                             }
                             Some(PathSeg::Field(_)) => {
-                                return Err(err("nested struct fields are not supported", path.span))
+                                return Err(err(
+                                    "nested struct fields are not supported",
+                                    path.span,
+                                ))
                             }
                         };
                         field = Some((fid, fidx));
@@ -317,7 +332,10 @@ impl<'p> Checker<'p> {
                     span: path.span,
                 }))
             }
-            None => Err(err(format!("unknown identifier `{}`", path.base), path.span)),
+            None => Err(err(
+                format!("unknown identifier `{}`", path.base),
+                path.span,
+            )),
         }
     }
 
@@ -443,10 +461,7 @@ impl<'p> Checker<'p> {
                 body,
             } => {
                 if !self.in_main_top {
-                    return Err(err(
-                        "forall is only allowed at the top level of main",
-                        span,
-                    ));
+                    return Err(err("forall is only allowed at the top level of main", span));
                 }
                 if self.saw_forall {
                     return Err(err("only one forall is allowed per program", span));
@@ -494,7 +509,12 @@ impl<'p> Checker<'p> {
         Ok(())
     }
 
-    fn resolve_target(&mut self, target: &mut Target, span: Span, want_lock: bool) -> Result<(), Error> {
+    fn resolve_target(
+        &mut self,
+        target: &mut Target,
+        span: Span,
+        want_lock: bool,
+    ) -> Result<(), Error> {
         if let Target::Path(p) = target {
             let mut p = p.clone();
             *target = match self.resolve_path(&mut p)? {
@@ -591,9 +611,12 @@ pub fn check(prog: &mut Program) -> Result<(), Error> {
     // Object element types and dimensions.
     for i in 0..prog.objects.len() {
         if let Some(ename) = prog.objects[i].elem_name.clone() {
-            let (sid, _) = prog
-                .struct_by_name(&ename)
-                .ok_or_else(|| err(format!("unknown struct type `{ename}`"), prog.objects[i].span))?;
+            let (sid, _) = prog.struct_by_name(&ename).ok_or_else(|| {
+                err(
+                    format!("unknown struct type `{ename}`"),
+                    prog.objects[i].span,
+                )
+            })?;
             prog.objects[i].elem = ElemTy::Struct(sid);
         }
         let dim_exprs = prog.objects[i].dim_exprs.clone();
@@ -796,7 +819,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_identifier() {
-        expect_err("fn main() { forall p in 0..2 { zz = 1; } }", "unknown identifier");
+        expect_err(
+            "fn main() { forall p in 0..2 { zz = 1; } }",
+            "unknown identifier",
+        );
     }
 
     #[test]
@@ -861,7 +887,10 @@ mod tests {
 
     #[test]
     fn rejects_break_outside_loop() {
-        expect_err("fn main() { forall p in 0..2 { break; } }", "outside of a loop");
+        expect_err(
+            "fn main() { forall p in 0..2 { break; } }",
+            "outside of a loop",
+        );
     }
 
     #[test]
@@ -871,7 +900,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        expect_err("shared int a; shared int a; fn main() { forall p in 0..1 { } }", "duplicate");
+        expect_err(
+            "shared int a; shared int a; fn main() { forall p in 0..1 { } }",
+            "duplicate",
+        );
     }
 
     #[test]
@@ -902,22 +934,34 @@ mod tests {
             "fn f(int x) { return x; } fn main() { forall p in 0..2 { var v = f(p, p); } }",
             "expects 1 argument",
         );
-        expect_err("fn main() { forall p in 0..2 { var v = min(p); } }", "expects 2");
+        expect_err(
+            "fn main() { forall p in 0..2 { var v = min(p); } }",
+            "expects 2",
+        );
     }
 
     #[test]
     fn rejects_builtin_shadow() {
-        expect_err("fn prand(int x) { return x; } fn main() { forall p in 0..2 { } }", "shadows a builtin");
+        expect_err(
+            "fn prand(int x) { return x; } fn main() { forall p in 0..2 { } }",
+            "shadows a builtin",
+        );
     }
 
     #[test]
     fn rejects_zero_dimension() {
-        expect_err("shared int a[0]; fn main() { forall p in 0..2 { } }", "positive");
+        expect_err(
+            "shared int a[0]; fn main() { forall p in 0..2 { } }",
+            "positive",
+        );
     }
 
     #[test]
     fn rejects_const_div_zero() {
-        expect_err("const C = 1 / 0; fn main() { forall p in 0..2 { } }", "division by zero");
+        expect_err(
+            "const C = 1 / 0; fn main() { forall p in 0..2 { } }",
+            "division by zero",
+        );
     }
 
     #[test]
@@ -931,10 +975,7 @@ mod tests {
 
     #[test]
     fn local_scopes_allow_reuse_across_blocks() {
-        compile(
-            "fn main() { forall p in 0..2 { { var x = 1; } { var x = 2; } } }",
-        )
-        .unwrap();
+        compile("fn main() { forall p in 0..2 { { var x = 1; } { var x = 2; } } }").unwrap();
     }
 
     #[test]

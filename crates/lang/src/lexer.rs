@@ -94,13 +94,16 @@ impl<'a> Lexer<'a> {
                 let mut v: i64 = (c - b'0') as i64;
                 while self.peek().is_ascii_digit() {
                     let d = (self.bump() - b'0') as i64;
-                    v = v.checked_mul(10).and_then(|v| v.checked_add(d)).ok_or_else(|| {
-                        Error::new(
-                            Stage::Lex,
-                            "integer literal overflows i64",
-                            Span::new(start as u32, self.pos as u32),
-                        )
-                    })?;
+                    v = v
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(d))
+                        .ok_or_else(|| {
+                            Error::new(
+                                Stage::Lex,
+                                "integer literal overflows i64",
+                                Span::new(start as u32, self.pos as u32),
+                            )
+                        })?;
                 }
                 Token::Int(v)
             }

@@ -10,7 +10,7 @@
 //! in the compiler relies only on the features PSL keeps.
 //!
 //! The crate provides:
-//! - [`lex`]: tokenizer ([`token::Token`])
+//! - [`lex`][]: tokenizer ([`token::Token`])
 //! - [`parse`]: recursive-descent parser producing an [`ast::Program`]
 //! - [`check`]: name resolution + typechecking producing a [`ast::Program`]
 //!   with resolved symbol tables (errors via [`diag::Error`])

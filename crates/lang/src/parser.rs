@@ -661,7 +661,10 @@ mod tests {
     #[test]
     fn parses_lock_unlock() {
         let p = parse("fn f(int i) { lock(l[i]); unlock(l[i]); }");
-        assert!(matches!(p.funcs[0].body.stmts[0].kind, StmtKind::Lock { .. }));
+        assert!(matches!(
+            p.funcs[0].body.stmts[0].kind,
+            StmtKind::Lock { .. }
+        ));
         assert!(matches!(
             p.funcs[0].body.stmts[1].kind,
             StmtKind::Unlock { .. }

@@ -87,7 +87,10 @@ pub fn program(p: &Program) -> String {
             .collect::<Vec<_>>()
             .join(", ");
         writeln!(out, "fn {}({params}) {{", f.name).unwrap();
-        let fctx = Ctx { prog: p, func: Some(f) };
+        let fctx = Ctx {
+            prog: p,
+            func: Some(f),
+        };
         for s in &f.body.stmts {
             stmt(fctx, s, 1, &mut out);
         }
@@ -332,12 +335,18 @@ pub fn expr(p: Ctx, e: &Expr) -> String {
             };
             format!(
                 "{name}({})",
-                args.iter().map(|a| expr(p, a)).collect::<Vec<_>>().join(", ")
+                args.iter()
+                    .map(|a| expr(p, a))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )
         }
         ExprKind::CallNamed(name, args) => format!(
             "{name}({})",
-            args.iter().map(|a| expr(p, a)).collect::<Vec<_>>().join(", ")
+            args.iter()
+                .map(|a| expr(p, a))
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
     }
 }

@@ -20,6 +20,7 @@
 use fsr_lang::ast::{ElemTy, FieldId, ObjId, ObjectKind, Program, WORD_BYTES};
 use fsr_transform::{LayoutPlan, ObjPlan};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// First word address handed out; low addresses stay unmapped so that a
 /// zero pointer word means "unallocated" for indirection.
@@ -112,10 +113,111 @@ fn align_up(x: u32, a: u32) -> u32 {
     x.div_ceil(a) * a
 }
 
+/// Largest address space (in words) the engine hands out: byte addresses
+/// must fit `u32` downstream (simulator, interpreter).
+pub const MAX_WORDS: u64 = (u32::MAX / WORD_BYTES) as u64;
+
+/// Why a layout could not be built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The plan's footprint (conservatively bounded) cannot be addressed
+    /// in the 32-bit word space — padding/replication under this plan and
+    /// process count would overflow address arithmetic.
+    AddressSpaceOverflow { words_bound: u64, words_max: u64 },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::AddressSpaceOverflow {
+                words_bound,
+                words_max,
+            } => write!(
+                f,
+                "layout footprint (≤ {words_bound} words) exceeds the \
+                 addressable space ({words_max} words)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
 impl Layout {
+    /// Fallible [`Layout::build`]: rejects (program, plan, nproc)
+    /// combinations whose footprint cannot fit the 32-bit address space
+    /// instead of overflowing address arithmetic. This is the entry
+    /// point for user-supplied input (`fsr-core` uses it); `build` stays
+    /// available for callers with known-small programs.
+    pub fn try_build(prog: &Program, plan: &LayoutPlan, nproc: u32) -> Result<Layout, LayoutError> {
+        let words_bound = Self::footprint_bound(prog, plan, nproc);
+        if words_bound > MAX_WORDS {
+            return Err(LayoutError::AddressSpaceOverflow {
+                words_bound,
+                words_max: MAX_WORDS,
+            });
+        }
+        Ok(Self::build(prog, plan, nproc))
+    }
+
+    /// Conservative upper bound (in words) on the address space `build`
+    /// would consume, computed in saturating `u64` so it cannot itself
+    /// overflow. Over-approximates every pass: per-object alignment slop
+    /// is charged per object, transposition charges `nproc` full copies,
+    /// padding charges a block per element.
+    fn footprint_bound(prog: &Program, plan: &LayoutPlan, nproc: u32) -> u64 {
+        let bw = block_words(plan.block_bytes) as u64;
+        let np = nproc.max(1) as u64;
+        let mut need: u64 = BASE_WORD as u64;
+        let mut private_total: u64 = 0;
+        for (i, obj) in prog.objects.iter().enumerate() {
+            let oid = ObjId(i as u32);
+            let ew = match obj.kind {
+                ObjectKind::Lock => 1,
+                _ => prog.elem_words(obj.elem),
+            } as u64;
+            let count = obj.elem_count();
+            let total = count.saturating_mul(ew);
+            if obj.kind == ObjectKind::PrivateData {
+                private_total = private_total.saturating_add(total);
+                continue;
+            }
+            let obj_need = match plan.get(oid) {
+                // nproc per-process slices, each at most the whole object
+                // plus one block of padding (grouped or not).
+                Some(ObjPlan::Transpose { .. }) => np.saturating_mul(total.saturating_add(bw)),
+                // One block-aligned stride per element.
+                Some(ObjPlan::PadElems) | Some(ObjPlan::PadLock) => {
+                    count.saturating_mul(ew.max(bw).saturating_add(bw))
+                }
+                // Pointer table plus arena: slots (≤ the object itself)
+                // plus per-process, per-lane chunk slack.
+                Some(ObjPlan::Indirect { fields }) => {
+                    let lanes = fields.len().max(1) as u64;
+                    let chunk = bw.max(4);
+                    total
+                        .saturating_add(total)
+                        .saturating_add(np.saturating_mul(lanes.saturating_mul(chunk)))
+                }
+                None => total,
+            };
+            need = need.saturating_add(obj_need).saturating_add(bw);
+        }
+        // Private span: nproc block-aligned copies; plus inter-pass
+        // alignment slop.
+        need = need
+            .saturating_add(np.saturating_mul(private_total.saturating_add(bw)))
+            .saturating_add(4 * bw);
+        need
+    }
+
     /// Build the address map. `nproc` is the number of processes the
     /// program will run with (must match the analysis when the plan came
     /// from one).
+    ///
+    /// Address arithmetic is unchecked `u32`: callers handing in
+    /// unvalidated programs or plans should use [`Layout::try_build`],
+    /// which bounds the footprint first.
     pub fn build(prog: &Program, plan: &LayoutPlan, nproc: u32) -> Layout {
         let bw = block_words(plan.block_bytes);
         let nobj = prog.objects.len();
@@ -179,8 +281,8 @@ impl Layout {
                             .map(|f| (Some(*f), field_offsets[i][f.index()].1))
                             .collect()
                     };
-                    let slot_total: u64 = slots.values().map(|&w| w as u64).sum::<u64>()
-                        * elem_counts[i];
+                    let slot_total: u64 =
+                        slots.values().map(|&w| w as u64).sum::<u64>() * elem_counts[i];
                     let lanes = slots.len().max(1) as u32;
                     objs[i] = Some(ObjLayout::Indirect {
                         base: cursor,
@@ -198,8 +300,7 @@ impl Layout {
                     // Arena sized for every slot plus per-process chunk
                     // slack; placed after all fixed regions (pass 3).
                     let chunk = bw.max(4);
-                    let total_arena =
-                        align_up(slot_total as u32 + nproc * lanes * chunk, bw);
+                    let total_arena = align_up(slot_total as u32 + nproc * lanes * chunk, bw);
                     arenas.push(ArenaSpec {
                         obj: oid,
                         base_word: 0, // fixed up in pass 3
@@ -239,7 +340,9 @@ impl Layout {
                 let dims = &prog.object(oid).dims;
                 let mut counts = vec![0u32; nproc as usize];
                 for e in 0..elem_counts[i] {
-                    let p = owner.owner(e, dims, nproc as i64).clamp(0, nproc as i64 - 1);
+                    let p = owner
+                        .owner(e, dims, nproc as i64)
+                        .clamp(0, nproc as i64 - 1);
                     counts[p as usize] += 1;
                 }
                 per_proc_counts.push(counts);
@@ -260,8 +363,9 @@ impl Layout {
                     };
                     let dims = &prog.object(oid).dims;
                     for e in 0..elem_counts[i] {
-                        let po =
-                            owner.owner(e, dims, nproc as i64).clamp(0, nproc as i64 - 1);
+                        let po = owner
+                            .owner(e, dims, nproc as i64)
+                            .clamp(0, nproc as i64 - 1);
                         if po as u32 == p {
                             member_elem_addrs[mi][e as usize] = off;
                             off += elem_words[i];
@@ -295,7 +399,9 @@ impl Layout {
                     let dims = &obj.dims;
                     let mut counts = vec![0u32; nproc as usize];
                     for e in 0..elem_counts[i] {
-                        let p = owner.owner(e, dims, nproc as i64).clamp(0, nproc as i64 - 1);
+                        let p = owner
+                            .owner(e, dims, nproc as i64)
+                            .clamp(0, nproc as i64 - 1);
                         counts[p as usize] += 1;
                     }
                     let per_proc_words = align_up(
@@ -308,8 +414,9 @@ impl Layout {
                         (0..nproc).map(|p| base + p * per_proc_words).collect();
                     let mut elem_base = vec![0u32; elem_counts[i] as usize];
                     for e in 0..elem_counts[i] {
-                        let p = owner.owner(e, dims, nproc as i64).clamp(0, nproc as i64 - 1)
-                            as usize;
+                        let p = owner
+                            .owner(e, dims, nproc as i64)
+                            .clamp(0, nproc as i64 - 1) as usize;
                         elem_base[e as usize] = next[p];
                         next[p] += elem_words[i];
                     }
@@ -482,10 +589,7 @@ impl Layout {
                                 off: fi,
                                 slot_words,
                                 arena: *arena,
-                                lane: slots
-                                    .keys()
-                                    .position(|k| *k == Some(f))
-                                    .unwrap_or(0) as u32,
+                                lane: slots.keys().position(|k| *k == Some(f)).unwrap_or(0) as u32,
                             },
                             None => Resolved::Direct(elem_addr + off + fi),
                         }
@@ -635,9 +739,7 @@ impl Layout {
         // Base word of element `flat` (copy `pid` for private objects).
         fn elem_base_word(o: &ObjLayout, ew: u32, flat: u64, pid: u32) -> Option<u32> {
             Some(match o {
-                ObjLayout::Contiguous { base, stride_words } => {
-                    base + (flat as u32) * stride_words
-                }
+                ObjLayout::Contiguous { base, stride_words } => base + (flat as u32) * stride_words,
                 ObjLayout::Transposed { elem_base } => elem_base[flat as usize],
                 ObjLayout::Private {
                     base,
@@ -699,8 +801,8 @@ impl Arena {
     /// or `None` when the pool is exhausted (arenas are sized for every
     /// slot plus slack, so exhaustion indicates duplicate allocation).
     pub fn alloc(&mut self, pid: u32, lane: u32, slot_words: u32) -> Option<u32> {
-        let p = (pid * self.spec.lanes.max(1) + lane.min(self.spec.lanes.saturating_sub(1)))
-            as usize;
+        let p =
+            (pid * self.spec.lanes.max(1) + lane.min(self.spec.lanes.saturating_sub(1))) as usize;
         if self.next[p] + slot_words > self.limit[p] {
             let chunk = self.spec.chunk_words.max(slot_words);
             if self.pool_next + chunk > self.pool_end {
@@ -772,7 +874,11 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 if i != j {
-                    assert_ne!(addrs[i] / bw, addrs[j] / bw, "elements {i},{j} share a block");
+                    assert_ne!(
+                        addrs[i] / bw,
+                        addrs[j] / bw,
+                        "elements {i},{j} share a block"
+                    );
                 }
             }
         }
@@ -1079,7 +1185,10 @@ mod tests {
         assert!(matches!(plan.get(d), Some(ObjPlan::Indirect { .. })));
         assert!(!ind.direct_only());
         let unopt = Layout::build(&prog, &LayoutPlan::unoptimized(64), 4);
-        assert!(unopt.word_map_to(&ind).is_none(), "indirection is interpreter state");
+        assert!(
+            unopt.word_map_to(&ind).is_none(),
+            "indirection is interpreter state"
+        );
         assert!(ind.word_map_to(&unopt).is_none());
         // Different program geometry: refused.
         let other = fsr_lang::compile(
@@ -1092,5 +1201,56 @@ mod tests {
         // Different process counts: refused.
         let n2 = Layout::build(&prog, &LayoutPlan::unoptimized(64), 2);
         assert!(unopt.word_map_to(&n2).is_none());
+    }
+
+    #[test]
+    fn try_build_accepts_ordinary_programs() {
+        let prog = fsr_lang::compile(
+            "param NPROC = 4; shared int c[NPROC];
+             fn main() { forall p in 0 .. NPROC { c[p] = 1; } }",
+        )
+        .unwrap();
+        for plan in [LayoutPlan::unoptimized(128), LayoutPlan::unoptimized(4)] {
+            let l = Layout::try_build(&prog, &plan, 4).unwrap();
+            assert_eq!(
+                l.total_words(),
+                Layout::build(&prog, &plan, 4).total_words()
+            );
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_address_space_overflow() {
+        // 2^31 elements cannot be addressed in the 32-bit word space
+        // even unpadded; `build` would silently truncate the footprint.
+        let prog = fsr_lang::compile(
+            "param NPROC = 2; shared int huge[2147483648];
+             fn main() { forall p in 0 .. NPROC { huge[p] = 1; } }",
+        )
+        .unwrap();
+        let e = Layout::try_build(&prog, &LayoutPlan::unoptimized(128), 2).unwrap_err();
+        let LayoutError::AddressSpaceOverflow {
+            words_bound,
+            words_max,
+        } = e;
+        assert!(words_bound > words_max);
+        assert_eq!(words_max, MAX_WORDS);
+    }
+
+    #[test]
+    fn try_build_rejects_padding_blowup() {
+        // 80M elements fit unpadded (~80M words) but one-block-per-element
+        // padding at 128 B inflates them past the 2^30-word space.
+        let src = "param NPROC = 2; shared int big[80000000];
+             fn main() { forall p in 0 .. NPROC { big[p] = 1; } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        assert!(Layout::try_build(&prog, &LayoutPlan::unoptimized(128), 2).is_ok());
+        let (big, _) = prog.object_by_name("big").unwrap();
+        let mut plan = LayoutPlan::unoptimized(128);
+        plan.insert(big, ObjPlan::PadElems, "test");
+        assert!(matches!(
+            Layout::try_build(&prog, &plan, 2),
+            Err(LayoutError::AddressSpaceOverflow { .. })
+        ));
     }
 }

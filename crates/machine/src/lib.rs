@@ -1,28 +1,71 @@
-//! KSR2-like ring-interconnect timing model.
+//! Interconnect timing models replaying classified reference streams.
 //!
-//! Replays a classified reference stream and accounts cycles per
-//! processor. The machine is modeled after the paper's 56-processor
-//! KSR2: processors are arranged on rings of 32; a miss serviced within
-//! the requester's ring costs 175 cycles, a miss serviced by a processor
-//! on another ring costs 600 cycles. Every coherence transaction (miss
-//! fill or invalidating upgrade) *occupies* its ring(s) for a fixed
-//! number of slot cycles, so aggregate coherence traffic is bounded by
-//! ring bandwidth: as more processors generate misses — in particular the
-//! superlinear ping-pong traffic of falsely shared blocks — queueing
-//! delay grows and the speedup curve rolls over, reproducing the paper's
-//! scalability collapse for unoptimized programs.
+//! The machine replays the same stream the cache simulator classifies
+//! and accounts cycles per processor. Topology and transaction routing
+//! are pluggable behind the [`Interconnect`] trait:
 //!
-//! The model deliberately stays analytic (per-ring next-free-time
+//! - [`Ksr2Ring`] (the default) models the paper's 56-processor KSR2:
+//!   processors arranged on rings of 32; a miss serviced within the
+//!   requester's ring costs 175 cycles, a miss serviced by a processor
+//!   on another ring costs 600 cycles; cold/capacity misses are served
+//!   by the local ALLCACHE partition without touching a ring.
+//! - [`Bus`] is a flat bus/crossbar: one shared channel, uniform miss
+//!   latency (no cross-ring penalty), but *every* fill occupies the
+//!   single channel — it saturates earlier as processors are added.
+//!
+//! Every coherence transaction (miss fill or invalidating upgrade)
+//! *occupies* its channel(s) for a fixed number of slot cycles, so
+//! aggregate coherence traffic is bounded by interconnect bandwidth: as
+//! more processors generate misses — in particular the superlinear
+//! ping-pong traffic of falsely shared blocks — queueing delay grows and
+//! the speedup curve rolls over, reproducing the paper's scalability
+//! collapse for unoptimized programs.
+//!
+//! The models deliberately stay analytic (per-channel next-free-time
 //! counters, no packet-level simulation): the paper's execution-time
-//! observations depend on latency and bandwidth saturation, not on ring
-//! micro-ordering. See DESIGN.md "Substitutions".
+//! observations depend on latency and bandwidth saturation, not on
+//! interconnect micro-ordering. See DESIGN.md "Substitutions".
 
 use fsr_sim::{MissKind, Outcome};
+
+/// Which interconnect topology the timing model replays against. A
+/// plain selector enum so machine configurations stay `Copy`; resolved
+/// to a `&'static dyn Interconnect` at model construction.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum InterconnectKind {
+    #[default]
+    /// KSR2-like two-level ring hierarchy (the paper's machine).
+    Ksr2Ring,
+    /// Flat single-channel bus/crossbar with uniform miss latency.
+    Bus,
+}
+
+impl InterconnectKind {
+    pub const ALL: [InterconnectKind; 2] = [InterconnectKind::Ksr2Ring, InterconnectKind::Bus];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            InterconnectKind::Ksr2Ring => "ksr2-ring",
+            InterconnectKind::Bus => "bus",
+        }
+    }
+
+    /// The trait instance this selector names.
+    pub fn interconnect(self) -> &'static dyn Interconnect {
+        match self {
+            InterconnectKind::Ksr2Ring => &Ksr2Ring,
+            InterconnectKind::Bus => &Bus,
+        }
+    }
+}
 
 /// Machine parameters (defaults approximate the KSR2).
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct MachineConfig {
     /// Processors per ring (KSR2: 32 per ring, two rings for 56 procs).
+    /// The bus model ignores this (one channel regardless).
     pub procs_per_ring: u32,
     /// Latency of a miss served by the processor's local second-level
     /// (ALLCACHE) partition: cold and capacity misses.
@@ -33,17 +76,20 @@ pub struct MachineConfig {
     pub remote_miss_cycles: u64,
     /// Latency of an invalidating upgrade (no data transfer).
     pub upgrade_cycles: u64,
-    /// Ring occupancy of a miss fill (block transfer slots).
+    /// Channel occupancy of a miss fill (block transfer slots).
     pub miss_occupancy: u64,
-    /// Ring occupancy of an upgrade/invalidate transaction.
+    /// Channel occupancy of an upgrade/invalidate transaction.
     pub upgrade_occupancy: u64,
-    /// Ring occupancy per remote cache invalidated: each invalidation is
-    /// a coherence message the ring must carry, which is what makes
-    /// false-sharing traffic grow *superlinearly* with the processor
-    /// count (every ping-pong write invalidates every current sharer).
+    /// Channel occupancy per remote cache invalidated: each invalidation
+    /// is a coherence message the interconnect must carry, which is what
+    /// makes false-sharing traffic grow *superlinearly* with the
+    /// processor count (every ping-pong write invalidates every current
+    /// sharer).
     pub invalidation_occupancy: u64,
     /// Fixed cost of a barrier episode (hardware barrier / flag tree).
     pub barrier_cycles: u64,
+    /// Topology the timing model routes transactions over.
+    pub interconnect: InterconnectKind,
 }
 
 impl Default for MachineConfig {
@@ -58,6 +104,141 @@ impl Default for MachineConfig {
             upgrade_occupancy: 4,
             invalidation_occupancy: 4,
             barrier_cycles: 60,
+            interconnect: InterconnectKind::Ksr2Ring,
+        }
+    }
+}
+
+/// How one non-hit transaction travels the interconnect: its latency,
+/// the slot cycles it holds its channel(s) for (invalidation traffic
+/// included), and which channels it involves (requester's first, an
+/// optional distinct remote second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    pub latency: u64,
+    pub occupancy: u64,
+    pub channels: [Option<usize>; 2],
+}
+
+/// Topology + per-transaction routing of a timing backend. The shared
+/// replay machinery (per-processor clocks, channel next-free-time
+/// counters, stall attribution) lives in [`TimingModel`]; an
+/// interconnect only decides *where* a transaction goes and *what it
+/// costs*.
+pub trait Interconnect: Sync {
+    fn kind(&self) -> InterconnectKind;
+
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Number of shared channels an `nproc`-processor machine has.
+    fn num_channels(&self, cfg: &MachineConfig, nproc: u32) -> usize;
+
+    /// The channel a processor issues its transactions on.
+    fn channel_of(&self, cfg: &MachineConfig, pid: u32) -> usize;
+
+    /// Route one non-hit transaction (`outcome.hit()` is false).
+    fn route(&self, cfg: &MachineConfig, pid: u32, outcome: &Outcome) -> Route;
+}
+
+/// The paper's machine: processors on rings of `procs_per_ring`;
+/// cold/capacity misses served by the local ALLCACHE level (no ring
+/// occupancy), sharing misses pay local or cross-ring latency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ksr2Ring;
+
+impl Interconnect for Ksr2Ring {
+    fn kind(&self) -> InterconnectKind {
+        InterconnectKind::Ksr2Ring
+    }
+
+    fn num_channels(&self, cfg: &MachineConfig, nproc: u32) -> usize {
+        nproc.div_ceil(cfg.procs_per_ring).max(1) as usize
+    }
+
+    fn channel_of(&self, cfg: &MachineConfig, pid: u32) -> usize {
+        (pid / cfg.procs_per_ring) as usize
+    }
+
+    fn route(&self, cfg: &MachineConfig, pid: u32, outcome: &Outcome) -> Route {
+        let my_ring = self.channel_of(cfg, pid);
+        let inval_occ = outcome.invalidations as u64 * cfg.invalidation_occupancy;
+        let (latency, occupancy, remote_ring) = if let Some(kind) = outcome.miss {
+            let remote = outcome
+                .supplier
+                .map(|s| self.channel_of(cfg, s as u32))
+                .filter(|&r| r != my_ring);
+            // Cold/capacity misses with no remote supplier are served by
+            // the local ALLCACHE level; sharing misses travel the ring.
+            let served_locally = outcome.supplier.is_none()
+                && matches!(kind, MissKind::Cold | MissKind::Replacement);
+            let lat = if served_locally {
+                cfg.l2_miss_cycles
+            } else if remote.is_some() {
+                cfg.remote_miss_cycles
+            } else {
+                cfg.local_miss_cycles
+            };
+            let occ = if served_locally {
+                0
+            } else {
+                cfg.miss_occupancy
+            };
+            (lat, occ, remote)
+        } else {
+            // Upgrade.
+            (cfg.upgrade_cycles, cfg.upgrade_occupancy, None)
+        };
+        Route {
+            latency,
+            occupancy: occupancy + inval_occ,
+            channels: [Some(my_ring), remote_ring],
+        }
+    }
+}
+
+/// Flat bus/crossbar: one shared channel, uniform memory access. A
+/// sharing miss costs the local-miss latency wherever the supplier
+/// sits (no cross-ring penalty), cold/capacity misses cost the L2
+/// latency — but *every* fill occupies the single channel, so the bus
+/// saturates as processors are added where the ring hierarchy still
+/// has headroom.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bus;
+
+impl Interconnect for Bus {
+    fn kind(&self) -> InterconnectKind {
+        InterconnectKind::Bus
+    }
+
+    fn num_channels(&self, _cfg: &MachineConfig, _nproc: u32) -> usize {
+        1
+    }
+
+    fn channel_of(&self, _cfg: &MachineConfig, _pid: u32) -> usize {
+        0
+    }
+
+    fn route(&self, cfg: &MachineConfig, _pid: u32, outcome: &Outcome) -> Route {
+        let inval_occ = outcome.invalidations as u64 * cfg.invalidation_occupancy;
+        let (latency, occupancy) = if let Some(kind) = outcome.miss {
+            let served_by_memory = outcome.supplier.is_none()
+                && matches!(kind, MissKind::Cold | MissKind::Replacement);
+            let lat = if served_by_memory {
+                cfg.l2_miss_cycles
+            } else {
+                cfg.local_miss_cycles
+            };
+            // Memory sits on the bus: every fill holds the channel.
+            (lat, cfg.miss_occupancy)
+        } else {
+            (cfg.upgrade_cycles, cfg.upgrade_occupancy)
+        };
+        Route {
+            latency,
+            occupancy: occupancy + inval_occ,
+            channels: [Some(0), None],
         }
     }
 }
@@ -69,12 +250,30 @@ pub struct TimingStats {
     pub busy: Vec<u64>,
     /// Memory stall cycles, per processor.
     pub stall: Vec<u64>,
-    /// Of which: queueing delay waiting for the ring.
+    /// Of which: queueing delay waiting for the interconnect.
     pub queue: Vec<u64>,
     /// Stall cycles attributed to each miss kind (global).
-    pub stall_by_kind: [u64; 4],
+    pub stall_by_kind: [u64; MissKind::COUNT],
     /// Stall cycles from upgrades.
     pub upgrade_stall: u64,
+}
+
+impl TimingStats {
+    /// Total interconnect queueing stall across processors.
+    pub fn total_queue(&self) -> u64 {
+        self.queue.iter().sum()
+    }
+}
+
+/// What one recorded reference cost its processor, so callers (which
+/// know the referenced address) can attribute interconnect pressure per
+/// object. Zero for hits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxCost {
+    /// Total stall cycles (latency + queueing).
+    pub stall: u64,
+    /// Of which: queueing delay waiting for the channel(s).
+    pub queue: u64,
 }
 
 /// The timing model: feed it the same stream the cache simulator
@@ -82,20 +281,29 @@ pub struct TimingStats {
 #[derive(Debug)]
 pub struct TimingModel {
     cfg: MachineConfig,
+    interconnect: &'static dyn Interconnect,
     nproc: u32,
     proc_time: Vec<u64>,
-    ring_free: Vec<u64>,
+    chan_free: Vec<u64>,
     stats: TimingStats,
+}
+
+impl std::fmt::Debug for dyn Interconnect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 impl TimingModel {
     pub fn new(cfg: MachineConfig, nproc: u32) -> TimingModel {
-        let rings = nproc.div_ceil(cfg.procs_per_ring).max(1);
+        let interconnect = cfg.interconnect.interconnect();
+        let channels = interconnect.num_channels(&cfg, nproc);
         TimingModel {
             cfg,
+            interconnect,
             nproc,
             proc_time: vec![0; nproc as usize],
-            ring_free: vec![0; rings as usize],
+            chan_free: vec![0; channels],
             stats: TimingStats {
                 busy: vec![0; nproc as usize],
                 stall: vec![0; nproc as usize],
@@ -105,15 +313,21 @@ impl TimingModel {
         }
     }
 
+    pub fn interconnect(&self) -> &'static dyn Interconnect {
+        self.interconnect
+    }
+
+    /// The channel (ring, for the KSR2 model) a processor belongs to.
     pub fn ring_of(&self, pid: u32) -> usize {
-        (pid / self.cfg.procs_per_ring) as usize
+        self.interconnect.channel_of(&self.cfg, pid)
     }
 
     /// Account one reference: `gap` compute cycles since the processor's
     /// previous reference, then the access itself with its classified
-    /// outcome. `supplier` is the remote holder when the block came from
-    /// another cache.
-    pub fn record(&mut self, pid: u8, gap: u32, outcome: &Outcome) {
+    /// outcome. `outcome.supplier` is the remote holder when the block
+    /// came from another cache. Returns what the reference cost so the
+    /// caller can attribute it (per block / per object).
+    pub fn record(&mut self, pid: u8, gap: u32, outcome: &Outcome) -> TxCost {
         let p = pid as usize;
         // Compute cycles plus one cycle for the (L1-hit) access itself.
         let busy = gap as u64 + 1;
@@ -121,50 +335,22 @@ impl TimingModel {
         self.stats.busy[p] += busy;
 
         if outcome.hit() {
-            return;
+            return TxCost::default();
         }
 
-        let my_ring = self.ring_of(pid as u32);
-        let inval_occ = outcome.invalidations as u64 * self.cfg.invalidation_occupancy;
-        let (latency, occupancy, remote_ring) = if let Some(kind) = outcome.miss {
-            let remote = outcome
-                .supplier
-                .map(|s| self.ring_of(s as u32))
-                .filter(|&r| r != my_ring);
-            // Cold/capacity misses with no remote supplier are served by
-            // the local ALLCACHE level; sharing misses travel the ring.
-            let served_locally = outcome.supplier.is_none()
-                && matches!(kind, MissKind::Cold | MissKind::Replacement);
-            let lat = if served_locally {
-                self.cfg.l2_miss_cycles
-            } else if remote.is_some() {
-                self.cfg.remote_miss_cycles
-            } else {
-                self.cfg.local_miss_cycles
-            };
-            let occ = if served_locally {
-                0
-            } else {
-                self.cfg.miss_occupancy
-            };
-            (lat, occ, remote)
-        } else {
-            // Upgrade.
-            (self.cfg.upgrade_cycles, self.cfg.upgrade_occupancy, None)
-        };
+        let route = self.interconnect.route(&self.cfg, pid as u32, outcome);
 
-        // Acquire the ring slot(s): wait until every ring involved is
-        // free, then occupy them.
-        let mut start = self.proc_time[p].max(self.ring_free[my_ring]);
-        if let Some(r) = remote_ring {
-            start = start.max(self.ring_free[r]);
+        // Acquire the channel slot(s): wait until every channel involved
+        // is free, then occupy them.
+        let mut start = self.proc_time[p];
+        for ch in route.channels.into_iter().flatten() {
+            start = start.max(self.chan_free[ch]);
         }
         let queue_delay = start - self.proc_time[p];
-        self.ring_free[my_ring] = start + occupancy + inval_occ;
-        if let Some(r) = remote_ring {
-            self.ring_free[r] = start + occupancy + inval_occ;
+        for ch in route.channels.into_iter().flatten() {
+            self.chan_free[ch] = start + route.occupancy;
         }
-        let done = start + latency;
+        let done = start + route.latency;
         let stall = done - self.proc_time[p];
         self.proc_time[p] = done;
         self.stats.stall[p] += stall;
@@ -172,6 +358,10 @@ impl TimingModel {
         match outcome.miss {
             Some(kind) => self.stats.stall_by_kind[kind as usize] += stall,
             None => self.stats.upgrade_stall += stall,
+        }
+        TxCost {
+            stall,
+            queue: queue_delay,
         }
     }
 
@@ -282,6 +472,13 @@ mod tests {
         }
     }
 
+    fn bus_cfg() -> MachineConfig {
+        MachineConfig {
+            interconnect: InterconnectKind::Bus,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn hits_cost_one_cycle_plus_gap() {
         let mut m = TimingModel::new(MachineConfig::default(), 2);
@@ -326,7 +523,7 @@ mod tests {
         for p in 0..8u8 {
             m.record(p, 0, &miss(MissKind::FalseSharing, None));
         }
-        let q: u64 = m.stats().queue.iter().sum();
+        let q: u64 = m.stats().total_queue();
         assert!(q > 0, "later misses must queue");
         // The last requester waited ~7 occupancy slots.
         assert!(m.finish_time() >= cfg.local_miss_cycles + 7 * cfg.miss_occupancy);
@@ -359,6 +556,20 @@ mod tests {
         );
         assert_eq!(m.finish_time(), 1 + cfg.upgrade_cycles);
         assert_eq!(m.stats().upgrade_stall, cfg.upgrade_cycles);
+    }
+
+    #[test]
+    fn record_returns_the_cost_it_accounted() {
+        let cfg = MachineConfig::default();
+        let mut m = TimingModel::new(cfg, 2);
+        assert_eq!(m.record(0, 5, &hit()), TxCost::default());
+        let c = m.record(0, 0, &miss(MissKind::FalseSharing, None));
+        assert_eq!(c.stall, cfg.local_miss_cycles);
+        assert_eq!(c.queue, 0);
+        // A second requester right behind queues on the occupied ring.
+        let c2 = m.record(1, 0, &miss(MissKind::FalseSharing, None));
+        assert!(c2.queue > 0);
+        assert_eq!(m.stats().queue[1], c2.queue);
     }
 
     #[test]
@@ -440,5 +651,53 @@ mod tests {
         m.record(0, 100, &hit());
         m.record(1, 100, &hit());
         assert_eq!(m.finish_time(), 101);
+    }
+
+    #[test]
+    fn bus_has_one_channel_and_uniform_latency() {
+        let cfg = bus_cfg();
+        let mut m = TimingModel::new(cfg, 56);
+        assert_eq!(m.ring_of(0), m.ring_of(40));
+        // A far-away supplier costs the same as a near one: no remote
+        // penalty on a flat crossbar.
+        m.record(0, 0, &miss(MissKind::TrueSharing, Some(40)));
+        assert_eq!(m.finish_time(), 1 + cfg.local_miss_cycles);
+    }
+
+    #[test]
+    fn bus_charges_cold_fills_channel_occupancy() {
+        // On the bus, memory fills occupy the shared channel (the ring
+        // model serves cold misses from the local ALLCACHE level for
+        // free); concurrent cold misses therefore queue.
+        let mut m = TimingModel::new(bus_cfg(), 8);
+        for p in 0..8u8 {
+            m.record(p, 0, &miss(MissKind::Cold, None));
+        }
+        assert!(m.stats().total_queue() > 0);
+        let mut ring = TimingModel::new(MachineConfig::default(), 8);
+        for p in 0..8u8 {
+            ring.record(p, 0, &miss(MissKind::Cold, None));
+        }
+        assert_eq!(ring.stats().total_queue(), 0);
+    }
+
+    #[test]
+    fn bus_saturates_where_rings_still_have_headroom() {
+        // 40 processors split across two rings spread the same sharing
+        // traffic over two channels; the bus serializes it all.
+        let run = |ic: InterconnectKind| {
+            let cfg = MachineConfig {
+                interconnect: ic,
+                ..Default::default()
+            };
+            let mut m = TimingModel::new(cfg, 40);
+            for _ in 0..4 {
+                for p in 0..40u8 {
+                    m.record(p, 0, &miss(MissKind::FalseSharing, None));
+                }
+            }
+            m.stats().total_queue()
+        };
+        assert!(run(InterconnectKind::Bus) > run(InterconnectKind::Ksr2Ring));
     }
 }

@@ -2,10 +2,18 @@
 //! miss classification.
 //!
 //! Models the paper's simulation substrate: per-processor set-associative
-//! first-level caches kept coherent by an MSI write-invalidate protocol,
-//! with an infinite second level (every miss is eventually satisfied;
-//! only L1 behaviour is classified). Block sizes from 4 to 256 bytes are
+//! first-level caches kept coherent by a write-invalidate protocol, with
+//! an infinite second level (every miss is eventually satisfied; only L1
+//! behaviour is classified). Block sizes from 4 to 256 bytes are
 //! supported.
+//!
+//! The line-state machine is pluggable behind the [`CoherenceProtocol`]
+//! trait: the paper's substrate is [`Msi`] (the default), and [`Mesi`]
+//! adds an Exclusive state that makes write hits on private data silent
+//! (no invalidating upgrade transaction). Miss *classification* is a
+//! protocol hook with a shared default — MSI and MESI classify every
+//! reference identically; only the coherence traffic they generate
+//! differs (see `tests/backends.rs` for the property test).
 //!
 //! ## Miss classification
 //!
@@ -29,6 +37,41 @@ use std::fmt;
 
 pub mod report;
 
+/// Which coherence protocol a simulator runs. A plain selector enum so
+/// configurations stay `Copy + Eq + Hash` (the batched driver groups
+/// jobs by config); resolved to a `&'static dyn CoherenceProtocol` at
+/// simulator construction.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum ProtocolKind {
+    #[default]
+    /// Write-invalidate MSI — the paper's simulated substrate.
+    Msi,
+    /// MESI: an Exclusive state suppresses the upgrade transaction on
+    /// write hits to private (unshared) data.
+    Mesi,
+}
+
+impl ProtocolKind {
+    pub const ALL: [ProtocolKind; 2] = [ProtocolKind::Msi, ProtocolKind::Mesi];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::Msi => "msi",
+            ProtocolKind::Mesi => "mesi",
+        }
+    }
+
+    /// The trait instance this selector names.
+    pub fn protocol(self) -> &'static dyn CoherenceProtocol {
+        match self {
+            ProtocolKind::Msi => &Msi,
+            ProtocolKind::Mesi => &Mesi,
+        }
+    }
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheConfig {
@@ -39,6 +82,8 @@ pub struct CacheConfig {
     pub cache_bytes: u32,
     /// Set associativity.
     pub assoc: u32,
+    /// Line-state machine the caches run.
+    pub protocol: ProtocolKind,
 }
 
 impl Default for CacheConfig {
@@ -48,6 +93,7 @@ impl Default for CacheConfig {
             block_bytes: 128,
             cache_bytes: 32 * 1024,
             assoc: 4,
+            protocol: ProtocolKind::Msi,
         }
     }
 }
@@ -76,7 +122,11 @@ pub enum MissKind {
 }
 
 impl MissKind {
-    pub const ALL: [MissKind; 4] = [
+    /// Number of miss classes — the one authority for sizing per-kind
+    /// count arrays.
+    pub const COUNT: usize = 4;
+
+    pub const ALL: [MissKind; MissKind::COUNT] = [
         MissKind::Cold,
         MissKind::Replacement,
         MissKind::TrueSharing,
@@ -93,12 +143,49 @@ impl MissKind {
     }
 }
 
+/// Coherence event class, for per-object observability. These count
+/// protocol *transactions and their consequences*, not misses: one
+/// upgrade may cause several invalidations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CoherenceEvent {
+    /// A remote copy was invalidated (by an upgrade or a write miss).
+    Invalidation = 0,
+    /// Write hit on a Shared line: an invalidating upgrade transaction.
+    Upgrade = 1,
+    /// A dirty or exclusive remote copy was downgraded to service a read.
+    Intervention = 2,
+    /// Write hit on an Exclusive line: silent upgrade, no transaction
+    /// (MESI only — the traffic MSI would have paid).
+    ExclusiveHit = 3,
+}
+
+impl CoherenceEvent {
+    pub const COUNT: usize = 4;
+
+    pub const ALL: [CoherenceEvent; CoherenceEvent::COUNT] = [
+        CoherenceEvent::Invalidation,
+        CoherenceEvent::Upgrade,
+        CoherenceEvent::Intervention,
+        CoherenceEvent::ExclusiveHit,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CoherenceEvent::Invalidation => "invalidations",
+            CoherenceEvent::Upgrade => "upgrades",
+            CoherenceEvent::Intervention => "interventions",
+            CoherenceEvent::ExclusiveHit => "exclusive_hits",
+        }
+    }
+}
+
 /// Result of one access, consumed by the timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outcome {
     pub miss: Option<MissKind>,
-    /// For misses: the processor that held the block modified (the
-    /// remote supplier), when any. `None` = served by memory/L2.
+    /// For misses: the processor that held the block modified or
+    /// exclusive (the remote supplier), when any. `None` = served by
+    /// memory/L2.
     pub supplier: Option<u8>,
     /// Write hit on a Shared line: an invalidating upgrade transaction.
     pub upgrade: bool,
@@ -119,9 +206,13 @@ pub struct SimStats {
     pub refs: u64,
     pub reads: u64,
     pub writes: u64,
-    pub misses: [u64; 4],
+    pub misses: [u64; MissKind::COUNT],
     pub upgrades: u64,
     pub invalidations: u64,
+    /// Dirty/exclusive remote copies downgraded to service reads.
+    pub interventions: u64,
+    /// Silent Exclusive→Modified write hits (MESI; always 0 under MSI).
+    pub exclusive_hits: u64,
 }
 
 impl SimStats {
@@ -150,6 +241,15 @@ impl SimStats {
     pub fn other_misses(&self) -> u64 {
         self.total_misses() - self.false_sharing()
     }
+
+    pub fn event_of(&self, e: CoherenceEvent) -> u64 {
+        match e {
+            CoherenceEvent::Invalidation => self.invalidations,
+            CoherenceEvent::Upgrade => self.upgrades,
+            CoherenceEvent::Intervention => self.interventions,
+            CoherenceEvent::ExclusiveHit => self.exclusive_hits,
+        }
+    }
 }
 
 impl fmt::Display for SimStats {
@@ -168,11 +268,97 @@ impl fmt::Display for SimStats {
     }
 }
 
+/// Cache-line state. The union of the states any supported protocol
+/// uses; MSI never installs `Exclusive`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LineState {
+pub enum LineState {
     Invalid,
     Shared,
+    /// Clean and private: the only cached copy (MESI).
+    Exclusive,
     Modified,
+}
+
+/// Why a processor last lost a block (input to miss classification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LostReason {
+    None,
+    Eviction,
+    Invalidation,
+}
+
+/// The line-state machine of a write-invalidate protocol: which state a
+/// read miss installs, and how a miss is classified from the loss
+/// record. The block-granularity bookkeeping (directory, word clocks,
+/// LRU, loss records) is shared by all protocols and lives in
+/// [`MultiSim`].
+pub trait CoherenceProtocol: Sync {
+    fn kind(&self) -> ProtocolKind;
+
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// State installed by a read miss, given whether any other cache
+    /// holds a copy of the block.
+    fn read_fill_state(&self, other_copies: bool) -> LineState;
+
+    /// Classify a miss from the loss record and the referenced word's
+    /// last-write clock. The default is the paper's exact rule; both MSI
+    /// and MESI use it, which is what makes their classifications
+    /// provably identical.
+    fn classify_miss(&self, reason: LostReason, lost_time: u64, word_write_time: u64) -> MissKind {
+        match reason {
+            LostReason::None => MissKind::Cold,
+            LostReason::Eviction => MissKind::Replacement,
+            LostReason::Invalidation => {
+                // `>=`: an invalidation at time t is always caused by a
+                // write at that same timestamp, and timestamps are unique
+                // per access — equality means "the invalidating write hit
+                // this very word".
+                if word_write_time >= lost_time {
+                    MissKind::TrueSharing
+                } else {
+                    MissKind::FalseSharing
+                }
+            }
+        }
+    }
+}
+
+/// The paper's protocol: every read fill installs Shared, so the first
+/// write to any block pays an upgrade transaction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Msi;
+
+impl CoherenceProtocol for Msi {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Msi
+    }
+
+    fn read_fill_state(&self, _other_copies: bool) -> LineState {
+        LineState::Shared
+    }
+}
+
+/// MESI: a read miss with no other cached copy installs Exclusive, and
+/// the subsequent write hit upgrades silently — private data generates
+/// no invalidation traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mesi;
+
+impl CoherenceProtocol for Mesi {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Mesi
+    }
+
+    fn read_fill_state(&self, other_copies: bool) -> LineState {
+        if other_copies {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -183,13 +369,6 @@ struct Line {
 }
 
 const NEVER: u64 = 0;
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LostReason {
-    None,
-    Eviction,
-    Invalidation,
-}
 
 /// One processor's cache.
 struct Cache {
@@ -258,14 +437,18 @@ impl Cache {
 /// The multiprocessor simulator.
 pub struct MultiSim {
     cfg: CacheConfig,
+    protocol: &'static dyn CoherenceProtocol,
     caches: Vec<Cache>,
-    /// Directory: per block, bitmask of sharers and the modified owner.
+    /// Directory: per block, bitmask of sharers and the modified or
+    /// exclusive owner.
     sharers: Vec<u64>,
     owner: Vec<u8>,
     /// Per word (4 bytes): global time of last write.
     word_write_time: Vec<u64>,
     /// Per block per kind: miss counts (for per-object attribution).
-    per_block_misses: Vec<[u32; 4]>,
+    per_block_misses: Vec<[u32; MissKind::COUNT]>,
+    /// Per block per event class: coherence-event counts.
+    per_block_events: Vec<[u32; CoherenceEvent::COUNT]>,
     time: u64,
     stats: SimStats,
     block_shift: u32,
@@ -281,11 +464,13 @@ impl MultiSim {
         let nblocks = addr_space_bytes.div_ceil(cfg.block_bytes) + 1;
         let nwords = addr_space_bytes.div_ceil(4) + 1;
         MultiSim {
+            protocol: cfg.protocol.protocol(),
             caches: (0..cfg.nproc).map(|_| Cache::new(&cfg, nblocks)).collect(),
             sharers: vec![0; nblocks as usize],
             owner: vec![NO_OWNER; nblocks as usize],
             word_write_time: vec![NEVER; nwords as usize],
-            per_block_misses: vec![[0; 4]; nblocks as usize],
+            per_block_misses: vec![[0; MissKind::COUNT]; nblocks as usize],
+            per_block_events: vec![[0; CoherenceEvent::COUNT]; nblocks as usize],
             time: 1,
             stats: SimStats::default(),
             block_shift: cfg.block_bytes.trailing_zeros(),
@@ -307,14 +492,23 @@ impl MultiSim {
         &self.cfg
     }
 
+    pub fn protocol(&self) -> &'static dyn CoherenceProtocol {
+        self.protocol
+    }
+
     pub fn stats(&self) -> &SimStats {
         &self.stats
     }
 
     /// Per-block miss counts, indexed `[block][MissKind]` — callers map
     /// block indices to data structures via the layout.
-    pub fn per_block_misses(&self) -> &[[u32; 4]] {
+    pub fn per_block_misses(&self) -> &[[u32; MissKind::COUNT]] {
         &self.per_block_misses
+    }
+
+    /// Per-block coherence-event counts, indexed `[block][CoherenceEvent]`.
+    pub fn per_block_events(&self) -> &[[u32; CoherenceEvent::COUNT]] {
+        &self.per_block_events
     }
 
     pub fn block_bytes(&self) -> u32 {
@@ -339,18 +533,35 @@ impl MultiSim {
             Some(way) => {
                 self.caches[p].sets[way].lru = self.time;
                 match (self.caches[p].sets[way].state, write) {
-                    (LineState::Modified, _) | (LineState::Shared, false) => Outcome {
+                    (LineState::Modified, _)
+                    | (LineState::Shared, false)
+                    | (LineState::Exclusive, false) => Outcome {
                         miss: None,
                         supplier: None,
                         upgrade: false,
                         invalidations: 0,
                     },
+                    (LineState::Exclusive, true) => {
+                        // Silent upgrade: the only copy, no transaction.
+                        self.caches[p].sets[way].state = LineState::Modified;
+                        self.stats.exclusive_hits += 1;
+                        self.per_block_events[block as usize]
+                            [CoherenceEvent::ExclusiveHit as usize] += 1;
+                        Outcome {
+                            miss: None,
+                            supplier: None,
+                            upgrade: false,
+                            invalidations: 0,
+                        }
+                    }
                     (LineState::Shared, true) => {
                         // Upgrade: invalidate all other sharers.
                         let inv = self.invalidate_others(block, pid);
                         self.caches[p].sets[way].state = LineState::Modified;
                         self.owner[block as usize] = pid;
                         self.stats.upgrades += 1;
+                        self.per_block_events[block as usize][CoherenceEvent::Upgrade as usize] +=
+                            1;
                         Outcome {
                             miss: None,
                             supplier: None,
@@ -381,16 +592,29 @@ impl MultiSim {
                     self.owner[block as usize] = pid;
                     self.sharers[block as usize] = 1 << pid;
                 } else {
-                    // Downgrade a modified owner to Shared.
+                    // Downgrade a modified or exclusive owner to Shared
+                    // (an intervention: its copy services the read).
                     let o = self.owner[block as usize];
                     if o != NO_OWNER && o != pid {
                         let oc = &mut self.caches[o as usize];
                         if let Some(oway) = oc.find(block) {
                             oc.sets[oway].state = LineState::Shared;
+                            self.stats.interventions += 1;
+                            self.per_block_events[block as usize]
+                                [CoherenceEvent::Intervention as usize] += 1;
                         }
                     }
-                    self.owner[block as usize] = NO_OWNER;
-                    self.install(p, block, LineState::Shared);
+                    // Sharer bits are exact (evictions and invalidations
+                    // both clear them), and the missing processor's own
+                    // bit is never set here.
+                    let other_copies = self.sharers[block as usize] != 0;
+                    let fill = self.protocol.read_fill_state(other_copies);
+                    self.owner[block as usize] = if fill == LineState::Exclusive {
+                        pid
+                    } else {
+                        NO_OWNER
+                    };
+                    self.install(p, block, fill);
                     self.sharers[block as usize] |= 1 << pid;
                 }
                 Outcome {
@@ -409,21 +633,11 @@ impl MultiSim {
 
     fn classify(&self, p: usize, block: u32, word: usize) -> MissKind {
         let c = &self.caches[p];
-        match c.lost_reason[block as usize] {
-            LostReason::None => MissKind::Cold,
-            LostReason::Eviction => MissKind::Replacement,
-            LostReason::Invalidation => {
-                // `>=`: an invalidation at time t is always caused by a
-                // write at that same timestamp, and timestamps are unique
-                // per access — equality means "the invalidating write hit
-                // this very word".
-                if self.word_write_time[word] >= c.lost_time[block as usize] {
-                    MissKind::TrueSharing
-                } else {
-                    MissKind::FalseSharing
-                }
-            }
-        }
+        self.protocol.classify_miss(
+            c.lost_reason[block as usize],
+            c.lost_time[block as usize],
+            self.word_write_time[word],
+        )
     }
 
     fn invalidate_others(&mut self, block: u32, keeper: u8) -> u8 {
@@ -441,6 +655,7 @@ impl MultiSim {
             if let Some(way) = qc.find(block) {
                 qc.lose(way, self.time, LostReason::Invalidation);
                 self.stats.invalidations += 1;
+                self.per_block_events[block as usize][CoherenceEvent::Invalidation as usize] += 1;
                 count += 1;
             }
         }
@@ -475,12 +690,17 @@ mod tests {
     use super::*;
 
     fn sim(nproc: u32, block: u32) -> MultiSim {
+        sim_with(ProtocolKind::Msi, nproc, block)
+    }
+
+    fn sim_with(protocol: ProtocolKind, nproc: u32, block: u32) -> MultiSim {
         MultiSim::new(
             CacheConfig {
                 nproc,
                 block_bytes: block,
                 cache_bytes: 1024,
                 assoc: 2,
+                protocol,
             },
             1 << 20,
         )
@@ -605,6 +825,18 @@ mod tests {
     }
 
     #[test]
+    fn per_block_events_accumulate() {
+        let mut s = sim(2, 64);
+        s.access(0, 0x100, false);
+        s.access(1, 0x100, false);
+        s.access(0, 0x100, true); // upgrade, invalidates P1
+        let b = (0x100u32 >> s.block_bytes().trailing_zeros()) as usize;
+        let ev = s.per_block_events()[b];
+        assert_eq!(ev[CoherenceEvent::Upgrade as usize], 1);
+        assert_eq!(ev[CoherenceEvent::Invalidation as usize], 1);
+    }
+
+    #[test]
     fn stats_counts_are_consistent() {
         let mut s = sim(4, 64);
         for i in 0..100u32 {
@@ -667,5 +899,59 @@ mod tests {
         assert_eq!(s.stats().false_sharing(), 0);
         assert_eq!(s.stats().miss_of(MissKind::TrueSharing), 0);
         assert_eq!(s.stats().total_misses(), 4); // cold only
+    }
+
+    #[test]
+    fn msi_never_installs_exclusive() {
+        let mut s = sim(2, 64);
+        s.access(0, 0x100, false); // sole reader still fills Shared
+        let o = s.access(0, 0x100, true);
+        assert!(o.upgrade, "MSI pays an upgrade even on private data");
+        assert_eq!(s.stats().exclusive_hits, 0);
+    }
+
+    #[test]
+    fn mesi_private_write_after_read_is_silent() {
+        let mut s = sim_with(ProtocolKind::Mesi, 2, 64);
+        s.access(0, 0x100, false); // sole reader fills Exclusive
+        let o = s.access(0, 0x100, true);
+        assert!(o.hit(), "E->M upgrade is silent");
+        assert!(!o.upgrade);
+        assert_eq!(s.stats().upgrades, 0);
+        assert_eq!(s.stats().exclusive_hits, 1);
+    }
+
+    #[test]
+    fn mesi_shared_data_still_pays_upgrades() {
+        let mut s = sim_with(ProtocolKind::Mesi, 2, 64);
+        s.access(0, 0x100, false); // Exclusive at P0
+        s.access(1, 0x100, false); // second reader: both Shared, intervention
+        assert_eq!(s.stats().interventions, 1);
+        let o = s.access(0, 0x100, true);
+        assert!(o.upgrade, "shared line upgrades like MSI");
+        assert_eq!(o.invalidations, 1);
+    }
+
+    #[test]
+    fn mesi_exclusive_holder_is_supplier() {
+        let mut s = sim_with(ProtocolKind::Mesi, 2, 64);
+        s.access(1, 0x100, false); // P1 Exclusive
+        let o = s.access(0, 0x100, false);
+        assert_eq!(o.supplier, Some(1), "cache-to-cache from the E holder");
+    }
+
+    #[test]
+    fn mesi_and_msi_classify_identically_on_a_ping_pong() {
+        let mut a = sim_with(ProtocolKind::Msi, 2, 128);
+        let mut b = sim_with(ProtocolKind::Mesi, 2, 128);
+        for i in 0..100u32 {
+            let pid = (i % 2) as u8;
+            let addr = 0x1000 + (i % 2) * 4;
+            let write = i % 3 != 2;
+            let oa = a.access(pid, addr, write);
+            let ob = b.access(pid, addr, write);
+            assert_eq!(oa.miss, ob.miss, "ref {i}");
+        }
+        assert_eq!(a.stats().misses, b.stats().misses);
     }
 }

@@ -200,7 +200,11 @@ mod tests {
         (prog, plan)
     }
 
-    fn directive<'a>(prog: &fsr_lang::Program, plan: &'a LayoutPlan, name: &str) -> Option<&'a ObjPlan> {
+    fn directive<'a>(
+        prog: &fsr_lang::Program,
+        plan: &'a LayoutPlan,
+        name: &str,
+    ) -> Option<&'a ObjPlan> {
         let (oid, _) = prog.object_by_name(name)?;
         plan.get(oid)
     }

@@ -11,10 +11,7 @@ pub enum ObjPlan {
     /// process's region is padded to a cache-block multiple. Objects
     /// sharing a `group` id have their per-process regions co-located
     /// (the *grouping* of several small per-process vectors).
-    Transpose {
-        owner: OwnerMap,
-        group: Option<u32>,
-    },
+    Transpose { owner: OwnerMap, group: Option<u32> },
     /// Indirection: listed struct fields (or, for int arrays, the whole
     /// element when `fields` is empty) move into per-process arenas; the
     /// original storage holds a pointer, dereferenced on every access.

@@ -66,8 +66,8 @@ pub fn render_transformed_source(prog: &Program, plan: &LayoutPlan, nproc: i64) 
             ObjPlan::Transpose { .. } => {
                 let elems = obj.elem_count();
                 let per_proc = elems.div_ceil(nproc.max(1) as u64);
-                let padded =
-                    (per_proc * prog.elem_words(obj.elem) as u64).div_ceil(block_words) * block_words;
+                let padded = (per_proc * prog.elem_words(obj.elem) as u64).div_ceil(block_words)
+                    * block_words;
                 writeln!(
                     out,
                     "// group&transpose: {n}[{d}] -> {n}_T[NPROC][{padded}w]",

@@ -5,7 +5,14 @@ fn main() {
         let a = fsr_analysis::analyze(&prog).unwrap();
         println!("==== {name} ====");
         println!("{}", fsr_analysis::report::render(&prog, &a));
-        for obj in ["bx", "excess", "active_count", "push_ops", "cell_count", "bound_tests"] {
+        for obj in [
+            "bx",
+            "excess",
+            "active_count",
+            "push_ops",
+            "cell_count",
+            "bound_tests",
+        ] {
             if let Some(r) = fsr_analysis::report::render_rsds(&prog, &a, obj) {
                 println!("{r}");
             }

@@ -5,12 +5,24 @@ fn main() {
     let w = fsr_workloads::by_name(&name).unwrap();
     for v in [Vsn::N, Vsn::C, Vsn::P] {
         let r = run_workload(&w, v, np, 2, 128).unwrap();
-        println!("--- {} cycles={} fsfrac={:.2}", v.label(), r.exec_cycles, r.fs_stall_frac);
+        println!(
+            "--- {} cycles={} fsfrac={:.2}",
+            v.label(),
+            r.exec_cycles,
+            r.fs_stall_frac
+        );
         let mut rows: Vec<_> = r.per_obj.iter().collect();
         rows.sort_by_key(|(_, m)| std::cmp::Reverse(m.total()));
         for (n, m) in rows.iter().take(6) {
-            println!("  {:14} total={:6} cold={:5} repl={:5} true={:6} false={:6}",
-                n, m.total(), m.misses[0], m.misses[1], m.misses[2], m.misses[3]);
+            println!(
+                "  {:14} total={:6} cold={:5} repl={:5} true={:6} false={:6}",
+                n,
+                m.total(),
+                m.misses[0],
+                m.misses[1],
+                m.misses[2],
+                m.misses[3]
+            );
         }
     }
 }

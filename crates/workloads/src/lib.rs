@@ -67,7 +67,9 @@ pub struct Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -95,7 +97,8 @@ pub fn all() -> Vec<Workload> {
 
 /// Lookup by (case-insensitive) name.
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter()
+    all()
+        .into_iter()
         .find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
@@ -227,8 +230,7 @@ mod tests {
         for w in all() {
             let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 4)])
                 .unwrap_or_else(|e| panic!("{}: {}", w.name, e.render(w.source)));
-            fsr_analysis::analyze(&prog)
-                .unwrap_or_else(|e| panic!("{}: analysis: {}", w.name, e));
+            fsr_analysis::analyze(&prog).unwrap_or_else(|e| panic!("{}: analysis: {}", w.name, e));
         }
     }
 
@@ -249,14 +251,18 @@ mod tests {
                 &mut sink,
             )
             .unwrap_or_else(|e| panic!("{}: {}", w.name, e));
-            assert!(fin.stats.refs > 1000, "{} too small: {:?}", w.name, fin.stats);
+            assert!(
+                fin.stats.refs > 1000,
+                "{} too small: {:?}",
+                w.name,
+                fin.stats
+            );
         }
     }
 
     #[test]
     fn planutil_helpers_build_valid_directives() {
-        let prog = fsr_lang::compile_with_params(
-            crate::water::SOURCE, &[("NPROC", 4)]).unwrap();
+        let prog = fsr_lang::compile_with_params(crate::water::SOURCE, &[("NPROC", 4)]).unwrap();
         let mut plan = fsr_transform::LayoutPlan::unoptimized(128);
         planutil::transpose_chunk(&mut plan, &prog, "mx", 16);
         planutil::transpose_cyclic(&mut plan, &prog, "mv", false);
@@ -281,8 +287,7 @@ mod tests {
     fn programmer_plans_build() {
         for w in all() {
             if let Some(f) = w.programmer_plan {
-                let prog =
-                    fsr_lang::compile_with_params(w.source, &[("NPROC", 4)]).unwrap();
+                let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 4)]).unwrap();
                 let plan = f(&prog, 128);
                 assert_eq!(plan.block_bytes, 128, "{}", w.name);
             }
@@ -312,8 +317,7 @@ mod tests {
     #[test]
     fn analysis_reports_render_for_all_workloads() {
         for w in all() {
-            let prog =
-                fsr_lang::compile_with_params(w.source, &[("NPROC", 4)]).unwrap();
+            let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", 4)]).unwrap();
             let a = fsr_analysis::analyze(&prog).unwrap();
             let text = fsr_analysis::report::render(&prog, &a);
             assert!(text.contains("data structure"), "{}", w.name);
@@ -337,7 +341,12 @@ mod tests {
                 "{}",
                 w.name
             );
-            assert_eq!(w.programmer_plan.is_some(), w.has(Version::Programmer), "{}", w.name);
+            assert_eq!(
+                w.programmer_plan.is_some(),
+                w.has(Version::Programmer),
+                "{}",
+                w.name
+            );
         }
     }
 

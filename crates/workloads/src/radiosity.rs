@@ -145,7 +145,10 @@ mod tests {
                 .and_then(|(oid, _)| plan.get(oid).cloned())
         };
         assert!(matches!(get("rad"), Some(ObjPlan::Transpose { .. })));
-        assert!(matches!(get("patches_done"), Some(ObjPlan::Transpose { .. })));
+        assert!(matches!(
+            get("patches_done"),
+            Some(ObjPlan::Transpose { .. })
+        ));
         assert_eq!(get("q_lock"), Some(ObjPlan::PadLock));
         assert_eq!(get("q_head"), Some(ObjPlan::PadElems));
         // Patch tables are parallel-initialized cyclically; their

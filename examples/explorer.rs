@@ -30,8 +30,7 @@ fn main() {
     });
     println!("== {} — {}\n", w.name, w.description);
 
-    let prog =
-        fsr_lang::compile_with_params(w.source, &[("NPROC", nproc), ("SCALE", 1)]).unwrap();
+    let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", nproc), ("SCALE", 1)]).unwrap();
     let analysis = fsr_analysis::analyze(&prog).unwrap();
     println!("{}", fsr_analysis::report::render(&prog, &analysis));
 
@@ -43,13 +42,7 @@ fn main() {
         ("unoptimized", PlanSource::Unoptimized),
         ("compiler", PlanSource::Compiler),
     ] {
-        let r = run_pipeline(
-            w.source,
-            &[("NPROC", nproc), ("SCALE", 1)],
-            source,
-            &cfg,
-        )
-        .unwrap();
+        let r = run_pipeline(w.source, &[("NPROC", nproc), ("SCALE", 1)], source, &cfg).unwrap();
         println!("== {label}: {}  exec={} cycles", r.sim, r.exec_cycles);
         println!("{}", fsr_sim::report::render_attribution(&r.per_obj));
     }

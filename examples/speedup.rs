@@ -17,7 +17,10 @@ fn main() {
     let t1 = t1_unoptimized(&w, scale, 128).unwrap();
 
     println!("speedups for {} (scale {scale}, 128B blocks)\n", w.name);
-    println!("{:>6} {:>10} {:>10} {:>10}", "procs", "unopt", "compiler", "programmer");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "procs", "unopt", "compiler", "programmer"
+    );
     let n = speedup_sweep(&w, Vsn::N, &procs, scale, 128, 0);
     let c = speedup_sweep(&w, Vsn::C, &procs, scale, 128, 0);
     let p = w

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and a quick end-to-end
-# smoke run of the Figure 3 regeneration.
+# Tier-1 gate: lint + format gate, release build, full test suite, and a
+# quick end-to-end smoke run of the Figure 3 regeneration.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
-cargo test -q
+cargo test -q --workspace
 cargo run -q --release --bin fig3 -- --smoke
 echo "tier1: OK"

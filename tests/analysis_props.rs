@@ -245,7 +245,11 @@ fn descriptor_limit_is_enforced_everywhere() {
     // must keep at most MAX_DESCRIPTORS per side.
     let mut body = String::new();
     for k in 0..30 {
-        body.push_str(&format!("d[{}] = d[{}] + 1;\n", k * 7 % 64, (k * 11 + 3) % 64));
+        body.push_str(&format!(
+            "d[{}] = d[{}] + 1;\n",
+            k * 7 % 64,
+            (k * 11 + 3) % 64
+        ));
     }
     let src = format!(
         "param NPROC = 2; shared int d[64];

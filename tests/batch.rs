@@ -28,6 +28,10 @@ fn assert_same(want: &RunResult, got: &RunResult, ctx: &str) {
     assert_eq!(want.nproc, got.nproc, "{ctx}: nproc");
     assert_eq!(want.sim, got.sim, "{ctx}: sim stats");
     assert_eq!(want.per_obj, got.per_obj, "{ctx}: per-object misses");
+    assert_eq!(
+        want.per_obj_coherence, got.per_obj_coherence,
+        "{ctx}: per-object coherence"
+    );
     assert_eq!(want.exec_cycles, got.exec_cycles, "{ctx}: exec cycles");
     assert_eq!(want.timing, got.timing, "{ctx}: timing stats");
     assert_eq!(want.interp, got.interp, "{ctx}: interp stats");

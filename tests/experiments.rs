@@ -63,7 +63,10 @@ fn table2_attribution_matches_paper_dominance() {
     let t = get("topopt");
     assert!(t.transpose_pct > t.indirection_pct);
     assert!(t.indirection_pct > 0.0);
-    assert!(t.total_reduction_pct < 99.9, "topopt must keep its residual");
+    assert!(
+        t.total_reduction_pct < 99.9,
+        "topopt must keep its residual"
+    );
 }
 
 #[test]
@@ -78,7 +81,11 @@ fn headline_matches_paper_bands() {
     // Paper: ~80% of false-sharing misses eliminated.
     assert!(h.fs_eliminated > 0.6, "eliminated {}", h.fs_eliminated);
     // Paper: total misses roughly halved.
-    assert!(h.total_miss_change < -0.3, "total change {}", h.total_miss_change);
+    assert!(
+        h.total_miss_change < -0.3,
+        "total change {}",
+        h.total_miss_change
+    );
 }
 
 #[test]

@@ -61,8 +61,11 @@ fn semantics_stable_across_block_sizes() {
     let analysis = fsr_analysis::analyze(&prog).unwrap();
     let mut snaps = Vec::new();
     for block in [16u32, 64, 256] {
-        let plan =
-            fsr_transform::plan_for(&prog, &analysis, &fsr_transform::PlanConfig::with_block(block));
+        let plan = fsr_transform::plan_for(
+            &prog,
+            &analysis,
+            &fsr_transform::PlanConfig::with_block(block),
+        );
         snaps.push(snapshot_under_plan(&prog, &plan, 3));
     }
     assert_eq!(snaps[0], snaps[1]);
