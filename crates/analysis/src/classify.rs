@@ -184,6 +184,7 @@ pub fn classify(prog: &Program, summary: ProgramSummary, nproc: i64) -> Analysis
         field,
         is_write,
         rsd,
+        ..
     } in &summary.accesses
     {
         total_weight += rsd.weight;

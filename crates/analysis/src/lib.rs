@@ -35,14 +35,16 @@ pub mod callgraph;
 pub mod classify;
 pub mod lin;
 pub mod phase;
+pub mod races;
 pub mod report;
 pub mod section;
 pub mod summary;
 
 pub use classify::{AccessClass, Analysis, OwnerMap, Pattern, SideSummary, MAX_DESCRIPTORS};
 pub use phase::PhaseSpan;
+pub use races::{access_label, detect, RaceReport};
 pub use section::{Bound, ProcCond, Rsd, Section};
-pub use summary::{FinalAccess, ProgramSummary};
+pub use summary::{FinalAccess, LockIdx, LockSym, ProgramSummary};
 
 use fsr_lang::ast::Program;
 use fsr_lang::diag::Error;
@@ -63,19 +65,7 @@ pub fn nproc_of(prog: &Program) -> Option<i64> {
 }
 
 fn const_of(prog: &Program, e: &fsr_lang::ast::Expr) -> Option<i64> {
-    use fsr_lang::ast::{ExprKind, VarRef};
-    match &e.kind {
-        ExprKind::Int(v) => Some(*v),
-        ExprKind::Var(VarRef::Param(i)) => prog.params[*i as usize].value,
-        ExprKind::Var(VarRef::Const(i)) => prog.consts[*i as usize].value,
-        ExprKind::Binary(op, a, b) => {
-            let a = const_of(prog, a)?;
-            let b = const_of(prog, b)?;
-            fsr_lang::check::eval_binop(*op, a, b).ok()
-        }
-        ExprKind::Unary(fsr_lang::ast::UnOp::Neg, a) => Some(-const_of(prog, a)?),
-        _ => None,
-    }
+    fsr_lang::check::const_eval(prog, e).ok()
 }
 
 /// Run the complete three-stage analysis on a checked program.

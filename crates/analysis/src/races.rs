@@ -1,0 +1,536 @@
+//! Interprocedural lockset + non-concurrency race detection (lint pass).
+//!
+//! The paper's analysis assumes its SPMD inputs are correctly
+//! synchronized; this pass checks that assumption. For every pair of
+//! accesses to the same shared data structure where at least one is a
+//! write, a race is reported unless one of the following holds:
+//!
+//! 1. **Per-process disjointness** — the accesses touch provably
+//!    disjoint elements for every pair of distinct processes
+//!    ([`Section::concretize`] + exact progression intersection).
+//! 2. **Non-concurrency** — the accesses are ordered by barriers
+//!    ([`PhaseSpan::strictly_before`]), including the phase-*residue*
+//!    refinement for accesses repeating in fixed-barrier-count loops.
+//! 3. **Mutual exclusion** — a common lock is held on every path to both
+//!    accesses (lockset from the interprocedural summary walk, with
+//!    `lock(lk[p])` element locksets compared per process pair).
+//!
+//! The pass is tuned for **zero false positives** on well-formed
+//! programs: a conflicting pair whose overlap cannot be *proven*
+//! (symbolic partition bounds, data-dependent indices) is suppressed and
+//! counted in [`RaceReport::suppressed_pairs`] rather than reported.
+//! This trades soundness for precision — the trace-backed validation
+//! harness (`fsr-lint --validate`) quantifies what the suppression
+//! costs on each workload.
+
+use crate::classify::Analysis;
+use crate::phase::{PhaseSpan, PHASE_MAX};
+use crate::section::{progressions_intersect, Concrete};
+use crate::summary::{FinalAccess, LockIdx};
+use fsr_lang::ast::{ElemTy, FieldId, ObjId, ObjectKind, Program};
+use fsr_lang::diag::{Code, Diagnostic, Diagnostics};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of the race lint pass.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    pub diagnostics: Diagnostics,
+    /// `(object, field)` pairs with at least one reported race.
+    pub racy: BTreeSet<(ObjId, Option<FieldId>)>,
+    /// Conflicting pairs suppressed because the element overlap could not
+    /// be proven (symbolic partition bounds / data-dependent indices).
+    pub suppressed_pairs: usize,
+}
+
+impl RaceReport {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_clean()
+    }
+
+    /// Objects with at least one racy access (any field).
+    pub fn racy_objects(&self) -> BTreeSet<ObjId> {
+        self.racy.iter().map(|(o, _)| *o).collect()
+    }
+}
+
+/// Human-readable label for an `(object, field)` access group.
+pub fn access_label(prog: &Program, obj: ObjId, field: Option<FieldId>) -> String {
+    let o = prog.object(obj);
+    match field {
+        Some(f) => {
+            let fname = match o.elem {
+                ElemTy::Struct(sid) => prog.struct_(sid).fields[f.index()].name.clone(),
+                _ => format!("f{}", f.0),
+            };
+            format!("{}.{}", o.name, fname)
+        }
+        None => o.name.clone(),
+    }
+}
+
+/// Three-valued element-overlap verdict for one process pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Overlap {
+    No,
+    Possible,
+    Definite,
+}
+
+/// Verdict of the lockset comparison for one process pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockVerdict {
+    /// Neither side holds any lock.
+    None,
+    /// A common lock (same object, same element) is definitely held.
+    Common,
+    /// An incomparable element index is involved — a common lock cannot
+    /// be ruled out.
+    Maybe,
+    /// Locks are held but provably no element is common.
+    Disjoint,
+}
+
+/// Run the race lint over an analyzed program.
+pub fn detect(prog: &Program, analysis: &Analysis) -> RaceReport {
+    let mut diagnostics = Diagnostics::new();
+    let mut racy = BTreeSet::new();
+    let mut suppressed = 0usize;
+
+    for &span in &analysis.summary.barrier_mismatches {
+        diagnostics.push(Diagnostic::warning(
+            Code::BarrierCountMismatch,
+            "branch arms cross different numbers of barriers; processes \
+             taking different arms rendezvous at different points",
+            span,
+        ));
+    }
+
+    // Group parallel-region accesses to shared data by (obj, field).
+    // Serial prologue/epilogue accesses are ordered against every
+    // parallel access by the forall spawn/join barriers, and against
+    // each other by program order (single process), so they are skipped.
+    let mut groups: BTreeMap<(ObjId, Option<FieldId>), Vec<&FinalAccess>> = BTreeMap::new();
+    for acc in &analysis.summary.accesses {
+        if prog.object(acc.obj).kind != ObjectKind::SharedData || acc.serial {
+            continue;
+        }
+        groups.entry((acc.obj, acc.field)).or_default().push(acc);
+    }
+
+    let nproc = analysis.nproc;
+    for ((oid, field), accs) in &groups {
+        if !accs.iter().any(|a| a.is_write) {
+            continue;
+        }
+        let dims: Vec<i64> = prog.object(*oid).dims.iter().map(|&d| d as i64).collect();
+        let mut w001: Option<(&FinalAccess, &FinalAccess)> = None;
+        let mut w002: Option<(&FinalAccess, &FinalAccess)> = None;
+        let mut possible_only = false;
+        for i in 0..accs.len() {
+            for j in i..accs.len() {
+                let (a, b) = (accs[i], accs[j]);
+                if !a.is_write && !b.is_write {
+                    continue;
+                }
+                if !concurrent(a, b) {
+                    continue;
+                }
+                for p in 0..nproc {
+                    if !a.rsd.procs.includes(p) {
+                        continue;
+                    }
+                    for q in 0..nproc {
+                        if p == q || !b.rsd.procs.includes(q) {
+                            continue;
+                        }
+                        match pair_overlap(a, b, p, q, &dims) {
+                            Overlap::No => continue,
+                            Overlap::Possible => {
+                                possible_only = true;
+                                continue;
+                            }
+                            Overlap::Definite => {}
+                        }
+                        match common_lock(a, b, p, q) {
+                            LockVerdict::Common | LockVerdict::Maybe => continue,
+                            LockVerdict::None => {
+                                w001.get_or_insert((a, b));
+                            }
+                            LockVerdict::Disjoint => {
+                                w002.get_or_insert((a, b));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let name = access_label(prog, *oid, *field);
+        if let Some((a, b)) = w001 {
+            let mut d = Diagnostic::warning(
+                Code::UnsynchronizedWriteShare,
+                format!(
+                    "`{name}` may be accessed by multiple processes in the \
+                     same phase with no lock held (at least one access is a \
+                     write)"
+                ),
+                a.span,
+            );
+            if b.span != a.span {
+                d = d.with_related(b.span, "conflicting access here");
+            }
+            diagnostics.push(d);
+            racy.insert((*oid, *field));
+        }
+        if let Some((a, b)) = w002 {
+            let mut d = Diagnostic::warning(
+                Code::LockNotHeldOnAllPaths,
+                format!(
+                    "`{name}` is lock-guarded, but conflicting accesses do \
+                     not share a common lock element on every path"
+                ),
+                a.span,
+            );
+            if b.span != a.span {
+                d = d.with_related(b.span, "conflicting access here");
+            }
+            diagnostics.push(d);
+            racy.insert((*oid, *field));
+        }
+        if possible_only && w001.is_none() && w002.is_none() {
+            suppressed += 1;
+        }
+    }
+
+    diagnostics.sort();
+    RaceReport {
+        diagnostics,
+        racy,
+        suppressed_pairs: suppressed,
+    }
+}
+
+/// May the two accesses execute in the same phase?
+fn concurrent(a: &FinalAccess, b: &FinalAccess) -> bool {
+    let (pa, pb) = (a.rsd.phase, b.rsd.phase);
+    if pa.strictly_before(pb) || pb.strictly_before(pa) {
+        return false;
+    }
+    match (a.residue, b.residue) {
+        (Some((r1, m1)), Some((r2, m2))) => {
+            // Both repeat periodically: a common phase exists iff the two
+            // congruences are jointly satisfiable (CRT condition).
+            let g = gcd_u32(m1, m2);
+            g < 2 || r1 % g == r2 % g
+        }
+        (Some((r, m)), None) => residue_meets_span(r, m, pa.lo, pb),
+        (None, Some((r, m))) => residue_meets_span(r, m, pb.lo, pa),
+        (None, None) => true,
+    }
+}
+
+/// Does the phase set `{x >= lo : x ≡ r (mod m)}` intersect `span`?
+fn residue_meets_span(r: u32, m: u32, lo: u32, span: PhaseSpan) -> bool {
+    if span.hi == PHASE_MAX {
+        // The other access repeats without a known period: cannot exclude.
+        return true;
+    }
+    let l = i64::from(span.lo.max(lo));
+    let h = i64::from(span.hi);
+    let m = i64::from(m);
+    let first = l + (i64::from(r) - l).rem_euclid(m);
+    first <= h
+}
+
+fn gcd_u32(a: u32, b: u32) -> u32 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+/// Element-overlap verdict for `a` on process `p` vs `b` on process `q`.
+fn pair_overlap(a: &FinalAccess, b: &FinalAccess, p: i64, q: i64, dims: &[i64]) -> Overlap {
+    if a.rsd.sections.len() != b.rsd.sections.len() {
+        // Mixed whole-object/per-element views of the same object.
+        return Overlap::Possible;
+    }
+    let mut verdict = Overlap::Definite;
+    for (k, (sa, sb)) in a.rsd.sections.iter().zip(&b.rsd.sections).enumerate() {
+        let dim = dims.get(k).copied().unwrap_or(1);
+        match (sa.concretize(p, dim), sb.concretize(q, dim)) {
+            (Concrete::Empty, _) | (_, Concrete::Empty) => return Overlap::No,
+            (
+                Concrete::Progression {
+                    lo: l1,
+                    hi: h1,
+                    stride: s1,
+                },
+                Concrete::Progression {
+                    lo: l2,
+                    hi: h2,
+                    stride: s2,
+                },
+            ) => {
+                if !progressions_intersect(l1, h1, s1, l2, h2, s2) {
+                    return Overlap::No;
+                }
+            }
+            // Symbolic partition bounds or data-dependent indices: the
+            // overlap cannot be proven either way.
+            _ => verdict = Overlap::Possible,
+        }
+    }
+    verdict
+}
+
+/// Lockset comparison for `a` on process `p` vs `b` on process `q`.
+fn common_lock(a: &FinalAccess, b: &FinalAccess, p: i64, q: i64) -> LockVerdict {
+    if a.locks.is_empty() && b.locks.is_empty() {
+        return LockVerdict::None;
+    }
+    let mut maybe = false;
+    for la in &a.locks {
+        for lb in &b.locks {
+            if la.obj != lb.obj {
+                continue;
+            }
+            match (&la.idx, &lb.idx) {
+                (LockIdx::Scalar, LockIdx::Scalar) => return LockVerdict::Common,
+                (LockIdx::Lin(x), LockIdx::Lin(y)) => {
+                    match (x.eval_pdv(p), y.eval_pdv(q)) {
+                        (Some(i), Some(j)) if i == j => return LockVerdict::Common,
+                        (Some(_), Some(_)) => {} // provably different elements
+                        _ => maybe = true,
+                    }
+                }
+                _ => maybe = true,
+            }
+        }
+    }
+    if maybe {
+        LockVerdict::Maybe
+    } else {
+        LockVerdict::Disjoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> RaceReport {
+        let prog = fsr_lang::compile(src).unwrap();
+        let analysis = crate::analyze(&prog).unwrap();
+        detect(&prog, &analysis)
+    }
+
+    fn codes(r: &RaceReport) -> Vec<&'static str> {
+        r.diagnostics
+            .list
+            .iter()
+            .filter_map(|d| d.code.map(|c| c.id()))
+            .collect()
+    }
+
+    #[test]
+    fn per_process_disjoint_is_clean() {
+        let r = lint(
+            "param NPROC = 4; shared int a[NPROC];
+             fn main() { forall p in 0 .. NPROC { a[p] = a[p] + 1; } }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn unlocked_shared_counter_races() {
+        let r = lint(
+            "param NPROC = 4; shared int hot;
+             fn main() { forall p in 0 .. NPROC { hot = hot + 1; } }",
+        );
+        assert_eq!(codes(&r), vec!["FSR-W001"]);
+        let prog = fsr_lang::compile(
+            "param NPROC = 4; shared int hot;
+             fn main() { forall p in 0 .. NPROC { hot = hot + 1; } }",
+        )
+        .unwrap();
+        let (hot, _) = prog.object_by_name("hot").unwrap();
+        assert!(r.racy.contains(&(hot, None)));
+    }
+
+    #[test]
+    fn scalar_lock_guards_counter() {
+        let r = lint(
+            "param NPROC = 4; shared int hot; shared lock lk;
+             fn main() { forall p in 0 .. NPROC {
+                 lock(lk); hot = hot + 1; unlock(lk);
+             } }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn lock_flows_through_calls() {
+        let r = lint(
+            "param NPROC = 4; shared int hot; shared lock lk;
+             fn bump() { hot = hot + 1; }
+             fn main() { forall p in 0 .. NPROC {
+                 lock(lk); bump(); unlock(lk);
+             } }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn per_process_element_lock_does_not_guard() {
+        // lk[p] and lk[q] are different locks for p != q.
+        let r = lint(
+            "param NPROC = 4; shared int hot; shared lock lk[NPROC];
+             fn main() { forall p in 0 .. NPROC {
+                 lock(lk[p]); hot = hot + 1; unlock(lk[p]);
+             } }",
+        );
+        assert_eq!(codes(&r), vec!["FSR-W002"]);
+    }
+
+    #[test]
+    fn common_element_lock_guards() {
+        let r = lint(
+            "param NPROC = 4; shared int hot; shared lock lk[NPROC];
+             fn main() { forall p in 0 .. NPROC {
+                 lock(lk[0]); hot = hot + 1; unlock(lk[0]);
+             } }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let r = lint(
+            "param NPROC = 4; shared int buf[64];
+             fn main() { forall p in 0 .. NPROC {
+                 if (p == 0) { var i; for i in 0 .. 64 { buf[i] = p; } }
+                 barrier;
+                 var j; var s; s = 0;
+                 for j in 0 .. 64 { s = s + buf[j]; }
+             } }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn missing_barrier_races() {
+        let r = lint(
+            "param NPROC = 4; shared int buf[64];
+             fn main() { forall p in 0 .. NPROC {
+                 if (p == 0) { var i; for i in 0 .. 64 { buf[i] = p; } }
+                 var j; var s; s = 0;
+                 for j in 0 .. 64 { s = s + buf[j]; }
+             } }",
+        );
+        assert_eq!(codes(&r), vec!["FSR-W001"]);
+    }
+
+    #[test]
+    fn residue_separates_producer_consumer_timestep() {
+        // Producer phase and consumer phase alternate: with both barriers
+        // present the write (even phases) and the read (odd phases) are
+        // never concurrent even though both spans are unbounded.
+        let r = lint(
+            "param NPROC = 4; shared int buf[64];
+             fn main() { forall p in 0 .. NPROC {
+                 var t;
+                 for t in 0 .. 8 {
+                     if (p == 0) { var i; for i in 0 .. 64 { buf[i] = t; } }
+                     barrier;
+                     var j; var s; s = 0;
+                     for j in 0 .. 64 { s = s + buf[j]; }
+                     barrier;
+                 }
+             } }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn dropped_second_barrier_races_across_iterations() {
+        // Without the trailing barrier the next iteration's producer
+        // writes race with the current iteration's consumer reads.
+        let r = lint(
+            "param NPROC = 4; shared int buf[64];
+             fn main() { forall p in 0 .. NPROC {
+                 var t;
+                 for t in 0 .. 8 {
+                     if (p == 0) { var i; for i in 0 .. 64 { buf[i] = t; } }
+                     barrier;
+                     var j; var s; s = 0;
+                     for j in 0 .. 64 { s = s + buf[j]; }
+                 }
+             } }",
+        );
+        assert_eq!(codes(&r), vec!["FSR-W001"]);
+    }
+
+    #[test]
+    fn barrier_count_mismatch_in_branch() {
+        let r = lint(
+            "param NPROC = 4; shared int a[NPROC];
+             fn main() { forall p in 0 .. NPROC {
+                 var t;
+                 for t in 0 .. 6 {
+                     if (t % 3 == 0) { barrier; }
+                     a[p] = a[p] + t;
+                     barrier;
+                 }
+             } }",
+        );
+        assert!(codes(&r).contains(&"FSR-W003"), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn symbolic_partition_is_suppressed_not_reported() {
+        let r = lint(
+            "param NPROC = 4; shared int first[NPROC + 1]; shared int d[256];
+             fn main() {
+                 var k;
+                 for k in 0 .. NPROC + 1 { first[k] = k * 64; }
+                 forall p in 0 .. NPROC {
+                     var i;
+                     for i in first[p] .. first[p + 1] { d[i] = d[i] + 1; }
+                 }
+             }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        assert!(r.suppressed_pairs > 0);
+    }
+
+    #[test]
+    fn overlapping_chunks_race() {
+        // Off-by-one chunk boundaries: p's last element is p+1's first.
+        let r = lint(
+            "param NPROC = 4; shared int d[70];
+             fn main() { forall p in 0 .. NPROC {
+                 var i;
+                 for i in p * 16 .. p * 16 + 17 { d[i] = d[i] + 1; }
+             } }",
+        );
+        assert_eq!(codes(&r), vec!["FSR-W001"]);
+    }
+
+    #[test]
+    fn serial_prologue_and_epilogue_are_ordered() {
+        let r = lint(
+            "param NPROC = 4; shared int d[NPROC]; shared int total;
+             fn main() {
+                 var i;
+                 for i in 0 .. NPROC { d[i] = 0; }
+                 forall p in 0 .. NPROC { d[p] = d[p] + 1; }
+                 total = 0;
+                 for i in 0 .. NPROC { total = total + d[i]; }
+             }",
+        );
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+    }
+}

@@ -16,7 +16,7 @@ use crate::phase::{PhaseCounter, PhaseSpan, PHASE_MAX};
 use crate::section::{Bound, ProcCond, Rsd, Section};
 use fsr_lang::ast::*;
 use fsr_lang::check::eval_binop;
-use fsr_lang::diag::Error;
+use fsr_lang::diag::{Error, Span};
 use std::collections::BTreeMap;
 
 /// Static-profiling weight constants. These mirror the paper's use of
@@ -73,6 +73,25 @@ impl Abs {
     }
 }
 
+/// Which element of a lock object a lockset entry names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockIdx {
+    /// A scalar lock (`shared lock lk;`).
+    Scalar,
+    /// An affine element index, possibly PDV-dependent (`lock(lk[p])`).
+    Lin(Lin),
+    /// A data-dependent element index (`lock(lk[region[c]])`): held, but
+    /// which element cannot be compared statically.
+    Unknown,
+}
+
+/// One held lock: the lock object plus which element of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSym {
+    pub obj: ObjId,
+    pub idx: LockIdx,
+}
+
 /// One summarized access, relative to the owning function: sections may
 /// reference formal slots, phases are offsets from the function entry.
 #[derive(Debug, Clone)]
@@ -84,11 +103,20 @@ pub struct AccessRec {
     pub weight: f64,
     /// Phase span relative to function entry.
     pub phase: PhaseSpan,
+    /// When the phase span is unbounded because the access repeats in a
+    /// barrier-crossing loop with a *fixed* barrier count `m >= 2` per
+    /// iteration, the access only occurs in phases `p ≡ r (mod m)` with
+    /// `p >= phase.lo`. `None` means no such refinement is known.
+    pub residue: Option<(u32, u32)>,
     /// Innermost guard of the form `lin == c`, if any.
     pub guard: Option<(Lin, i64)>,
     /// Recorded outside the parallel region: only the master executes it.
     pub serial: bool,
     pub inner_stride: Option<i64>,
+    /// Locks held on every path reaching the access.
+    pub locks: Vec<LockSym>,
+    /// Source location of the access (for diagnostics).
+    pub span: Span,
 }
 
 /// Summary of one function.
@@ -100,6 +128,12 @@ pub struct FuncSummary {
     /// True when the per-invocation barrier count is unbounded (barrier
     /// inside a loop).
     pub phase_unbounded: bool,
+    /// Locks still held when the function returns (normally empty: every
+    /// workload balances lock/unlock within a function).
+    pub exit_locks: Vec<LockSym>,
+    /// Spans of `if` statements whose arms cross different numbers of
+    /// barriers (FSR-W003 candidates).
+    pub barrier_mismatches: Vec<Span>,
 }
 
 /// A finalized access over the whole program: all bounds are PDV-affine
@@ -110,6 +144,16 @@ pub struct FinalAccess {
     pub field: Option<FieldId>,
     pub is_write: bool,
     pub rsd: Rsd,
+    /// Locks held on every path reaching the access (lock-array element
+    /// indices degraded to [`LockIdx::Unknown`] unless PDV-affine).
+    pub locks: Vec<LockSym>,
+    /// Phase residue (see [`AccessRec::residue`]).
+    pub residue: Option<(u32, u32)>,
+    /// Recorded outside the forall (serial prologue/epilogue): ordered
+    /// against all parallel accesses by the spawn/join barriers.
+    pub serial: bool,
+    /// Source location of the access.
+    pub span: Span,
 }
 
 /// The program-level result of the summary walk.
@@ -119,6 +163,9 @@ pub struct ProgramSummary {
     /// For every object written anywhere: the convex hull of write phases.
     /// Used to validate partition assumptions.
     pub write_phases: BTreeMap<ObjId, PhaseSpan>,
+    /// Spans of branches whose arms cross different numbers of barriers,
+    /// collected across all functions.
+    pub barrier_mismatches: Vec<Span>,
 }
 
 struct LoopCtx {
@@ -139,6 +186,10 @@ struct Walker<'p> {
     guard: Option<(Lin, i64)>,
     /// Inside the forall body (directly or via calls from it).
     in_parallel: bool,
+    /// Lockset: locks held on the current path (stack order).
+    held: Vec<LockSym>,
+    /// `if` statements whose arms cross differing barrier counts.
+    mismatches: Vec<Span>,
     out: Vec<AccessRec>,
 }
 
@@ -152,9 +203,12 @@ impl<'p> Walker<'p> {
             sections,
             weight: self.weight,
             phase: self.phase.current(),
+            residue: None,
             guard: self.guard.clone(),
             serial: !self.in_parallel,
             inner_stride,
+            locks: self.held.clone(),
+            span: place.span,
         });
     }
 
@@ -290,6 +344,9 @@ impl<'p> Walker<'p> {
             .map(|(i, a)| (i as u32, a.clone()))
             .collect();
         let call_phase = self.phase.current();
+        // A residue is only meaningful in the caller frame when the call
+        // site sits at an exact phase point (the shift is then constant).
+        let call_point = (call_phase.lo == call_phase.hi).then_some(call_phase.lo);
         for acc in &summary.accesses {
             let sections: Vec<Section> = acc
                 .sections
@@ -297,10 +354,16 @@ impl<'p> Walker<'p> {
                 .map(|s| subst_section(s, &map))
                 .collect();
             let phase = shift_phase(acc.phase, call_phase);
+            let residue = match (call_point, acc.residue) {
+                (Some(c), Some((r, m))) => Some(((c + r) % m, m)),
+                _ => None,
+            };
             let guard = match (&acc.guard, &self.guard) {
                 (Some((l, c)), _) => subst_lin(l, &map).map(|l2| (l2, *c)).or(self.guard.clone()),
                 (None, g) => g.clone(),
             };
+            let mut locks = self.held.clone();
+            locks.extend(acc.locks.iter().map(|l| subst_lock(l, &map)));
             self.out.push(AccessRec {
                 obj: acc.obj,
                 field: acc.field,
@@ -308,11 +371,14 @@ impl<'p> Walker<'p> {
                 sections,
                 weight: acc.weight * self.weight,
                 phase,
+                residue,
                 guard,
                 // A callee is serial iff the call site is outside the
                 // parallel region (callee-internal flags are relative).
                 serial: !self.in_parallel,
                 inner_stride: acc.inner_stride,
+                locks,
+                span: acc.span,
             });
         }
         // Advance the phase counter by the callee's barrier delta.
@@ -322,6 +388,9 @@ impl<'p> Walker<'p> {
         if summary.phase_unbounded {
             self.phase.widen();
         }
+        // Locks the callee leaves held become held at the call site.
+        self.held
+            .extend(summary.exit_locks.iter().map(|l| subst_lock(l, &map)));
     }
 
     /// Build per-dimension sections for a place, expanding enclosing loop
@@ -406,6 +475,21 @@ fn subst_lin(l: &Lin, map: &BTreeMap<u32, Abs>) -> Option<Lin> {
         }
     }
     Some(out)
+}
+
+/// Substitute formals in a lockset entry. An element index that cannot be
+/// expressed in the caller frame degrades to [`LockIdx::Unknown`] — the
+/// lock is still held, it just cannot be compared by element.
+fn subst_lock(l: &LockSym, map: &BTreeMap<u32, Abs>) -> LockSym {
+    let idx = match &l.idx {
+        LockIdx::Scalar => LockIdx::Scalar,
+        LockIdx::Unknown => LockIdx::Unknown,
+        LockIdx::Lin(lin) => match subst_lin(lin, map) {
+            Some(lin) => LockIdx::Lin(lin),
+            None => LockIdx::Unknown,
+        },
+    };
+    LockSym { obj: l.obj, idx }
 }
 
 /// Substitute formals in a bound. Symbolic actuals are absorbed when the
@@ -713,6 +797,7 @@ impl<'p> Walker<'p> {
                 let saved_w = self.weight;
                 let saved_guard = self.guard.clone();
                 let saved_phase = self.phase;
+                let saved_held = self.held.clone();
                 self.weight *= weights::BRANCH_PROB;
                 // Track `lin == c` guards for the then-branch.
                 if let Some(g) = self.guard_of(cond) {
@@ -720,11 +805,19 @@ impl<'p> Walker<'p> {
                 }
                 self.walk_block(then_blk);
                 let then_phase = self.phase;
+                let then_held = std::mem::replace(&mut self.held, saved_held);
                 self.guard = saved_guard.clone();
                 self.phase = saved_phase;
                 if let Some(e) = else_blk {
                     self.walk_block(e);
                 }
+                // Arms crossing different barrier counts mis-align the
+                // rendezvous of processes taking different arms (FSR-W003).
+                if (self.phase.lo, self.phase.hi) != (then_phase.lo, then_phase.hi) {
+                    self.mismatches.push(s.span);
+                }
+                // Only locks held on *both* arms survive the join.
+                self.held.retain(|l| then_held.contains(l));
                 self.phase.join(then_phase);
                 self.weight = saved_w;
                 self.guard = saved_guard;
@@ -735,12 +828,15 @@ impl<'p> Walker<'p> {
                 let saved_w = self.weight;
                 self.weight = (self.weight * weights::WHILE_TRIP).min(f64::MAX / 4.0);
                 let barriers = self.has_barrier(body);
+                let entry = self.phase;
+                let entry_held = self.held.clone();
                 let mark = self.out.len();
                 self.walk_block(body);
                 if barriers {
-                    self.widen_from(mark);
+                    self.widen_from(mark, entry);
                     self.phase.widen();
                 }
+                self.stabilize_locks(mark, &entry_held);
                 self.weight = saved_w;
             }
             StmtKind::For {
@@ -788,12 +884,15 @@ impl<'p> Walker<'p> {
                 let saved_w = self.weight;
                 self.weight = (self.weight * trip.max(0.0)).min(f64::MAX / 4.0);
                 let barriers = self.has_barrier(body);
+                let entry = self.phase;
+                let entry_held = self.held.clone();
                 let mark = self.out.len();
                 self.walk_block(body);
                 if barriers {
-                    self.widen_from(mark);
+                    self.widen_from(mark, entry);
                     self.phase.widen();
                 }
+                self.stabilize_locks(mark, &entry_held);
                 self.weight = saved_w;
                 self.loops.pop();
                 self.env[*slot as usize] = Abs::Other;
@@ -814,13 +913,28 @@ impl<'p> Walker<'p> {
                 self.env[*slot as usize] = Abs::Other;
             }
             StmtKind::Barrier { .. } => self.phase.barrier(),
-            StmtKind::Lock { target } | StmtKind::Unlock { target } => {
+            StmtKind::Lock { target } => {
                 if let Target::Place(pl) = target {
-                    for ie in &pl.idx {
-                        self.eval(ie);
-                    }
+                    let idx_abs: Vec<Abs> = pl.idx.iter().map(|ie| self.eval(ie)).collect();
                     // Lock manipulation is a write to the lock word.
                     self.record(pl.obj, None, true, pl);
+                    let sym = lock_sym(pl, &idx_abs);
+                    self.held.push(sym);
+                }
+            }
+            StmtKind::Unlock { target } => {
+                if let Target::Place(pl) = target {
+                    let idx_abs: Vec<Abs> = pl.idx.iter().map(|ie| self.eval(ie)).collect();
+                    self.record(pl.obj, None, true, pl);
+                    let sym = lock_sym(pl, &idx_abs);
+                    // Release the most recent matching acquisition; if the
+                    // element form differs, release by object (sound:
+                    // shrinking the lockset can only add race reports).
+                    if let Some(i) = self.held.iter().rposition(|h| *h == sym) {
+                        self.held.remove(i);
+                    } else if let Some(i) = self.held.iter().rposition(|h| h.obj == pl.obj) {
+                        self.held.remove(i);
+                    }
                 }
             }
             StmtKind::CallStmt { callee, args, .. } => {
@@ -840,11 +954,61 @@ impl<'p> Walker<'p> {
     }
 
     /// Widen the phase spans of accesses recorded since `mark` (they sit
-    /// inside a barrier-crossing loop and repeat across phases).
-    fn widen_from(&mut self, mark: usize) {
+    /// inside a barrier-crossing loop and repeat across phases). When the
+    /// loop crosses a *fixed* count `d >= 2` of barriers per iteration,
+    /// each access only repeats every `d` phases — record the congruence
+    /// so non-concurrency analysis can still separate accesses landing in
+    /// different slots of the iteration (e.g. a producer phase and a
+    /// consumer phase of a timestep loop).
+    fn widen_from(&mut self, mark: usize, entry: PhaseCounter) {
+        let exit = self.phase;
+        let delta = if entry.lo == entry.hi && exit.lo == exit.hi && exit.hi != PHASE_MAX {
+            Some(exit.lo - entry.lo)
+        } else {
+            None
+        };
         for a in &mut self.out[mark..] {
+            a.residue = match (delta, a.residue) {
+                (Some(d), _) if d < 2 => None,
+                (Some(d), None) if a.phase.lo == a.phase.hi && a.phase.hi != PHASE_MAX => {
+                    Some((a.phase.lo % d, d))
+                }
+                (Some(d), Some((r0, m0))) => {
+                    // Already periodic from an inner loop: the outer loop
+                    // shifts by multiples of d, so only the joint period
+                    // gcd(m0, d) survives.
+                    let g = gcd_i64(m0 as i64, d as i64) as u32;
+                    if g >= 2 {
+                        Some((r0 % g, g))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
             a.phase.hi = PHASE_MAX;
         }
+    }
+
+    /// After walking a loop body once, reconcile the lockset: if the body
+    /// does not leave the lockset exactly as it found it, accesses inside
+    /// the body may see an iteration-dependent lockset, so keep only the
+    /// locks held both at entry and at exit (under-approximating the
+    /// lockset is sound — it can only produce more race reports).
+    fn stabilize_locks(&mut self, mark: usize, entry_held: &[LockSym]) {
+        if self.held == entry_held {
+            return;
+        }
+        let stable: Vec<LockSym> = self
+            .held
+            .iter()
+            .filter(|l| entry_held.contains(l))
+            .cloned()
+            .collect();
+        for a in &mut self.out[mark..] {
+            a.locks.retain(|l| stable.contains(l));
+        }
+        self.held = stable;
     }
 
     /// Extract a `lin == c` guard from a branch condition.
@@ -872,6 +1036,19 @@ impl<'p> Walker<'p> {
             None
         }
     }
+}
+
+/// Build a lockset entry for a `lock`/`unlock` target.
+fn lock_sym(pl: &Place, idx_abs: &[Abs]) -> LockSym {
+    let idx = match idx_abs {
+        [] => LockIdx::Scalar,
+        [a] => match a.as_lin() {
+            Some(l) => LockIdx::Lin(l.clone()),
+            None => LockIdx::Unknown,
+        },
+        _ => LockIdx::Unknown,
+    };
+    LockSym { obj: pl.obj, idx }
 }
 
 fn visit_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
@@ -933,6 +1110,8 @@ fn summarize_func(prog: &Program, f: &Func, summaries: &[FuncSummary]) -> FuncSu
         // Within a non-main function the parallel-ness is inherited from
         // the call site; the flag here only matters for `main` itself.
         in_parallel: false,
+        held: Vec::new(),
+        mismatches: Vec::new(),
         out: Vec::new(),
     };
     // Formals are symbolic slots.
@@ -944,6 +1123,8 @@ fn summarize_func(prog: &Program, f: &Func, summaries: &[FuncSummary]) -> FuncSu
         accesses: w.out,
         phase_lo_delta: w.phase.lo,
         phase_unbounded: w.phase.current().is_unbounded(),
+        exit_locks: w.held,
+        barrier_mismatches: w.mismatches,
     }
 }
 
@@ -992,6 +1173,20 @@ pub fn summarize(prog: &Program, graph: &CallGraph) -> Result<ProgramSummary, Er
                 .and_modify(|p| *p = p.join(acc.phase))
                 .or_insert(acc.phase);
         }
+        // Lock-array element indices must be PDV-affine to be compared
+        // across processes; anything else degrades to Unknown (held, but
+        // incomparable by element).
+        let locks: Vec<LockSym> = acc
+            .locks
+            .iter()
+            .map(|l| match &l.idx {
+                LockIdx::Lin(lin) if !lin.is_pdv_affine() => LockSym {
+                    obj: l.obj,
+                    idx: LockIdx::Unknown,
+                },
+                _ => l.clone(),
+            })
+            .collect();
         accesses.push(FinalAccess {
             obj: acc.obj,
             field: acc.field,
@@ -1003,11 +1198,20 @@ pub fn summarize(prog: &Program, graph: &CallGraph) -> Result<ProgramSummary, Er
                 procs,
                 inner_stride: acc.inner_stride,
             },
+            locks,
+            residue: acc.residue,
+            serial: acc.serial,
+            span: acc.span,
         });
     }
+    let barrier_mismatches: Vec<Span> = summaries
+        .iter()
+        .flat_map(|s| s.barrier_mismatches.iter().copied())
+        .collect();
     Ok(ProgramSummary {
         accesses,
         write_phases,
+        barrier_mismatches,
     })
 }
 

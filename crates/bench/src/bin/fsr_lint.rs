@@ -1,0 +1,305 @@
+//! Static race & synchronization lint over the PSL workloads.
+//!
+//! Modes:
+//! - (default) human-readable report over the ten workloads;
+//! - `--json` stable machine report (diffed against the checked-in
+//!   golden by `scripts/tier1.sh`);
+//! - `--mutants` checks the seeded-race suite's static verdicts against
+//!   each mutant's expected diagnostic codes (exit 1 on mismatch);
+//! - `--validate` replays every workload and mutant in the interpreter
+//!   under the happens-before trace checker and scores the static lint
+//!   against the dynamic ground truth (precision/recall JSON; exit 1 on
+//!   a workload false positive, a mutant verdict mismatch, an
+//!   unconfirmed seeded race, or a dirty control).
+//!
+//! Both dimensions are fixed at `NPROC=4, SCALE=1` so reports are
+//! byte-stable.
+
+use fsr_interp::HbChecker;
+use fsr_lang::ast::{ObjectKind, Program};
+use fsr_workloads as workloads;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+const NPROC: i64 = 4;
+const SCALE: i64 = 1;
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_list(items: &BTreeSet<String>) -> String {
+    let inner: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+fn compile(name: &str, source: &str) -> Program {
+    fsr_lang::compile_with_params(source, &[("NPROC", NPROC), ("SCALE", SCALE)])
+        .unwrap_or_else(|e| panic!("{name}: {}", e.render(source)))
+}
+
+/// Static lint for one program: the race report plus the racy object
+/// names (W001/W002 carriers; W003 is span-only).
+fn lint(name: &str, prog: &Program) -> (fsr_analysis::RaceReport, BTreeSet<String>) {
+    let analysis = fsr_analysis::analyze(prog).unwrap_or_else(|e| panic!("{name}: analysis: {e}"));
+    let report = fsr_analysis::detect(prog, &analysis);
+    let racy = report
+        .racy_objects()
+        .iter()
+        .map(|&o| prog.object(o).name.clone())
+        .collect();
+    (report, racy)
+}
+
+/// Dynamic ground truth for one program: shared-data objects with at
+/// least one happens-before race in the interpreter trace. Lock words
+/// and private data are filtered out via layout attribution.
+fn replay(name: &str, prog: &Program) -> BTreeSet<String> {
+    let plan = fsr_transform::LayoutPlan::unoptimized(64);
+    let layout = fsr_layout::Layout::build(prog, &plan, NPROC as u32);
+    let code = fsr_interp::compile_program(prog).unwrap();
+    let mut checker = HbChecker::new(NPROC as usize);
+    fsr_interp::run(
+        prog,
+        &layout,
+        &code,
+        fsr_interp::RunConfig::default(),
+        &mut checker,
+    )
+    .unwrap_or_else(|e| panic!("{name}: run: {e}"));
+    let mut racy = BTreeSet::new();
+    for &word in checker.racy_words() {
+        if let Some(oid) = layout.attribute(word) {
+            if prog.object(oid).kind == ObjectKind::SharedData {
+                racy.insert(prog.object(oid).name.clone());
+            }
+        }
+    }
+    racy
+}
+
+fn static_codes(report: &fsr_analysis::RaceReport) -> Vec<&'static str> {
+    let mut got: Vec<&'static str> = report
+        .diagnostics
+        .iter()
+        .filter_map(|d| d.code.map(|c| c.id()))
+        .collect();
+    got.sort_unstable();
+    got.dedup();
+    got
+}
+
+fn human() {
+    for w in workloads::all() {
+        let prog = compile(w.name, w.source);
+        let (report, _) = lint(w.name, &prog);
+        if report.is_clean() {
+            println!(
+                "{:<12} clean ({} unprovable pair group(s) suppressed)",
+                w.name, report.suppressed_pairs
+            );
+        } else {
+            println!(
+                "{:<12} {} warning(s), {} unprovable pair group(s) suppressed",
+                w.name,
+                report.diagnostics.len(),
+                report.suppressed_pairs
+            );
+            for line in report.diagnostics.render_all(w.source).lines() {
+                println!("    {line}");
+            }
+        }
+    }
+}
+
+fn json() {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"nproc\": {NPROC},\n  \"scale\": {SCALE},\n  \"workloads\": [\n"
+    ));
+    let ws = workloads::all();
+    for (i, w) in ws.iter().enumerate() {
+        let prog = compile(w.name, w.source);
+        let (report, _) = lint(w.name, &prog);
+        let _ = write!(
+            out,
+            "    {{\"name\": {}, \"suppressed_pairs\": {}, \"diagnostics\": [",
+            json_str(w.name),
+            report.suppressed_pairs
+        );
+        for (j, d) in report.diagnostics.iter().enumerate() {
+            let (line, col) = d.span.line_col(w.source);
+            let _ = write!(
+                out,
+                "{}\n      {{\"code\": {}, \"line\": {line}, \"col\": {col}, \"msg\": {}}}",
+                if j == 0 { "" } else { "," },
+                json_str(d.code.map(|c| c.id()).unwrap_or("")),
+                json_str(&d.msg)
+            );
+        }
+        if !report.diagnostics.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str(if i + 1 == ws.len() { "]}\n" } else { "]},\n" });
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+}
+
+fn mutants() -> i32 {
+    let mut failed = 0;
+    for m in workloads::mutants::all() {
+        let prog = compile(m.name, m.source);
+        let (report, _) = lint(m.name, &prog);
+        let got = static_codes(&report);
+        if got == m.expected {
+            println!("PASS {:<28} {:?}", m.name, got);
+        } else {
+            println!(
+                "FAIL {:<28} expected {:?}, got {:?}",
+                m.name, m.expected, got
+            );
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} mutant verdict(s) wrong");
+        1
+    } else {
+        0
+    }
+}
+
+fn validate() -> i32 {
+    let mut out = String::new();
+    let mut fail = false;
+    let (mut tp, mut fp, mut fne) = (0usize, 0usize, 0usize);
+    out.push_str(&format!(
+        "{{\n  \"nproc\": {NPROC},\n  \"scale\": {SCALE},\n  \"workloads\": [\n"
+    ));
+    let ws = workloads::all();
+    for (i, w) in ws.iter().enumerate() {
+        let prog = compile(w.name, w.source);
+        let (_, stat) = lint(w.name, &prog);
+        let dynr = replay(w.name, &prog);
+        let wtp = stat.intersection(&dynr).count();
+        let wfp = stat.difference(&dynr).count();
+        let wfn = dynr.difference(&stat).count();
+        tp += wtp;
+        fp += wfp;
+        fne += wfn;
+        if wfp > 0 {
+            fail = true;
+            eprintln!(
+                "FAIL {}: static-only (unconfirmed) races: {:?}",
+                w.name,
+                stat.difference(&dynr).collect::<Vec<_>>()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"static\": {}, \"dynamic\": {}, \"tp\": {wtp}, \"fp\": {wfp}, \"fn\": {wfn}}}{}",
+            json_str(w.name),
+            json_list(&stat),
+            json_list(&dynr),
+            if i + 1 == ws.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n  \"mutants\": [\n");
+    let ms = workloads::mutants::all();
+    for (i, m) in ms.iter().enumerate() {
+        let prog = compile(m.name, m.source);
+        let (report, stat) = lint(m.name, &prog);
+        let dynr = replay(m.name, &prog);
+        let got = static_codes(&report);
+        let codes_ok = got == m.expected;
+        let confirmed = if m.seeded {
+            // Every planted racy object must be flagged statically AND
+            // race in the trace.
+            m.racy_objects
+                .iter()
+                .all(|o| stat.contains(*o) && dynr.contains(*o))
+        } else {
+            // Controls must be clean on both sides.
+            stat.is_empty() && dynr.is_empty()
+        };
+        if !codes_ok || !confirmed {
+            fail = true;
+            eprintln!(
+                "FAIL {}: codes_ok={codes_ok} (expected {:?}, got {:?}) confirmed={confirmed} \
+                 static={stat:?} dynamic={dynr:?}",
+                m.name, m.expected, got
+            );
+        }
+        let mtp = stat.intersection(&dynr).count();
+        let mfp = stat.difference(&dynr).count();
+        let mfn = dynr.difference(&stat).count();
+        tp += mtp;
+        fp += mfp;
+        fne += mfn;
+        let codes: Vec<String> = got.iter().map(|c| json_str(c)).collect();
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"seeded\": {}, \"codes\": [{}], \"codes_ok\": {codes_ok}, \
+             \"static\": {}, \"dynamic\": {}, \"confirmed\": {confirmed}}}{}",
+            json_str(m.name),
+            m.seeded,
+            codes.join(", "),
+            json_list(&stat),
+            json_list(&dynr),
+            if i + 1 == ms.len() { "" } else { "," }
+        );
+    }
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fne == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fne) as f64
+    };
+    let _ = write!(
+        out,
+        "  ],\n  \"totals\": {{\"tp\": {tp}, \"fp\": {fp}, \"fn\": {fne}, \
+         \"precision\": {precision:.3}, \"recall\": {recall:.3}}}\n}}"
+    );
+    println!("{out}");
+    i32::from(fail)
+}
+
+fn main() {
+    let mode = std::env::args().nth(1);
+    let code = match mode.as_deref() {
+        None => {
+            human();
+            0
+        }
+        Some("--json") => {
+            json();
+            0
+        }
+        Some("--mutants") => mutants(),
+        Some("--validate") => validate(),
+        Some(other) => {
+            eprintln!("unknown mode {other}; use --json, --mutants or --validate");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,240 @@
+//! Vector-clock happens-before race checking over interpreter traces.
+//!
+//! A [`TraceSink`] that replays the reference stream with per-process
+//! vector clocks and flags word-level data races: two accesses to the
+//! same word from different processes, at least one a write, with
+//! neither ordered before the other by the trace's synchronization
+//! events. Ordering comes from two edge kinds:
+//!
+//! - [`sync`](TraceSink::sync) — barrier releases and process
+//!   spawn/join: every listed process's clock is joined and advanced.
+//! - [`handoff`](TraceSink::handoff) — lock hand-offs: the acquirer
+//!   joins the releaser's clock.
+//!
+//! The hand-off edge over-approximates lock ordering: it orders *all*
+//! of the releaser's prior events (not just those inside the critical
+//! section) before the acquirer, so the checker can miss races that a
+//! same-lock-different-data execution would expose. That direction is
+//! deliberate — the checker validates *static race reports* against
+//! traces, so it must not invent dynamic races out of lock ordering.
+//! Lock words themselves always race at word level by construction
+//! (every acquire is an unsynchronized test-and-set write); callers
+//! filter them out via the layout's address attribution.
+
+use crate::vm::{MemRef, TraceSink};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One word's last-access bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct WordState {
+    /// Last write: `(pid, epoch at write)`.
+    write: Option<(u32, u32)>,
+    /// Last read per process: epoch at read.
+    reads: BTreeMap<u32, u32>,
+}
+
+/// Happens-before checker; feed it a trace, then ask for racy words.
+#[derive(Debug, Clone)]
+pub struct HbChecker {
+    /// `vc[p][q]`: how far of process q's history process p has observed.
+    vc: Vec<Vec<u32>>,
+    words: BTreeMap<u32, WordState>,
+    /// Word addresses (byte address of the word base) with a detected race.
+    racy: BTreeSet<u32>,
+    races_seen: u64,
+}
+
+impl HbChecker {
+    pub fn new(nproc: usize) -> HbChecker {
+        let mut vc = vec![vec![0u32; nproc]; nproc];
+        for (p, row) in vc.iter_mut().enumerate() {
+            row[p] = 1;
+        }
+        HbChecker {
+            vc,
+            words: BTreeMap::new(),
+            racy: BTreeSet::new(),
+            races_seen: 0,
+        }
+    }
+
+    /// Byte addresses (word-aligned) of words with at least one race.
+    pub fn racy_words(&self) -> &BTreeSet<u32> {
+        &self.racy
+    }
+
+    /// Total number of racy access pairs observed (each unordered
+    /// conflicting pair counts once at detection time).
+    pub fn races_seen(&self) -> u64 {
+        self.races_seen
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.racy.is_empty()
+    }
+
+    /// Has process `p` observed event `(q, epoch)`?
+    fn ordered(&self, p: usize, q: u32, epoch: u32) -> bool {
+        q as usize == p || self.vc[p][q as usize] >= epoch
+    }
+}
+
+impl TraceSink for HbChecker {
+    fn access(&mut self, r: MemRef) {
+        let p = r.pid as usize;
+        if p >= self.vc.len() {
+            return;
+        }
+        let word = r.addr & !3;
+        let epoch = self.vc[p][p];
+        let mut st = self.words.remove(&word).unwrap_or_default();
+        let mut raced = false;
+        // Write-write / read-write against the last write.
+        if let Some((wq, we)) = st.write {
+            if !self.ordered(p, wq, we) {
+                raced = true;
+            }
+        }
+        if r.write {
+            // Write-read against every unobserved read.
+            for (&rq, &re) in &st.reads {
+                if !self.ordered(p, rq, re) {
+                    raced = true;
+                }
+            }
+            st.write = Some((r.pid as u32, epoch));
+            st.reads.clear();
+        } else {
+            st.reads.insert(r.pid as u32, epoch);
+        }
+        self.words.insert(word, st);
+        if raced {
+            self.racy.insert(word);
+            self.races_seen += 1;
+        }
+    }
+
+    fn sync(&mut self, pids: &[u32]) {
+        // Rendezvous: all listed processes observe each other's history,
+        // then start a fresh epoch.
+        let nproc = self.vc.len();
+        let members: Vec<usize> = pids
+            .iter()
+            .map(|&p| p as usize)
+            .filter(|&p| p < nproc)
+            .collect();
+        let mut joined = vec![0u32; nproc];
+        for &p in &members {
+            for (j, &v) in joined.iter_mut().zip(&self.vc[p]) {
+                *j = (*j).max(v);
+            }
+        }
+        for &p in &members {
+            self.vc[p].copy_from_slice(&joined);
+            self.vc[p][p] += 1;
+        }
+    }
+
+    fn handoff(&mut self, from: u32, to: u32) {
+        let (from, to) = (from as usize, to as usize);
+        if from >= self.vc.len() || to >= self.vc.len() || from == to {
+            return;
+        }
+        let from_row = self.vc[from].clone();
+        for (q, &v) in from_row.iter().enumerate() {
+            self.vc[to][q] = self.vc[to][q].max(v);
+        }
+        self.vc[to][to] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(pid: u8, addr: u32) -> MemRef {
+        MemRef {
+            pid,
+            addr,
+            write: true,
+            gap: 0,
+        }
+    }
+
+    fn rd(pid: u8, addr: u32) -> MemRef {
+        MemRef {
+            pid,
+            addr,
+            write: false,
+            gap: 0,
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_race() {
+        let mut c = HbChecker::new(2);
+        c.access(w(0, 0));
+        c.access(w(1, 0));
+        assert!(c.racy_words().contains(&0));
+    }
+
+    #[test]
+    fn barrier_orders_accesses() {
+        let mut c = HbChecker::new(2);
+        c.access(w(0, 0));
+        c.sync(&[0, 1]);
+        c.access(w(1, 0));
+        assert!(c.is_clean());
+    }
+
+    #[test]
+    fn lock_handoff_orders_accesses() {
+        let mut c = HbChecker::new(2);
+        c.access(w(0, 8));
+        c.handoff(0, 1);
+        c.access(w(1, 8));
+        assert!(c.is_clean());
+    }
+
+    #[test]
+    fn reads_do_not_race_with_reads() {
+        let mut c = HbChecker::new(2);
+        c.access(rd(0, 4));
+        c.access(rd(1, 4));
+        assert!(c.is_clean());
+    }
+
+    #[test]
+    fn unordered_read_then_write_races() {
+        let mut c = HbChecker::new(2);
+        c.access(rd(0, 4));
+        c.access(w(1, 4));
+        assert!(c.racy_words().contains(&4));
+    }
+
+    #[test]
+    fn write_after_sync_then_unsynced_read_races() {
+        let mut c = HbChecker::new(2);
+        c.sync(&[0, 1]);
+        c.access(w(0, 12));
+        c.access(rd(1, 12));
+        assert!(c.racy_words().contains(&12));
+    }
+
+    #[test]
+    fn same_process_never_races() {
+        let mut c = HbChecker::new(2);
+        c.access(w(0, 0));
+        c.access(rd(0, 0));
+        c.access(w(0, 0));
+        assert!(c.is_clean());
+    }
+
+    #[test]
+    fn subword_accesses_share_a_word() {
+        let mut c = HbChecker::new(2);
+        c.access(w(0, 0));
+        c.access(w(1, 2));
+        assert!(c.racy_words().contains(&0));
+    }
+}

@@ -24,10 +24,12 @@
 
 pub mod bytecode;
 pub mod compile;
+pub mod hb;
 pub mod vm;
 
 pub use bytecode::{Compiled, Instr};
 pub use compile::compile_program;
+pub use hb::HbChecker;
 pub use vm::{
     runs_started, CountingSink, FinalState, Interp, MemRef, RecordedTrace, RunConfig, RunStats,
     RuntimeError, TeeSink, TraceEvent, TraceSink, VecSink,

@@ -45,7 +45,10 @@ fn err(msg: impl Into<String>, span: Span) -> Error {
 }
 
 /// Evaluate a constant expression over params and already-evaluated consts.
-fn const_eval(prog: &Program, e: &Expr) -> Result<i64, Error> {
+/// Works on both pre-check (`Path`) and post-check (`Var`) forms, so
+/// analyses running on checked programs can reuse it (e.g.
+/// `fsr_analysis::const_of`).
+pub fn const_eval(prog: &Program, e: &Expr) -> Result<i64, Error> {
     Ok(match &e.kind {
         ExprKind::Int(v) => *v,
         ExprKind::Path(p) if p.segs.is_empty() => {

@@ -22,11 +22,20 @@ impl Span {
         }
     }
 
-    /// 1-based (line, column) of the span start within `src`.
+    /// 1-based (line, column) of the span start within `src`. Columns are
+    /// counted in *characters*, not bytes, so diagnostics on lines
+    /// containing multi-byte UTF-8 (e.g. `∞` in comments) point at the
+    /// right column.
     pub fn line_col(&self, src: &str) -> (usize, usize) {
-        let upto = &src[..(self.start as usize).min(src.len())];
+        let mut start = (self.start as usize).min(src.len());
+        // Never split a multi-byte character.
+        while start > 0 && !src.is_char_boundary(start) {
+            start -= 1;
+        }
+        let upto = &src[..start];
         let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
-        let col = upto.len() - upto.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+        let line_start = upto.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let col = upto[line_start..].chars().count() + 1;
         (line, col)
     }
 }
@@ -85,6 +94,200 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// How serious a [`Diagnostic`] is. Errors abort compilation; warnings
+/// accumulate and are reported together (lint passes emit warnings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. The `FSR-Wxxx` identifiers are part of the
+/// tool's external interface (golden lint reports, CI filters); never
+/// renumber an existing code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub enum Code {
+    /// Two processes may access the same location in the same phase, at
+    /// least one writing, with no common lock held.
+    UnsynchronizedWriteShare,
+    /// Conflicting accesses are lock-guarded on some paths but not all,
+    /// or guarded by provably different lock elements.
+    LockNotHeldOnAllPaths,
+    /// The two arms of a branch cross different numbers of barriers, so
+    /// processes taking different arms rendezvous at different points.
+    BarrierCountMismatch,
+}
+
+impl Code {
+    /// The stable `FSR-Wxxx` identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Code::UnsynchronizedWriteShare => "FSR-W001",
+            Code::LockNotHeldOnAllPaths => "FSR-W002",
+            Code::BarrierCountMismatch => "FSR-W003",
+        }
+    }
+
+    /// Human-readable slug, as shown next to the id.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Code::UnsynchronizedWriteShare => "unsynchronized-write-share",
+            Code::LockNotHeldOnAllPaths => "lock-not-held-on-all-paths",
+            Code::BarrierCountMismatch => "barrier-count-mismatch",
+        }
+    }
+
+    pub fn severity(&self) -> Severity {
+        Severity::Warning
+    }
+
+    pub const ALL: [Code; 3] = [
+        Code::UnsynchronizedWriteShare,
+        Code::LockNotHeldOnAllPaths,
+        Code::BarrierCountMismatch,
+    ];
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.id(), self.slug())
+    }
+}
+
+/// One warning- or error-severity finding with an optional stable code
+/// and related source locations (e.g. "the conflicting access is here").
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub code: Option<Code>,
+    pub msg: String,
+    pub span: Span,
+    /// Secondary locations with their own captions.
+    pub related: Vec<(Span, String)>,
+}
+
+impl Diagnostic {
+    pub fn warning(code: Code, msg: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic {
+            severity: code.severity(),
+            code: Some(code),
+            msg: msg.into(),
+            span,
+            related: Vec::new(),
+        }
+    }
+
+    pub fn with_related(mut self, span: Span, caption: impl Into<String>) -> Diagnostic {
+        self.related.push((span, caption.into()));
+        self
+    }
+
+    /// Render with line/column resolved against the source text.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        let mut out = match self.code {
+            Some(c) => format!("{}[{}] at {line}:{col}: {}", self.severity, c, self.msg),
+            None => format!("{} at {line}:{col}: {}", self.severity, self.msg),
+        };
+        for (span, caption) in &self.related {
+            let (l, c) = span.line_col(src);
+            out.push_str(&format!("\n  note at {l}:{c}: {caption}"));
+        }
+        out
+    }
+}
+
+impl From<Error> for Diagnostic {
+    fn from(e: Error) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code: None,
+            msg: format!("{} error: {}", e.stage, e.msg),
+            span: e.span,
+            related: Vec::new(),
+        }
+    }
+}
+
+/// A multi-diagnostic collection: unlike the front end's fail-fast
+/// [`Error`], analyses that can produce several independent findings
+/// accumulate them here and report them all at once.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    pub list: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn new() -> Diagnostics {
+        Diagnostics::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.list.push(d);
+    }
+
+    pub fn extend(&mut self, it: impl IntoIterator<Item = Diagnostic>) {
+        self.list.extend(it);
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.list.iter().map(|d| d.severity).max()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Diagnostic> {
+        self.list.iter()
+    }
+
+    /// Count of diagnostics carrying `code`.
+    pub fn count_of(&self, code: Code) -> usize {
+        self.list.iter().filter(|d| d.code == Some(code)).count()
+    }
+
+    /// Sort by source position, then severity (stable report order).
+    pub fn sort(&mut self) {
+        self.list
+            .sort_by_key(|d| (d.span.start, d.span.end, d.severity, d.code));
+    }
+
+    /// Render every diagnostic against the source, one per line.
+    pub fn render_all(&self, src: &str) -> String {
+        self.list
+            .iter()
+            .map(|d| d.render(src))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.list.into_iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +315,73 @@ mod tests {
         assert!(s.contains("parse error"));
         assert!(s.contains("2:2"));
         assert!(s.contains("expected `;`"));
+    }
+
+    #[test]
+    fn line_col_counts_chars_not_bytes() {
+        // `∞` is 3 bytes but 1 character; `x` after it starts at byte 7
+        // of its line but must report column 5.
+        let src = "ab\n// ∞x\ncd";
+        let x_byte = src.find('x').unwrap() as u32;
+        let span = Span::new(x_byte, x_byte + 1);
+        assert_eq!(span.line_col(src), (2, 5));
+        // A span landing mid-character must not panic and snaps to it.
+        let inf_byte = src.find('∞').unwrap() as u32;
+        let mid = Span::new(inf_byte + 1, inf_byte + 2);
+        assert_eq!(mid.line_col(src), (2, 4));
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Code::UnsynchronizedWriteShare.id(), "FSR-W001");
+        assert_eq!(Code::LockNotHeldOnAllPaths.id(), "FSR-W002");
+        assert_eq!(Code::BarrierCountMismatch.id(), "FSR-W003");
+        assert_eq!(
+            Code::UnsynchronizedWriteShare.slug(),
+            "unsynchronized-write-share"
+        );
+        assert_eq!(Code::ALL.len(), 3);
+    }
+
+    #[test]
+    fn diagnostic_render_includes_code_and_related() {
+        let d = Diagnostic::warning(
+            Code::UnsynchronizedWriteShare,
+            "`hot` written by all processes without a lock",
+            Span::new(4, 5),
+        )
+        .with_related(Span::new(0, 1), "conflicting write here");
+        let s = d.render("ab\ncd\nef");
+        assert!(s.contains("warning[FSR-W001 unsynchronized-write-share]"));
+        assert!(s.contains("2:2"));
+        assert!(s.contains("note at 1:1: conflicting write here"));
+    }
+
+    #[test]
+    fn diagnostics_collects_and_sorts() {
+        let mut ds = Diagnostics::new();
+        assert!(ds.is_clean());
+        ds.push(Diagnostic::warning(
+            Code::BarrierCountMismatch,
+            "later",
+            Span::new(9, 10),
+        ));
+        ds.push(Diagnostic::warning(
+            Code::UnsynchronizedWriteShare,
+            "earlier",
+            Span::new(2, 3),
+        ));
+        ds.push(Diagnostic::from(Error::new(
+            Stage::Check,
+            "boom",
+            Span::new(5, 6),
+        )));
+        ds.sort();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.max_severity(), Some(Severity::Error));
+        assert_eq!(ds.count_of(Code::UnsynchronizedWriteShare), 1);
+        let spans: Vec<u32> = ds.list.iter().map(|d| d.span.start).collect();
+        assert_eq!(spans, vec![2, 5, 9]);
+        assert!(ds.list[1].msg.contains("check error"));
     }
 }

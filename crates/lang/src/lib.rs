@@ -40,7 +40,7 @@ pub mod pretty;
 pub mod token;
 
 pub use ast::Program;
-pub use diag::{Error, Span};
+pub use diag::{Code, Diagnostic, Diagnostics, Error, Severity, Span};
 
 /// Tokenize PSL source text.
 pub fn lex(src: &str) -> Result<Vec<token::Spanned>, Error> {

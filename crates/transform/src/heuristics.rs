@@ -28,6 +28,13 @@ pub struct PlanConfig {
     /// Minimum fraction of the program's total access weight a shared
     /// structure needs before pad & align is applied.
     pub pad_weight_frac: f64,
+    /// When set, run the race lint (`fsr_analysis::races`) and refuse
+    /// pad & align / indirection on objects with reported races: their
+    /// access summaries describe unsynchronized behaviour the program may
+    /// depend on timing for, so restructuring them is not trustworthy.
+    /// Off by default — the paper's compiler transforms racy counters
+    /// too, and the reproduction keeps that behaviour unless asked.
+    pub refuse_racy: bool,
 }
 
 impl Default for PlanConfig {
@@ -36,6 +43,7 @@ impl Default for PlanConfig {
             block_bytes: 128,
             write_dominance: 10.0,
             pad_weight_frac: 0.01,
+            refuse_racy: false,
         }
     }
 }
@@ -68,6 +76,14 @@ fn reads_allow_restructure(c: &AccessClass, cfg: &PlanConfig) -> bool {
 /// Compute the transformation plan for a program from its analysis.
 pub fn plan_for(prog: &Program, analysis: &Analysis, cfg: &PlanConfig) -> LayoutPlan {
     let mut plan = LayoutPlan::unoptimized(cfg.block_bytes);
+
+    // Objects the race lint flags as genuinely racy (only computed when
+    // the config opts in).
+    let racy: std::collections::BTreeSet<fsr_lang::ast::ObjId> = if cfg.refuse_racy {
+        fsr_analysis::races::detect(prog, analysis).racy_objects()
+    } else {
+        Default::default()
+    };
 
     // Locks are always padded (§3.2 "Locks").
     for (oid, obj) in prog
@@ -134,12 +150,14 @@ pub fn plan_for(prog: &Program, analysis: &Analysis, cfg: &PlanConfig) -> Layout
                     // Per-process but not statically transposable (e.g.
                     // run-time partition arrays): indirection of whole
                     // elements.
-                    plan.insert(
-                        c.obj,
-                        ObjPlan::Indirect { fields: vec![] },
-                        "per-process writes with run-time partition; \
-                         elements moved to per-process arenas",
-                    );
+                    if !racy.contains(&c.obj) {
+                        plan.insert(
+                            c.obj,
+                            ObjPlan::Indirect { fields: vec![] },
+                            "per-process writes with run-time partition; \
+                             elements moved to per-process arenas",
+                        );
+                    }
                 }
             }
             continue;
@@ -151,7 +169,7 @@ pub fn plan_for(prog: &Program, analysis: &Analysis, cfg: &PlanConfig) -> Layout
             && matches!(c.read.pattern, Pattern::Shared | Pattern::None);
         let no_locality = !c.write.has_spatial_locality() && !c.read.has_spatial_locality();
         let frequent = c.total_weight() >= cfg.pad_weight_frac * analysis.total_weight;
-        if both_shared && no_locality && frequent {
+        if both_shared && no_locality && frequent && !racy.contains(&c.obj) {
             // Padding is only useful when elements are currently smaller
             // than a block (otherwise layout is unchanged).
             let elem_bytes = prog.elem_words(obj.elem) * WORD_BYTES;
@@ -173,7 +191,7 @@ pub fn plan_for(prog: &Program, analysis: &Analysis, cfg: &PlanConfig) -> Layout
     // already planned (e.g. transposed as a whole), field indirection is
     // unnecessary.
     for (oid, mut fields) in indirect_fields {
-        if plan.get(oid).is_some() {
+        if plan.get(oid).is_some() || racy.contains(&oid) {
             continue;
         }
         fields.sort();
@@ -286,6 +304,36 @@ mod tests {
              } }",
         );
         assert_eq!(directive(&p, &plan, "busy"), None);
+    }
+
+    #[test]
+    fn refuse_racy_skips_pad_on_racy_scalar() {
+        // Same program as `busy_shared_scalar_padded`: `hot` genuinely
+        // races (unsynchronized read-modify-write by all processes). With
+        // refuse_racy on, pad & align backs off; a lock-guarded variant
+        // is still padded.
+        let src = "param NPROC = 4; shared int hot; shared int other;
+             fn main() { forall p in 0 .. NPROC { var i;
+                 for i in 0 .. 1000 { hot = hot + 1; }
+                 other = other + 1;
+             } }";
+        let prog = fsr_lang::compile(src).unwrap();
+        let a = analyze(&prog).unwrap();
+        let cfg = PlanConfig {
+            refuse_racy: true,
+            ..Default::default()
+        };
+        let plan = plan_for(&prog, &a, &cfg);
+        assert_eq!(directive(&prog, &plan, "hot"), None);
+
+        let guarded = "param NPROC = 4; shared int hot; shared lock lk;
+             fn main() { forall p in 0 .. NPROC { var i;
+                 for i in 0 .. 1000 { lock(lk); hot = hot + 1; unlock(lk); }
+             } }";
+        let prog = fsr_lang::compile(guarded).unwrap();
+        let a = analyze(&prog).unwrap();
+        let plan = plan_for(&prog, &a, &cfg);
+        assert_eq!(directive(&prog, &plan, "hot"), Some(&ObjPlan::PadElems));
     }
 
     #[test]

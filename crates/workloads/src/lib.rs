@@ -23,6 +23,7 @@ pub(crate) mod fmm;
 mod locusroute;
 mod maxflow;
 mod mp3d;
+pub mod mutants;
 mod pthor;
 mod pverify;
 mod radiosity;

@@ -9,4 +9,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
 cargo test -q --workspace
 cargo run -q --release --bin fig3 -- --smoke
+# Race lint: workload report must match the checked-in golden, and the
+# seeded-race mutant suite must get every static verdict right.
+cargo run -q --release --bin fsr-lint -- --json | diff -u tests/golden/lint.json -
+cargo run -q --release --bin fsr-lint -- --mutants
 echo "tier1: OK"

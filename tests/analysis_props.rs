@@ -1,6 +1,7 @@
 //! Property-based tests of the analysis algebra and the layout engine.
 
 use fsr_analysis::lin::Lin;
+use fsr_analysis::phase::PhaseSpan;
 use fsr_analysis::section::{concrete_overlap, progressions_intersect, Bound, Section};
 use fsr_layout::Layout;
 use fsr_transform::{LayoutPlan, ObjPlan};
@@ -67,6 +68,44 @@ proptest! {
         let a = s.concretize(p, 64);
         let b = s.concretize(q, 64);
         prop_assert_eq!(concrete_overlap(a, b, false), p == q);
+    }
+
+    /// Non-concurrency is exactly the complement of strict ordering:
+    /// two phase spans may overlap iff neither is strictly before the
+    /// other. This is what licenses the race pass to treat
+    /// `strictly_before` as its only source of ordering.
+    #[test]
+    fn phase_overlap_complements_ordering(
+        lo1 in 0u32..20, len1 in 0u32..20,
+        lo2 in 0u32..20, len2 in 0u32..20,
+    ) {
+        let a = PhaseSpan::new(lo1, lo1 + len1);
+        let b = PhaseSpan::new(lo2, lo2 + len2);
+        prop_assert_eq!(
+            a.may_overlap(b),
+            !(a.strictly_before(b) || b.strictly_before(a))
+        );
+    }
+
+    /// Join is an upper bound and monotone for overlap: widening one
+    /// operand never loses an overlap the original had.
+    #[test]
+    fn phase_join_is_monotone_for_overlap(
+        lo1 in 0u32..20, len1 in 0u32..20,
+        lo2 in 0u32..20, len2 in 0u32..20,
+        lo3 in 0u32..20, len3 in 0u32..20,
+    ) {
+        let a = PhaseSpan::new(lo1, lo1 + len1);
+        let b = PhaseSpan::new(lo2, lo2 + len2);
+        let c = PhaseSpan::new(lo3, lo3 + len3);
+        let j = a.join(b);
+        // join covers both operands...
+        prop_assert!(j.lo <= a.lo && j.hi >= a.hi);
+        prop_assert!(j.lo <= b.lo && j.hi >= b.hi);
+        // ...so any overlap either operand had survives the join.
+        if a.may_overlap(c) || b.may_overlap(c) {
+            prop_assert!(j.may_overlap(c));
+        }
     }
 
     /// merge_sections is an over-approximation: every point of both
