@@ -51,6 +51,8 @@ fn fig3_unbatched(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> Vec
                 program: program.to_string(),
                 block,
                 version: version.label().to_string(),
+                protocol: fsr_core::ProtocolKind::Msi.name().to_string(),
+                interconnect: fsr_core::InterconnectKind::Ksr2Ring.name().to_string(),
                 refs: r.sim.refs,
                 fs_miss_rate: r.sim.false_sharing() as f64 / r.sim.refs.max(1) as f64,
                 other_miss_rate: r.sim.other_misses() as f64 / r.sim.refs.max(1) as f64,
@@ -119,6 +121,8 @@ fn table2_unbatched(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> V
         let n = samples.max(1) as f64;
         rows.push(Table2Row {
             program: w.name.to_string(),
+            protocol: fsr_core::ProtocolKind::Msi.name().to_string(),
+            interconnect: fsr_core::InterconnectKind::Ksr2Ring.name().to_string(),
             total_reduction_pct: acc[0] / n,
             transpose_pct: acc[1] / n,
             indirection_pct: acc[2] / n,
@@ -136,6 +140,8 @@ fn same_fig3(a: &[Fig3Row], b: &[Fig3Row]) -> bool {
             x.program == y.program
                 && x.block == y.block
                 && x.version == y.version
+                && x.protocol == y.protocol
+                && x.interconnect == y.interconnect
                 && x.refs == y.refs
                 && x.fs_miss_rate.to_bits() == y.fs_miss_rate.to_bits()
                 && x.other_miss_rate.to_bits() == y.other_miss_rate.to_bits()
@@ -146,6 +152,8 @@ fn same_table2(a: &[Table2Row], b: &[Table2Row]) -> bool {
     a.len() == b.len()
         && a.iter().zip(b).all(|(x, y)| {
             x.program == y.program
+                && x.protocol == y.protocol
+                && x.interconnect == y.interconnect
                 && x.total_reduction_pct.to_bits() == y.total_reduction_pct.to_bits()
                 && x.transpose_pct.to_bits() == y.transpose_pct.to_bits()
                 && x.indirection_pct.to_bits() == y.indirection_pct.to_bits()

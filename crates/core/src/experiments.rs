@@ -19,8 +19,8 @@
 
 use crate::driver::{run_batch, Job, PlanSourceSpec};
 use crate::{
-    run_pipeline, InterconnectKind, ObjCoherence, PipelineConfig, PipelineError, PlanSource,
-    ProtocolKind, RunResult, SimStats,
+    run_pipeline, InterconnectKind, MissKind, ObjCoherence, PipelineConfig, PipelineError,
+    PlanSource, ProtocolKind, RunResult, SimStats,
 };
 use fsr_machine::SpeedupCurve;
 use fsr_transform::ObjPlan;
@@ -43,6 +43,45 @@ impl Vsn {
             Vsn::C => "compiler",
             Vsn::P => "programmer",
         }
+    }
+}
+
+/// The simulator/timing backend an experiment grid runs against — the
+/// protocol/interconnect axis every generator now carries (previously
+/// `figure3`/`table2` were hard-wired to MSI + KSR2 ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Backend {
+    pub protocol: ProtocolKind,
+    pub interconnect: InterconnectKind,
+}
+
+impl Default for Backend {
+    /// The paper's substrate: MSI over the KSR2 ring hierarchy.
+    fn default() -> Self {
+        Backend::new(ProtocolKind::Msi, InterconnectKind::Ksr2Ring)
+    }
+}
+
+impl Backend {
+    pub const fn new(protocol: ProtocolKind, interconnect: InterconnectKind) -> Backend {
+        Backend {
+            protocol,
+            interconnect,
+        }
+    }
+
+    /// The three coherence substrates the directory ablation compares:
+    /// the paper's MSI + ring, MESI + ring, and the home-node directory
+    /// protocol over its per-node fabric.
+    pub const ABLATION: [Backend; 3] = [
+        Backend::new(ProtocolKind::Msi, InterconnectKind::Ksr2Ring),
+        Backend::new(ProtocolKind::Mesi, InterconnectKind::Ksr2Ring),
+        Backend::new(ProtocolKind::Directory, InterconnectKind::HomeDir),
+    ];
+
+    /// Pipeline configuration for this backend at one block size.
+    pub fn config(&self, block: u32) -> PipelineConfig {
+        PipelineConfig::with_block(block).with_backends(self.protocol, self.interconnect)
     }
 }
 
@@ -97,6 +136,10 @@ pub struct Fig3Row {
     pub program: String,
     pub block: u32,
     pub version: String,
+    /// Coherence protocol the row was simulated under.
+    pub protocol: String,
+    /// Interconnect the row was timed against.
+    pub interconnect: String,
     pub refs: u64,
     pub fs_miss_rate: f64,
     pub other_miss_rate: f64,
@@ -110,8 +153,19 @@ struct Fig3Meta {
 }
 
 /// Figure 3: the six N+C programs at the given block sizes (paper: 16
-/// and 128 bytes, 12 processors).
+/// and 128 bytes, 12 processors), on the paper's MSI + ring substrate.
 pub fn figure3(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> Vec<Fig3Row> {
+    figure3_on(Backend::default(), nproc, scale, blocks, threads)
+}
+
+/// [`figure3`] on an explicit backend.
+pub fn figure3_on(
+    backend: Backend,
+    nproc: i64,
+    scale: i64,
+    blocks: &[u32],
+    threads: usize,
+) -> Vec<Fig3Row> {
     let set = fsr_workloads::figure3_set();
     let mut jobs = Vec::new();
     for w in &set {
@@ -127,7 +181,7 @@ pub fn figure3(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> Vec<Fi
                     src: src.clone(),
                     params: std_params(nproc, scale),
                     plan: plan_spec(w, v),
-                    cfg: PipelineConfig::with_block(b),
+                    cfg: backend.config(b),
                 });
             }
         }
@@ -140,6 +194,8 @@ pub fn figure3(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> Vec<Fi
                 program: job.meta.program.to_string(),
                 block: job.meta.block,
                 version: job.meta.version.label().to_string(),
+                protocol: backend.protocol.name().to_string(),
+                interconnect: backend.interconnect.name().to_string(),
                 refs: r.sim.refs,
                 fs_miss_rate: r.sim.false_sharing() as f64 / r.sim.refs.max(1) as f64,
                 other_miss_rate: r.sim.other_misses() as f64 / r.sim.refs.max(1) as f64,
@@ -153,6 +209,10 @@ pub fn figure3(nproc: i64, scale: i64, blocks: &[u32], threads: usize) -> Vec<Fi
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Table2Row {
     pub program: String,
+    /// Coherence protocol the ablation was simulated under.
+    pub protocol: String,
+    /// Interconnect the ablation was timed against.
+    pub interconnect: String,
     /// Total reduction with the full plan, percent of baseline FS misses.
     pub total_reduction_pct: f64,
     /// Reduction with only group&transpose directives, etc.
@@ -185,6 +245,17 @@ pub fn table2(
     blocks: &[u32],
     threads: usize,
 ) -> Result<Vec<Table2Row>, PipelineError> {
+    table2_on(Backend::default(), nproc, scale, blocks, threads)
+}
+
+/// [`table2`] on an explicit backend.
+pub fn table2_on(
+    backend: Backend,
+    nproc: i64,
+    scale: i64,
+    blocks: &[u32],
+    threads: usize,
+) -> Result<Vec<Table2Row>, PipelineError> {
     let set = fsr_workloads::figure3_set();
     let mut jobs: Vec<Job<T2Meta>> = Vec::new();
     for (wi, w) in set.iter().enumerate() {
@@ -192,7 +263,7 @@ pub fn table2(
         let prog = fsr_lang::compile_with_params(w.source, &[("NPROC", nproc), ("SCALE", scale)])?;
         let analysis = fsr_analysis::analyze(&prog)?;
         for &b in blocks {
-            let cfg = PipelineConfig::with_block(b);
+            let cfg = backend.config(b);
             let full = fsr_transform::plan_for(&prog, &analysis, &cfg.plan_cfg);
             let cells = [
                 PlanSourceSpec::Unoptimized,
@@ -259,6 +330,8 @@ pub fn table2(
         let n = samples.max(1) as f64;
         rows.push(Table2Row {
             program: w.name.to_string(),
+            protocol: backend.protocol.name().to_string(),
+            interconnect: backend.interconnect.name().to_string(),
             total_reduction_pct: acc[0] / n,
             transpose_pct: acc[1] / n,
             indirection_pct: acc[2] / n,
@@ -281,6 +354,19 @@ pub fn speedup_sweep(
     block: u32,
     threads: usize,
 ) -> SpeedupCurve {
+    speedup_sweep_on(Backend::default(), w, v, procs, scale, block, threads)
+}
+
+/// [`speedup_sweep`] on an explicit backend.
+pub fn speedup_sweep_on(
+    backend: Backend,
+    w: &Workload,
+    v: Vsn,
+    procs: &[u32],
+    scale: i64,
+    block: u32,
+    threads: usize,
+) -> SpeedupCurve {
     let src: Arc<str> = Arc::from(w.source);
     let jobs: Vec<Job<u32>> = procs
         .iter()
@@ -289,7 +375,7 @@ pub fn speedup_sweep(
             src: src.clone(),
             params: std_params(p as i64, scale),
             plan: plan_spec(w, v),
-            cfg: PipelineConfig::with_block(block),
+            cfg: backend.config(block),
         })
         .collect();
     let mut curve = SpeedupCurve::default();
@@ -330,6 +416,17 @@ struct T3Meta {
 /// Table 3 for all ten programs, as one batch over every (program,
 /// version, #procs) point plus the per-program baselines.
 pub fn table3(procs: &[u32], scale: i64, block: u32, threads: usize) -> Vec<Table3Row> {
+    table3_on(Backend::default(), procs, scale, block, threads)
+}
+
+/// [`table3`] on an explicit backend.
+pub fn table3_on(
+    backend: Backend,
+    procs: &[u32],
+    scale: i64,
+    block: u32,
+    threads: usize,
+) -> Vec<Table3Row> {
     let all = fsr_workloads::all();
     let mut jobs: Vec<Job<T3Meta>> = Vec::new();
     for (wi, w) in all.iter().enumerate() {
@@ -344,7 +441,7 @@ pub fn table3(procs: &[u32], scale: i64, block: u32, threads: usize) -> Vec<Tabl
             src: src.clone(),
             params: std_params(1, scale),
             plan: plan_spec(w, Vsn::N),
-            cfg: PipelineConfig::with_block(block),
+            cfg: backend.config(block),
         });
         let mut versions = vec![Vsn::C];
         if w.has(Version::Unoptimized) {
@@ -365,7 +462,7 @@ pub fn table3(procs: &[u32], scale: i64, block: u32, threads: usize) -> Vec<Tabl
                     src: src.clone(),
                     params: std_params(p as i64, scale),
                     plan: plan_spec(w, v),
-                    cfg: PipelineConfig::with_block(block),
+                    cfg: backend.config(block),
                 });
             }
         }
@@ -531,6 +628,107 @@ pub fn protocol_matrix(
                 exec_cycles: r.exec_cycles,
                 sim: r.sim,
                 per_obj: r.per_obj_coherence.into_iter().collect(),
+            })
+        })
+        .collect()
+}
+
+/// One cell of the directory ablation: a (program, version, backend)
+/// run reduced to the miss taxonomy and the cost counters that differ
+/// across coherence substrates.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AblationRow {
+    pub program: String,
+    pub version: String,
+    pub protocol: String,
+    pub interconnect: String,
+    pub block: u32,
+    pub nproc: u32,
+    /// Miss counts by kind (cold, replacement, true-, false-sharing) —
+    /// identical across the backends by the protocol-invariance
+    /// property; committed so the golden diff proves it.
+    pub misses: [u64; MissKind::COUNT],
+    pub upgrades: u64,
+    pub invalidations: u64,
+    /// Home-directory transactions (0 under the snooping backends).
+    pub dir_txns: u64,
+    pub exec_cycles: u64,
+    /// Stall cycles attributed to false-sharing misses — the per-
+    /// workload false-sharing *cost*, which does shift per backend.
+    pub fs_stall: u64,
+    /// Total interconnect queueing stall.
+    pub queue_stall: u64,
+    /// 2-hop / 3-hop directory transaction split (0 under snooping).
+    pub two_hop: u64,
+    pub three_hop: u64,
+    /// Occupancy cycles of the busiest channel (hottest home node under
+    /// the directory fabric, busiest ring under the KSR2).
+    pub max_channel_busy: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AblMeta {
+    prog_idx: usize,
+    version: Vsn,
+    backend: Backend,
+}
+
+/// The directory ablation: every listed workload × {unopt, compiler} ×
+/// [`Backend::ABLATION`], one [`run_batch`] call. The unopt-vs-compiler
+/// pair shows how much of each backend's cost the paper's
+/// transformations recover; the backend axis shows how the *same*
+/// misses are charged by broadcast vs directory substrates.
+pub fn directory_ablation(
+    programs: &[&str],
+    nproc: i64,
+    scale: i64,
+    block: u32,
+    threads: usize,
+) -> Vec<AblationRow> {
+    let set: Vec<_> = programs
+        .iter()
+        .filter_map(|n| fsr_workloads::by_name(n))
+        .collect();
+    let mut jobs: Vec<Job<AblMeta>> = Vec::new();
+    for (wi, w) in set.iter().enumerate() {
+        let src: Arc<str> = Arc::from(w.source);
+        for v in [Vsn::N, Vsn::C] {
+            for backend in Backend::ABLATION {
+                jobs.push(Job {
+                    meta: AblMeta {
+                        prog_idx: wi,
+                        version: v,
+                        backend,
+                    },
+                    src: src.clone(),
+                    params: std_params(nproc, scale),
+                    plan: plan_spec(w, v),
+                    cfg: backend.config(block),
+                });
+            }
+        }
+    }
+    run_batch(jobs, threads)
+        .into_iter()
+        .filter_map(|(job, r)| {
+            let r = r.ok()?;
+            Some(AblationRow {
+                program: set[job.meta.prog_idx].name.to_string(),
+                version: job.meta.version.label().to_string(),
+                protocol: job.meta.backend.protocol.name().to_string(),
+                interconnect: job.meta.backend.interconnect.name().to_string(),
+                block,
+                nproc: r.nproc,
+                misses: r.sim.misses,
+                upgrades: r.sim.upgrades,
+                invalidations: r.sim.invalidations,
+                dir_txns: r.sim.dir_txns,
+                exec_cycles: r.exec_cycles,
+                fs_stall: r.timing.stall_by_kind[MissKind::FalseSharing as usize],
+                queue_stall: r.timing.total_queue(),
+                two_hop: r.timing.two_hop,
+                three_hop: r.timing.three_hop,
+                max_channel_busy: r.timing.max_channel_busy(),
             })
         })
         .collect()

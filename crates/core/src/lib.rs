@@ -129,6 +129,11 @@ pub struct RunResult {
     /// interventions, exclusive hits) plus interconnect queueing stalls,
     /// attributed via the layout address map.
     pub per_obj_coherence: BTreeMap<String, ObjCoherence>,
+    /// Per-object reference counts (hits and misses alike), attributed
+    /// via the layout address map. A pure function of the trace and the
+    /// layout — bit-identical across coherence backends, which the
+    /// cross-backend equivalence suite asserts.
+    pub per_obj_refs: BTreeMap<String, u64>,
     /// Execution time (cycles) on the machine model.
     pub exec_cycles: u64,
     pub timing: TimingStats,
@@ -233,12 +238,21 @@ impl PipelineSink {
             let name = name_of(b as u32 * bb).unwrap_or_else(|| "<unattributed>".to_string());
             per_obj_coherence.entry(name).or_default().queue_stall += q;
         }
+        let mut per_obj_refs: BTreeMap<String, u64> = BTreeMap::new();
+        for (b, &n) in self.sim.per_block_refs().iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let name = name_of(b as u32 * bb).unwrap_or_else(|| "<unattributed>".to_string());
+            *per_obj_refs.entry(name).or_default() += n;
+        }
         RunResult {
             nproc,
             plan,
             sim: self.sim.stats().clone(),
             per_obj,
             per_obj_coherence,
+            per_obj_refs,
             exec_cycles: self.timing.finish_time(),
             timing: self.timing.stats().clone(),
             interp,

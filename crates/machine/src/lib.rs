@@ -12,14 +12,21 @@
 //! - [`Bus`] is a flat bus/crossbar: one shared channel, uniform miss
 //!   latency (no cross-ring penalty), but *every* fill occupies the
 //!   single channel — it saturates earlier as processors are added.
+//! - [`HomeDir`] is a DASH-style home-node directory fabric: one
+//!   channel per node, every miss and upgrade visits the referenced
+//!   block's address-interleaved home (`block % nproc`), and a dirty
+//!   third-party owner turns a 2-hop fill into a 3-hop forward. Pair it
+//!   with the `directory` protocol.
 //!
-//! Every coherence transaction (miss fill or invalidating upgrade)
-//! *occupies* its channel(s) for a fixed number of slot cycles, so
-//! aggregate coherence traffic is bounded by interconnect bandwidth: as
-//! more processors generate misses — in particular the superlinear
-//! ping-pong traffic of falsely shared blocks — queueing delay grows and
-//! the speedup curve rolls over, reproducing the paper's scalability
-//! collapse for unoptimized programs.
+//! Channel ids are interconnect-defined — ring index for [`Ksr2Ring`],
+//! always 0 for [`Bus`], home-node id for [`HomeDir`]. Every coherence
+//! transaction (miss fill or invalidating upgrade) *occupies* its
+//! channel(s) for a fixed number of slot cycles, so aggregate coherence
+//! traffic is bounded by interconnect bandwidth: as more processors
+//! generate misses — in particular the superlinear ping-pong traffic of
+//! falsely shared blocks — queueing delay grows and the speedup curve
+//! rolls over, reproducing the paper's scalability collapse for
+//! unoptimized programs.
 //!
 //! The models deliberately stay analytic (per-channel next-free-time
 //! counters, no packet-level simulation): the paper's execution-time
@@ -40,15 +47,22 @@ pub enum InterconnectKind {
     Ksr2Ring,
     /// Flat single-channel bus/crossbar with uniform miss latency.
     Bus,
+    /// Home-node directory fabric: per-node channels, 2/3-hop misses.
+    HomeDir,
 }
 
 impl InterconnectKind {
-    pub const ALL: [InterconnectKind; 2] = [InterconnectKind::Ksr2Ring, InterconnectKind::Bus];
+    pub const ALL: [InterconnectKind; 3] = [
+        InterconnectKind::Ksr2Ring,
+        InterconnectKind::Bus,
+        InterconnectKind::HomeDir,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             InterconnectKind::Ksr2Ring => "ksr2-ring",
             InterconnectKind::Bus => "bus",
+            InterconnectKind::HomeDir => "home-dir",
         }
     }
 
@@ -57,6 +71,7 @@ impl InterconnectKind {
         match self {
             InterconnectKind::Ksr2Ring => &Ksr2Ring,
             InterconnectKind::Bus => &Bus,
+            InterconnectKind::HomeDir => &HomeDir,
         }
     }
 }
@@ -65,7 +80,8 @@ impl InterconnectKind {
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct MachineConfig {
     /// Processors per ring (KSR2: 32 per ring, two rings for 56 procs).
-    /// The bus model ignores this (one channel regardless).
+    /// Only the ring topology reads this; the bus has one channel and
+    /// the home-directory fabric one channel per node regardless.
     pub procs_per_ring: u32,
     /// Latency of a miss served by the processor's local second-level
     /// (ALLCACHE) partition: cold and capacity misses.
@@ -88,8 +104,23 @@ pub struct MachineConfig {
     pub invalidation_occupancy: u64,
     /// Fixed cost of a barrier episode (hardware barrier / flag tree).
     pub barrier_cycles: u64,
+    /// Latency of a 3-hop directory miss: requester → home → dirty
+    /// owner → requester. Only the home-directory fabric reads this.
+    pub three_hop_miss_cycles: u64,
+    /// Directory lookup overhead a remote home adds to every
+    /// transaction it mediates. Only the home-directory fabric reads
+    /// this.
+    pub dir_lookup_cycles: u64,
     /// Topology the timing model routes transactions over.
     pub interconnect: InterconnectKind,
+}
+
+fn default_three_hop_miss_cycles() -> u64 {
+    270
+}
+
+fn default_dir_lookup_cycles() -> u64 {
+    25
 }
 
 impl Default for MachineConfig {
@@ -104,6 +135,8 @@ impl Default for MachineConfig {
             upgrade_occupancy: 4,
             invalidation_occupancy: 4,
             barrier_cycles: 60,
+            three_hop_miss_cycles: default_three_hop_miss_cycles(),
+            dir_lookup_cycles: default_dir_lookup_cycles(),
             interconnect: InterconnectKind::Ksr2Ring,
         }
     }
@@ -111,13 +144,30 @@ impl Default for MachineConfig {
 
 /// How one non-hit transaction travels the interconnect: its latency,
 /// the slot cycles it holds its channel(s) for (invalidation traffic
-/// included), and which channels it involves (requester's first, an
-/// optional distinct remote second).
+/// included), and which channels it involves — up to three distinct
+/// ones (requester, home, forwarded-to owner for a 3-hop directory
+/// miss; snooping topologies use at most two).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Route {
     pub latency: u64,
     pub occupancy: u64,
-    pub channels: [Option<usize>; 2],
+    pub channels: [Option<usize>; 3],
+    /// Directory transaction hop count: 2 (home supplies) or 3 (home
+    /// forwards to a dirty owner). 0 for snooping topologies, where the
+    /// notion doesn't apply.
+    pub hops: u8,
+}
+
+impl Route {
+    /// A snooping-topology route (no hop classification).
+    fn snoop(latency: u64, occupancy: u64, first: usize, second: Option<usize>) -> Route {
+        Route {
+            latency,
+            occupancy,
+            channels: [Some(first), second, None],
+            hops: 0,
+        }
+    }
 }
 
 /// Topology + per-transaction routing of a timing backend. The shared
@@ -135,11 +185,15 @@ pub trait Interconnect: Sync {
     /// Number of shared channels an `nproc`-processor machine has.
     fn num_channels(&self, cfg: &MachineConfig, nproc: u32) -> usize;
 
-    /// The channel a processor issues its transactions on.
+    /// The channel a processor's own node sits on (its ring for the
+    /// KSR2 hierarchy, channel 0 for the bus, its home-node channel for
+    /// the directory fabric).
     fn channel_of(&self, cfg: &MachineConfig, pid: u32) -> usize;
 
     /// Route one non-hit transaction (`outcome.hit()` is false).
-    fn route(&self, cfg: &MachineConfig, pid: u32, outcome: &Outcome) -> Route;
+    /// `nproc` is the machine size — home-node topologies interleave
+    /// `outcome.block` across it to find the home.
+    fn route(&self, cfg: &MachineConfig, nproc: u32, pid: u32, outcome: &Outcome) -> Route;
 }
 
 /// The paper's machine: processors on rings of `procs_per_ring`;
@@ -161,7 +215,7 @@ impl Interconnect for Ksr2Ring {
         (pid / cfg.procs_per_ring) as usize
     }
 
-    fn route(&self, cfg: &MachineConfig, pid: u32, outcome: &Outcome) -> Route {
+    fn route(&self, cfg: &MachineConfig, _nproc: u32, pid: u32, outcome: &Outcome) -> Route {
         let my_ring = self.channel_of(cfg, pid);
         let inval_occ = outcome.invalidations as u64 * cfg.invalidation_occupancy;
         let (latency, occupancy, remote_ring) = if let Some(kind) = outcome.miss {
@@ -190,11 +244,7 @@ impl Interconnect for Ksr2Ring {
             // Upgrade.
             (cfg.upgrade_cycles, cfg.upgrade_occupancy, None)
         };
-        Route {
-            latency,
-            occupancy: occupancy + inval_occ,
-            channels: [Some(my_ring), remote_ring],
-        }
+        Route::snoop(latency, occupancy + inval_occ, my_ring, remote_ring)
     }
 }
 
@@ -220,7 +270,7 @@ impl Interconnect for Bus {
         0
     }
 
-    fn route(&self, cfg: &MachineConfig, _pid: u32, outcome: &Outcome) -> Route {
+    fn route(&self, cfg: &MachineConfig, _nproc: u32, _pid: u32, outcome: &Outcome) -> Route {
         let inval_occ = outcome.invalidations as u64 * cfg.invalidation_occupancy;
         let (latency, occupancy) = if let Some(kind) = outcome.miss {
             let served_by_memory = outcome.supplier.is_none()
@@ -235,10 +285,84 @@ impl Interconnect for Bus {
         } else {
             (cfg.upgrade_cycles, cfg.upgrade_occupancy)
         };
+        Route::snoop(latency, occupancy + inval_occ, 0, None)
+    }
+}
+
+/// DASH-style home-node directory fabric: memory and directory state
+/// are interleaved across the nodes by block index (`block % nproc`),
+/// and every miss or upgrade is mediated by the home. Channel id =
+/// node id, so the *home's* channel absorbs the occupancy of every
+/// transaction on its blocks — a falsely shared block hammers one home
+/// node rather than spreading over a broadcast medium, which is exactly
+/// the contention shift the directory ablation measures.
+///
+/// Cost model (all transactions also pay `dir_lookup_cycles` unless the
+/// requester *is* the home):
+///
+/// - clean block, requester is home → `l2_miss_cycles`, no occupancy
+///   (a purely local fill, like the ring's ALLCACHE serve);
+/// - clean block, remote home → 2-hop fill at `local_miss_cycles`;
+/// - dirty owner is the home → 2-hop fill at `local_miss_cycles`;
+/// - dirty third-party owner → 3-hop forward at
+///   `three_hop_miss_cycles`, occupying the owner's channel too;
+/// - upgrade → `upgrade_cycles`, plus one invalidation message per
+///   presence bit (`invalidation_occupancy` each) charged at the home.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HomeDir;
+
+impl Interconnect for HomeDir {
+    fn kind(&self) -> InterconnectKind {
+        InterconnectKind::HomeDir
+    }
+
+    fn num_channels(&self, _cfg: &MachineConfig, nproc: u32) -> usize {
+        nproc.max(1) as usize
+    }
+
+    fn channel_of(&self, _cfg: &MachineConfig, pid: u32) -> usize {
+        pid as usize
+    }
+
+    fn route(&self, cfg: &MachineConfig, nproc: u32, pid: u32, outcome: &Outcome) -> Route {
+        let requester = pid as usize;
+        let home = (outcome.block % nproc.max(1)) as usize;
+        let lookup = if home == requester {
+            0
+        } else {
+            cfg.dir_lookup_cycles
+        };
+        let inval_occ = outcome.invalidations as u64 * cfg.invalidation_occupancy;
+        // Third-party dirty owner the home must forward to (owner == home
+        // or owner == requester stays 2-hop).
+        let forwarded = outcome
+            .supplier
+            .map(|s| s as usize)
+            .filter(|&o| o != home && o != requester);
+        let (latency, occupancy, hops) = if outcome.miss.is_some() {
+            if let Some(_owner) = forwarded {
+                (cfg.three_hop_miss_cycles + lookup, cfg.miss_occupancy, 3)
+            } else if home == requester && outcome.supplier.is_none() {
+                // Local home with a clean block: fill from the node's own
+                // memory, no fabric occupancy.
+                (cfg.l2_miss_cycles, 0, 2)
+            } else {
+                (cfg.local_miss_cycles + lookup, cfg.miss_occupancy, 2)
+            }
+        } else {
+            (cfg.upgrade_cycles + lookup, cfg.upgrade_occupancy, 2)
+        };
+        // `forwarded` excludes both home and requester, so the three
+        // channels are distinct by construction.
         Route {
             latency,
             occupancy: occupancy + inval_occ,
-            channels: [Some(0), None],
+            channels: [
+                Some(home),
+                (home != requester).then_some(requester),
+                forwarded,
+            ],
+            hops,
         }
     }
 }
@@ -256,12 +380,25 @@ pub struct TimingStats {
     pub stall_by_kind: [u64; MissKind::COUNT],
     /// Stall cycles from upgrades.
     pub upgrade_stall: u64,
+    /// Occupancy slot cycles charged per channel (per home node under
+    /// the directory fabric — its hot spots; per ring on the KSR2).
+    pub channel_busy: Vec<u64>,
+    /// Directory transactions the home satisfied itself (2-hop).
+    pub two_hop: u64,
+    /// Directory transactions forwarded to a dirty owner (3-hop).
+    pub three_hop: u64,
 }
 
 impl TimingStats {
     /// Total interconnect queueing stall across processors.
     pub fn total_queue(&self) -> u64 {
         self.queue.iter().sum()
+    }
+
+    /// The busiest channel's occupancy cycles — the hottest home node
+    /// under the directory fabric.
+    pub fn max_channel_busy(&self) -> u64 {
+        self.channel_busy.iter().copied().max().unwrap_or(0)
     }
 }
 
@@ -308,6 +445,7 @@ impl TimingModel {
                 busy: vec![0; nproc as usize],
                 stall: vec![0; nproc as usize],
                 queue: vec![0; nproc as usize],
+                channel_busy: vec![0; channels],
                 ..Default::default()
             },
         }
@@ -317,7 +455,10 @@ impl TimingModel {
         self.interconnect
     }
 
-    /// The channel (ring, for the KSR2 model) a processor belongs to.
+    /// The channel a processor's node sits on. The name dates from the
+    /// ring-only model; with trait-based interconnects it is whatever
+    /// [`Interconnect::channel_of`] says — ring index (KSR2), 0 (bus),
+    /// or the processor's own home-node channel (directory fabric).
     pub fn ring_of(&self, pid: u32) -> usize {
         self.interconnect.channel_of(&self.cfg, pid)
     }
@@ -338,7 +479,9 @@ impl TimingModel {
             return TxCost::default();
         }
 
-        let route = self.interconnect.route(&self.cfg, pid as u32, outcome);
+        let route = self
+            .interconnect
+            .route(&self.cfg, self.nproc, pid as u32, outcome);
 
         // Acquire the channel slot(s): wait until every channel involved
         // is free, then occupy them.
@@ -349,6 +492,12 @@ impl TimingModel {
         let queue_delay = start - self.proc_time[p];
         for ch in route.channels.into_iter().flatten() {
             self.chan_free[ch] = start + route.occupancy;
+            self.stats.channel_busy[ch] += route.occupancy;
+        }
+        match route.hops {
+            2 => self.stats.two_hop += 1,
+            3 => self.stats.three_hop += 1,
+            _ => {}
         }
         let done = start + route.latency;
         let stall = done - self.proc_time[p];
@@ -457,6 +606,7 @@ mod tests {
     fn hit() -> Outcome {
         Outcome {
             miss: None,
+            block: 0,
             supplier: None,
             upgrade: false,
             invalidations: 0,
@@ -464,8 +614,13 @@ mod tests {
     }
 
     fn miss(kind: MissKind, supplier: Option<u8>) -> Outcome {
+        miss_at(0, kind, supplier)
+    }
+
+    fn miss_at(block: u32, kind: MissKind, supplier: Option<u8>) -> Outcome {
         Outcome {
             miss: Some(kind),
+            block,
             supplier,
             upgrade: false,
             invalidations: 0,
@@ -475,6 +630,13 @@ mod tests {
     fn bus_cfg() -> MachineConfig {
         MachineConfig {
             interconnect: InterconnectKind::Bus,
+            ..Default::default()
+        }
+    }
+
+    fn dir_cfg() -> MachineConfig {
+        MachineConfig {
+            interconnect: InterconnectKind::HomeDir,
             ..Default::default()
         }
     }
@@ -549,6 +711,7 @@ mod tests {
             0,
             &Outcome {
                 miss: None,
+                block: 0,
                 supplier: None,
                 upgrade: true,
                 invalidations: 1,
@@ -625,6 +788,7 @@ mod tests {
             0,
             &Outcome {
                 miss: Some(MissKind::FalseSharing),
+                block: 0,
                 supplier: None,
                 upgrade: false,
                 invalidations: 3,
@@ -699,5 +863,127 @@ mod tests {
             m.stats().total_queue()
         };
         assert!(run(InterconnectKind::Bus) > run(InterconnectKind::Ksr2Ring));
+    }
+
+    #[test]
+    fn home_dir_has_one_channel_per_node() {
+        let cfg = dir_cfg();
+        assert_eq!(HomeDir.num_channels(&cfg, 8), 8);
+        assert_eq!(HomeDir.channel_of(&cfg, 5), 5);
+        let m = TimingModel::new(cfg, 8);
+        assert_eq!(m.stats().channel_busy.len(), 8);
+    }
+
+    #[test]
+    fn home_dir_local_clean_fill_is_an_l2_serve() {
+        let cfg = dir_cfg();
+        let mut m = TimingModel::new(cfg, 4);
+        // Proc 1 misses on block 1: home is 1 % 4 = proc 1 itself.
+        m.record(1, 0, &miss_at(1, MissKind::Cold, None));
+        assert_eq!(m.finish_time(), 1 + cfg.l2_miss_cycles);
+        assert_eq!(m.stats().two_hop, 1);
+        assert_eq!(m.stats().channel_busy.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn home_dir_remote_clean_fill_is_two_hop() {
+        let cfg = dir_cfg();
+        let mut m = TimingModel::new(cfg, 4);
+        // Proc 0 misses on block 1: home is proc 1, clean → 2-hop.
+        m.record(0, 0, &miss_at(1, MissKind::Cold, None));
+        assert_eq!(
+            m.finish_time(),
+            1 + cfg.local_miss_cycles + cfg.dir_lookup_cycles
+        );
+        assert_eq!(m.stats().two_hop, 1);
+        assert_eq!(m.stats().three_hop, 0);
+        // Occupancy lands on the home's channel and the requester's.
+        assert_eq!(m.stats().channel_busy[1], cfg.miss_occupancy);
+        assert_eq!(m.stats().channel_busy[0], cfg.miss_occupancy);
+    }
+
+    #[test]
+    fn home_dir_dirty_third_party_owner_is_three_hop() {
+        let cfg = dir_cfg();
+        let mut m = TimingModel::new(cfg, 4);
+        // Proc 0 misses on block 1 (home: proc 1), dirty at proc 2:
+        // home forwards — 3 hops, three channels occupied.
+        m.record(0, 0, &miss_at(1, MissKind::TrueSharing, Some(2)));
+        assert_eq!(
+            m.finish_time(),
+            1 + cfg.three_hop_miss_cycles + cfg.dir_lookup_cycles
+        );
+        assert_eq!(m.stats().three_hop, 1);
+        for ch in [0, 1, 2] {
+            assert_eq!(m.stats().channel_busy[ch], cfg.miss_occupancy);
+        }
+        assert_eq!(m.stats().channel_busy[3], 0);
+
+        // Owner == home stays 2-hop at local latency.
+        let mut m2 = TimingModel::new(cfg, 4);
+        m2.record(0, 0, &miss_at(1, MissKind::TrueSharing, Some(1)));
+        assert_eq!(
+            m2.finish_time(),
+            1 + cfg.local_miss_cycles + cfg.dir_lookup_cycles
+        );
+        assert_eq!(m2.stats().two_hop, 1);
+        assert_eq!(m2.stats().three_hop, 0);
+    }
+
+    #[test]
+    fn home_dir_serializes_a_contended_home() {
+        // Every processor misses on blocks homed at node 0: the home's
+        // channel serializes them, unlike the two-ring hierarchy where
+        // the same traffic spreads across rings.
+        let cfg = dir_cfg();
+        let mut m = TimingModel::new(cfg, 8);
+        for p in 1..8u8 {
+            m.record(p, 0, &miss_at(0, MissKind::FalseSharing, None));
+        }
+        assert!(m.stats().total_queue() > 0, "home channel must congest");
+        assert_eq!(m.stats().max_channel_busy(), m.stats().channel_busy[0]);
+        // Home-local blocks: every node fills from its own memory, no
+        // fabric traffic, no queueing.
+        let mut spread = TimingModel::new(cfg, 8);
+        for p in 1..8u8 {
+            spread.record(p, 0, &miss_at(p as u32, MissKind::FalseSharing, None));
+        }
+        assert_eq!(spread.stats().total_queue(), 0);
+    }
+
+    #[test]
+    fn home_dir_upgrade_charges_invalidations_at_the_home() {
+        let cfg = dir_cfg();
+        let mut m = TimingModel::new(cfg, 4);
+        m.record(
+            0,
+            0,
+            &Outcome {
+                miss: None,
+                block: 1,
+                supplier: None,
+                upgrade: true,
+                invalidations: 3,
+            },
+        );
+        assert_eq!(
+            m.finish_time(),
+            1 + cfg.upgrade_cycles + cfg.dir_lookup_cycles
+        );
+        let expect = cfg.upgrade_occupancy + 3 * cfg.invalidation_occupancy;
+        assert_eq!(m.stats().channel_busy[1], expect);
+    }
+
+    #[test]
+    fn snooping_routes_report_no_hop_class() {
+        let mut m = TimingModel::new(MachineConfig::default(), 8);
+        m.record(0, 0, &miss(MissKind::TrueSharing, Some(1)));
+        assert_eq!(m.stats().two_hop, 0);
+        assert_eq!(m.stats().three_hop, 0);
+        // But channel occupancy is still accounted per ring.
+        assert_eq!(
+            m.stats().channel_busy[0],
+            m.stats().channel_busy.iter().sum()
+        );
     }
 }

@@ -8,12 +8,24 @@
 //! supported.
 //!
 //! The line-state machine is pluggable behind the [`CoherenceProtocol`]
-//! trait: the paper's substrate is [`Msi`] (the default), and [`Mesi`]
-//! adds an Exclusive state that makes write hits on private data silent
-//! (no invalidating upgrade transaction). Miss *classification* is a
-//! protocol hook with a shared default — MSI and MESI classify every
-//! reference identically; only the coherence traffic they generate
-//! differs (see `tests/backends.rs` for the property test).
+//! trait: the paper's substrate is [`Msi`] (the default), [`Mesi`] adds
+//! an Exclusive state that makes write hits on private data silent (no
+//! invalidating upgrade transaction), and [`Directory`] is a home-node
+//! directory protocol (DASH-style: MSI cache states, but every miss and
+//! upgrade is a transaction at the block's home directory, counted in
+//! [`SimStats::dir_txns`] and routed with 2/3-hop costs by the
+//! `fsr-machine` home-node interconnect). Miss *classification* is a
+//! protocol hook with a shared default — all three protocols classify
+//! every reference identically; only the coherence traffic they
+//! generate and its cost differ (see `tests/coherence_props.rs` for the
+//! property tests).
+//!
+//! The per-block sharer bitmask and owner the simulator keeps for
+//! snooping bookkeeping double as the directory's presence bits and
+//! Shared/Exclusive/Uncached state ([`MultiSim::dir_state`]); they are
+//! maintained exactly (evictions and invalidations both clear presence
+//! bits), which the invariant proptests assert against the simulated
+//! sharer set.
 //!
 //! ## Miss classification
 //!
@@ -51,15 +63,25 @@ pub enum ProtocolKind {
     /// MESI: an Exclusive state suppresses the upgrade transaction on
     /// write hits to private (unshared) data.
     Mesi,
+    /// Home-node directory protocol: MSI cache states, with every miss
+    /// and upgrade mediated by the block's home directory (counted in
+    /// [`SimStats::dir_txns`]). Pair with the `home-dir` interconnect
+    /// for 2/3-hop routing and per-home occupancy.
+    Directory,
 }
 
 impl ProtocolKind {
-    pub const ALL: [ProtocolKind; 2] = [ProtocolKind::Msi, ProtocolKind::Mesi];
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::Msi,
+        ProtocolKind::Mesi,
+        ProtocolKind::Directory,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::Msi => "msi",
             ProtocolKind::Mesi => "mesi",
+            ProtocolKind::Directory => "directory",
         }
     }
 
@@ -68,6 +90,7 @@ impl ProtocolKind {
         match self {
             ProtocolKind::Msi => &Msi,
             ProtocolKind::Mesi => &Mesi,
+            ProtocolKind::Directory => &Directory,
         }
     }
 }
@@ -183,6 +206,9 @@ impl CoherenceEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Outcome {
     pub miss: Option<MissKind>,
+    /// Block index of the referenced address — home-node interconnects
+    /// derive the block's home from it (address-interleaved).
+    pub block: u32,
     /// For misses: the processor that held the block modified or
     /// exclusive (the remote supplier), when any. `None` = served by
     /// memory/L2.
@@ -213,6 +239,11 @@ pub struct SimStats {
     pub interventions: u64,
     /// Silent Exclusive→Modified write hits (MESI; always 0 under MSI).
     pub exclusive_hits: u64,
+    /// Home-directory transactions: every miss and every upgrade visits
+    /// the block's home node under a directory protocol
+    /// (`dir_txns == total_misses() + upgrades` there; always 0 under
+    /// the snooping protocols).
+    pub dir_txns: u64,
 }
 
 impl SimStats {
@@ -303,6 +334,14 @@ pub trait CoherenceProtocol: Sync {
     /// holds a copy of the block.
     fn read_fill_state(&self, other_copies: bool) -> LineState;
 
+    /// Whether a home-node directory mediates this protocol's coherence
+    /// transactions. When true, every miss and every upgrade counts one
+    /// directory transaction at the block's home
+    /// ([`SimStats::dir_txns`]); the snooping protocols leave it false.
+    fn uses_home_directory(&self) -> bool {
+        false
+    }
+
     /// Classify a miss from the loss record and the referenced word's
     /// last-write clock. The default is the paper's exact rule; both MSI
     /// and MESI use it, which is what makes their classifications
@@ -359,6 +398,48 @@ impl CoherenceProtocol for Mesi {
             LineState::Exclusive
         }
     }
+}
+
+/// Home-node directory protocol (DASH-style Dir-N). Cache-side states
+/// are MSI — the home grants read-only copies, so even a sole reader
+/// fills Shared and the first write pays an explicit upgrade at the
+/// directory (keeping presence bits authoritative; the DASH
+/// exclusive-on-read optimization is deliberately omitted so the
+/// directory ablation isolates *cost* effects from state-machine
+/// effects). What differs from [`Msi`] is that every miss and upgrade
+/// is a transaction at the block's home node: the simulator counts them
+/// ([`SimStats::dir_txns`]) and the `home-dir` interconnect charges
+/// 2-hop (home supplies) vs 3-hop (home forwards to a dirty owner)
+/// latency plus per-home channel occupancy, including one invalidation
+/// message per presence bit on writes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Directory;
+
+impl CoherenceProtocol for Directory {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Directory
+    }
+
+    fn read_fill_state(&self, _other_copies: bool) -> LineState {
+        LineState::Shared
+    }
+
+    fn uses_home_directory(&self) -> bool {
+        true
+    }
+}
+
+/// Directory (home-node) state of one block, derived from the presence
+/// bitmask and owner the simulator maintains exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the block.
+    Uncached,
+    /// One or more clean copies; home memory is up to date.
+    Shared,
+    /// A single cache holds the block modified (or MESI-exclusive); the
+    /// directory forwards requests to it.
+    Exclusive,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -449,6 +530,12 @@ pub struct MultiSim {
     per_block_misses: Vec<[u32; MissKind::COUNT]>,
     /// Per block per event class: coherence-event counts.
     per_block_events: Vec<[u32; CoherenceEvent::COUNT]>,
+    /// Per block: total references (hits and misses alike) — protocol
+    /// choice cannot change these, which the cross-backend equivalence
+    /// tests assert.
+    per_block_refs: Vec<u64>,
+    /// Cached `protocol.uses_home_directory()`: count home transactions.
+    track_dir: bool,
     time: u64,
     stats: SimStats,
     block_shift: u32,
@@ -463,14 +550,17 @@ impl MultiSim {
         assert!(cfg.nproc >= 1 && cfg.nproc <= 64);
         let nblocks = addr_space_bytes.div_ceil(cfg.block_bytes) + 1;
         let nwords = addr_space_bytes.div_ceil(4) + 1;
+        let protocol = cfg.protocol.protocol();
         MultiSim {
-            protocol: cfg.protocol.protocol(),
+            protocol,
             caches: (0..cfg.nproc).map(|_| Cache::new(&cfg, nblocks)).collect(),
             sharers: vec![0; nblocks as usize],
             owner: vec![NO_OWNER; nblocks as usize],
             word_write_time: vec![NEVER; nwords as usize],
             per_block_misses: vec![[0; MissKind::COUNT]; nblocks as usize],
             per_block_events: vec![[0; CoherenceEvent::COUNT]; nblocks as usize],
+            per_block_refs: vec![0; nblocks as usize],
+            track_dir: protocol.uses_home_directory(),
             time: 1,
             stats: SimStats::default(),
             block_shift: cfg.block_bytes.trailing_zeros(),
@@ -511,6 +601,60 @@ impl MultiSim {
         &self.per_block_events
     }
 
+    /// Per-block reference counts (hits and misses alike), indexed by
+    /// block. Purely a function of the trace and the block size — the
+    /// cross-backend equivalence tests assert these are bit-identical
+    /// across protocols.
+    pub fn per_block_refs(&self) -> &[u64] {
+        &self.per_block_refs
+    }
+
+    /// Directory presence bitmask for `block`: bit `p` set iff processor
+    /// `p` holds a valid copy. Maintained exactly (evictions and
+    /// invalidations both clear bits), so under the [`Directory`]
+    /// protocol this *is* the home node's presence vector.
+    pub fn sharers_of(&self, block: u32) -> u64 {
+        self.sharers[block as usize]
+    }
+
+    /// The processor holding `block` Modified or Exclusive, if any.
+    pub fn owner_of(&self, block: u32) -> Option<u8> {
+        let o = self.owner[block as usize];
+        if o == NO_OWNER {
+            None
+        } else {
+            Some(o)
+        }
+    }
+
+    /// Cache-side state of `block` in processor `pid`'s cache
+    /// ([`LineState::Invalid`] when not resident).
+    pub fn line_state(&self, pid: u8, block: u32) -> LineState {
+        match self.caches[pid as usize].find(block) {
+            Some(way) => self.caches[pid as usize].sets[way].state,
+            None => LineState::Invalid,
+        }
+    }
+
+    /// Home-directory state of `block`, derived from the owner and the
+    /// presence bitmask (meaningful under every protocol; authoritative
+    /// under [`Directory`]).
+    pub fn dir_state(&self, block: u32) -> DirState {
+        if self.owner[block as usize] != NO_OWNER {
+            DirState::Exclusive
+        } else if self.sharers[block as usize] != 0 {
+            DirState::Shared
+        } else {
+            DirState::Uncached
+        }
+    }
+
+    /// Number of blocks the simulator tracks (the valid range for
+    /// [`Self::dir_state`] and friends).
+    pub fn num_blocks(&self) -> u32 {
+        self.sharers.len() as u32
+    }
+
     pub fn block_bytes(&self) -> u32 {
         self.cfg.block_bytes
     }
@@ -528,6 +672,7 @@ impl MultiSim {
         }
         let block = addr >> self.block_shift;
         let word = (addr / 4) as usize;
+        self.per_block_refs[block as usize] += 1;
 
         let outcome = match self.caches[p].find(block) {
             Some(way) => {
@@ -537,6 +682,7 @@ impl MultiSim {
                     | (LineState::Shared, false)
                     | (LineState::Exclusive, false) => Outcome {
                         miss: None,
+                        block,
                         supplier: None,
                         upgrade: false,
                         invalidations: 0,
@@ -549,6 +695,7 @@ impl MultiSim {
                             [CoherenceEvent::ExclusiveHit as usize] += 1;
                         Outcome {
                             miss: None,
+                            block,
                             supplier: None,
                             upgrade: false,
                             invalidations: 0,
@@ -562,8 +709,12 @@ impl MultiSim {
                         self.stats.upgrades += 1;
                         self.per_block_events[block as usize][CoherenceEvent::Upgrade as usize] +=
                             1;
+                        if self.track_dir {
+                            self.stats.dir_txns += 1;
+                        }
                         Outcome {
                             miss: None,
+                            block,
                             supplier: None,
                             upgrade: true,
                             invalidations: inv,
@@ -577,6 +728,9 @@ impl MultiSim {
                 let kind = self.classify(p, block, word);
                 self.stats.misses[kind as usize] += 1;
                 self.per_block_misses[block as usize][kind as usize] += 1;
+                if self.track_dir {
+                    self.stats.dir_txns += 1;
+                }
                 let supplier = {
                     let o = self.owner[block as usize];
                     if o != NO_OWNER && o != pid {
@@ -619,6 +773,7 @@ impl MultiSim {
                 }
                 Outcome {
                     miss: Some(kind),
+                    block,
                     supplier,
                     upgrade: false,
                     invalidations,
@@ -953,5 +1108,79 @@ mod tests {
             assert_eq!(oa.miss, ob.miss, "ref {i}");
         }
         assert_eq!(a.stats().misses, b.stats().misses);
+    }
+
+    #[test]
+    fn directory_matches_msi_outcomes_exactly() {
+        // MSI cache states at the home: every access outcome (not just
+        // the classification) is identical to snooping MSI.
+        let mut a = sim_with(ProtocolKind::Msi, 4, 64);
+        let mut b = sim_with(ProtocolKind::Directory, 4, 64);
+        for i in 0..400u32 {
+            let pid = (i % 4) as u8;
+            let addr = 0x1000 + (i * 20) % 768;
+            let write = i % 5 < 2;
+            let oa = a.access(pid, addr, write);
+            let ob = b.access(pid, addr, write);
+            assert_eq!(oa, ob, "ref {i}");
+        }
+        assert_eq!(a.stats().misses, b.stats().misses);
+        assert_eq!(a.stats().upgrades, b.stats().upgrades);
+    }
+
+    #[test]
+    fn dir_txns_count_misses_and_upgrades() {
+        let mut s = sim_with(ProtocolKind::Directory, 2, 64);
+        s.access(0, 0x100, false); // miss
+        s.access(1, 0x100, false); // miss
+        s.access(0, 0x100, true); // upgrade
+        s.access(0, 0x104, true); // hit (Modified)
+        let st = s.stats();
+        assert_eq!(st.dir_txns, st.total_misses() + st.upgrades);
+        assert_eq!(st.dir_txns, 3);
+    }
+
+    #[test]
+    fn snooping_protocols_never_count_dir_txns() {
+        for kind in [ProtocolKind::Msi, ProtocolKind::Mesi] {
+            let mut s = sim_with(kind, 2, 64);
+            s.access(0, 0x100, false);
+            s.access(1, 0x100, true);
+            assert_eq!(s.stats().dir_txns, 0, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn dir_state_tracks_presence_and_owner() {
+        let mut s = sim_with(ProtocolKind::Directory, 3, 64);
+        let block = 0x100 >> s.block_bytes().trailing_zeros();
+        assert_eq!(s.dir_state(block), DirState::Uncached);
+        s.access(0, 0x100, false);
+        s.access(1, 0x100, false);
+        assert_eq!(s.dir_state(block), DirState::Shared);
+        assert_eq!(s.sharers_of(block), 0b11);
+        assert_eq!(s.owner_of(block), None);
+        s.access(2, 0x104, true);
+        assert_eq!(s.dir_state(block), DirState::Exclusive);
+        assert_eq!(s.sharers_of(block), 0b100);
+        assert_eq!(s.owner_of(block), Some(2));
+        assert_eq!(s.line_state(2, block), LineState::Modified);
+        assert_eq!(s.line_state(0, block), LineState::Invalid);
+    }
+
+    #[test]
+    fn per_block_refs_are_protocol_invariant() {
+        let mut sims: Vec<MultiSim> = ProtocolKind::ALL
+            .iter()
+            .map(|&k| sim_with(k, 4, 64))
+            .collect();
+        for i in 0..300u32 {
+            for s in &mut sims {
+                s.access((i % 4) as u8, 0x2000 + (i * 28) % 1024, i % 7 == 0);
+            }
+        }
+        for s in &sims[1..] {
+            assert_eq!(s.per_block_refs(), sims[0].per_block_refs());
+        }
     }
 }

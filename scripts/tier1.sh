@@ -13,4 +13,15 @@ cargo run -q --release --bin fig3 -- --smoke
 # seeded-race mutant suite must get every static verdict right.
 cargo run -q --release --bin fsr-lint -- --json | diff -u tests/golden/lint.json -
 cargo run -q --release --bin fsr-lint -- --mutants
+# Coherence protocol invariants on random traces (the vendored proptest
+# engine is fixed-seed, so this is deterministic) plus the directory
+# backend's cross-protocol equivalence and goldens.
+cargo test -q -p fsr-integration --test coherence_props --test directory
+# Directory ablation must reproduce the checked-in golden bit-for-bit at
+# the pinned knobs (the report is thread-count invariant).
+abl_out="$(mktemp)"
+trap 'rm -f "$abl_out"' EXIT
+FSR_NPROC=8 FSR_SCALE=1 FSR_BENCH_OUT="$abl_out" \
+    cargo run -q --release --bin directory_ablation >/dev/null
+diff -u tests/golden/directory_ablation.json "$abl_out"
 echo "tier1: OK"

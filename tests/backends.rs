@@ -99,7 +99,7 @@ fn batch_shares_one_interpretation_across_backends() {
     let before = fsr_interp::runs_started();
     let (out, stats) = run_batch_with_stats(jobs, 1);
     let after = fsr_interp::runs_started();
-    assert_eq!(stats.jobs, 4);
+    assert_eq!(stats.jobs, 9);
     assert_eq!(stats.front_ends, 1);
     assert_eq!(stats.trace_groups, 1, "backends share one trace group");
     assert_eq!(after - before, 1, "exactly one interpreter run");
@@ -123,6 +123,17 @@ fn batch_shares_one_interpretation_across_backends() {
                 base.sim.upgrades,
                 "MESI silences upgrades one-for-one"
             ),
+            ProtocolKind::Directory => {
+                // MSI cache states at the home: same transactions, plus
+                // every miss and upgrade counted at its home directory.
+                assert_eq!(r.sim.upgrades, base.sim.upgrades);
+                assert_eq!(r.sim.exclusive_hits, 0);
+                assert_eq!(
+                    r.sim.dir_txns,
+                    r.sim.total_misses() + r.sim.upgrades,
+                    "every miss and upgrade visits the home"
+                );
+            }
         }
     }
 }
