@@ -41,7 +41,7 @@ pub mod section;
 pub mod summary;
 
 pub use classify::{AccessClass, Analysis, OwnerMap, Pattern, SideSummary, MAX_DESCRIPTORS};
-pub use phase::PhaseSpan;
+pub use phase::{phase_profile, PhaseProfile, PhaseSpan};
 pub use races::{access_label, detect, RaceReport};
 pub use section::{Bound, ProcCond, Rsd, Section};
 pub use summary::{FinalAccess, LockIdx, LockSym, ProgramSummary};
@@ -66,6 +66,58 @@ pub fn nproc_of(prog: &Program) -> Option<i64> {
 
 fn const_of(prog: &Program, e: &fsr_lang::ast::Expr) -> Option<i64> {
     fsr_lang::check::const_eval(prog, e).ok()
+}
+
+/// Why a program has no usable process count (see [`require_nproc`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NprocError {
+    /// No `main`, or `main`'s body has no top-level `forall`.
+    NoForall,
+    /// The `forall` bounds are not compile-time constants.
+    NonConstBounds,
+    /// The process count falls outside what the simulator supports.
+    OutOfRange(i64),
+}
+
+impl std::fmt::Display for NprocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NprocError::NoForall => {
+                write!(f, "no top-level forall in main: process count undeclared")
+            }
+            NprocError::NonConstBounds => {
+                write!(f, "forall bounds are not compile-time constants")
+            }
+            NprocError::OutOfRange(n) => {
+                write!(f, "process count {n} outside supported range 1..=64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NprocError {}
+
+/// Strict variant of [`nproc_of`]: a missing or non-constant process
+/// declaration is an error, not a silent uniprocessor default. The
+/// simulation pipeline uses this so a malformed front end cannot
+/// masquerade as a 1-processor run; [`analyze`] stays lenient (analysis
+/// of serial programs is still meaningful).
+pub fn require_nproc(prog: &Program) -> Result<i64, NprocError> {
+    let main = prog.main.ok_or(NprocError::NoForall)?;
+    for s in &prog.func(main).body.stmts {
+        if let fsr_lang::ast::StmtKind::Forall { lo, hi, .. } = &s.kind {
+            let (lo, hi) = match (const_of(prog, lo), const_of(prog, hi)) {
+                (Some(lo), Some(hi)) => (lo, hi),
+                _ => return Err(NprocError::NonConstBounds),
+            };
+            let n = (hi - lo).max(1);
+            if !(1..=64).contains(&n) {
+                return Err(NprocError::OutOfRange(n));
+            }
+            return Ok(n);
+        }
+    }
+    Err(NprocError::NoForall)
 }
 
 /// Run the complete three-stage analysis on a checked program.
@@ -93,6 +145,31 @@ mod tests {
             fsr_lang::compile("param NPROC = 8; fn main() { forall p in 1 .. NPROC - 1 { } }")
                 .unwrap();
         assert_eq!(nproc_of(&prog), Some(6));
+    }
+
+    #[test]
+    fn require_nproc_rejects_missing_forall() {
+        // The checker rejects forall-less sources, so exercise the
+        // defense on a raw Program (what a future front end could hand
+        // the driver).
+        let prog = fsr_lang::ast::Program::default();
+        assert_eq!(require_nproc(&prog), Err(NprocError::NoForall));
+        // The lenient accessor still defaults for analysis purposes.
+        assert_eq!(nproc_of(&prog), None);
+    }
+
+    #[test]
+    fn require_nproc_rejects_oversized_counts() {
+        let prog = fsr_lang::compile("param NPROC = 100; fn main() { forall p in 0 .. NPROC { } }")
+            .unwrap();
+        assert_eq!(require_nproc(&prog), Err(NprocError::OutOfRange(100)));
+    }
+
+    #[test]
+    fn require_nproc_accepts_constant_bounds() {
+        let prog = fsr_lang::compile("param NPROC = 12; fn main() { forall p in 0 .. NPROC { } }")
+            .unwrap();
+        assert_eq!(require_nproc(&prog), Ok(12));
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Strong-scaling benchmark of the phase/bank-sharded simulation
+//! engine on a single large speedup-sweep cell.
+//!
+//! One cell = one (workload, version, nproc) point — a single job, so
+//! the batch driver's unit-level parallelism cannot help; all speedup
+//! must come from within-job sharding (`ShardMode::Force(t)`): phase
+//! segments interpreted on a producer thread while address banks
+//! simulate concurrently and per-job timing stitches replay in order.
+//!
+//! The cell is simulated at every thread count in `FSR_SCALE_THREADS`
+//! (default `1,2,4,8`); statistics must be bit-identical across all of
+//! them (asserted here, and pinned by `tests/golden/scale_sweep.json`
+//! via `--golden`), while wall-clock shrinks with threads *up to the
+//! machine's core count* — `detected_cores` is recorded in the output
+//! so a 1-core CI box reporting flat wall-clock is legible as such.
+//!
+//! Writes `BENCH_scale.json` (override with `FSR_BENCH_OUT`). With
+//! `--golden`, writes only the machine-independent fields, for the
+//! tier-1 golden diff. Knobs: `FSR_NPROC`, `FSR_SCALE` as usual.
+
+use fsr_bench::{Knobs, Table};
+use fsr_core::driver::{run_batch_sharded, segments_processed, Job, PlanSourceSpec, ShardMode};
+use fsr_core::{MissKind, PipelineConfig, RunResult};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BLOCK: u32 = 128;
+const WORKLOAD: &str = "water";
+
+fn run_cell(w: &fsr_workloads::Workload, k: &Knobs, threads: usize) -> (f64, u64, RunResult) {
+    let job = Job::new(
+        threads as u32,
+        w.source,
+        &[("NPROC", k.nproc), ("SCALE", k.scale)],
+        PlanSourceSpec::Unoptimized,
+        PipelineConfig::with_block(BLOCK),
+    );
+    let seg0 = segments_processed();
+    let start = Instant::now();
+    let mut out = run_batch_sharded(vec![job], 1, ShardMode::Force(threads));
+    let wall = start.elapsed().as_secs_f64();
+    let segments = segments_processed() - seg0;
+    let r = out.remove(0).1.expect("scale cell runs clean");
+    (wall, segments, r)
+}
+
+fn main() {
+    let k = Knobs::from_env();
+    let golden = std::env::args().any(|a| a == "--golden");
+    let thread_counts: Vec<usize> = std::env::var("FSR_SCALE_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let w = fsr_workloads::by_name(WORKLOAD).expect("scale workload exists");
+    eprintln!(
+        "scale_sweep: workload={WORKLOAD} nproc={} scale={} block={BLOCK} \
+         threads={thread_counts:?} detected_cores={cores}",
+        k.nproc, k.scale
+    );
+
+    let runs: Vec<(usize, f64, u64, RunResult)> = thread_counts
+        .iter()
+        .map(|&t| {
+            let (wall, segments, r) = run_cell(&w, &k, t);
+            (t, wall, segments, r)
+        })
+        .collect();
+
+    // The whole point of the stitch: every thread count is bit-identical.
+    let (_, _, seg1, base) = &runs[0];
+    for (t, _, segments, r) in &runs[1..] {
+        assert_eq!(r.sim, base.sim, "{t} threads: sim stats diverged");
+        assert_eq!(
+            r.exec_cycles, base.exec_cycles,
+            "{t} threads: exec cycles diverged"
+        );
+        assert_eq!(r.timing, base.timing, "{t} threads: timing diverged");
+        assert_eq!(segments, seg1, "{t} threads: segment count diverged");
+    }
+
+    let wall1 = runs[0].1;
+    let mut t = Table::new(&["threads", "wall_ms", "speedup", "segments", "exec_cycles"]);
+    for (thr, wall, segments, r) in &runs {
+        t.row(vec![
+            thr.to_string(),
+            format!("{:.1}", wall * 1e3),
+            format!("{:.2}", wall1 / wall),
+            segments.to_string(),
+            r.exec_cycles.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    if cores < *thread_counts.iter().max().unwrap_or(&1) {
+        eprintln!(
+            "note: only {cores} core(s) detected — wall-clock speedup is \
+             bounded by the hardware, not the engine"
+        );
+    }
+
+    let mut misses = String::new();
+    for (i, kind) in MissKind::ALL.iter().enumerate() {
+        let _ = write!(
+            misses,
+            "{}\"{}\": {}",
+            if i > 0 { ", " } else { "" },
+            kind.name(),
+            base.sim.miss_of(*kind)
+        );
+    }
+    let json = if golden {
+        // Machine-independent fields only: what the tier-1 gate pins.
+        format!(
+            "{{\n  \"suite\": \"scale_sweep\",\n  \"workload\": \"{WORKLOAD}\",\n  \
+             \"version\": \"unopt\",\n  \"nproc\": {},\n  \"scale\": {},\n  \
+             \"block\": {BLOCK},\n  \"exec_cycles\": {},\n  \"refs\": {},\n  \
+             \"misses\": {{{misses}}},\n  \"segments_per_run\": {}\n}}\n",
+            k.nproc, k.scale, base.exec_cycles, base.sim.refs, seg1
+        )
+    } else {
+        let rows: Vec<String> = runs
+            .iter()
+            .map(|(thr, wall, _, _)| {
+                format!(
+                    "    {{\"threads\": {thr}, \"wall_ms\": {:.3}, \"speedup\": {:.3}}}",
+                    wall * 1e3,
+                    wall1 / wall
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"suite\": \"scale_sweep\",\n  \"workload\": \"{WORKLOAD}\",\n  \
+             \"version\": \"unopt\",\n  \"nproc\": {},\n  \"scale\": {},\n  \
+             \"block\": {BLOCK},\n  \"detected_cores\": {cores},\n  \
+             \"exec_cycles\": {},\n  \"refs\": {},\n  \"misses\": {{{misses}}},\n  \
+             \"segments_per_run\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+            k.nproc,
+            k.scale,
+            base.exec_cycles,
+            base.sim.refs,
+            seg1,
+            rows.join(",\n")
+        )
+    };
+    let out = std::env::var("FSR_BENCH_OUT").unwrap_or_else(|_| "BENCH_scale.json".into());
+    std::fs::write(&out, json).expect("write scale results");
+    eprintln!("wrote {out}");
+}

@@ -10,26 +10,54 @@
 //!   are compiled once per distinct (source, params) and shared via
 //!   `Arc`; jobs whose memory layouts are address-identical (equal
 //!   [`Layout::trace_fingerprint`], confirmed by `trace_eq`) share a
-//!   *single* interpretation whose trace fans out through a
-//!   [`TeeSink`](fsr_interp::TeeSink) to one cache simulator + timing
-//!   model per job. Beyond exact matches, *direct-only* layout groups of
-//!   the same (front end, run config) — everything except indirection,
-//!   whose first-touch allocation is interpreter state — differ only by
-//!   a static address bijection, so they also merge into one pass with a
-//!   per-group [`Layout::word_map_to`] translation applied on the way
-//!   into each simulator bank. This mirrors the paper's own methodology
-//!   — trace each program once, replay the trace through every simulator
-//!   configuration — and produces bit-identical statistics to the
-//!   reference path (asserted by `tests/batch.rs`).
+//!   *single* interpretation. Beyond exact matches, *direct-only* layout
+//!   groups of the same (front end, run config) — everything except
+//!   indirection, whose first-touch allocation is interpreter state —
+//!   differ only by a static address bijection, so they also merge into
+//!   one pass with a per-group [`Layout::word_map_to`] translation
+//!   applied on the way into each simulator. This mirrors the paper's
+//!   own methodology — trace each program once, replay the trace through
+//!   every simulator configuration — and produces bit-identical
+//!   statistics to the reference path (asserted by `tests/batch.rs`).
+//!
+//! # Two-level scheduling
+//!
+//! The batch engine schedules on two levels. The outer worker pool runs
+//! translation *units* (shared interpretations) in parallel, exactly as
+//! before. Worker threads left over — `threads` divided by the number
+//! of concurrently runnable units — are spent *inside* each unit by the
+//! phase/bank-sharded engine ([`ShardMode`]):
+//!
+//! - the interpreter runs on its own producer thread, cutting the event
+//!   stream into *phase segments* at barrier-synchronization boundaries
+//!   (the same non-concurrency structure the barrier-phase analysis
+//!   computes; [`fsr_analysis::phase_profile`] decides whether the
+//!   program has barriers worth splitting at) with a size cap so
+//!   barrier-free programs still pipeline;
+//! - per segment, every member job's cache simulator is sharded across
+//!   *address banks* ([`BankedSim`]) that simulate concurrently, each
+//!   bank consuming the addresses it owns in program order;
+//! - a per-job *timing stitch* then replays the segment's events in
+//!   original order against the job's [`TimingModel`], consuming the
+//!   banks' precomputed outcomes, so clocks and channel occupancy carry
+//!   across segment boundaries exactly.
+//!
+//! Coherence state lives in the banks and timing state in the stitch for
+//! the whole run — state is partitioned, never copied — so the sharded
+//! engine is bit-identical to the serial [`TeeSink`] path (asserted by
+//! `tests/shard.rs` across protocols, interconnects and workloads).
 
 use crate::{run_pipeline, PipelineConfig, PipelineError, PlanSource, RunResult};
-use fsr_interp::{MemRef, TeeSink, TraceSink};
+use fsr_interp::{MemRef, TeeSink, TraceEvent, TraceSink};
 use fsr_lang::ast::WORD_BYTES;
 use fsr_layout::Layout;
 use fsr_machine::TimingModel;
-use fsr_sim::{CacheConfig, MultiSim};
+use fsr_sim::{BankedSim, CacheConfig, MultiSim, Outcome};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 
 /// One experiment job.
@@ -87,29 +115,118 @@ impl From<&PlanSourceSpec> for PlanSource {
     }
 }
 
-fn effective_threads(threads: usize, njobs: usize) -> usize {
-    let t = if threads == 0 {
+/// Failure of the driver machinery itself, as opposed to a pipeline
+/// failure of the job's program. `Clone` so one shared failure can be
+/// reported against every affected job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// A worker thread panicked. The panic is caught at the pool
+    /// boundary and attributed to the job being processed, instead of
+    /// poisoning the result slots and killing the whole batch.
+    WorkerPanic {
+        /// Driver stage the worker was running ("front end",
+        /// "plan/layout", "simulate", "interpret", "pipeline").
+        stage: &'static str,
+        /// Index of the failing job in submission order.
+        job_index: usize,
+        /// The failing job's `meta`, formatted with `Debug`.
+        job_meta: String,
+        /// The panic payload, when it was a string.
+        payload: String,
+    },
+    /// Batch grouping put two layouts in one translation unit that are
+    /// not address-translation compatible — a driver bug, reported with
+    /// both layouts identified instead of panicking deep in a worker.
+    IncompatibleLayouts { from: String, to: String },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::WorkerPanic {
+                stage,
+                job_index,
+                job_meta,
+                payload,
+            } => write!(
+                f,
+                "worker panicked in {stage} stage on job {job_index} (meta: {job_meta}): {payload}"
+            ),
+            DriverError::IncompatibleLayouts { from, to } => write!(
+                f,
+                "no address translation from layout [{from}] to layout [{to}] \
+                 (batch grouping should never unite these)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// `threads` with 0 resolved to the machine's available parallelism.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
     } else {
         threads
-    };
-    t.clamp(1, njobs.max(1))
+    }
+}
+
+/// Worker threads actually used for `njobs` jobs: `threads` (0 = the
+/// machine's available parallelism) clamped to the job count *after*
+/// resolving, so a small batch never oversubscribes its pool.
+pub fn effective_threads(threads: usize, njobs: usize) -> usize {
+    resolve_threads(threads).clamp(1, njobs.max(1))
+}
+
+/// Best-effort string form of a panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A [`DriverError::WorkerPanic`] for `jobs[job_index]`, wrapped as a
+/// pipeline error.
+fn worker_panic<M: fmt::Debug>(
+    stage: &'static str,
+    job_index: usize,
+    jobs: &[Job<M>],
+    payload: String,
+) -> PipelineError {
+    PipelineError::Driver(DriverError::WorkerPanic {
+        stage,
+        job_index,
+        job_meta: format!("{:?}", jobs[job_index].meta),
+        payload,
+    })
 }
 
 /// Order-preserving parallel map over a slice on a scoped worker pool.
+/// Each item's computation is individually unwind-guarded: a panicking
+/// item yields `Err(payload)` in its own slot while every other item
+/// completes normally (the old path left the slot mutex poisoned and
+/// died in an opaque `expect("worker completed")`).
 fn parallel_map<T: Sync, R: Send>(
     items: &[T],
     threads: usize,
     f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+) -> Vec<Result<R, String>> {
+    let run_one =
+        |item: &T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|p| panic_message(&*p));
     let threads = effective_threads(threads, items.len());
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -117,14 +234,14 @@ fn parallel_map<T: Sync, R: Send>(
                 if i >= items.len() {
                     return;
                 }
-                let r = f(&items[i]);
+                let r = run_one(&items[i]);
                 *slots[i].lock().unwrap() = Some(r);
             });
         }
     });
     slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("worker completed"))
+        .map(|s| s.into_inner().unwrap().expect("every index claimed once"))
         .collect()
 }
 
@@ -134,11 +251,19 @@ pub type JobResults<M> = Vec<(Job<M>, Result<RunResult, PipelineError>)>;
 
 /// Run all jobs independently, using up to `threads` worker threads
 /// (0 = available parallelism). Results keep job order.
-pub fn run_jobs<M: Sync>(jobs: Vec<Job<M>>, threads: usize) -> JobResults<M> {
+pub fn run_jobs<M: Sync + fmt::Debug>(jobs: Vec<Job<M>>, threads: usize) -> JobResults<M> {
     let results = parallel_map(&jobs, threads, |job: &Job<M>| {
         let params: Vec<(&str, i64)> = job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
         run_pipeline(&job.src, &params, (&job.plan).into(), &job.cfg)
     });
+    let results: Vec<Result<RunResult, PipelineError>> = results
+        .into_iter()
+        .enumerate()
+        .map(|(j, r)| match r {
+            Ok(r) => r,
+            Err(payload) => Err(worker_panic("pipeline", j, &jobs, payload)),
+        })
+        .collect();
     jobs.into_iter().zip(results).collect()
 }
 
@@ -162,6 +287,22 @@ pub struct BatchStats {
     pub interpretations: usize,
 }
 
+/// How [`run_batch_sharded`] spends worker threads *within* each
+/// translation unit (see the module docs on two-level scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Divide the thread budget: threads not consumed by unit-level
+    /// parallelism drive phase segments and address banks inside each
+    /// unit. With one effective thread this is exactly the serial path.
+    Auto,
+    /// Always use the phase/bank-sharded engine, with this many worker
+    /// threads per unit. Equivalence tests force ≥ 2 so the stitch is
+    /// exercised even on single-core machines.
+    Force(usize),
+    /// Never shard within a unit (the serial [`TeeSink`] path).
+    Off,
+}
+
 /// Shared front-end artifacts for one (source, params) key.
 struct FrontEnd {
     prog: Arc<crate::Program>,
@@ -182,14 +323,33 @@ struct Prep {
 /// Run all jobs through the batched engine. Results keep job order and
 /// are bit-identical to [`run_jobs`] (same `SimStats`, per-object
 /// attribution, timing and interpreter statistics).
-pub fn run_batch<M: Sync>(jobs: Vec<Job<M>>, threads: usize) -> JobResults<M> {
-    run_batch_with_stats(jobs, threads).0
+pub fn run_batch<M: Sync + fmt::Debug>(jobs: Vec<Job<M>>, threads: usize) -> JobResults<M> {
+    run_batch_sharded_with_stats(jobs, threads, ShardMode::Auto).0
 }
 
 /// [`run_batch`], additionally reporting how much work was shared.
-pub fn run_batch_with_stats<M: Sync>(
+pub fn run_batch_with_stats<M: Sync + fmt::Debug>(
     jobs: Vec<Job<M>>,
     threads: usize,
+) -> (JobResults<M>, BatchStats) {
+    run_batch_sharded_with_stats(jobs, threads, ShardMode::Auto)
+}
+
+/// [`run_batch`] with explicit control over within-unit sharding.
+pub fn run_batch_sharded<M: Sync + fmt::Debug>(
+    jobs: Vec<Job<M>>,
+    threads: usize,
+    shard: ShardMode,
+) -> JobResults<M> {
+    run_batch_sharded_with_stats(jobs, threads, shard).0
+}
+
+/// [`run_batch_sharded`], additionally reporting how much work was
+/// shared.
+pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
+    jobs: Vec<Job<M>>,
+    threads: usize,
+    shard: ShardMode,
 ) -> (JobResults<M>, BatchStats) {
     let n = jobs.len();
     let mut stats = BatchStats {
@@ -235,7 +395,7 @@ pub fn run_batch_with_stats<M: Sync>(
             let params: Vec<(&str, i64)> =
                 job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
             let prog = fsr_lang::compile_with_params(&job.src, &params)?;
-            let nproc = fsr_analysis::nproc_of(&prog).unwrap_or(1) as u32;
+            let nproc = crate::resolve_nproc(&prog)?;
             let code = fsr_interp::compile_program(&prog)?;
             let analysis = needs_analysis.then(|| {
                 fsr_analysis::analyze(&prog)
@@ -248,7 +408,14 @@ pub fn run_batch_with_stats<M: Sync>(
                 nproc,
                 analysis,
             })
-        });
+        })
+        .into_iter()
+        .zip(&fe_inputs)
+        .map(|(r, &(j, _))| match r {
+            Ok(r) => r,
+            Err(payload) => Err(worker_panic("front end", j, &jobs, payload)),
+        })
+        .collect();
 
     // Phase B — per-job plan, layout and trace fingerprint.
     let idxs: Vec<usize> = (0..n).collect();
@@ -284,7 +451,14 @@ pub fn run_batch_with_stats<M: Sync>(
             layout,
             fingerprint,
         })
-    });
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(j, r)| match r {
+        Ok(r) => r,
+        Err(payload) => Err(worker_panic("plan/layout", j, &jobs, payload)),
+    })
+    .collect();
 
     // Phase C — group jobs whose traces are provably identical: same
     // front end, same interpreter config, same address map. The
@@ -323,8 +497,8 @@ pub fn run_batch_with_stats<M: Sync>(
     // sharing a (front end, run config) therefore merge into ONE
     // interpreter pass: the first group's layout drives the VM, and each
     // other group rewrites the address stream through its
-    // [`Layout::word_map_to`] map on the way into its simulator bank.
-    // Groups with indirection keep their own pass.
+    // [`Layout::word_map_to`] map on the way into its simulators. Groups
+    // with indirection keep their own pass.
     let mut unit_ids: HashMap<(usize, fsr_interp::RunConfig), usize> = HashMap::new();
     let mut units: Vec<Vec<Vec<usize>>> = Vec::new();
     for group in groups {
@@ -345,11 +519,27 @@ pub fn run_batch_with_stats<M: Sync>(
     stats.interpretations = units.len();
 
     // Phase D — one interpretation per unit, fanned out to per-job
-    // simulators + timing models.
-    let group_outputs: Vec<Vec<(usize, Result<RunResult, PipelineError>)>> =
-        parallel_map(&units, threads, |unit| {
-            run_unit(&jobs, &fronts, &fe_of_job, &preps, unit)
-        });
+    // simulators + timing models. Two-level split of the thread budget:
+    // the outer pool takes as many threads as there are units to run
+    // concurrently; the remainder shards each unit internally.
+    let outer = effective_threads(threads, units.len());
+    let shard_threads = match shard {
+        ShardMode::Off => 1,
+        ShardMode::Force(k) => k.max(1),
+        ShardMode::Auto => (resolve_threads(threads) / outer).max(1),
+    };
+    let use_sharded = matches!(shard, ShardMode::Force(_)) || shard_threads > 1;
+    let group_outputs = parallel_map(&units, threads, |unit| {
+        run_unit(
+            &jobs,
+            &fronts,
+            &fe_of_job,
+            &preps,
+            unit,
+            shard_threads,
+            use_sharded,
+        )
+    });
 
     let mut slots: Vec<Option<Result<RunResult, PipelineError>>> = (0..n).map(|_| None).collect();
     for (j, prep) in preps.iter().enumerate() {
@@ -357,9 +547,20 @@ pub fn run_batch_with_stats<M: Sync>(
             slots[j] = Some(Err(e.clone()));
         }
     }
-    for out in group_outputs {
-        for (j, r) in out {
-            slots[j] = Some(r);
+    for (u, out) in group_outputs.into_iter().enumerate() {
+        match out {
+            Ok(out) => {
+                for (j, r) in out {
+                    slots[j] = Some(r);
+                }
+            }
+            // A panic that escaped the per-segment guards (e.g. in unit
+            // assembly) is charged to every member job of the unit.
+            Err(payload) => {
+                for &j in units[u].iter().flatten() {
+                    slots[j] = Some(Err(worker_panic("simulate", j, &jobs, payload.clone())));
+                }
+            }
         }
     }
     let results = jobs
@@ -368,6 +569,80 @@ pub fn run_batch_with_stats<M: Sync>(
         .map(|(job, r)| (job, r.expect("every job resolved")))
         .collect();
     (results, stats)
+}
+
+/// Identify a layout in diagnostics.
+fn layout_desc(lay: &Layout) -> String {
+    format!(
+        "fingerprint {:#018x}, {} words",
+        lay.trace_fingerprint(),
+        lay.total_words()
+    )
+}
+
+/// Translate a driving-layout address through a group's word map
+/// (`None` = the driving group itself, identity).
+fn translate(map: Option<&Vec<u32>>, addr: u32) -> u32 {
+    match map {
+        None => addr,
+        Some(m) => {
+            let w = m[(addr / WORD_BYTES) as usize];
+            debug_assert_ne!(w, u32::MAX, "resolvable addresses are always mapped");
+            w * WORD_BYTES
+        }
+    }
+}
+
+/// Interpret a unit's shared trace once, driving every member job's
+/// cache simulator and timing model — serially through a [`TeeSink`] of
+/// per-group translating [`GroupSink`]s, or via the phase/bank-sharded
+/// engine when the thread budget allows ([`run_unit_sharded`]).
+fn run_unit<M: Sync + fmt::Debug>(
+    jobs: &[Job<M>],
+    fronts: &[Result<FrontEnd, PipelineError>],
+    fe_of_job: &[usize],
+    preps: &[Result<Prep, PipelineError>],
+    unit: &[Vec<usize>],
+    shard_threads: usize,
+    use_sharded: bool,
+) -> Vec<(usize, Result<RunResult, PipelineError>)> {
+    let rep = unit[0][0];
+    let fe = fronts[fe_of_job[rep]]
+        .as_ref()
+        .expect("units only contain prepared jobs");
+    let rep_layout = &preps[rep].as_ref().unwrap().layout;
+
+    // Per-group translation maps up front: a group whose layout turns
+    // out not to be reachable from the driving layout gets a structured
+    // error naming both layouts, and its siblings proceed (the old path
+    // panicked the whole unit's worker from deep inside sink setup).
+    let mut failed: Vec<(usize, Result<RunResult, PipelineError>)> = Vec::new();
+    let mut live: Vec<(&Vec<usize>, Option<Vec<u32>>)> = Vec::new();
+    for (gi, group) in unit.iter().enumerate() {
+        if gi == 0 {
+            live.push((group, None));
+            continue;
+        }
+        let glay = &preps[group[0]].as_ref().unwrap().layout;
+        match rep_layout.word_map_to(glay) {
+            Some(map) => live.push((group, Some(map))),
+            None => {
+                let e = PipelineError::Driver(DriverError::IncompatibleLayouts {
+                    from: layout_desc(rep_layout),
+                    to: layout_desc(glay),
+                });
+                failed.extend(group.iter().map(|&j| (j, Err(e.clone()))));
+            }
+        }
+    }
+
+    let mut out = if use_sharded {
+        run_unit_sharded(jobs, fe, rep, preps, &live, shard_threads)
+    } else {
+        run_unit_serial(jobs, fe, rep, preps, live)
+    };
+    out.append(&mut failed);
+    out
 }
 
 /// One trace group's receiving end inside a translation unit: rewrites
@@ -383,16 +658,9 @@ struct GroupSink {
 
 impl TraceSink for GroupSink {
     fn access(&mut self, r: MemRef) {
-        let r = match &self.map {
-            None => r,
-            Some(map) => {
-                let w = map[(r.addr / WORD_BYTES) as usize];
-                debug_assert_ne!(w, u32::MAX, "resolvable addresses are always mapped");
-                MemRef {
-                    addr: w * WORD_BYTES,
-                    ..r
-                }
-            }
+        let r = MemRef {
+            addr: translate(self.map.as_ref(), r.addr),
+            ..r
         };
         for s in &mut self.sinks {
             s.access(r);
@@ -412,55 +680,49 @@ impl TraceSink for GroupSink {
     }
 }
 
-/// Interpret a unit's shared trace once, driving every member job's
-/// cache simulator and timing model through a [`TeeSink`] of per-group
-/// translating [`GroupSink`]s.
-fn run_unit<M>(
+/// The simulation cache config for job `j` of a unit.
+fn sim_cfg_of<M>(jobs: &[Job<M>], j: usize, nproc: u32) -> CacheConfig {
+    let cfg = &jobs[j].cfg;
+    CacheConfig {
+        nproc,
+        block_bytes: cfg.block_bytes,
+        cache_bytes: cfg.cache_bytes,
+        assoc: cfg.assoc,
+        protocol: cfg.protocol,
+    }
+}
+
+/// One address-space bound per group: group members differ at most in
+/// trailing alignment slack, and a larger bound only sizes vectors —
+/// statistics are unaffected.
+fn group_bound_bytes(preps: &[Result<Prep, PipelineError>], group: &[usize]) -> u32 {
+    group
+        .iter()
+        .map(|&j| preps[j].as_ref().unwrap().layout.total_words())
+        .max()
+        .unwrap()
+        * WORD_BYTES
+}
+
+/// Serial unit engine: the interpreter drives a [`TeeSink`] of group
+/// sinks in one thread.
+fn run_unit_serial<M>(
     jobs: &[Job<M>],
-    fronts: &[Result<FrontEnd, PipelineError>],
-    fe_of_job: &[usize],
+    fe: &FrontEnd,
+    rep: usize,
     preps: &[Result<Prep, PipelineError>],
-    unit: &[Vec<usize>],
+    live: Vec<(&Vec<usize>, Option<Vec<u32>>)>,
 ) -> Vec<(usize, Result<RunResult, PipelineError>)> {
-    let rep = unit[0][0];
-    let fe = fronts[fe_of_job[rep]]
-        .as_ref()
-        .expect("units only contain prepared jobs");
     let nproc = fe.nproc;
     let rep_layout = &preps[rep].as_ref().unwrap().layout;
-
-    let group_sinks: Vec<GroupSink> = unit
-        .iter()
-        .enumerate()
-        .map(|(gi, group)| {
-            let map = (gi != 0).then(|| {
-                rep_layout
-                    .word_map_to(&preps[group[0]].as_ref().unwrap().layout)
-                    .expect("direct-only layouts of one front end are translation compatible")
-            });
-            // One address-space bound per group bank: group members differ
-            // at most in trailing alignment slack, and a larger bound only
-            // sizes vectors — statistics are unaffected.
-            let bound_bytes = group
-                .iter()
-                .map(|&j| preps[j].as_ref().unwrap().layout.total_words())
-                .max()
-                .unwrap()
-                * WORD_BYTES;
-            let sim_cfgs: Vec<CacheConfig> = group
-                .iter()
-                .map(|&j| {
-                    let cfg = &jobs[j].cfg;
-                    CacheConfig {
-                        nproc,
-                        block_bytes: cfg.block_bytes,
-                        cache_bytes: cfg.cache_bytes,
-                        assoc: cfg.assoc,
-                        protocol: cfg.protocol,
-                    }
-                })
-                .collect();
-            let sinks = MultiSim::bank(&sim_cfgs, bound_bytes)
+    let members: Vec<&Vec<usize>> = live.iter().map(|(g, _)| *g).collect();
+    let group_sinks: Vec<GroupSink> = live
+        .into_iter()
+        .map(|(group, map)| {
+            let bound_bytes = group_bound_bytes(preps, group);
+            let sim_cfgs: Vec<CacheConfig> =
+                group.iter().map(|&j| sim_cfg_of(jobs, j, nproc)).collect();
+            let sinks = BankedSim::for_configs(&sim_cfgs, bound_bytes, 1)
                 .into_iter()
                 .zip(group)
                 .map(|(sim, &j)| {
@@ -473,15 +735,15 @@ fn run_unit<M>(
     let mut tee = TeeSink::new(group_sinks);
 
     match fsr_interp::run(&fe.prog, rep_layout, &fe.code, jobs[rep].cfg.run, &mut tee) {
-        Err(e) => unit
+        Err(e) => members
             .iter()
-            .flatten()
+            .flat_map(|g| g.iter())
             .map(|&j| (j, Err(PipelineError::Runtime(e.clone()))))
             .collect(),
         Ok(fin) => tee
             .into_inner()
             .into_iter()
-            .zip(unit)
+            .zip(members)
             .flat_map(|(gs, group)| {
                 gs.sinks
                     .into_iter()
@@ -500,6 +762,342 @@ fn run_unit<M>(
             })
             .collect(),
     }
+}
+
+/// Per-segment event cap, so barrier-free programs still stream in
+/// bounded pieces and the producer/consumer pipeline overlaps.
+const SEGMENT_CAP: usize = 1 << 15;
+
+/// Process-wide count of phase segments the sharded engine simulated —
+/// observability for tests (cf. [`fsr_interp::runs_started`]).
+static SEGMENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total phase segments simulated by the sharded engine in this process.
+pub fn segments_processed() -> u64 {
+    SEGMENTS.load(Ordering::Relaxed)
+}
+
+/// Sink on the interpreter's producer thread: buffers events and ships
+/// them as segments, splitting after synchronization events (barrier
+/// releases — the non-concurrency phase boundaries) when the program's
+/// phase profile says barriers exist, and at a size cap always.
+struct SegmentSink {
+    tx: SyncSender<Vec<TraceEvent>>,
+    buf: Vec<TraceEvent>,
+    split_at_sync: bool,
+    /// Receiver hung up (the consumer recorded a failure); keep
+    /// interpreting for the final state but stop shipping.
+    dead: bool,
+}
+
+impl SegmentSink {
+    fn new(tx: SyncSender<Vec<TraceEvent>>, split_at_sync: bool) -> SegmentSink {
+        SegmentSink {
+            tx,
+            buf: Vec::with_capacity(SEGMENT_CAP),
+            split_at_sync,
+            dead: false,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if self.dead {
+            self.buf.clear();
+            return;
+        }
+        if self.tx.send(std::mem::take(&mut self.buf)).is_err() {
+            self.dead = true;
+        }
+    }
+}
+
+impl TraceSink for SegmentSink {
+    fn access(&mut self, r: MemRef) {
+        self.buf.push(TraceEvent::Access(r));
+        if self.buf.len() >= SEGMENT_CAP {
+            self.flush();
+        }
+    }
+
+    fn sync(&mut self, pids: &[u32]) {
+        self.buf.push(TraceEvent::Sync(pids.to_vec()));
+        if self.split_at_sync {
+            // All clocks just aligned: a natural stitch point.
+            self.flush();
+        }
+    }
+
+    fn handoff(&mut self, from: u32, to: u32) {
+        self.buf.push(TraceEvent::Handoff { from, to });
+    }
+}
+
+/// One bank of one job's sharded simulator, plus the outcomes it
+/// produced for the segment in flight.
+struct BankCell {
+    sim: MultiSim,
+    /// Round-A outcomes in this bank's event order; consumed by the
+    /// round-B cursor.
+    outs: Vec<Outcome>,
+    cursor: usize,
+}
+
+/// One member job's complete sharded state. Coherence state is
+/// partitioned across `banks` and timing state lives in `timing` for
+/// the whole run — segments mutate it in place, so stitching at segment
+/// boundaries is exact (nothing is copied or re-derived).
+struct ShardJob<'a> {
+    job: usize,
+    /// The job's group's word map (`None` = driving group, identity).
+    map: Option<&'a Vec<u32>>,
+    block_shift: u32,
+    nbanks: u32,
+    banks: Vec<Mutex<BankCell>>,
+    timing: Mutex<(TimingModel, Vec<u64>)>,
+    failed: Mutex<Option<PipelineError>>,
+}
+
+/// Phase/bank-sharded unit engine. The interpreter produces phase
+/// segments on its own thread; for each segment, round A simulates
+/// every (job, bank) shard concurrently (each bank consumes the
+/// addresses it owns, in program order), then round B replays the
+/// segment per job in original event order against the timing model,
+/// consuming round A's outcomes — so each job's clocks and channel
+/// occupancy evolve exactly as in a serial run.
+fn run_unit_sharded<M: Sync + fmt::Debug>(
+    jobs: &[Job<M>],
+    fe: &FrontEnd,
+    rep: usize,
+    preps: &[Result<Prep, PipelineError>],
+    live: &[(&Vec<usize>, Option<Vec<u32>>)],
+    shard_threads: usize,
+) -> Vec<(usize, Result<RunResult, PipelineError>)> {
+    let nproc = fe.nproc;
+    let rep_layout = &preps[rep].as_ref().unwrap().layout;
+    let split_at_sync = fsr_analysis::phase_profile(&fe.prog).splittable();
+
+    let mut shard_jobs: Vec<ShardJob> = Vec::new();
+    for (group, map) in live {
+        let bound_bytes = group_bound_bytes(preps, group);
+        for &j in group.iter() {
+            let sim_cfg = sim_cfg_of(jobs, j, nproc);
+            let nbanks = BankedSim::auto_banks(&sim_cfg, shard_threads);
+            let sims: Vec<MultiSim> = (0..nbanks)
+                .map(|b| MultiSim::new_bank(sim_cfg, bound_bytes, b, nbanks))
+                .collect();
+            let nblocks = sims[0].num_blocks() as usize;
+            shard_jobs.push(ShardJob {
+                job: j,
+                map: map.as_ref(),
+                block_shift: sim_cfg.block_bytes.trailing_zeros(),
+                nbanks,
+                banks: sims
+                    .into_iter()
+                    .map(|sim| {
+                        Mutex::new(BankCell {
+                            sim,
+                            outs: Vec::new(),
+                            cursor: 0,
+                        })
+                    })
+                    .collect(),
+                timing: Mutex::new((
+                    TimingModel::new(jobs[j].cfg.machine, nproc),
+                    vec![0u64; nblocks],
+                )),
+                failed: Mutex::new(None),
+            });
+        }
+    }
+
+    // Round A's task list: every (job, bank) shard.
+    let bank_tasks: Vec<(usize, u32)> = shard_jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(s, sj)| (0..sj.nbanks).map(move |b| (s, b)))
+        .collect();
+
+    let record_panic = |sj: &ShardJob, stage: &'static str, p: Box<dyn std::any::Any + Send>| {
+        let e = worker_panic(stage, sj.job, jobs, panic_message(&*p));
+        *sj.failed.lock().unwrap() = Some(e);
+    };
+
+    // Round A: one shard simulates the addresses its bank owns, pushing
+    // outcomes in that bank's program order.
+    let round_a = |seg: &[TraceEvent], t: usize| {
+        let (s, bank) = bank_tasks[t];
+        let sj = &shard_jobs[s];
+        if sj.failed.lock().unwrap().is_some() {
+            return;
+        }
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let mut cell = sj.banks[bank as usize].lock().unwrap();
+            for e in seg {
+                if let TraceEvent::Access(r) = e {
+                    let addr = translate(sj.map, r.addr);
+                    if (addr >> sj.block_shift) % sj.nbanks == bank {
+                        let out = cell.sim.access(r.pid, addr, r.write);
+                        cell.outs.push(out);
+                    }
+                }
+            }
+        }));
+        if let Err(p) = r {
+            record_panic(sj, "simulate", p);
+        }
+    };
+
+    // Round B: the timing stitch — replay the segment's events in
+    // original order, consuming each bank's outcomes through a cursor.
+    let round_b = |seg: &[TraceEvent], s: usize| {
+        let sj = &shard_jobs[s];
+        if sj.failed.lock().unwrap().is_some() {
+            return;
+        }
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let mut cells: Vec<_> = sj.banks.iter().map(|m| m.lock().unwrap()).collect();
+            let mut guard = sj.timing.lock().unwrap();
+            let (timing, block_queue) = &mut *guard;
+            for e in seg {
+                match e {
+                    TraceEvent::Access(r) => {
+                        let addr = translate(sj.map, r.addr);
+                        let block = addr >> sj.block_shift;
+                        let cell = &mut cells[(block % sj.nbanks) as usize];
+                        let out = cell.outs[cell.cursor];
+                        cell.cursor += 1;
+                        let cost = timing.record(r.pid, r.gap, &out);
+                        if cost.queue > 0 {
+                            block_queue[block as usize] += cost.queue;
+                        }
+                    }
+                    TraceEvent::Sync(pids) => timing.sync(pids),
+                    TraceEvent::Handoff { from, to } => timing.handoff(*from, *to),
+                }
+            }
+            for cell in cells.iter_mut() {
+                debug_assert_eq!(
+                    cell.cursor,
+                    cell.outs.len(),
+                    "stitch consumed every outcome"
+                );
+                cell.outs.clear();
+                cell.cursor = 0;
+            }
+        }));
+        if let Err(p) = r {
+            record_panic(sj, "simulate", p);
+        }
+    };
+
+    // Producer/consumer: the interpreter streams segments from its own
+    // thread through a bounded channel, so segment k+1 is interpreted
+    // while segment k simulates.
+    let (tx, rx) = sync_channel::<Vec<TraceEvent>>(2);
+    let run_cfg = jobs[rep].cfg.run;
+    let produced = std::thread::scope(|scope| {
+        let producer = scope.spawn(move || {
+            let mut sink = SegmentSink::new(tx, split_at_sync);
+            let r = fsr_interp::run(&fe.prog, rep_layout, &fe.code, run_cfg, &mut sink);
+            sink.flush();
+            r
+        });
+        for seg in rx.iter() {
+            SEGMENTS.fetch_add(1, Ordering::Relaxed);
+            run_round(bank_tasks.len(), shard_threads, |t| round_a(&seg, t));
+            run_round(shard_jobs.len(), shard_threads, |s| round_b(&seg, s));
+        }
+        producer.join()
+    });
+
+    match produced {
+        Err(p) => {
+            let payload = panic_message(&*p);
+            shard_jobs
+                .into_iter()
+                .map(|sj| {
+                    let ShardJob { job, failed, .. } = sj;
+                    let e = failed
+                        .into_inner()
+                        .unwrap()
+                        .unwrap_or_else(|| worker_panic("interpret", job, jobs, payload.clone()));
+                    (job, Err(e))
+                })
+                .collect()
+        }
+        Ok(Err(e)) => shard_jobs
+            .into_iter()
+            .map(|sj| {
+                let ShardJob { job, failed, .. } = sj;
+                let e = failed
+                    .into_inner()
+                    .unwrap()
+                    .unwrap_or(PipelineError::Runtime(e.clone()));
+                (job, Err(e))
+            })
+            .collect(),
+        Ok(Ok(fin)) => shard_jobs
+            .into_iter()
+            .map(|sj| {
+                let ShardJob {
+                    job: j,
+                    banks,
+                    timing,
+                    failed,
+                    ..
+                } = sj;
+                if let Some(e) = failed.into_inner().unwrap() {
+                    return (j, Err(e));
+                }
+                let sims: Vec<MultiSim> = banks
+                    .into_iter()
+                    .map(|m| m.into_inner().unwrap().sim)
+                    .collect();
+                let (timing, block_queue) = timing.into_inner().unwrap();
+                let sink = crate::PipelineSink {
+                    sim: BankedSim::from_banks(sims),
+                    timing,
+                    block_queue,
+                };
+                let prep = preps[j].as_ref().unwrap();
+                let r = sink.into_result(nproc, prep.plan.clone(), fin.stats.clone(), |addr| {
+                    prep.layout
+                        .attribute(addr)
+                        .map(|oid| fe.prog.object(oid).name.clone())
+                });
+                (j, Ok(r))
+            })
+            .collect(),
+    }
+}
+
+/// Run `n` indexed tasks on up to `threads` scoped workers, clamped to
+/// the task count — the shard pool obeys the same no-oversubscription
+/// rule as [`effective_threads`]. `f` must not unwind (callers guard
+/// with `catch_unwind` internally).
+fn run_round(n: usize, threads: usize, f: impl Fn(usize) + Sync) {
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                f(i);
+            });
+        }
+    });
 }
 
 #[cfg(test)]
@@ -553,6 +1151,19 @@ mod tests {
     }
 
     #[test]
+    fn effective_threads_clamps_to_job_count() {
+        assert_eq!(effective_threads(8, 3), 3, "small batch, explicit pool");
+        assert_eq!(effective_threads(2, 5), 2);
+        assert_eq!(effective_threads(5, 5), 5);
+        assert_eq!(effective_threads(3, 0), 1, "empty batch still gets one");
+        // threads = 0 resolves available parallelism FIRST, then clamps:
+        // a single job never gets more than one worker no matter how
+        // wide the machine is.
+        assert_eq!(effective_threads(0, 1), 1);
+        assert!(effective_threads(0, 1000) >= 1);
+    }
+
+    #[test]
     fn batch_matches_reference_path_per_block() {
         let blocks = [16u32, 32, 64, 128];
         let reference = run_jobs(block_jobs(&blocks), 1);
@@ -571,6 +1182,72 @@ mod tests {
             assert_eq!(want.timing, got.timing, "block {}", job.meta);
             assert_eq!(want.interp, got.interp, "block {}", job.meta);
         }
+    }
+
+    #[test]
+    fn sharded_batch_is_bit_identical_to_serial() {
+        let blocks = [16u32, 32, 64, 128];
+        let serial = run_batch_sharded(block_jobs(&blocks), 1, ShardMode::Off);
+        let before = segments_processed();
+        let sharded = run_batch_sharded(block_jobs(&blocks), 1, ShardMode::Force(3));
+        assert!(
+            segments_processed() > before,
+            "Force must engage the segment engine"
+        );
+        for ((_, want), (job, got)) in serial.iter().zip(&sharded) {
+            let want = want.as_ref().unwrap();
+            let got = got.as_ref().unwrap();
+            assert_eq!(want.sim, got.sim, "block {}", job.meta);
+            assert_eq!(want.per_obj, got.per_obj, "block {}", job.meta);
+            assert_eq!(
+                want.per_obj_coherence, got.per_obj_coherence,
+                "block {}",
+                job.meta
+            );
+            assert_eq!(want.per_obj_refs, got.per_obj_refs, "block {}", job.meta);
+            assert_eq!(want.exec_cycles, got.exec_cycles, "block {}", job.meta);
+            assert_eq!(want.timing, got.timing, "block {}", job.meta);
+            assert_eq!(want.interp, got.interp, "block {}", job.meta);
+        }
+    }
+
+    #[test]
+    fn panicking_plan_reports_job_meta_and_spares_siblings() {
+        let mut jobs = block_jobs(&[16, 32]);
+        jobs.insert(
+            1,
+            Job {
+                meta: 999,
+                src: Arc::from(COUNTERS),
+                params: vec![],
+                plan: PlanSourceSpec::Programmer(|_, _| panic!("plan exploded deliberately")),
+                cfg: PipelineConfig::with_block(64),
+            },
+        );
+        let out = run_batch(jobs, 2);
+        assert_eq!(out.len(), 3);
+        match &out[1].1 {
+            Err(PipelineError::Driver(DriverError::WorkerPanic {
+                stage,
+                job_index,
+                job_meta,
+                payload,
+            })) => {
+                assert_eq!(*stage, "plan/layout");
+                assert_eq!(*job_index, 1);
+                assert!(job_meta.contains("999"), "meta carried: {job_meta}");
+                assert!(
+                    payload.contains("plan exploded deliberately"),
+                    "payload carried: {payload}"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(
+            out[0].1.is_ok(),
+            "sibling before the panicking job survives"
+        );
+        assert!(out[2].1.is_ok(), "sibling after the panicking job survives");
     }
 
     #[test]
@@ -645,6 +1322,25 @@ mod tests {
             })
             .collect();
         let out = run_batch(jobs, 1);
+        for (_, r) in &out {
+            assert!(matches!(r, Err(PipelineError::Runtime(_))));
+        }
+    }
+
+    #[test]
+    fn sharded_path_reports_runtime_errors_too() {
+        let src = "shared int a[2]; fn main() { forall p in 0 .. 4 { a[p] = 1; } }";
+        let jobs: Vec<Job<u32>> = [16u32, 64]
+            .iter()
+            .map(|&b| Job {
+                meta: b,
+                src: Arc::from(src),
+                params: vec![],
+                plan: PlanSourceSpec::Unoptimized,
+                cfg: PipelineConfig::with_block(b),
+            })
+            .collect();
+        let out = run_batch_sharded(jobs, 1, ShardMode::Force(2));
         for (_, r) in &out {
             assert!(matches!(r, Err(PipelineError::Runtime(_))));
         }

@@ -38,7 +38,7 @@ pub use fsr_transform::{LayoutPlan, ObjPlan, PlanConfig};
 
 use fsr_interp::{MemRef, RunConfig, RunStats, TraceSink};
 use fsr_machine::TimingModel;
-use fsr_sim::MultiSim;
+use fsr_sim::BankedSim;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -165,6 +165,14 @@ pub enum PipelineError {
     /// The layout engine could not assign addresses (e.g. the plan's
     /// padded/replicated footprint overflows the 32-bit address space).
     Layout(fsr_layout::LayoutError),
+    /// The program declares no usable process count (no constant-bound
+    /// `forall`, or a count the simulator cannot represent). The
+    /// pipeline refuses to guess — silently simulating a malformed
+    /// program as a uniprocessor run hides the error.
+    Nproc(fsr_analysis::NprocError),
+    /// The driver machinery itself failed (worker panic, batch grouping
+    /// bug) — see [`driver::DriverError`].
+    Driver(driver::DriverError),
 }
 
 impl fmt::Display for PipelineError {
@@ -173,6 +181,8 @@ impl fmt::Display for PipelineError {
             PipelineError::Lang(e) => write!(f, "{e}"),
             PipelineError::Runtime(e) => write!(f, "{e}"),
             PipelineError::Layout(e) => write!(f, "{e}"),
+            PipelineError::Nproc(e) => write!(f, "{e}"),
+            PipelineError::Driver(e) => write!(f, "{e}"),
         }
     }
 }
@@ -197,20 +207,40 @@ impl From<fsr_layout::LayoutError> for PipelineError {
     }
 }
 
+impl From<fsr_analysis::NprocError> for PipelineError {
+    fn from(e: fsr_analysis::NprocError) -> Self {
+        PipelineError::Nproc(e)
+    }
+}
+
+impl From<driver::DriverError> for PipelineError {
+    fn from(e: driver::DriverError) -> Self {
+        PipelineError::Driver(e)
+    }
+}
+
+/// The process count a simulation of `prog` must use: the constant
+/// `forall` bounds, strictly validated. Shared by [`run_pipeline`] and
+/// the batch driver so neither path can degrade a malformed program to
+/// a silent uniprocessor run.
+pub fn resolve_nproc(prog: &Program) -> Result<u32, PipelineError> {
+    Ok(fsr_analysis::require_nproc(prog)? as u32)
+}
+
 /// Sink wiring the interpreter to the cache simulator and timing model.
 /// Also accumulates per-block interconnect queueing stalls (the sink is
 /// the one place that sees both the address and the transaction cost),
 /// so queue pressure can be attributed per object alongside the
 /// simulator's coherence events.
 struct PipelineSink {
-    sim: MultiSim,
+    sim: BankedSim,
     timing: TimingModel,
     block_queue: Vec<u64>,
 }
 
 impl PipelineSink {
-    fn new(sim: MultiSim, timing: TimingModel) -> PipelineSink {
-        let nblocks = sim.per_block_misses().len();
+    fn new(sim: BankedSim, timing: TimingModel) -> PipelineSink {
+        let nblocks = sim.num_blocks() as usize;
         PipelineSink {
             sim,
             timing,
@@ -228,8 +258,9 @@ impl PipelineSink {
         interp: RunStats,
         mut name_of: impl FnMut(u32) -> Option<String>,
     ) -> RunResult {
-        let per_obj = fsr_sim::report::attribute_misses(&self.sim, &mut name_of);
-        let mut per_obj_coherence = fsr_sim::report::attribute_coherence(&self.sim, &mut name_of);
+        let per_obj = fsr_sim::report::attribute_misses_banked(&self.sim, &mut name_of);
+        let mut per_obj_coherence =
+            fsr_sim::report::attribute_coherence_banked(&self.sim, &mut name_of);
         let bb = self.sim.block_bytes();
         for (b, &q) in self.block_queue.iter().enumerate() {
             if q == 0 {
@@ -239,7 +270,7 @@ impl PipelineSink {
             per_obj_coherence.entry(name).or_default().queue_stall += q;
         }
         let mut per_obj_refs: BTreeMap<String, u64> = BTreeMap::new();
-        for (b, &n) in self.sim.per_block_refs().iter().enumerate() {
+        for (b, n) in self.sim.per_block_refs().into_iter().enumerate() {
             if n == 0 {
                 continue;
             }
@@ -249,7 +280,7 @@ impl PipelineSink {
         RunResult {
             nproc,
             plan,
-            sim: self.sim.stats().clone(),
+            sim: self.sim.stats(),
             per_obj,
             per_obj_coherence,
             per_obj_refs,
@@ -323,7 +354,7 @@ pub fn run_pipeline_checked(
     plan_source: PlanSource,
     cfg: &PipelineConfig,
 ) -> Result<RunResult, PipelineError> {
-    let nproc = fsr_analysis::nproc_of(prog).unwrap_or(1) as u32;
+    let nproc = resolve_nproc(prog)?;
     let plan = plan_of(prog, &plan_source, cfg)?;
     let layout = fsr_layout::Layout::try_build(prog, &plan, nproc)?;
     let code = fsr_interp::compile_program(prog)?;
@@ -336,7 +367,7 @@ pub fn run_pipeline_checked(
         protocol: cfg.protocol,
     };
     let mut sink = PipelineSink::new(
-        MultiSim::new(sim_cfg, layout.total_words() * 4),
+        BankedSim::new(sim_cfg, layout.total_words() * 4, 1),
         TimingModel::new(cfg.machine, nproc),
     );
     let fin = fsr_interp::run(prog, &layout, &code, cfg.run, &mut sink)?;
@@ -421,6 +452,20 @@ mod tests {
         let cfg = PipelineConfig::default();
         let e = run_pipeline("fn main() {", &[], PlanSource::Unoptimized, &cfg).unwrap_err();
         assert!(matches!(e, PipelineError::Lang(_)));
+    }
+
+    #[test]
+    fn oversized_process_counts_are_errors_not_panics() {
+        // 100 processes exceeds the simulator's 64-way sharing vectors;
+        // the pipeline must refuse with a diagnostic instead of tripping
+        // an assert (or silently running as a uniprocessor).
+        let cfg = PipelineConfig::default();
+        let e =
+            run_pipeline(COUNTERS, &[("NPROC", 100)], PlanSource::Unoptimized, &cfg).unwrap_err();
+        assert!(matches!(
+            e,
+            PipelineError::Nproc(fsr_analysis::NprocError::OutOfRange(100))
+        ));
     }
 
     #[test]

@@ -560,6 +560,42 @@ impl TimingModel {
         }
         self.stats.stall_by_kind[MissKind::FalseSharing as usize] as f64 / total as f64
     }
+
+    /// Capture the model's *dynamic* state — processor clocks and
+    /// channel next-free times — so a trace replay can stop at a phase
+    /// boundary and resume later with exact channel-occupancy carryover.
+    /// Cumulative statistics are not part of the snapshot: they only
+    /// ever accumulate, so stopping and resuming never rewinds them.
+    pub fn snapshot(&self) -> TimingSnapshot {
+        TimingSnapshot {
+            proc_time: self.proc_time.clone(),
+            chan_free: self.chan_free.clone(),
+        }
+    }
+
+    /// Restore clocks and channel occupancy captured by
+    /// [`TimingModel::snapshot`]. Replaying a trace in phase segments
+    /// with snapshot/restore at each boundary is bit-identical to one
+    /// uninterrupted replay — dropping `chan_free` instead would forget
+    /// in-flight occupancy and shrink queueing delays across the split.
+    pub fn restore(&mut self, snap: &TimingSnapshot) {
+        assert_eq!(snap.proc_time.len(), self.proc_time.len(), "nproc changed");
+        assert_eq!(
+            snap.chan_free.len(),
+            self.chan_free.len(),
+            "channels changed"
+        );
+        self.proc_time.clone_from(&snap.proc_time);
+        self.chan_free.clone_from(&snap.chan_free);
+    }
+}
+
+/// Dynamic timing state at a phase boundary: per-processor clocks and
+/// per-channel next-free times (see [`TimingModel::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingSnapshot {
+    pub proc_time: Vec<u64>,
+    pub chan_free: Vec<u64>,
 }
 
 /// A speedup curve: execution times per processor count.
@@ -984,6 +1020,77 @@ mod tests {
         assert_eq!(
             m.stats().channel_busy[0],
             m.stats().channel_busy.iter().sum()
+        );
+    }
+
+    /// A contended reference stream: every processor misses to its
+    /// neighbor's cache, so channel occupancy stays saturated and any
+    /// lost carryover is visible in queueing delay.
+    fn contended_stream(nproc: u32, len: u32) -> Vec<(u8, u32, Outcome)> {
+        (0..len)
+            .map(|i| {
+                let pid = (i % nproc) as u8;
+                let supplier = Some(((i + 1) % nproc) as u8);
+                (pid, i % 3, miss_at(i % 7, MissKind::TrueSharing, supplier))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_replay_with_snapshot_restore_matches_whole() {
+        for cfg in [MachineConfig::default(), bus_cfg(), dir_cfg()] {
+            let stream = contended_stream(8, 200);
+            let mut whole = TimingModel::new(cfg, 8);
+            for (pid, gap, o) in &stream {
+                whole.record(*pid, *gap, o);
+            }
+            whole.sync(&(0..8).collect::<Vec<_>>());
+
+            // Same stream replayed in three segments, carrying the
+            // dynamic state across a fresh model each time (what the
+            // phase-sharded driver does between barrier segments).
+            let mut snap = TimingModel::new(cfg, 8).snapshot();
+            let mut stats_holder = TimingModel::new(cfg, 8);
+            for chunk in stream.chunks(70) {
+                stats_holder.restore(&snap);
+                for (pid, gap, o) in chunk {
+                    stats_holder.record(*pid, *gap, o);
+                }
+                snap = stats_holder.snapshot();
+            }
+            stats_holder.sync(&(0..8).collect::<Vec<_>>());
+            assert_eq!(whole.finish_time(), stats_holder.finish_time());
+            assert_eq!(whole.snapshot(), stats_holder.snapshot());
+        }
+    }
+
+    #[test]
+    fn dropping_channel_carryover_changes_queueing() {
+        // The carryover matters: forgetting chan_free at a split point
+        // under-queues the resumed segment. High occupancy keeps the
+        // channel saturated, so the carryover is live at every split.
+        let cfg = MachineConfig {
+            miss_occupancy: 400,
+            ..Default::default()
+        };
+        let stream = contended_stream(8, 200);
+        let mut whole = TimingModel::new(cfg, 8);
+        let mut lossy = TimingModel::new(cfg, 8);
+        for (i, (pid, gap, o)) in stream.iter().enumerate() {
+            whole.record(*pid, *gap, o);
+            if i == 100 {
+                // Keep clocks, drop channel occupancy.
+                let mut snap = lossy.snapshot();
+                snap.chan_free.iter_mut().for_each(|c| *c = 0);
+                lossy.restore(&snap);
+            }
+            lossy.record(*pid, *gap, o);
+        }
+        assert!(
+            lossy.stats().total_queue() < whole.stats().total_queue(),
+            "dropping occupancy must shrink queueing ({} vs {})",
+            lossy.stats().total_queue(),
+            whole.stats().total_queue()
         );
     }
 }

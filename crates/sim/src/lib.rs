@@ -281,6 +281,23 @@ impl SimStats {
             CoherenceEvent::ExclusiveHit => self.exclusive_hits,
         }
     }
+
+    /// Accumulate another simulator's counters into this one. Every
+    /// field is additive, so merging the per-bank statistics of a
+    /// [`BankedSim`] reproduces the unbanked totals exactly.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.refs += other.refs;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        for (m, o) in self.misses.iter_mut().zip(&other.misses) {
+            *m += o;
+        }
+        self.upgrades += other.upgrades;
+        self.invalidations += other.invalidations;
+        self.interventions += other.interventions;
+        self.exclusive_hits += other.exclusive_hits;
+        self.dir_txns += other.dir_txns;
+    }
 }
 
 impl fmt::Display for SimStats {
@@ -451,18 +468,22 @@ struct Line {
 
 const NEVER: u64 = 0;
 
-/// One processor's cache.
+/// One processor's cache (or, for a banked simulator, the slice of it
+/// whose sets belong to the bank — see [`MultiSim::new_bank`]).
 struct Cache {
     sets: Vec<Line>,
+    /// Sets of the *full* cache; the bank holds `num_sets / nbanks`.
     num_sets: u32,
     assoc: u32,
-    /// Per block: when and why this processor last lost it.
+    nbanks: u32,
+    /// Per owned block (bank-local slot): when and why this processor
+    /// last lost it.
     lost_time: Vec<u64>,
     lost_reason: Vec<LostReason>,
 }
 
 impl Cache {
-    fn new(cfg: &CacheConfig, nblocks: u32) -> Cache {
+    fn new(cfg: &CacheConfig, nblocks_local: u32, nbanks: u32) -> Cache {
         Cache {
             sets: vec![
                 Line {
@@ -470,17 +491,22 @@ impl Cache {
                     state: LineState::Invalid,
                     lru: 0,
                 };
-                (cfg.num_sets() * cfg.assoc) as usize
+                (cfg.num_sets() / nbanks * cfg.assoc) as usize
             ],
             num_sets: cfg.num_sets(),
             assoc: cfg.assoc,
-            lost_time: vec![NEVER; nblocks as usize],
-            lost_reason: vec![LostReason::None; nblocks as usize],
+            nbanks,
+            lost_time: vec![NEVER; nblocks_local as usize],
+            lost_reason: vec![LostReason::None; nblocks_local as usize],
         }
     }
 
     fn set_range(&self, block: u32) -> std::ops::Range<usize> {
-        let set = (block % self.num_sets) as usize;
+        // Blocks owned by a bank satisfy `block % nbanks == bank`, and
+        // `nbanks` divides `num_sets`, so `block % num_sets` is congruent
+        // to the bank index mod `nbanks`; dividing by `nbanks` maps the
+        // bank's sets bijectively onto its local storage.
+        let set = ((block % self.num_sets) / self.nbanks) as usize;
         set * self.assoc as usize..(set + 1) * self.assoc as usize
     }
 
@@ -508,37 +534,51 @@ impl Cache {
     }
 
     fn lose(&mut self, way: usize, time: u64, reason: LostReason) {
-        let b = self.sets[way].block as usize;
+        let b = (self.sets[way].block / self.nbanks) as usize;
         self.lost_time[b] = time;
         self.lost_reason[b] = reason;
         self.sets[way].state = LineState::Invalid;
     }
 }
 
-/// The multiprocessor simulator.
+/// The multiprocessor simulator — either the whole address space
+/// (`nbanks == 1`, the default) or one address bank of it (see
+/// [`MultiSim::new_bank`] and [`BankedSim`]).
 pub struct MultiSim {
     cfg: CacheConfig,
     protocol: &'static dyn CoherenceProtocol,
     caches: Vec<Cache>,
-    /// Directory: per block, bitmask of sharers and the modified or
-    /// exclusive owner.
+    /// Directory: per owned block (bank-local slot), bitmask of sharers
+    /// and the modified or exclusive owner.
     sharers: Vec<u64>,
     owner: Vec<u8>,
-    /// Per word (4 bytes): global time of last write.
+    /// Per word of owned blocks: bank time of last write.
     word_write_time: Vec<u64>,
-    /// Per block per kind: miss counts (for per-object attribution).
+    /// Per owned block per kind: miss counts (for per-object attribution).
     per_block_misses: Vec<[u32; MissKind::COUNT]>,
-    /// Per block per event class: coherence-event counts.
+    /// Per owned block per event class: coherence-event counts.
     per_block_events: Vec<[u32; CoherenceEvent::COUNT]>,
-    /// Per block: total references (hits and misses alike) — protocol
-    /// choice cannot change these, which the cross-backend equivalence
-    /// tests assert.
+    /// Per owned block: total references (hits and misses alike) —
+    /// protocol choice cannot change these, which the cross-backend
+    /// equivalence tests assert.
     per_block_refs: Vec<u64>,
     /// Cached `protocol.uses_home_directory()`: count home transactions.
     track_dir: bool,
+    /// Bank-local clock: advances once per access *routed to this bank*.
+    /// Every comparison the simulator makes (word clock vs. loss record,
+    /// LRU within a set) is between accesses of the same bank, so the
+    /// bank clock is order-isomorphic to the global clock and outcomes
+    /// are bit-identical to an unbanked run.
     time: u64,
     stats: SimStats,
     block_shift: u32,
+    /// Which residue class of block indices this simulator owns.
+    bank: u32,
+    nbanks: u32,
+    /// Words per coherence block (`block_bytes / 4`).
+    wpb: u32,
+    /// Blocks across the whole address space (all banks together).
+    nblocks_global: u32,
 }
 
 const NO_OWNER: u8 = u8::MAX;
@@ -546,17 +586,40 @@ const NO_OWNER: u8 = u8::MAX;
 impl MultiSim {
     /// `addr_space_bytes` bounds the addresses that will be accessed.
     pub fn new(cfg: CacheConfig, addr_space_bytes: u32) -> MultiSim {
+        MultiSim::new_bank(cfg, addr_space_bytes, 0, 1)
+    }
+
+    /// Build bank `bank` of an `nbanks`-way address-banked simulator.
+    ///
+    /// The bank owns every block with `block % nbanks == bank` and must
+    /// receive exactly the accesses to those blocks, in program order.
+    /// `nbanks` must divide `cfg.num_sets()`: a cache set then maps
+    /// entirely into one bank, so eviction coupling (LRU, victim
+    /// selection) never crosses banks, and the per-bank clock preserves
+    /// every order/equality comparison the simulator makes. Driving all
+    /// banks of a [`BankedSim`] therefore yields outcomes and counters
+    /// bit-identical to one [`MultiSim::new`] over the same stream.
+    pub fn new_bank(cfg: CacheConfig, addr_space_bytes: u32, bank: u32, nbanks: u32) -> MultiSim {
         assert!(cfg.block_bytes.is_power_of_two() && cfg.block_bytes >= 4);
         assert!(cfg.nproc >= 1 && cfg.nproc <= 64);
-        let nblocks = addr_space_bytes.div_ceil(cfg.block_bytes) + 1;
-        let nwords = addr_space_bytes.div_ceil(4) + 1;
+        assert!(nbanks >= 1 && bank < nbanks);
+        assert!(
+            cfg.num_sets().is_multiple_of(nbanks),
+            "nbanks {nbanks} must divide num_sets {}",
+            cfg.num_sets()
+        );
+        let nblocks_global = addr_space_bytes.div_ceil(cfg.block_bytes) + 1;
+        let nblocks = nblocks_global.div_ceil(nbanks);
+        let wpb = cfg.block_bytes / 4;
         let protocol = cfg.protocol.protocol();
         MultiSim {
             protocol,
-            caches: (0..cfg.nproc).map(|_| Cache::new(&cfg, nblocks)).collect(),
+            caches: (0..cfg.nproc)
+                .map(|_| Cache::new(&cfg, nblocks, nbanks))
+                .collect(),
             sharers: vec![0; nblocks as usize],
             owner: vec![NO_OWNER; nblocks as usize],
-            word_write_time: vec![NEVER; nwords as usize],
+            word_write_time: vec![NEVER; (nblocks * wpb) as usize],
             per_block_misses: vec![[0; MissKind::COUNT]; nblocks as usize],
             per_block_events: vec![[0; CoherenceEvent::COUNT]; nblocks as usize],
             per_block_refs: vec![0; nblocks as usize],
@@ -564,22 +627,36 @@ impl MultiSim {
             time: 1,
             stats: SimStats::default(),
             block_shift: cfg.block_bytes.trailing_zeros(),
+            bank,
+            nbanks,
+            wpb,
+            nblocks_global,
             cfg,
         }
     }
 
-    /// Build one simulator per configuration over a single address-space
-    /// bound — the "simulate many" half of trace-once/simulate-many. The
-    /// bound only sizes internal vectors, so a shared (maximal) bound
-    /// yields statistics identical to per-config exact bounds.
-    pub fn bank(cfgs: &[CacheConfig], addr_space_bytes: u32) -> Vec<MultiSim> {
-        cfgs.iter()
-            .map(|&cfg| MultiSim::new(cfg, addr_space_bytes))
-            .collect()
-    }
-
     pub fn config(&self) -> &CacheConfig {
         &self.cfg
+    }
+
+    /// Which residue class of block indices this simulator owns.
+    pub fn bank_index(&self) -> u32 {
+        self.bank
+    }
+
+    pub fn num_banks(&self) -> u32 {
+        self.nbanks
+    }
+
+    /// Whether an access to `block` must be routed to this bank.
+    pub fn owns_block(&self, block: u32) -> bool {
+        block % self.nbanks == self.bank
+    }
+
+    /// Bank-local storage slot of an owned block.
+    fn slot(&self, block: u32) -> usize {
+        debug_assert!(self.owns_block(block));
+        (block / self.nbanks) as usize
     }
 
     pub fn protocol(&self) -> &'static dyn CoherenceProtocol {
@@ -591,35 +668,41 @@ impl MultiSim {
     }
 
     /// Per-block miss counts, indexed `[block][MissKind]` — callers map
-    /// block indices to data structures via the layout.
+    /// block indices to data structures via the layout. For a bank
+    /// (`nbanks > 1`) the index is the bank-local slot `block / nbanks`;
+    /// [`BankedSim::per_block_misses`] interleaves banks back to global
+    /// block indices.
     pub fn per_block_misses(&self) -> &[[u32; MissKind::COUNT]] {
         &self.per_block_misses
     }
 
-    /// Per-block coherence-event counts, indexed `[block][CoherenceEvent]`.
+    /// Per-block coherence-event counts, indexed `[block][CoherenceEvent]`
+    /// (bank-local slots when `nbanks > 1`, like
+    /// [`Self::per_block_misses`]).
     pub fn per_block_events(&self) -> &[[u32; CoherenceEvent::COUNT]] {
         &self.per_block_events
     }
 
     /// Per-block reference counts (hits and misses alike), indexed by
-    /// block. Purely a function of the trace and the block size — the
-    /// cross-backend equivalence tests assert these are bit-identical
-    /// across protocols.
+    /// block (bank-local slots when `nbanks > 1`). Purely a function of
+    /// the trace and the block size — the cross-backend equivalence
+    /// tests assert these are bit-identical across protocols.
     pub fn per_block_refs(&self) -> &[u64] {
         &self.per_block_refs
     }
 
-    /// Directory presence bitmask for `block`: bit `p` set iff processor
-    /// `p` holds a valid copy. Maintained exactly (evictions and
-    /// invalidations both clear bits), so under the [`Directory`]
-    /// protocol this *is* the home node's presence vector.
+    /// Directory presence bitmask for `block` (a global block index this
+    /// bank owns): bit `p` set iff processor `p` holds a valid copy.
+    /// Maintained exactly (evictions and invalidations both clear bits),
+    /// so under the [`Directory`] protocol this *is* the home node's
+    /// presence vector.
     pub fn sharers_of(&self, block: u32) -> u64 {
-        self.sharers[block as usize]
+        self.sharers[self.slot(block)]
     }
 
     /// The processor holding `block` Modified or Exclusive, if any.
     pub fn owner_of(&self, block: u32) -> Option<u8> {
-        let o = self.owner[block as usize];
+        let o = self.owner[self.slot(block)];
         if o == NO_OWNER {
             None
         } else {
@@ -640,26 +723,29 @@ impl MultiSim {
     /// presence bitmask (meaningful under every protocol; authoritative
     /// under [`Directory`]).
     pub fn dir_state(&self, block: u32) -> DirState {
-        if self.owner[block as usize] != NO_OWNER {
+        let s = self.slot(block);
+        if self.owner[s] != NO_OWNER {
             DirState::Exclusive
-        } else if self.sharers[block as usize] != 0 {
+        } else if self.sharers[s] != 0 {
             DirState::Shared
         } else {
             DirState::Uncached
         }
     }
 
-    /// Number of blocks the simulator tracks (the valid range for
-    /// [`Self::dir_state`] and friends).
+    /// Number of blocks in the simulated address space (the valid range
+    /// for [`Self::dir_state`] and friends spans all banks; this bank
+    /// stores state only for its own residue class).
     pub fn num_blocks(&self) -> u32 {
-        self.sharers.len() as u32
+        self.nblocks_global
     }
 
     pub fn block_bytes(&self) -> u32 {
         self.cfg.block_bytes
     }
 
-    /// Simulate one reference.
+    /// Simulate one reference (the address must fall in this bank when
+    /// `nbanks > 1`).
     pub fn access(&mut self, pid: u8, addr: u32, write: bool) -> Outcome {
         let p = pid as usize;
         debug_assert!(p < self.caches.len());
@@ -671,8 +757,9 @@ impl MultiSim {
             self.stats.reads += 1;
         }
         let block = addr >> self.block_shift;
-        let word = (addr / 4) as usize;
-        self.per_block_refs[block as usize] += 1;
+        let bs = self.slot(block);
+        let word = bs * self.wpb as usize + ((addr / 4) % self.wpb) as usize;
+        self.per_block_refs[bs] += 1;
 
         let outcome = match self.caches[p].find(block) {
             Some(way) => {
@@ -691,8 +778,7 @@ impl MultiSim {
                         // Silent upgrade: the only copy, no transaction.
                         self.caches[p].sets[way].state = LineState::Modified;
                         self.stats.exclusive_hits += 1;
-                        self.per_block_events[block as usize]
-                            [CoherenceEvent::ExclusiveHit as usize] += 1;
+                        self.per_block_events[bs][CoherenceEvent::ExclusiveHit as usize] += 1;
                         Outcome {
                             miss: None,
                             block,
@@ -705,10 +791,9 @@ impl MultiSim {
                         // Upgrade: invalidate all other sharers.
                         let inv = self.invalidate_others(block, pid);
                         self.caches[p].sets[way].state = LineState::Modified;
-                        self.owner[block as usize] = pid;
+                        self.owner[bs] = pid;
                         self.stats.upgrades += 1;
-                        self.per_block_events[block as usize][CoherenceEvent::Upgrade as usize] +=
-                            1;
+                        self.per_block_events[bs][CoherenceEvent::Upgrade as usize] += 1;
                         if self.track_dir {
                             self.stats.dir_txns += 1;
                         }
@@ -725,14 +810,14 @@ impl MultiSim {
             }
             None => {
                 // Miss: classify, then fill.
-                let kind = self.classify(p, block, word);
+                let kind = self.classify(p, bs, word);
                 self.stats.misses[kind as usize] += 1;
-                self.per_block_misses[block as usize][kind as usize] += 1;
+                self.per_block_misses[bs][kind as usize] += 1;
                 if self.track_dir {
                     self.stats.dir_txns += 1;
                 }
                 let supplier = {
-                    let o = self.owner[block as usize];
+                    let o = self.owner[bs];
                     if o != NO_OWNER && o != pid {
                         Some(o)
                     } else {
@@ -743,33 +828,32 @@ impl MultiSim {
                 if write {
                     invalidations = self.invalidate_others(block, pid);
                     self.install(p, block, LineState::Modified);
-                    self.owner[block as usize] = pid;
-                    self.sharers[block as usize] = 1 << pid;
+                    self.owner[bs] = pid;
+                    self.sharers[bs] = 1 << pid;
                 } else {
                     // Downgrade a modified or exclusive owner to Shared
                     // (an intervention: its copy services the read).
-                    let o = self.owner[block as usize];
+                    let o = self.owner[bs];
                     if o != NO_OWNER && o != pid {
                         let oc = &mut self.caches[o as usize];
                         if let Some(oway) = oc.find(block) {
                             oc.sets[oway].state = LineState::Shared;
                             self.stats.interventions += 1;
-                            self.per_block_events[block as usize]
-                                [CoherenceEvent::Intervention as usize] += 1;
+                            self.per_block_events[bs][CoherenceEvent::Intervention as usize] += 1;
                         }
                     }
                     // Sharer bits are exact (evictions and invalidations
                     // both clear them), and the missing processor's own
                     // bit is never set here.
-                    let other_copies = self.sharers[block as usize] != 0;
+                    let other_copies = self.sharers[bs] != 0;
                     let fill = self.protocol.read_fill_state(other_copies);
-                    self.owner[block as usize] = if fill == LineState::Exclusive {
+                    self.owner[bs] = if fill == LineState::Exclusive {
                         pid
                     } else {
                         NO_OWNER
                     };
                     self.install(p, block, fill);
-                    self.sharers[block as usize] |= 1 << pid;
+                    self.sharers[bs] |= 1 << pid;
                 }
                 Outcome {
                     miss: Some(kind),
@@ -786,19 +870,20 @@ impl MultiSim {
         outcome
     }
 
-    fn classify(&self, p: usize, block: u32, word: usize) -> MissKind {
+    fn classify(&self, p: usize, bs: usize, word: usize) -> MissKind {
         let c = &self.caches[p];
         self.protocol.classify_miss(
-            c.lost_reason[block as usize],
-            c.lost_time[block as usize],
+            c.lost_reason[bs],
+            c.lost_time[bs],
             self.word_write_time[word],
         )
     }
 
     fn invalidate_others(&mut self, block: u32, keeper: u8) -> u8 {
-        let mask = self.sharers[block as usize] & !(1u64 << keeper);
+        let bs = self.slot(block);
+        let mask = self.sharers[bs] & !(1u64 << keeper);
         if mask == 0 {
-            self.sharers[block as usize] &= 1u64 << keeper;
+            self.sharers[bs] &= 1u64 << keeper;
             return 0;
         }
         let mut count = 0u8;
@@ -810,13 +895,13 @@ impl MultiSim {
             if let Some(way) = qc.find(block) {
                 qc.lose(way, self.time, LostReason::Invalidation);
                 self.stats.invalidations += 1;
-                self.per_block_events[block as usize][CoherenceEvent::Invalidation as usize] += 1;
+                self.per_block_events[bs][CoherenceEvent::Invalidation as usize] += 1;
                 count += 1;
             }
         }
-        self.sharers[block as usize] &= 1u64 << keeper;
-        if self.owner[block as usize] != keeper {
-            self.owner[block as usize] = NO_OWNER;
+        self.sharers[bs] &= 1u64 << keeper;
+        if self.owner[bs] != keeper {
+            self.owner[bs] = NO_OWNER;
         }
         count
     }
@@ -826,10 +911,11 @@ impl MultiSim {
         let old = self.caches[p].sets[way];
         if old.state != LineState::Invalid {
             let ob = old.block;
+            let obs = (ob / self.nbanks) as usize;
             self.caches[p].lose(way, self.time, LostReason::Eviction);
-            self.sharers[ob as usize] &= !(1u64 << p);
-            if self.owner[ob as usize] == p as u8 {
-                self.owner[ob as usize] = NO_OWNER;
+            self.sharers[obs] &= !(1u64 << p);
+            if self.owner[obs] == p as u8 {
+                self.owner[obs] = NO_OWNER;
             }
         }
         self.caches[p].sets[way] = Line {
@@ -837,6 +923,216 @@ impl MultiSim {
             state,
             lru: self.time,
         };
+    }
+}
+
+/// Global coherence state of a simulator at one instant: aggregate
+/// counters plus, per global block, the presence bitmask, modified or
+/// exclusive owner, and home-directory state. Bank-independent by
+/// construction — the phase-stitch equivalence tests compare snapshots
+/// of banked and unbanked runs at barrier boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoherenceSnapshot {
+    pub stats: SimStats,
+    pub sharers: Vec<u64>,
+    pub owner: Vec<Option<u8>>,
+    pub dir: Vec<DirState>,
+}
+
+/// An address-banked multiprocessor simulator: `nbanks` [`MultiSim`]
+/// banks, bank `b` owning every block in the residue class
+/// `block % nbanks == b`.
+///
+/// Because `nbanks` divides the set count, a cache set maps entirely
+/// into one bank (eviction and LRU coupling never cross banks), and
+/// every timestamp comparison the simulator makes is between accesses
+/// of one bank — so each bank's local clock is order-isomorphic to the
+/// global clock and driving the banks (in program order per bank, in
+/// any interleaving across banks) yields outcomes and counters
+/// bit-identical to a single [`MultiSim`] over the same stream. That
+/// is what lets the batch driver simulate banks on separate worker
+/// threads and [`BankedSim::from_banks`] reassemble the result.
+pub struct BankedSim {
+    banks: Vec<MultiSim>,
+    nbanks: u32,
+    block_shift: u32,
+}
+
+impl BankedSim {
+    /// A banked simulator over `addr_space_bytes` of address space.
+    /// `nbanks` must divide `cfg.num_sets()` (see
+    /// [`BankedSim::auto_banks`]); `nbanks == 1` is exactly
+    /// [`MultiSim::new`].
+    pub fn new(cfg: CacheConfig, addr_space_bytes: u32, nbanks: u32) -> BankedSim {
+        let banks = (0..nbanks)
+            .map(|b| MultiSim::new_bank(cfg, addr_space_bytes, b, nbanks))
+            .collect();
+        BankedSim {
+            banks,
+            nbanks,
+            block_shift: cfg.block_bytes.trailing_zeros(),
+        }
+    }
+
+    /// Largest bank count that is at most `cap` and divides the
+    /// configuration's set count — the invariant [`MultiSim::new_bank`]
+    /// requires. Always at least 1.
+    pub fn auto_banks(cfg: &CacheConfig, cap: usize) -> u32 {
+        let sets = cfg.num_sets();
+        let mut k = (cap.min(u32::MAX as usize) as u32).clamp(1, sets);
+        while !sets.is_multiple_of(k) {
+            k -= 1;
+        }
+        k
+    }
+
+    /// One banked simulator per configuration, each over the same
+    /// address-space bound, with its bank count auto-fitted to
+    /// `bank_cap` — the batch driver's unit layout, where many job
+    /// configurations consume one shared trace.
+    pub fn for_configs(
+        cfgs: &[CacheConfig],
+        addr_space_bytes: u32,
+        bank_cap: usize,
+    ) -> Vec<BankedSim> {
+        cfgs.iter()
+            .map(|cfg| BankedSim::new(*cfg, addr_space_bytes, BankedSim::auto_banks(cfg, bank_cap)))
+            .collect()
+    }
+
+    /// Reassemble a banked simulator from banks that were driven
+    /// independently (e.g. on a worker pool). The banks must belong to
+    /// one logical simulator: bank `i` of `banks.len()` at position `i`.
+    pub fn from_banks(banks: Vec<MultiSim>) -> BankedSim {
+        assert!(!banks.is_empty(), "a BankedSim needs at least one bank");
+        let nbanks = banks.len() as u32;
+        for (i, b) in banks.iter().enumerate() {
+            assert_eq!(b.num_banks(), nbanks, "bank {i}: wrong bank count");
+            assert_eq!(b.bank_index(), i as u32, "bank {i}: out of order");
+        }
+        let block_shift = banks[0].block_shift;
+        BankedSim {
+            banks,
+            nbanks,
+            block_shift,
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        self.banks[0].config()
+    }
+
+    pub fn num_banks(&self) -> u32 {
+        self.nbanks
+    }
+
+    pub fn banks(&self) -> &[MultiSim] {
+        &self.banks
+    }
+
+    pub fn banks_mut(&mut self) -> &mut [MultiSim] {
+        &mut self.banks
+    }
+
+    pub fn into_banks(self) -> Vec<MultiSim> {
+        self.banks
+    }
+
+    pub fn block_bytes(&self) -> u32 {
+        self.banks[0].block_bytes()
+    }
+
+    /// Number of blocks in the simulated address space (global, across
+    /// all banks).
+    pub fn num_blocks(&self) -> u32 {
+        self.banks[0].num_blocks()
+    }
+
+    /// Which bank owns `block`.
+    pub fn bank_of_block(&self, block: u32) -> usize {
+        (block % self.nbanks) as usize
+    }
+
+    /// Which bank owns the block containing `addr`.
+    pub fn bank_of_addr(&self, addr: u32) -> usize {
+        self.bank_of_block(addr >> self.block_shift)
+    }
+
+    /// Simulate one reference, routed to the owning bank.
+    pub fn access(&mut self, pid: u8, addr: u32, write: bool) -> Outcome {
+        let b = self.bank_of_addr(addr);
+        self.banks[b].access(pid, addr, write)
+    }
+
+    /// Aggregate statistics, merged across banks — bit-identical to an
+    /// unbanked run's [`MultiSim::stats`].
+    pub fn stats(&self) -> SimStats {
+        let mut out = SimStats::default();
+        for b in &self.banks {
+            out.merge(b.stats());
+        }
+        out
+    }
+
+    /// Interleave per-bank slot-indexed counters back to global block
+    /// indices: global block `g` lives in bank `g % nbanks` at slot
+    /// `g / nbanks`.
+    fn interleave<T: Copy + Default>(&self, per_bank: impl Fn(&MultiSim) -> &[T]) -> Vec<T> {
+        let n = self.num_blocks() as usize;
+        let mut out = vec![T::default(); n];
+        for (bi, bank) in self.banks.iter().enumerate() {
+            for (slot, v) in per_bank(bank).iter().enumerate() {
+                let g = slot * self.nbanks as usize + bi;
+                if g < n {
+                    out[g] = *v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-block miss counts at global block indices (cf.
+    /// [`MultiSim::per_block_misses`], which is slot-indexed per bank).
+    pub fn per_block_misses(&self) -> Vec<[u32; MissKind::COUNT]> {
+        self.interleave(|b| b.per_block_misses())
+    }
+
+    /// Per-block coherence-event counts at global block indices.
+    pub fn per_block_events(&self) -> Vec<[u32; CoherenceEvent::COUNT]> {
+        self.interleave(|b| b.per_block_events())
+    }
+
+    /// Per-block reference counts at global block indices.
+    pub fn per_block_refs(&self) -> Vec<u64> {
+        self.interleave(|b| b.per_block_refs())
+    }
+
+    pub fn sharers_of(&self, block: u32) -> u64 {
+        self.banks[self.bank_of_block(block)].sharers_of(block)
+    }
+
+    pub fn owner_of(&self, block: u32) -> Option<u8> {
+        self.banks[self.bank_of_block(block)].owner_of(block)
+    }
+
+    pub fn dir_state(&self, block: u32) -> DirState {
+        self.banks[self.bank_of_block(block)].dir_state(block)
+    }
+
+    pub fn line_state(&self, pid: u8, block: u32) -> LineState {
+        self.banks[self.bank_of_block(block)].line_state(pid, block)
+    }
+
+    /// Capture the global coherence state (counters, presence bitmasks,
+    /// owners, directory states) in bank-independent form.
+    pub fn snapshot(&self) -> CoherenceSnapshot {
+        let n = self.num_blocks();
+        CoherenceSnapshot {
+            stats: self.stats(),
+            sharers: (0..n).map(|b| self.sharers_of(b)).collect(),
+            owner: (0..n).map(|b| self.owner_of(b)).collect(),
+            dir: (0..n).map(|b| self.dir_state(b)).collect(),
+        }
     }
 }
 
@@ -1182,5 +1478,126 @@ mod tests {
         for s in &sims[1..] {
             assert_eq!(s.per_block_refs(), sims[0].per_block_refs());
         }
+    }
+
+    /// A deterministic mixed read/write stream with enough set pressure
+    /// to force evictions (cache 1024B, assoc 2) and enough block
+    /// sharing to exercise every coherence path.
+    fn stress_stream(nproc: u32) -> Vec<(u8, u32, bool)> {
+        let mut refs = Vec::new();
+        let mut x: u32 = 0x1234_5678;
+        for i in 0..4000u32 {
+            // xorshift: deterministic, no RNG dependency.
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let pid = (x % nproc) as u8;
+            let addr = (x >> 3) % (1 << 14);
+            refs.push((pid, addr & !3, i.is_multiple_of(3)));
+        }
+        refs
+    }
+
+    #[test]
+    fn banked_outcomes_match_serial_for_every_protocol() {
+        for &kind in &ProtocolKind::ALL {
+            let cfg = CacheConfig {
+                nproc: 4,
+                block_bytes: 64,
+                cache_bytes: 1024,
+                assoc: 2,
+                protocol: kind,
+            };
+            for nbanks in [2u32, 4, 8] {
+                let mut serial = MultiSim::new(cfg, 1 << 14);
+                let mut banked = BankedSim::new(cfg, 1 << 14, nbanks);
+                for &(pid, addr, write) in &stress_stream(4) {
+                    let want = serial.access(pid, addr, write);
+                    let got = banked.access(pid, addr, write);
+                    assert_eq!(want, got, "{} nbanks={nbanks}", kind.name());
+                }
+                assert_eq!(*serial.stats(), banked.stats(), "{}", kind.name());
+                assert_eq!(serial.per_block_misses(), banked.per_block_misses());
+                assert_eq!(serial.per_block_events(), banked.per_block_events());
+                assert_eq!(serial.per_block_refs(), banked.per_block_refs());
+                let unbanked = BankedSim::from_banks(vec![serial]);
+                assert_eq!(unbanked.snapshot(), banked.snapshot());
+            }
+        }
+    }
+
+    #[test]
+    fn banks_driven_independently_reassemble_exactly() {
+        // Drive each bank on its own filtered stream (what the sharded
+        // driver does on worker threads), then reassemble.
+        let cfg = CacheConfig {
+            nproc: 4,
+            block_bytes: 64,
+            cache_bytes: 1024,
+            assoc: 2,
+            protocol: ProtocolKind::Mesi,
+        };
+        let nbanks = 4u32;
+        let shift = cfg.block_bytes.trailing_zeros();
+        let stream = stress_stream(4);
+        let mut whole = BankedSim::new(cfg, 1 << 14, nbanks);
+        let mut parts: Vec<MultiSim> = (0..nbanks)
+            .map(|b| MultiSim::new_bank(cfg, 1 << 14, b, nbanks))
+            .collect();
+        for &(pid, addr, write) in &stream {
+            whole.access(pid, addr, write);
+            let bank = ((addr >> shift) % nbanks) as usize;
+            parts[bank].access(pid, addr, write);
+        }
+        let reassembled = BankedSim::from_banks(parts);
+        assert_eq!(whole.snapshot(), reassembled.snapshot());
+        assert_eq!(whole.per_block_misses(), reassembled.per_block_misses());
+    }
+
+    #[test]
+    fn auto_banks_divides_num_sets() {
+        for (cache, block, assoc) in [(1024u32, 64u32, 2u32), (32 * 1024, 128, 4), (4096, 4, 1)] {
+            let cfg = CacheConfig {
+                nproc: 2,
+                block_bytes: block,
+                cache_bytes: cache,
+                assoc,
+                protocol: ProtocolKind::Msi,
+            };
+            for cap in 1..=16usize {
+                let k = BankedSim::auto_banks(&cfg, cap);
+                assert!(k >= 1 && k <= cap as u32);
+                assert_eq!(cfg.num_sets() % k, 0, "cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide num_sets")]
+    fn new_bank_rejects_bank_counts_that_split_sets() {
+        // 1024B cache / 64B blocks / assoc 2 = 8 sets; 3 doesn't divide.
+        let cfg = CacheConfig {
+            nproc: 2,
+            block_bytes: 64,
+            cache_bytes: 1024,
+            assoc: 2,
+            protocol: ProtocolKind::Msi,
+        };
+        MultiSim::new_bank(cfg, 1 << 14, 0, 3);
+    }
+
+    #[test]
+    fn merged_stats_are_additive() {
+        let mut a = SimStats::default();
+        let mut b = SimStats::default();
+        a.refs = 3;
+        a.misses[MissKind::Cold as usize] = 2;
+        b.refs = 5;
+        b.misses[MissKind::Cold as usize] = 1;
+        b.dir_txns = 7;
+        a.merge(&b);
+        assert_eq!(a.refs, 8);
+        assert_eq!(a.misses[MissKind::Cold as usize], 3);
+        assert_eq!(a.dir_txns, 7);
     }
 }

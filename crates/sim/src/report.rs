@@ -1,6 +1,6 @@
 //! Per-data-structure miss and coherence-event attribution reports.
 
-use crate::{CoherenceEvent, MissKind, MultiSim};
+use crate::{BankedSim, CoherenceEvent, MissKind, MultiSim};
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
@@ -40,26 +40,58 @@ impl ObjCoherence {
     }
 }
 
-/// Aggregate the simulator's per-block miss counts into per-object counts
-/// using an address→name attribution function.
-pub fn attribute_misses(
-    sim: &MultiSim,
+/// Fold globally-indexed per-block count rows into per-object totals.
+fn fold_counts<'a, const N: usize>(
+    block_bytes: u32,
+    rows: impl Iterator<Item = (usize, &'a [u32; N])>,
     mut name_of: impl FnMut(u32) -> Option<String>,
-) -> BTreeMap<String, ObjMisses> {
-    let mut out: BTreeMap<String, ObjMisses> = BTreeMap::new();
-    let bb = sim.block_bytes();
-    for (b, counts) in sim.per_block_misses().iter().enumerate() {
+) -> BTreeMap<String, [u64; N]> {
+    let mut out: BTreeMap<String, [u64; N]> = BTreeMap::new();
+    for (b, counts) in rows {
         if counts.iter().all(|&c| c == 0) {
             continue;
         }
-        let addr = (b as u32) * bb;
+        let addr = (b as u32) * block_bytes;
         let name = name_of(addr).unwrap_or_else(|| "<unattributed>".to_string());
-        let e = out.entry(name).or_default();
-        for (acc, &c) in e.misses.iter_mut().zip(counts) {
+        let e = out.entry(name).or_insert([0; N]);
+        for (acc, &c) in e.iter_mut().zip(counts) {
             *acc += c as u64;
         }
     }
     out
+}
+
+/// Aggregate the simulator's per-block miss counts into per-object counts
+/// using an address→name attribution function. The simulator must be
+/// unbanked (its block indices global); banked simulators attribute via
+/// [`attribute_misses_banked`].
+pub fn attribute_misses(
+    sim: &MultiSim,
+    name_of: impl FnMut(u32) -> Option<String>,
+) -> BTreeMap<String, ObjMisses> {
+    assert_eq!(sim.num_banks(), 1, "banked sims attribute via BankedSim");
+    fold_counts(
+        sim.block_bytes(),
+        sim.per_block_misses().iter().enumerate(),
+        name_of,
+    )
+    .into_iter()
+    .map(|(k, misses)| (k, ObjMisses { misses }))
+    .collect()
+}
+
+/// [`attribute_misses`] over a banked simulator: banks interleave back
+/// to global block indices, so attribution is bit-identical to the
+/// unbanked run's.
+pub fn attribute_misses_banked(
+    sim: &BankedSim,
+    name_of: impl FnMut(u32) -> Option<String>,
+) -> BTreeMap<String, ObjMisses> {
+    let rows = sim.per_block_misses();
+    fold_counts(sim.block_bytes(), rows.iter().enumerate(), name_of)
+        .into_iter()
+        .map(|(k, misses)| (k, ObjMisses { misses }))
+        .collect()
 }
 
 /// Aggregate the simulator's per-block coherence-event counts into
@@ -67,22 +99,45 @@ pub fn attribute_misses(
 /// `queue_stall` is left 0 — see [`ObjCoherence`].
 pub fn attribute_coherence(
     sim: &MultiSim,
-    mut name_of: impl FnMut(u32) -> Option<String>,
+    name_of: impl FnMut(u32) -> Option<String>,
 ) -> BTreeMap<String, ObjCoherence> {
-    let mut out: BTreeMap<String, ObjCoherence> = BTreeMap::new();
-    let bb = sim.block_bytes();
-    for (b, counts) in sim.per_block_events().iter().enumerate() {
-        if counts.iter().all(|&c| c == 0) {
-            continue;
-        }
-        let addr = (b as u32) * bb;
-        let name = name_of(addr).unwrap_or_else(|| "<unattributed>".to_string());
-        let e = out.entry(name).or_default();
-        for (acc, &c) in e.events.iter_mut().zip(counts) {
-            *acc += c as u64;
-        }
-    }
-    out
+    assert_eq!(sim.num_banks(), 1, "banked sims attribute via BankedSim");
+    fold_counts(
+        sim.block_bytes(),
+        sim.per_block_events().iter().enumerate(),
+        name_of,
+    )
+    .into_iter()
+    .map(|(k, events)| {
+        (
+            k,
+            ObjCoherence {
+                events,
+                queue_stall: 0,
+            },
+        )
+    })
+    .collect()
+}
+
+/// [`attribute_coherence`] over a banked simulator.
+pub fn attribute_coherence_banked(
+    sim: &BankedSim,
+    name_of: impl FnMut(u32) -> Option<String>,
+) -> BTreeMap<String, ObjCoherence> {
+    let rows = sim.per_block_events();
+    fold_counts(sim.block_bytes(), rows.iter().enumerate(), name_of)
+        .into_iter()
+        .map(|(k, events)| {
+            (
+                k,
+                ObjCoherence {
+                    events,
+                    queue_stall: 0,
+                },
+            )
+        })
+        .collect()
 }
 
 /// Render an attribution table sorted by false-sharing misses.

@@ -20,8 +20,20 @@ cargo test -q -p fsr-integration --test coherence_props --test directory
 # Directory ablation must reproduce the checked-in golden bit-for-bit at
 # the pinned knobs (the report is thread-count invariant).
 abl_out="$(mktemp)"
-trap 'rm -f "$abl_out"' EXIT
+scale_out="$(mktemp)"
+trap 'rm -f "$abl_out" "$scale_out"' EXIT
 FSR_NPROC=8 FSR_SCALE=1 FSR_BENCH_OUT="$abl_out" \
     cargo run -q --release --bin directory_ablation >/dev/null
 diff -u tests/golden/directory_ablation.json "$abl_out"
+# Sharded-engine equivalence: phase-parallel + banked simulation forced
+# on (shard threads >= 2) must be bit-identical to the serial path on
+# every workload and protocol, including the randomized property cases.
+cargo test -q -p fsr-integration --test shard
+# Scale-sweep smoke at pinned knobs: the machine-independent half of
+# BENCH_scale.json (exec cycles, refs, miss classes, segment count,
+# asserted bit-identical across 1 and 2 shard threads inside the bin)
+# must match the checked-in golden.
+FSR_NPROC=8 FSR_SCALE=1 FSR_SCALE_THREADS=1,2 FSR_BENCH_OUT="$scale_out" \
+    cargo run -q --release --bin scale_sweep -- --golden >/dev/null
+diff -u tests/golden/scale_sweep.json "$scale_out"
 echo "tier1: OK"

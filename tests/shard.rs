@@ -1,0 +1,206 @@
+//! Equivalence guarantees of the phase/bank-sharded unit engine
+//! (`run_batch_sharded` with `ShardMode::Force`) against the serial
+//! `TeeSink` path, plus the hardened worker-pool error paths.
+//!
+//! The sharded engine splits each unit's trace at barrier boundaries,
+//! simulates address banks concurrently and stitches timing per
+//! segment; these tests pin that the stitch is *bit-identical* — every
+//! statistic, not approximately — across protocols, interconnects,
+//! workloads and random configurations.
+
+use fsr_core::driver::{
+    effective_threads, run_batch_sharded, segments_processed, Job, PlanSourceSpec, ShardMode,
+};
+use fsr_core::{InterconnectKind, PipelineConfig, PipelineError, ProtocolKind, RunResult};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serialize tests in this binary: the interpreter-run and segment
+/// counters are process-global, so concurrent tests would perturb each
+/// other's deltas.
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Each protocol on its natural interconnect (directory traffic needs
+/// the home-node fabric for its 2/3-hop costs to be exercised).
+fn backend_pairs() -> [(ProtocolKind, InterconnectKind); 3] {
+    [
+        (ProtocolKind::Msi, InterconnectKind::Ksr2Ring),
+        (ProtocolKind::Mesi, InterconnectKind::Bus),
+        (ProtocolKind::Directory, InterconnectKind::HomeDir),
+    ]
+}
+
+fn assert_same(want: &RunResult, got: &RunResult, ctx: &str) {
+    assert_eq!(want.nproc, got.nproc, "{ctx}: nproc");
+    assert_eq!(want.sim, got.sim, "{ctx}: sim stats");
+    assert_eq!(want.per_obj, got.per_obj, "{ctx}: per-object misses");
+    assert_eq!(
+        want.per_obj_coherence, got.per_obj_coherence,
+        "{ctx}: per-object coherence"
+    );
+    assert_eq!(
+        want.per_obj_refs, got.per_obj_refs,
+        "{ctx}: per-object refs"
+    );
+    assert_eq!(want.exec_cycles, got.exec_cycles, "{ctx}: exec cycles");
+    assert_eq!(want.timing, got.timing, "{ctx}: timing stats");
+    assert_eq!(want.interp, got.interp, "{ctx}: interp stats");
+    assert_eq!(
+        want.fs_stall_frac.to_bits(),
+        got.fs_stall_frac.to_bits(),
+        "{ctx}: fs stall fraction"
+    );
+}
+
+fn workload_jobs(
+    w: &fsr_workloads::Workload,
+    nproc: i64,
+    blocks: &[u32],
+    backend: (ProtocolKind, InterconnectKind),
+) -> Vec<Job<String>> {
+    let src: Arc<str> = Arc::from(w.source);
+    blocks
+        .iter()
+        .flat_map(|&b| {
+            [PlanSourceSpec::Unoptimized, PlanSourceSpec::Compiler]
+                .into_iter()
+                .map(move |plan| (b, plan))
+        })
+        .map(|(b, plan)| {
+            Job::new(
+                format!("{}/{:?}/{b}/{plan:?}", w.name, backend.0),
+                src.clone(),
+                &[("NPROC", nproc), ("SCALE", 1)],
+                plan,
+                PipelineConfig::with_block(b).with_backends(backend.0, backend.1),
+            )
+        })
+        .collect()
+}
+
+/// Serial vs sharded on the same job list, every statistic compared.
+fn assert_shard_equivalent(jobs: Vec<Job<String>>, shard_threads: usize) {
+    let serial = run_batch_sharded(jobs.clone(), 1, ShardMode::Off);
+    let before = segments_processed();
+    let sharded = run_batch_sharded(jobs, 1, ShardMode::Force(shard_threads));
+    assert!(
+        segments_processed() > before,
+        "forced sharding must run the segment engine"
+    );
+    for ((_, want), (job, got)) in serial.iter().zip(&sharded) {
+        match (want, got) {
+            (Ok(want), Ok(got)) => assert_same(want, got, &job.meta),
+            (want, got) => panic!("{}: serial {want:?} vs sharded {got:?}", job.meta),
+        }
+    }
+}
+
+/// Acceptance gate: all ten workloads × all three protocol backends,
+/// phase-parallel + banked bit-identical to serial.
+#[test]
+fn sharded_engine_matches_serial_for_every_workload_and_protocol() {
+    let _g = gate();
+    for w in fsr_workloads::all() {
+        for backend in backend_pairs() {
+            assert_shard_equivalent(workload_jobs(&w, 4, &[128], backend), 3);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Random (workload, nproc, blocks, shard width): the sharded path
+    /// stays bit-identical on all three protocols at once — the blocks
+    /// land in one translation unit, so banks, segment splitting and
+    /// the translated groups all engage together.
+    #[test]
+    fn sharded_equals_serial_on_random_configs(
+        wi in 0usize..10,
+        bi in 0usize..4,
+        bj in 0usize..4,
+        nproc in 2i64..6,
+        shard_threads in 2usize..5,
+    ) {
+        let _g = gate();
+        let blocks = [16u32, 32, 64, 128];
+        let set = fsr_workloads::all();
+        let w = &set[wi % set.len()];
+        for backend in backend_pairs() {
+            let jobs = workload_jobs(w, nproc, &[blocks[bi], blocks[bj]], backend);
+            assert_shard_equivalent(jobs, shard_threads);
+        }
+    }
+}
+
+const COUNTERS: &str = "param NPROC = 4; shared int c[NPROC];
+    fn main() { forall p in 0 .. NPROC { var i;
+        for i in 0 .. 200 { c[p] = c[p] + 1; } } }";
+
+/// A deterministic panic planted in one job's plan stage must come back
+/// as a structured `WorkerPanic` naming that job's index and meta — and
+/// every sibling job, running on the same worker pool, must complete
+/// normally (the old path poisoned the result slots and aborted the
+/// whole batch).
+#[test]
+fn panicking_job_reports_meta_without_wedging_siblings() {
+    let _g = gate();
+    let src: Arc<str> = Arc::from(COUNTERS);
+    let mk = |meta: &str, plan| Job {
+        meta: meta.to_string(),
+        src: src.clone(),
+        params: vec![],
+        plan,
+        cfg: PipelineConfig::with_block(64),
+    };
+    let jobs = vec![
+        mk("healthy-0", PlanSourceSpec::Unoptimized),
+        mk(
+            "seeded-panic",
+            PlanSourceSpec::Programmer(|_, _| panic!("seeded plan panic")),
+        ),
+        mk("healthy-2", PlanSourceSpec::Compiler),
+    ];
+    let out = run_batch_sharded(jobs, 2, ShardMode::Force(2));
+    assert_eq!(out.len(), 3);
+    match &out[1].1 {
+        Err(PipelineError::Driver(fsr_core::driver::DriverError::WorkerPanic {
+            stage,
+            job_index,
+            job_meta,
+            payload,
+        })) => {
+            assert_eq!(*stage, "plan/layout");
+            assert_eq!(*job_index, 1);
+            assert!(job_meta.contains("seeded-panic"), "meta: {job_meta}");
+            assert!(payload.contains("seeded plan panic"), "payload: {payload}");
+        }
+        other => panic!("expected structured WorkerPanic, got {other:?}"),
+    }
+    assert!(out[0].1.is_ok(), "sibling 0 must finish");
+    assert!(out[2].1.is_ok(), "sibling 2 must finish");
+}
+
+/// Satellite fix: the thread budget resolves available parallelism
+/// *before* clamping to the job count, so a small batch on a wide
+/// machine never spawns idle workers — and the same rule governs the
+/// within-unit shard pool.
+#[test]
+fn thread_budget_never_oversubscribes_small_batches() {
+    assert_eq!(effective_threads(16, 2), 2);
+    assert_eq!(effective_threads(1, 100), 1);
+    assert_eq!(effective_threads(0, 1), 1, "auto on a single job is serial");
+    assert_eq!(
+        effective_threads(4, 0),
+        1,
+        "empty batch still gets a worker"
+    );
+    let auto = effective_threads(0, usize::MAX);
+    assert!(
+        auto >= 1,
+        "auto resolves to at least one thread, got {auto}"
+    );
+}
