@@ -1,0 +1,304 @@
+//! Engine benchmark: the full protocol-matrix sweep replayed once per
+//! simulator engine (scalar, SoA, chunked SoA), proving the engines
+//! bit-identical at scale and measuring the hot-path speedup.
+//!
+//! Methodology — trace once, replay many. The interpreter that
+//! *produces* the reference stream does identical work for every
+//! engine and dominates an end-to-end wall clock, so timing whole
+//! pipeline runs would bury the quantity under test (Amdahl: the sink
+//! is a small fraction of a pipeline run). Instead each (workload ×
+//! version) unit's trace is recorded once, untimed, via
+//! `fsr_core::record_trace`; the timed region replays every (unit ×
+//! protocol × interconnect) cell of the matrix through
+//! `fsr_core::replay_trace` — the exact sink path `run_pipeline` uses,
+//! chunked buffering included. Engines are interleaved within each
+//! repetition and the fastest of `FSR_SIMD_REPS` (default 5) sweeps
+//! per engine is kept, so one scheduler hiccup cannot masquerade as an
+//! engine difference.
+//!
+//! Three layers of equivalence are asserted on every run: (1) all
+//! engines' full-pipeline sweeps produce bit-identical per-cell
+//! results, (2) all engines' trace replays produce bit-identical
+//! `ReplayResult`s, and (3) every replay's execution time equals the
+//! full pipeline's for the same cell — the replay harness measures the
+//! real thing.
+//!
+//! Writes `BENCH_simd.json` (override with `FSR_BENCH_OUT`) with the
+//! replay wall per engine, the chunked-vs-scalar speedup, and honest
+//! provenance: detected core count, detected CPU vector features, the
+//! kernel backend actually dispatched (`accel-avx2` only when the
+//! `accel` feature is compiled in *and* the CPU has AVX2), and whether
+//! the `accel` feature was compiled at all.
+//!
+//! With `--golden`, writes only the machine-independent per-cell digest
+//! (no timings), which the tier-1 gate diffs against
+//! `tests/golden/simd.json` at pinned knobs — in both feature builds,
+//! so portable and accelerated kernels are held to the same bits.
+//!
+//! Knobs: `FSR_NPROC`, `FSR_SCALE`, `FSR_THREADS`, `FSR_SIMD_REPS`,
+//! `FSR_MATRIX_WORKLOADS` as in `protocol_matrix`.
+
+use fsr_bench::{Knobs, Table};
+use fsr_core::experiments::{plan_source, protocol_matrix_cells, MatrixCell, Vsn};
+use fsr_core::{
+    record_trace, replay_trace, InterconnectKind, MissKind, PipelineConfig, ProtocolKind,
+    RecordedTrace, ReplayResult, SimEngine,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BLOCK: u32 = 128;
+const DEFAULT_WORKLOADS: &str = "raytrace,pverify,maxflow,topopt";
+const VERSIONS: [Vsn; 2] = [Vsn::N, Vsn::C];
+
+fn sweep(names: &[&str], k: &Knobs, engine: SimEngine) -> Vec<MatrixCell> {
+    protocol_matrix_cells(
+        names,
+        &VERSIONS,
+        k.nproc,
+        k.scale,
+        BLOCK,
+        k.threads,
+        engine,
+        &ProtocolKind::ALL,
+        &InterconnectKind::ALL,
+    )
+}
+
+/// One machine-independent line per cell: identity + the counters every
+/// engine must agree on.
+fn cell_digest(c: &MatrixCell) -> String {
+    let mut s = format!(
+        "    {{\"program\": \"{}\", \"version\": \"{}\", \"protocol\": \"{}\", \
+         \"interconnect\": \"{}\", \"exec_cycles\": {}, \"refs\": {}, \"misses\": {{",
+        c.program, c.version, c.protocol, c.interconnect, c.exec_cycles, c.sim.refs
+    );
+    for (i, kind) in MissKind::ALL.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\"{}\": {}",
+            if i > 0 { ", " } else { "" },
+            kind.name(),
+            c.sim.miss_of(*kind)
+        );
+    }
+    s.push_str("}}");
+    s
+}
+
+fn main() {
+    let k = Knobs::from_env();
+    let golden = std::env::args().any(|a| a == "--golden");
+    let reps: usize = std::env::var("FSR_SIMD_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(5);
+    let names_env =
+        std::env::var("FSR_MATRIX_WORKLOADS").unwrap_or_else(|_| DEFAULT_WORKLOADS.into());
+    let names: Vec<&str> = names_env.split(',').map(str::trim).collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "bench_simd: nproc={} scale={} block={BLOCK} reps={reps} workloads={names:?} \
+         backend={} detected_cores={cores}",
+        k.nproc,
+        k.scale,
+        fsr_simdlite::active_backend()
+    );
+
+    // Untimed equivalence pass: every engine runs the identical
+    // full-pipeline sweep; the per-cell results must be bit-identical.
+    let mut cells_of: Vec<(SimEngine, Vec<MatrixCell>)> = Vec::new();
+    for engine in SimEngine::ALL {
+        let cells = sweep(&names, &k, engine);
+        assert!(!cells.is_empty(), "no workloads matched {names:?}");
+        cells_of.push((engine, cells));
+    }
+    let (_, base_cells) = &cells_of[0];
+    for (engine, cells) in &cells_of[1..] {
+        assert_eq!(
+            cells, base_cells,
+            "engine {engine} diverged from {} on the full sweep",
+            cells_of[0].0
+        );
+    }
+
+    if golden {
+        let digests: Vec<String> = base_cells.iter().map(cell_digest).collect();
+        let json = format!(
+            "{{\n  \"suite\": \"bench_simd\",\n  \"nproc\": {},\n  \"scale\": {},\n  \
+             \"block\": {BLOCK},\n  \"engines\": [\"scalar\", \"soa\", \"soa-chunked\"],\n  \
+             \"engines_bit_identical\": true,\n  \"cells\": [\n{}\n  ]\n}}\n",
+            k.nproc,
+            k.scale,
+            digests.join(",\n")
+        );
+        let out = std::env::var("FSR_BENCH_OUT").unwrap_or_else(|_| "BENCH_simd.json".into());
+        std::fs::write(&out, json).expect("write simd golden");
+        eprintln!(
+            "bench_simd: {} cells bit-identical across {} engines; wrote {out}",
+            base_cells.len(),
+            SimEngine::ALL.len()
+        );
+        return;
+    }
+
+    // Record each unit's trace once, untimed. The trace is independent
+    // of protocol, interconnect, and engine.
+    let mut units: Vec<(String, &'static str, RecordedTrace)> = Vec::new();
+    for name in &names {
+        let Some(w) = fsr_workloads::by_name(name) else {
+            continue;
+        };
+        let prog =
+            fsr_lang::compile_with_params(w.source, &[("NPROC", k.nproc), ("SCALE", k.scale)])
+                .expect("workload compiles");
+        for v in VERSIONS {
+            let tr = record_trace(
+                &prog,
+                plan_source(&w, v),
+                &PipelineConfig::with_block(BLOCK),
+            )
+            .expect("trace records");
+            units.push((w.name.to_string(), v.label(), tr));
+        }
+    }
+    let refs_per_sweep: usize = units.iter().map(|(_, _, tr)| tr.num_refs()).sum::<usize>()
+        * ProtocolKind::ALL.len()
+        * InterconnectKind::ALL.len();
+
+    // Timed passes: one full-matrix replay sweep per engine per rep,
+    // engines interleaved, fastest sweep kept.
+    let backend_cfg = |protocol, ic, engine| {
+        PipelineConfig::with_block(BLOCK)
+            .with_backends(protocol, ic)
+            .with_engine(engine)
+    };
+    let n_engines = SimEngine::ALL.len();
+    let mut best = vec![f64::INFINITY; n_engines];
+    let mut replays_of: Vec<Vec<ReplayResult>> = vec![Vec::new(); n_engines];
+    for _rep in 0..reps {
+        for (ei, engine) in SimEngine::ALL.into_iter().enumerate() {
+            let t = Instant::now();
+            let mut rs = Vec::with_capacity(base_cells.len());
+            for (_, _, tr) in &units {
+                for protocol in ProtocolKind::ALL {
+                    for ic in InterconnectKind::ALL {
+                        rs.push(replay_trace(tr, &backend_cfg(protocol, ic, engine)));
+                    }
+                }
+            }
+            let wall = t.elapsed().as_secs_f64();
+            if wall < best[ei] {
+                best[ei] = wall;
+            }
+            replays_of[ei] = rs;
+        }
+    }
+
+    // Layer 2: the replays themselves must be bit-identical across
+    // engines.
+    for ei in 1..n_engines {
+        assert_eq!(
+            replays_of[ei],
+            replays_of[0],
+            "engine {} replay diverged from {}",
+            SimEngine::ALL[ei],
+            SimEngine::ALL[0]
+        );
+    }
+    // Layer 3: every replay's execution time matches the full
+    // pipeline's for the same cell — the harness measures the real
+    // sink.
+    let pipeline_cycles: BTreeMap<(&str, &str, &str, &str), u64> = base_cells
+        .iter()
+        .map(|c| {
+            (
+                (
+                    c.program.as_str(),
+                    c.version.as_str(),
+                    c.protocol.as_str(),
+                    c.interconnect.as_str(),
+                ),
+                c.exec_cycles,
+            )
+        })
+        .collect();
+    let mut ri = 0;
+    for (prog, vsn, _) in &units {
+        for protocol in ProtocolKind::ALL {
+            for ic in InterconnectKind::ALL {
+                let key = (prog.as_str(), *vsn, protocol.name(), ic.name());
+                assert_eq!(
+                    pipeline_cycles.get(&key).copied(),
+                    Some(replays_of[0][ri].exec_cycles),
+                    "replay disagrees with pipeline for {key:?}"
+                );
+                ri += 1;
+            }
+        }
+    }
+
+    let scalar = best[0];
+    let chunked = best[SimEngine::ALL
+        .iter()
+        .position(|e| *e == SimEngine::SoaChunked)
+        .unwrap()];
+    let speedup = scalar / chunked;
+
+    let mut t = Table::new(&["engine", "replay_ms", "ns_per_ref", "vs_scalar"]);
+    for (ei, engine) in SimEngine::ALL.into_iter().enumerate() {
+        t.row(vec![
+            engine.name().to_string(),
+            format!("{:.1}", best[ei] * 1e3),
+            format!("{:.1}", best[ei] * 1e9 / refs_per_sweep as f64),
+            format!("{:.2}x", scalar / best[ei]),
+        ]);
+    }
+    println!("{}", t.render());
+    eprintln!(
+        "bench_simd: {} cells bit-identical across {} engines (pipeline + replay); \
+         chunked replay speedup {speedup:.2}x over scalar",
+        base_cells.len(),
+        n_engines
+    );
+
+    let features: Vec<String> = fsr_simdlite::detected_features()
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect();
+    let rows: Vec<String> = SimEngine::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(ei, engine)| {
+            format!(
+                "    {{\"engine\": \"{}\", \"replay_wall_ms\": {:.3}, \"vs_scalar\": {:.3}}}",
+                engine.name(),
+                best[ei] * 1e3,
+                scalar / best[ei]
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"suite\": \"bench_simd\",\n  \"timed_region\": \"trace_replay\",\n  \
+         \"nproc\": {},\n  \"scale\": {},\n  \"block\": {BLOCK},\n  \"reps\": {reps},\n  \
+         \"cells\": {},\n  \"refs_per_sweep\": {refs_per_sweep},\n  \
+         \"engines_bit_identical\": true,\n  \"detected_cores\": {cores},\n  \
+         \"detected_features\": [{}],\n  \"kernel_backend\": \"{}\",\n  \
+         \"accel_compiled\": {},\n  \"chunked_speedup_vs_scalar\": {speedup:.3},\n  \
+         \"engines\": [\n{}\n  ]\n}}\n",
+        k.nproc,
+        k.scale,
+        base_cells.len(),
+        features.join(", "),
+        fsr_simdlite::active_backend(),
+        cfg!(feature = "accel"),
+        rows.join(",\n")
+    );
+    let out = std::env::var("FSR_BENCH_OUT").unwrap_or_else(|_| "BENCH_simd.json".into());
+    std::fs::write(&out, json).expect("write simd results");
+    eprintln!("wrote {out}");
+}

@@ -1,20 +1,25 @@
 //! Cross-backend coherence matrix: every workload × version ×
 //! protocol × interconnect, with per-object coherence-event counters.
 //!
-//! Runs the [`fsr_core::experiments::protocol_matrix`] sweep (one
-//! `run_batch` call — all backend variants of a program version share a
-//! single trace interpretation), prints a summary table, and writes the
-//! full matrix as structured JSON to `BENCH_protocol_matrix.json`
-//! (override the path with `FSR_BENCH_OUT`).
+//! Runs the [`fsr_core::experiments::protocol_matrix_cells`] sweep one
+//! (protocol, interconnect) backend pair at a time — each pair is one
+//! `run_batch` call whose wall-clock is measured, so the output carries
+//! a per-cell timing row per backend pair — prints a summary table, and
+//! writes the full matrix as structured JSON to
+//! `BENCH_protocol_matrix.json` (override the path with
+//! `FSR_BENCH_OUT`).
 //!
 //! Knobs: `FSR_NPROC`, `FSR_SCALE`, `FSR_THREADS` as usual, plus
 //! `FSR_MATRIX_WORKLOADS` (comma-separated names, default
-//! `raytrace,pverify,maxflow,topopt`).
+//! `raytrace,pverify,maxflow,topopt`) and the simulator engine via
+//! `--engine <scalar|soa|soa-chunked>` or `FSR_ENGINE` (default: the
+//! chunked SoA hot path).
 
 use fsr_bench::{Knobs, Table};
-use fsr_core::experiments::{protocol_matrix, MatrixCell, Vsn};
-use fsr_core::{CoherenceEvent, InterconnectKind, MissKind, ProtocolKind};
+use fsr_core::experiments::{protocol_matrix_cells, MatrixCell, Vsn};
+use fsr_core::{CoherenceEvent, InterconnectKind, MissKind, ProtocolKind, SimEngine};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 const BLOCK: u32 = 128;
 const DEFAULT_WORKLOADS: &str = "raytrace,pverify,maxflow,topopt";
@@ -95,24 +100,62 @@ fn cell_json(c: &MatrixCell) -> String {
     s
 }
 
+/// The simulator engine: `--engine <name>` wins, then `FSR_ENGINE`,
+/// then the library default (chunked SoA).
+fn engine_from_args() -> SimEngine {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--engine" {
+            let v = args.next().expect("--engine takes a value");
+            return SimEngine::parse(&v)
+                .unwrap_or_else(|| panic!("unknown engine `{v}` (scalar|soa|soa-chunked)"));
+        }
+        if let Some(v) = a.strip_prefix("--engine=") {
+            return SimEngine::parse(v)
+                .unwrap_or_else(|| panic!("unknown engine `{v}` (scalar|soa|soa-chunked)"));
+        }
+    }
+    match std::env::var("FSR_ENGINE") {
+        Ok(v) => SimEngine::parse(&v)
+            .unwrap_or_else(|| panic!("unknown FSR_ENGINE `{v}` (scalar|soa|soa-chunked)")),
+        Err(_) => SimEngine::default(),
+    }
+}
+
 fn main() {
     let k = Knobs::from_env();
+    let engine = engine_from_args();
     let names_env =
         std::env::var("FSR_MATRIX_WORKLOADS").unwrap_or_else(|_| DEFAULT_WORKLOADS.into());
     let names: Vec<&str> = names_env.split(',').map(str::trim).collect();
     eprintln!(
-        "protocol_matrix: nproc={} scale={} block={} workloads={names:?}",
+        "protocol_matrix: nproc={} scale={} block={} engine={engine} workloads={names:?}",
         k.nproc, k.scale, BLOCK
     );
 
-    let cells = protocol_matrix(
-        &names,
-        &[Vsn::N, Vsn::C],
-        k.nproc,
-        k.scale,
-        BLOCK,
-        k.threads,
-    );
+    // One batch per (protocol, interconnect) backend pair so every
+    // pair's wall-clock is measured on its own — the per-cell timing
+    // axis of the matrix.
+    let mut cells: Vec<MatrixCell> = Vec::new();
+    let mut pair_walls: Vec<(ProtocolKind, InterconnectKind, f64)> = Vec::new();
+    for protocol in ProtocolKind::ALL {
+        for ic in InterconnectKind::ALL {
+            let start = Instant::now();
+            let pair_cells = protocol_matrix_cells(
+                &names,
+                &[Vsn::N, Vsn::C],
+                k.nproc,
+                k.scale,
+                BLOCK,
+                k.threads,
+                engine,
+                &[protocol],
+                &[ic],
+            );
+            pair_walls.push((protocol, ic, start.elapsed().as_secs_f64()));
+            cells.extend(pair_cells);
+        }
+    }
     assert!(!cells.is_empty(), "no workloads matched {names:?}");
 
     let mut t = Table::new(&[
@@ -134,6 +177,16 @@ fn main() {
     }
     println!("{}", t.render());
 
+    let mut pt = Table::new(&["protocol", "net", "wall_ms"]);
+    for (p, ic, wall) in &pair_walls {
+        pt.row(vec![
+            p.name().to_string(),
+            ic.name().to_string(),
+            format!("{:.1}", wall * 1e3),
+        ]);
+    }
+    println!("{}", pt.render());
+
     let protos: Vec<String> = ProtocolKind::ALL
         .iter()
         .map(|p| json_str(p.name()))
@@ -143,17 +196,31 @@ fn main() {
         .map(|i| json_str(i.name()))
         .collect();
     let progs: Vec<String> = names.iter().map(|n| json_str(n)).collect();
+    let pairs: Vec<String> = pair_walls
+        .iter()
+        .map(|(p, ic, wall)| {
+            format!(
+                "    {{\"protocol\": {}, \"interconnect\": {}, \"wall_ms\": {:.3}}}",
+                json_str(p.name()),
+                json_str(ic.name()),
+                wall * 1e3
+            )
+        })
+        .collect();
     let body: Vec<String> = cells.iter().map(cell_json).collect();
     let json = format!(
         "{{\n  \"suite\": \"protocol_matrix\",\n  \"nproc\": {},\n  \"scale\": {},\n  \
-         \"block\": {},\n  \"protocols\": [{}],\n  \"interconnects\": [{}],\n  \
-         \"workloads\": [{}],\n  \"cells\": [\n{}\n  ]\n}}\n",
+         \"block\": {},\n  \"engine\": {},\n  \"protocols\": [{}],\n  \
+         \"interconnects\": [{}],\n  \"workloads\": [{}],\n  \"pair_timings\": [\n{}\n  ],\n  \
+         \"cells\": [\n{}\n  ]\n}}\n",
         k.nproc,
         k.scale,
         BLOCK,
+        json_str(engine.name()),
         protos.join(", "),
         nets.join(", "),
         progs.join(", "),
+        pairs.join(",\n"),
         body.join(",\n")
     );
     let out =

@@ -52,7 +52,7 @@ use fsr_interp::{MemRef, TeeSink, TraceEvent, TraceSink};
 use fsr_lang::ast::WORD_BYTES;
 use fsr_layout::Layout;
 use fsr_machine::TimingModel;
-use fsr_sim::{BankedSim, CacheConfig, MultiSim, Outcome};
+use fsr_sim::{BankedSim, CacheConfig, MultiSim, Outcome, SimEngine, CHUNK_LANES};
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -138,6 +138,13 @@ pub enum DriverError {
     /// not address-translation compatible — a driver bug, reported with
     /// both layouts identified instead of panicking deep in a worker.
     IncompatibleLayouts { from: String, to: String },
+    /// Engine-aware bank negotiation found no bank count > 1 satisfying
+    /// the job's cache geometry and engine constraints while sharding
+    /// was *forced* ([`ShardMode::Force`]). Forcing promises within-unit
+    /// parallelism, so the driver reports the mismatch instead of
+    /// silently degrading the job to one bank (`ShardMode::Auto` does
+    /// degrade quietly — banking is then a best-effort optimization).
+    BankPlan { job_meta: String, detail: String },
 }
 
 impl fmt::Display for DriverError {
@@ -156,6 +163,10 @@ impl fmt::Display for DriverError {
                 f,
                 "no address translation from layout [{from}] to layout [{to}] \
                  (batch grouping should never unite these)"
+            ),
+            DriverError::BankPlan { job_meta, detail } => write!(
+                f,
+                "forced sharding has no valid bank plan for job (meta: {job_meta}): {detail}"
             ),
         }
     }
@@ -529,6 +540,7 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
         ShardMode::Auto => (resolve_threads(threads) / outer).max(1),
     };
     let use_sharded = matches!(shard, ShardMode::Force(_)) || shard_threads > 1;
+    let strict_banks = matches!(shard, ShardMode::Force(_));
     let group_outputs = parallel_map(&units, threads, |unit| {
         run_unit(
             &jobs,
@@ -538,6 +550,7 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
             unit,
             shard_threads,
             use_sharded,
+            strict_banks,
         )
     });
 
@@ -597,6 +610,7 @@ fn translate(map: Option<&Vec<u32>>, addr: u32) -> u32 {
 /// cache simulator and timing model — serially through a [`TeeSink`] of
 /// per-group translating [`GroupSink`]s, or via the phase/bank-sharded
 /// engine when the thread budget allows ([`run_unit_sharded`]).
+#[allow(clippy::too_many_arguments)]
 fn run_unit<M: Sync + fmt::Debug>(
     jobs: &[Job<M>],
     fronts: &[Result<FrontEnd, PipelineError>],
@@ -605,6 +619,7 @@ fn run_unit<M: Sync + fmt::Debug>(
     unit: &[Vec<usize>],
     shard_threads: usize,
     use_sharded: bool,
+    strict_banks: bool,
 ) -> Vec<(usize, Result<RunResult, PipelineError>)> {
     let rep = unit[0][0];
     let fe = fronts[fe_of_job[rep]]
@@ -637,7 +652,7 @@ fn run_unit<M: Sync + fmt::Debug>(
     }
 
     let mut out = if use_sharded {
-        run_unit_sharded(jobs, fe, rep, preps, &live, shard_threads)
+        run_unit_sharded(jobs, fe, rep, preps, &live, shard_threads, strict_banks)
     } else {
         run_unit_serial(jobs, fe, rep, preps, live)
     };
@@ -726,7 +741,11 @@ fn run_unit_serial<M>(
                 .into_iter()
                 .zip(group)
                 .map(|(sim, &j)| {
-                    crate::PipelineSink::new(sim, TimingModel::new(jobs[j].cfg.machine, nproc))
+                    crate::PipelineSink::new(
+                        sim,
+                        TimingModel::new(jobs[j].cfg.machine, nproc),
+                        jobs[j].cfg.engine,
+                    )
                 })
                 .collect();
             GroupSink { map, sinks }
@@ -855,6 +874,10 @@ struct ShardJob<'a> {
     map: Option<&'a Vec<u32>>,
     block_shift: u32,
     nbanks: u32,
+    /// Hot-path engine for this job's banks: chunked engines batch each
+    /// bank's owned references into fixed-width lanes in round A and
+    /// replay the stitched outcome stream chunk-wise in round B.
+    engine: SimEngine,
     banks: Vec<Mutex<BankCell>>,
     timing: Mutex<(TimingModel, Vec<u64>)>,
     failed: Mutex<Option<PipelineError>>,
@@ -874,17 +897,36 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
     preps: &[Result<Prep, PipelineError>],
     live: &[(&Vec<usize>, Option<Vec<u32>>)],
     shard_threads: usize,
+    strict_banks: bool,
 ) -> Vec<(usize, Result<RunResult, PipelineError>)> {
     let nproc = fe.nproc;
     let rep_layout = &preps[rep].as_ref().unwrap().layout;
     let split_at_sync = fsr_analysis::phase_profile(&fe.prog).splittable();
 
+    // Jobs whose bank negotiation fails under forced sharding are
+    // reported here and never enter the shard engine.
+    let mut no_plan: Vec<(usize, Result<RunResult, PipelineError>)> = Vec::new();
     let mut shard_jobs: Vec<ShardJob> = Vec::new();
     for (group, map) in live {
         let bound_bytes = group_bound_bytes(preps, group);
         for &j in group.iter() {
             let sim_cfg = sim_cfg_of(jobs, j, nproc);
-            let nbanks = BankedSim::auto_banks(&sim_cfg, shard_threads);
+            let engine = jobs[j].cfg.engine;
+            let nbanks = match BankedSim::negotiate_banks(&sim_cfg, engine, shard_threads) {
+                Ok(k) => k,
+                Err(e) if strict_banks => {
+                    no_plan.push((
+                        j,
+                        Err(PipelineError::Driver(DriverError::BankPlan {
+                            job_meta: format!("{:?}", jobs[j].meta),
+                            detail: e.to_string(),
+                        })),
+                    ));
+                    continue;
+                }
+                // Auto mode: banking is opportunistic — run unbanked.
+                Err(_) => 1,
+            };
             let sims: Vec<MultiSim> = (0..nbanks)
                 .map(|b| MultiSim::new_bank(sim_cfg, bound_bytes, b, nbanks))
                 .collect();
@@ -894,6 +936,7 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
                 map: map.as_ref(),
                 block_shift: sim_cfg.block_bytes.trailing_zeros(),
                 nbanks,
+                engine,
                 banks: sims
                     .into_iter()
                     .map(|sim| {
@@ -926,7 +969,10 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
     };
 
     // Round A: one shard simulates the addresses its bank owns, pushing
-    // outcomes in that bank's program order.
+    // outcomes in that bank's program order. Chunked engines batch the
+    // bank's owned references into fixed-width lanes; chunk boundaries
+    // are invisible in the results (the chunk replay is bit-identical to
+    // per-reference replay for any batching).
     let round_a = |seg: &[TraceEvent], t: usize| {
         let (s, bank) = bank_tasks[t];
         let sj = &shard_jobs[s];
@@ -934,13 +980,47 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
             return;
         }
         let r = catch_unwind(AssertUnwindSafe(|| {
-            let mut cell = sj.banks[bank as usize].lock().unwrap();
-            for e in seg {
-                if let TraceEvent::Access(r) = e {
-                    let addr = translate(sj.map, r.addr);
-                    if (addr >> sj.block_shift) % sj.nbanks == bank {
-                        let out = cell.sim.access(r.pid, addr, r.write);
-                        cell.outs.push(out);
+            let cell = &mut *sj.banks[bank as usize].lock().unwrap();
+            if sj.engine.chunked() {
+                let mut pid = [0u8; CHUNK_LANES];
+                let mut addr = [0u32; CHUNK_LANES];
+                let mut write = 0u64;
+                let mut n = 0usize;
+                let mut flush = |pid: &[u8], addr: &[u32], write: u64, n: usize| {
+                    let base = cell.outs.len();
+                    cell.outs.resize(base + n, Outcome::default());
+                    cell.sim
+                        .access_chunk(&pid[..n], &addr[..n], write, &mut cell.outs[base..]);
+                };
+                for e in seg {
+                    if let TraceEvent::Access(r) = e {
+                        let a = translate(sj.map, r.addr);
+                        if (a >> sj.block_shift) % sj.nbanks == bank {
+                            pid[n] = r.pid;
+                            addr[n] = a;
+                            if r.write {
+                                write |= 1 << n;
+                            }
+                            n += 1;
+                            if n == CHUNK_LANES {
+                                flush(&pid, &addr, write, n);
+                                n = 0;
+                                write = 0;
+                            }
+                        }
+                    }
+                }
+                if n > 0 {
+                    flush(&pid, &addr, write, n);
+                }
+            } else {
+                for e in seg {
+                    if let TraceEvent::Access(r) = e {
+                        let addr = translate(sj.map, r.addr);
+                        if (addr >> sj.block_shift) % sj.nbanks == bank {
+                            let out = cell.sim.access_with(sj.engine, r.pid, addr, r.write);
+                            cell.outs.push(out);
+                        }
                     }
                 }
             }
@@ -952,6 +1032,9 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
 
     // Round B: the timing stitch — replay the segment's events in
     // original order, consuming each bank's outcomes through a cursor.
+    // Chunked engines gather runs of consecutive accesses (between
+    // synchronization events) and replay each run through the fused
+    // `record_chunk` pass instead of one `record` call per reference.
     let round_b = |seg: &[TraceEvent], s: usize| {
         let sj = &shard_jobs[s];
         if sj.failed.lock().unwrap().is_some() {
@@ -961,21 +1044,71 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
             let mut cells: Vec<_> = sj.banks.iter().map(|m| m.lock().unwrap()).collect();
             let mut guard = sj.timing.lock().unwrap();
             let (timing, block_queue) = &mut *guard;
-            for e in seg {
-                match e {
-                    TraceEvent::Access(r) => {
-                        let addr = translate(sj.map, r.addr);
-                        let block = addr >> sj.block_shift;
-                        let cell = &mut cells[(block % sj.nbanks) as usize];
-                        let out = cell.outs[cell.cursor];
-                        cell.cursor += 1;
-                        let cost = timing.record(r.pid, r.gap, &out);
-                        if cost.queue > 0 {
-                            block_queue[block as usize] += cost.queue;
+            if sj.engine.chunked() {
+                let mut pid = [0u8; CHUNK_LANES];
+                let mut gap = [0u32; CHUNK_LANES];
+                let mut outs = [Outcome::default(); CHUNK_LANES];
+                let mut blocks = [0u32; CHUNK_LANES];
+                let mut n = 0usize;
+                let flush = |timing: &mut TimingModel,
+                             block_queue: &mut Vec<u64>,
+                             pid: &[u8],
+                             gap: &[u32],
+                             outs: &[Outcome],
+                             blocks: &[u32],
+                             n: usize| {
+                    timing.record_chunk(&pid[..n], &gap[..n], &outs[..n], |lane, cost| {
+                        block_queue[blocks[lane] as usize] += cost.queue;
+                    });
+                };
+                for e in seg {
+                    match e {
+                        TraceEvent::Access(r) => {
+                            let addr = translate(sj.map, r.addr);
+                            let block = addr >> sj.block_shift;
+                            let cell = &mut cells[(block % sj.nbanks) as usize];
+                            let out = cell.outs[cell.cursor];
+                            cell.cursor += 1;
+                            pid[n] = r.pid;
+                            gap[n] = r.gap;
+                            outs[n] = out;
+                            blocks[n] = block;
+                            n += 1;
+                            if n == CHUNK_LANES {
+                                flush(timing, block_queue, &pid, &gap, &outs, &blocks, n);
+                                n = 0;
+                            }
+                        }
+                        TraceEvent::Sync(pids) => {
+                            flush(timing, block_queue, &pid, &gap, &outs, &blocks, n);
+                            n = 0;
+                            timing.sync(pids);
+                        }
+                        TraceEvent::Handoff { from, to } => {
+                            flush(timing, block_queue, &pid, &gap, &outs, &blocks, n);
+                            n = 0;
+                            timing.handoff(*from, *to);
                         }
                     }
-                    TraceEvent::Sync(pids) => timing.sync(pids),
-                    TraceEvent::Handoff { from, to } => timing.handoff(*from, *to),
+                }
+                flush(timing, block_queue, &pid, &gap, &outs, &blocks, n);
+            } else {
+                for e in seg {
+                    match e {
+                        TraceEvent::Access(r) => {
+                            let addr = translate(sj.map, r.addr);
+                            let block = addr >> sj.block_shift;
+                            let cell = &mut cells[(block % sj.nbanks) as usize];
+                            let out = cell.outs[cell.cursor];
+                            cell.cursor += 1;
+                            let cost = timing.record(r.pid, r.gap, &out);
+                            if cost.queue > 0 {
+                                block_queue[block as usize] += cost.queue;
+                            }
+                        }
+                        TraceEvent::Sync(pids) => timing.sync(pids),
+                        TraceEvent::Handoff { from, to } => timing.handoff(*from, *to),
+                    }
                 }
             }
             for cell in cells.iter_mut() {
@@ -1013,7 +1146,7 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
         producer.join()
     });
 
-    match produced {
+    let mut out: Vec<(usize, Result<RunResult, PipelineError>)> = match produced {
         Err(p) => {
             let payload = panic_message(&*p);
             shard_jobs
@@ -1044,6 +1177,7 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
             .map(|sj| {
                 let ShardJob {
                     job: j,
+                    engine,
                     banks,
                     timing,
                     failed,
@@ -1061,6 +1195,8 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
                     sim: BankedSim::from_banks(sims),
                     timing,
                     block_queue,
+                    engine,
+                    chunk: crate::ChunkBuf::new(),
                 };
                 let prep = preps[j].as_ref().unwrap();
                 let r = sink.into_result(nproc, prep.plan.clone(), fin.stats.clone(), |addr| {
@@ -1071,7 +1207,9 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
                 (j, Ok(r))
             })
             .collect(),
-    }
+    };
+    out.append(&mut no_plan);
+    out
 }
 
 /// Run `n` indexed tasks on up to `threads` scoped workers, clamped to

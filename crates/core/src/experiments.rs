@@ -20,7 +20,7 @@
 use crate::driver::{run_batch, Job, PlanSourceSpec};
 use crate::{
     run_pipeline, InterconnectKind, MissKind, ObjCoherence, PipelineConfig, PipelineError,
-    PlanSource, ProtocolKind, RunResult, SimStats,
+    PlanSource, ProtocolKind, RunResult, SimEngine, SimStats,
 };
 use fsr_machine::SpeedupCurve;
 use fsr_transform::ObjPlan;
@@ -548,7 +548,7 @@ pub fn headline(nproc: i64, scale: i64, block: u32, threads: usize) -> Headline 
 
 /// One cell of the backend matrix: a (program, version, protocol,
 /// interconnect) run with its coherence-event observability.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct MatrixCell {
     pub program: String,
     pub version: String,
@@ -587,6 +587,35 @@ pub fn protocol_matrix(
     block: u32,
     threads: usize,
 ) -> Vec<MatrixCell> {
+    protocol_matrix_cells(
+        programs,
+        versions,
+        nproc,
+        scale,
+        block,
+        threads,
+        SimEngine::default(),
+        &ProtocolKind::ALL,
+        &InterconnectKind::ALL,
+    )
+}
+
+/// [`protocol_matrix`] generalized over the simulator engine and an
+/// explicit (protocol, interconnect) subset — the unit the matrix bench
+/// times per backend pair, and the sweep `bench_simd` replays per
+/// engine to prove the engines bit-identical at scale.
+#[allow(clippy::too_many_arguments)]
+pub fn protocol_matrix_cells(
+    programs: &[&str],
+    versions: &[Vsn],
+    nproc: i64,
+    scale: i64,
+    block: u32,
+    threads: usize,
+    engine: SimEngine,
+    protocols: &[ProtocolKind],
+    interconnects: &[InterconnectKind],
+) -> Vec<MatrixCell> {
     let set: Vec<_> = programs
         .iter()
         .filter_map(|n| fsr_workloads::by_name(n))
@@ -595,8 +624,8 @@ pub fn protocol_matrix(
     for (wi, w) in set.iter().enumerate() {
         let src: Arc<str> = Arc::from(w.source);
         for &v in versions {
-            for protocol in ProtocolKind::ALL {
-                for ic in InterconnectKind::ALL {
+            for &protocol in protocols {
+                for &ic in interconnects {
                     jobs.push(Job {
                         meta: MxMeta {
                             prog_idx: wi,
@@ -607,7 +636,9 @@ pub fn protocol_matrix(
                         src: src.clone(),
                         params: std_params(nproc, scale),
                         plan: plan_spec(w, v),
-                        cfg: PipelineConfig::with_block(block).with_backends(protocol, ic),
+                        cfg: PipelineConfig::with_block(block)
+                            .with_backends(protocol, ic)
+                            .with_engine(engine),
                     });
                 }
             }

@@ -32,13 +32,13 @@ pub use fsr_machine::{
 };
 pub use fsr_sim::{
     report::{ObjCoherence, ObjMisses},
-    CacheConfig, CoherenceEvent, CoherenceProtocol, MissKind, ProtocolKind, SimStats,
+    CacheConfig, CoherenceEvent, CoherenceProtocol, MissKind, ProtocolKind, SimEngine, SimStats,
 };
 pub use fsr_transform::{LayoutPlan, ObjPlan, PlanConfig};
 
-use fsr_interp::{MemRef, RunConfig, RunStats, TraceSink};
+use fsr_interp::{MemRef, RunConfig, RunStats, TraceEvent, TraceSink};
 use fsr_machine::TimingModel;
-use fsr_sim::BankedSim;
+use fsr_sim::{BankedSim, Outcome, CHUNK_LANES};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -83,6 +83,9 @@ pub struct PipelineConfig {
     pub machine: MachineConfig,
     pub run: RunConfig,
     pub plan_cfg: PlanConfig,
+    /// Simulator hot-path engine (see [`SimEngine`]). Every engine is
+    /// bit-identical; the default is the chunked SoA path.
+    pub engine: SimEngine,
 }
 
 impl Default for PipelineConfig {
@@ -95,6 +98,7 @@ impl Default for PipelineConfig {
             machine: MachineConfig::default(),
             run: RunConfig::default(),
             plan_cfg: PlanConfig::default(),
+            engine: SimEngine::default(),
         }
     }
 }
@@ -114,6 +118,12 @@ impl PipelineConfig {
     pub fn with_backends(mut self, protocol: ProtocolKind, ic: InterconnectKind) -> PipelineConfig {
         self.protocol = protocol;
         self.machine.interconnect = ic;
+        self
+    }
+
+    /// Select the simulator engine, leaving every other knob alone.
+    pub fn with_engine(mut self, engine: SimEngine) -> PipelineConfig {
+        self.engine = engine;
         self
     }
 }
@@ -227,6 +237,31 @@ pub fn resolve_nproc(prog: &Program) -> Result<u32, PipelineError> {
     Ok(fsr_analysis::require_nproc(prog)? as u32)
 }
 
+/// Fixed-width lane buffer for the chunked engine: references
+/// accumulate here until [`CHUNK_LANES`] are pending (or a
+/// synchronization event forces a flush), then replay as one batch
+/// through [`BankedSim::access_chunk`] + `TimingModel::record_chunk`.
+struct ChunkBuf {
+    len: usize,
+    pid: [u8; CHUNK_LANES],
+    addr: [u32; CHUNK_LANES],
+    gap: [u32; CHUNK_LANES],
+    /// Bit `i` set = lane `i` is a write.
+    write: u64,
+}
+
+impl ChunkBuf {
+    fn new() -> ChunkBuf {
+        ChunkBuf {
+            len: 0,
+            pid: [0; CHUNK_LANES],
+            addr: [0; CHUNK_LANES],
+            gap: [0; CHUNK_LANES],
+            write: 0,
+        }
+    }
+}
+
 /// Sink wiring the interpreter to the cache simulator and timing model.
 /// Also accumulates per-block interconnect queueing stalls (the sink is
 /// the one place that sees both the address and the transaction cost),
@@ -236,28 +271,69 @@ struct PipelineSink {
     sim: BankedSim,
     timing: TimingModel,
     block_queue: Vec<u64>,
+    engine: SimEngine,
+    chunk: ChunkBuf,
 }
 
 impl PipelineSink {
-    fn new(sim: BankedSim, timing: TimingModel) -> PipelineSink {
+    fn new(sim: BankedSim, timing: TimingModel, engine: SimEngine) -> PipelineSink {
         let nblocks = sim.num_blocks() as usize;
         PipelineSink {
             sim,
             timing,
             block_queue: vec![0; nblocks],
+            engine,
+            chunk: ChunkBuf::new(),
         }
+    }
+
+    /// Replay every buffered reference: one lane-parallel simulator
+    /// batch, then one fused timing pass over the outcome stream. A
+    /// no-op when nothing is buffered (and always, on the per-reference
+    /// engines, which never buffer).
+    fn flush_chunk(&mut self) {
+        let PipelineSink {
+            sim,
+            timing,
+            block_queue,
+            chunk,
+            ..
+        } = self;
+        let n = chunk.len;
+        if n == 0 {
+            return;
+        }
+        let bb = sim.block_bytes();
+        let mut outs = [Outcome::default(); CHUNK_LANES];
+        sim.access_chunk(
+            &chunk.pid[..n],
+            &chunk.addr[..n],
+            chunk.write,
+            &mut outs[..n],
+        );
+        timing.record_chunk(
+            &chunk.pid[..n],
+            &chunk.gap[..n],
+            &outs[..n],
+            |lane, cost| {
+                block_queue[(chunk.addr[lane] / bb) as usize] += cost.queue;
+            },
+        );
+        chunk.len = 0;
+        chunk.write = 0;
     }
 
     /// Fold the finished sink into a [`RunResult`], attributing misses,
     /// coherence events and queueing stalls per object through
     /// `name_of` (layout address → object name).
     fn into_result(
-        self,
+        mut self,
         nproc: u32,
         plan: LayoutPlan,
         interp: RunStats,
         mut name_of: impl FnMut(u32) -> Option<String>,
     ) -> RunResult {
+        self.flush_chunk();
         let per_obj = fsr_sim::report::attribute_misses_banked(&self.sim, &mut name_of);
         let mut per_obj_coherence =
             fsr_sim::report::attribute_coherence_banked(&self.sim, &mut name_of);
@@ -294,7 +370,21 @@ impl PipelineSink {
 
 impl TraceSink for PipelineSink {
     fn access(&mut self, r: MemRef) {
-        let outcome = self.sim.access(r.pid, r.addr, r.write);
+        if self.engine.chunked() {
+            let i = self.chunk.len;
+            self.chunk.pid[i] = r.pid;
+            self.chunk.addr[i] = r.addr;
+            self.chunk.gap[i] = r.gap;
+            if r.write {
+                self.chunk.write |= 1 << i;
+            }
+            self.chunk.len = i + 1;
+            if self.chunk.len == CHUNK_LANES {
+                self.flush_chunk();
+            }
+            return;
+        }
+        let outcome = self.sim.access_with(self.engine, r.pid, r.addr, r.write);
         let cost = self.timing.record(r.pid, r.gap, &outcome);
         if cost.queue > 0 {
             self.block_queue[(r.addr / self.sim.block_bytes()) as usize] += cost.queue;
@@ -302,10 +392,14 @@ impl TraceSink for PipelineSink {
     }
 
     fn sync(&mut self, pids: &[u32]) {
+        // Barrier release: clocks are about to align across processors,
+        // so pending lanes must land first.
+        self.flush_chunk();
         self.timing.sync(pids);
     }
 
     fn handoff(&mut self, from: u32, to: u32) {
+        self.flush_chunk();
         self.timing.handoff(from, to);
     }
 }
@@ -369,6 +463,7 @@ pub fn run_pipeline_checked(
     let mut sink = PipelineSink::new(
         BankedSim::new(sim_cfg, layout.total_words() * 4, 1),
         TimingModel::new(cfg.machine, nproc),
+        cfg.engine,
     );
     let fin = fsr_interp::run(prog, &layout, &code, cfg.run, &mut sink)?;
 
@@ -377,6 +472,110 @@ pub fn run_pipeline_checked(
             .attribute(addr)
             .map(|oid| prog.object(oid).name.clone())
     }))
+}
+
+/// A reference trace recorded once through the front half of the
+/// pipeline (parse, plan, lay out, interpret), ready to replay through
+/// [`replay_trace`] any number of times. The trace depends on the
+/// program, its parameters, and the layout plan — never on the
+/// coherence protocol, interconnect, or simulator engine — so one
+/// recording serves every backend and engine combination.
+pub struct RecordedTrace {
+    pub events: Vec<TraceEvent>,
+    pub nproc: u32,
+    /// Bytes of simulated address space the layout occupies.
+    pub addr_space_bytes: u32,
+    pub interp: RunStats,
+}
+
+impl RecordedTrace {
+    /// Memory references in the trace (excluding sync/handoff events).
+    pub fn num_refs(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Access(_)))
+            .count()
+    }
+}
+
+/// Run the front half of the pipeline once and capture the reference
+/// trace instead of simulating it. Pair with [`replay_trace`] to
+/// measure the simulation + timing back half in isolation: the
+/// interpreter's work is identical for every engine, so timing only
+/// the replay isolates exactly the code an engine selection changes
+/// (this is `bench_simd`'s measurement path).
+pub fn record_trace(
+    prog: &Program,
+    plan_source: PlanSource,
+    cfg: &PipelineConfig,
+) -> Result<RecordedTrace, PipelineError> {
+    struct Rec {
+        events: Vec<TraceEvent>,
+    }
+    impl TraceSink for Rec {
+        fn access(&mut self, r: MemRef) {
+            self.events.push(TraceEvent::Access(r));
+        }
+        fn sync(&mut self, pids: &[u32]) {
+            self.events.push(TraceEvent::Sync(pids.to_vec()));
+        }
+        fn handoff(&mut self, from: u32, to: u32) {
+            self.events.push(TraceEvent::Handoff { from, to });
+        }
+    }
+    let nproc = resolve_nproc(prog)?;
+    let plan = plan_of(prog, &plan_source, cfg)?;
+    let layout = fsr_layout::Layout::try_build(prog, &plan, nproc)?;
+    let code = fsr_interp::compile_program(prog)?;
+    let mut rec = Rec { events: Vec::new() };
+    let fin = fsr_interp::run(prog, &layout, &code, cfg.run, &mut rec)?;
+    Ok(RecordedTrace {
+        events: rec.events,
+        nproc,
+        addr_space_bytes: layout.total_words() * 4,
+        interp: fin.stats,
+    })
+}
+
+/// What one trace replay produced — the backend-dependent half of a
+/// [`RunResult`], for cross-engine equivalence assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayResult {
+    pub sim: SimStats,
+    pub exec_cycles: u64,
+    pub fs_stall_frac: f64,
+}
+
+/// Replay a recorded trace through the simulation + timing back half
+/// of the pipeline, exactly as [`run_pipeline`] would have driven it
+/// (same sink path, chunked buffering included), honoring
+/// `cfg`'s protocol, interconnect, and engine selection.
+pub fn replay_trace(trace: &RecordedTrace, cfg: &PipelineConfig) -> ReplayResult {
+    let sim_cfg = fsr_sim::CacheConfig {
+        nproc: trace.nproc,
+        block_bytes: cfg.block_bytes,
+        cache_bytes: cfg.cache_bytes,
+        assoc: cfg.assoc,
+        protocol: cfg.protocol,
+    };
+    let mut sink = PipelineSink::new(
+        BankedSim::new(sim_cfg, trace.addr_space_bytes, 1),
+        TimingModel::new(cfg.machine, trace.nproc),
+        cfg.engine,
+    );
+    for e in &trace.events {
+        match e {
+            TraceEvent::Access(r) => sink.access(*r),
+            TraceEvent::Sync(pids) => TraceSink::sync(&mut sink, pids),
+            TraceEvent::Handoff { from, to } => TraceSink::handoff(&mut sink, *from, *to),
+        }
+    }
+    sink.flush_chunk();
+    ReplayResult {
+        sim: sink.sim.stats(),
+        exec_cycles: sink.timing.finish_time(),
+        fs_stall_frac: sink.timing.false_sharing_stall_fraction(),
+    }
 }
 
 #[cfg(test)]

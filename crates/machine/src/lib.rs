@@ -478,7 +478,48 @@ impl TimingModel {
         if outcome.hit() {
             return TxCost::default();
         }
+        self.record_tx(pid, outcome)
+    }
 
+    /// Account one chunk of classified references in lane order —
+    /// the timing-side counterpart of the simulator's chunked replay.
+    /// Equivalent to calling [`TimingModel::record`] per lane; the hit
+    /// path (the common case) runs inline without routing, and
+    /// `on_cost(lane, cost)` fires for every lane that paid queueing
+    /// delay so callers can attribute it by address.
+    ///
+    /// Lanes must stay in order: per-processor clocks and channel
+    /// next-free times evolve lane to lane, so this is a fused loop,
+    /// not a reduction.
+    pub fn record_chunk(
+        &mut self,
+        pids: &[u8],
+        gaps: &[u32],
+        outs: &[Outcome],
+        mut on_cost: impl FnMut(usize, TxCost),
+    ) {
+        debug_assert_eq!(pids.len(), outs.len());
+        debug_assert_eq!(gaps.len(), outs.len());
+        for i in 0..outs.len() {
+            let p = pids[i] as usize;
+            let busy = gaps[i] as u64 + 1;
+            self.proc_time[p] += busy;
+            self.stats.busy[p] += busy;
+            if outs[i].hit() {
+                continue;
+            }
+            let cost = self.record_tx(pids[i], &outs[i]);
+            if cost.queue > 0 {
+                on_cost(i, cost);
+            }
+        }
+    }
+
+    /// The non-hit tail shared by [`TimingModel::record`] and
+    /// [`TimingModel::record_chunk`]: route the transaction, acquire
+    /// channels, account stall and queueing.
+    fn record_tx(&mut self, pid: u8, outcome: &Outcome) -> TxCost {
+        let p = pid as usize;
         let route = self
             .interconnect
             .route(&self.cfg, self.nproc, pid as u32, outcome);
@@ -1061,6 +1102,45 @@ mod tests {
             stats_holder.sync(&(0..8).collect::<Vec<_>>());
             assert_eq!(whole.finish_time(), stats_holder.finish_time());
             assert_eq!(whole.snapshot(), stats_holder.snapshot());
+        }
+    }
+
+    #[test]
+    fn record_chunk_matches_per_reference_record() {
+        for cfg in [MachineConfig::default(), bus_cfg(), dir_cfg()] {
+            // Mix hits in among the contended misses so the chunked hit
+            // fast path is exercised between transactions.
+            let stream: Vec<(u8, u32, Outcome)> = contended_stream(8, 150)
+                .into_iter()
+                .enumerate()
+                .map(|(i, (pid, gap, o))| {
+                    if i % 3 == 0 {
+                        (pid, gap + 2, hit())
+                    } else {
+                        (pid, gap, o)
+                    }
+                })
+                .collect();
+            let mut serial = TimingModel::new(cfg, 8);
+            let mut serial_costs = Vec::new();
+            for (pid, gap, o) in &stream {
+                let c = serial.record(*pid, *gap, o);
+                if c.queue > 0 {
+                    serial_costs.push(c);
+                }
+            }
+            let mut chunked = TimingModel::new(cfg, 8);
+            let mut chunk_costs = Vec::new();
+            for win in stream.chunks(17) {
+                let pids: Vec<u8> = win.iter().map(|r| r.0).collect();
+                let gaps: Vec<u32> = win.iter().map(|r| r.1).collect();
+                let outs: Vec<Outcome> = win.iter().map(|r| r.2).collect();
+                chunked.record_chunk(&pids, &gaps, &outs, |_, c| chunk_costs.push(c));
+            }
+            assert_eq!(serial.snapshot(), chunked.snapshot());
+            assert_eq!(serial.stats(), chunked.stats());
+            assert_eq!(serial.finish_time(), chunked.finish_time());
+            assert_eq!(serial_costs, chunk_costs);
         }
     }
 

@@ -202,8 +202,10 @@ impl CoherenceEvent {
     }
 }
 
-/// Result of one access, consumed by the timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Result of one access, consumed by the timing model. `Default` is an
+/// inert placeholder (a hit with no coherence side effects) used to
+/// pre-size chunk outcome buffers before the simulator fills them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Outcome {
     pub miss: Option<MissKind>,
     /// Block index of the referenced address — home-node interconnects
@@ -459,19 +461,126 @@ pub enum DirState {
     Exclusive,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    block: u32,
-    state: LineState,
-    lru: u64,
+/// How a simulator replays its reference stream. All three engines
+/// drive the *same* struct-of-arrays state through the *same*
+/// transition body ([`MultiSim::step`]), so results are bit-identical
+/// by construction; they differ only in how much per-reference work
+/// they amortize.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum SimEngine {
+    /// One reference at a time through the full transition match — the
+    /// pre-vectorization baseline path.
+    Scalar,
+    /// One reference at a time, but probe-first over the SoA planes:
+    /// the dominant hit cases (read hits, Modified/Exclusive write
+    /// hits) are applied without entering the transition match.
+    Soa,
+    /// Buffer references into fixed-width chunks ([`CHUNK_LANES`]),
+    /// decode all lanes with `fsr-simdlite` array kernels, resolve
+    /// block/set conflicts, apply independent hit lanes in a single
+    /// probe pass with chunk-aggregated counters, and replay the rest
+    /// through [`MultiSim::step`] in lane order. The default engine.
+    #[default]
+    SoaChunked,
 }
+
+impl SimEngine {
+    pub const ALL: [SimEngine; 3] = [SimEngine::Scalar, SimEngine::Soa, SimEngine::SoaChunked];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SimEngine::Scalar => "scalar",
+            SimEngine::Soa => "soa",
+            SimEngine::SoaChunked => "soa-chunked",
+        }
+    }
+
+    /// Parse a CLI/env spelling of an engine name.
+    pub fn parse(s: &str) -> Option<SimEngine> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimEngine::Scalar),
+            "soa" => Some(SimEngine::Soa),
+            "soa-chunked" | "soa_chunked" | "chunked" => Some(SimEngine::SoaChunked),
+            _ => None,
+        }
+    }
+
+    /// Whether this engine replays through the chunked batch path (and
+    /// therefore wants chunk-friendly bank counts — see
+    /// [`BankedSim::negotiate_banks`]).
+    pub fn chunked(self) -> bool {
+        matches!(self, SimEngine::SoaChunked)
+    }
+}
+
+impl fmt::Display for SimEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Width of one replay chunk: one lane per bit of a `u64` mask, so
+/// write flags, independence masks, and sharer ballots all fit machine
+/// words.
+pub const CHUNK_LANES: usize = 64;
+
+/// Engine-aware bank negotiation failed: no bank count > 1 satisfies
+/// both the banking invariant (`nbanks` divides `num_sets`) and the
+/// engine's chunk-friendliness constraint within the requested cap.
+/// Returned by [`BankedSim::negotiate_banks`] so callers that *forced*
+/// sharding fail loudly instead of silently degrading to one bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankPlanError {
+    pub engine: SimEngine,
+    pub num_sets: u32,
+    pub cap: usize,
+}
+
+impl fmt::Display for BankPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no usable bank split: engine `{}` needs a bank count that divides num_sets={}{} \
+             and no such count in 2..={} exists (only 1 bank fits; widen the cap, change the \
+             cache geometry, or accept unbanked replay)",
+            self.engine,
+            self.num_sets,
+            if self.engine.chunked() {
+                " and is a power of two (chunk lanes route to banks by mask)"
+            } else {
+                ""
+            },
+            self.cap,
+        )
+    }
+}
+
+impl std::error::Error for BankPlanError {}
 
 const NEVER: u64 = 0;
 
 /// One processor's cache (or, for a banked simulator, the slice of it
 /// whose sets belong to the bank — see [`MultiSim::new_bank`]).
+///
+/// Line state is struct-of-arrays: three parallel per-way planes
+/// (`tag`, `state`, `lru`), indexed `set * assoc + way`. Probing a set
+/// then touches `assoc` contiguous lanes of each plane the probe
+/// actually needs — a tag match reads only `tag`/`state`, never the
+/// 8-byte LRU stamps — which is what makes the chunked replay's probe
+/// pass cache-friendly. A lane whose `state` is [`LineState::Invalid`]
+/// is empty; its `tag` is left in place on invalidation (see
+/// [`Cache::lose`]), which the chunked engine's conflict argument
+/// relies on: a stale tag never matches a *different* block, so an
+/// invalidation in one lane cannot change another block's probe.
 struct Cache {
-    sets: Vec<Line>,
+    /// Per way: block index cached in the way (`u32::MAX` = never used).
+    tag: Vec<u32>,
+    /// Per way: MSI/MESI line state.
+    state: Vec<LineState>,
+    /// Per way: bank time of last touch, for LRU victim selection.
+    lru: Vec<u64>,
     /// Sets of the *full* cache; the bank holds `num_sets / nbanks`.
     num_sets: u32,
     assoc: u32,
@@ -484,15 +593,11 @@ struct Cache {
 
 impl Cache {
     fn new(cfg: &CacheConfig, nblocks_local: u32, nbanks: u32) -> Cache {
+        let ways = (cfg.num_sets() / nbanks * cfg.assoc) as usize;
         Cache {
-            sets: vec![
-                Line {
-                    block: u32::MAX,
-                    state: LineState::Invalid,
-                    lru: 0,
-                };
-                (cfg.num_sets() / nbanks * cfg.assoc) as usize
-            ],
+            tag: vec![u32::MAX; ways],
+            state: vec![LineState::Invalid; ways],
+            lru: vec![0; ways],
             num_sets: cfg.num_sets(),
             assoc: cfg.assoc,
             nbanks,
@@ -512,7 +617,7 @@ impl Cache {
 
     fn find(&self, block: u32) -> Option<usize> {
         self.set_range(block)
-            .find(|&i| self.sets[i].state != LineState::Invalid && self.sets[i].block == block)
+            .find(|&i| self.state[i] != LineState::Invalid && self.tag[i] == block)
     }
 
     /// Choose a victim way in the block's set (an invalid way if any,
@@ -522,11 +627,11 @@ impl Cache {
         let mut best = range.start;
         let mut best_lru = u64::MAX;
         for i in range {
-            if self.sets[i].state == LineState::Invalid {
+            if self.state[i] == LineState::Invalid {
                 return i;
             }
-            if self.sets[i].lru < best_lru {
-                best_lru = self.sets[i].lru;
+            if self.lru[i] < best_lru {
+                best_lru = self.lru[i];
                 best = i;
             }
         }
@@ -534,10 +639,10 @@ impl Cache {
     }
 
     fn lose(&mut self, way: usize, time: u64, reason: LostReason) {
-        let b = (self.sets[way].block / self.nbanks) as usize;
+        let b = (self.tag[way] / self.nbanks) as usize;
         self.lost_time[b] = time;
         self.lost_reason[b] = reason;
-        self.sets[way].state = LineState::Invalid;
+        self.state[way] = LineState::Invalid;
     }
 }
 
@@ -714,7 +819,7 @@ impl MultiSim {
     /// ([`LineState::Invalid`] when not resident).
     pub fn line_state(&self, pid: u8, block: u32) -> LineState {
         match self.caches[pid as usize].find(block) {
-            Some(way) => self.caches[pid as usize].sets[way].state,
+            Some(way) => self.caches[pid as usize].state[way],
             None => LineState::Invalid,
         }
     }
@@ -745,11 +850,25 @@ impl MultiSim {
     }
 
     /// Simulate one reference (the address must fall in this bank when
-    /// `nbanks > 1`).
+    /// `nbanks > 1`). This is the [`SimEngine::Scalar`] replay path:
+    /// advance the clock, then take the full transition.
     pub fn access(&mut self, pid: u8, addr: u32, write: bool) -> Outcome {
+        self.time += 1;
+        self.step(pid, addr, write)
+    }
+
+    /// The transition body every engine funnels through: simulate one
+    /// reference at the already-advanced clock `self.time`. The scalar
+    /// engine calls it per reference; the SoA engine only for
+    /// references its probe-first fast path cannot apply; the chunked
+    /// engine for each dependent ("slow") lane, with the clock pinned
+    /// to the lane's serial timestamp. Keeping one body is what makes
+    /// the engines bit-identical — and is the single copy that replaced
+    /// the formerly duplicated `MultiSim::access`/`BankedSim::access`
+    /// match trees.
+    fn step(&mut self, pid: u8, addr: u32, write: bool) -> Outcome {
         let p = pid as usize;
         debug_assert!(p < self.caches.len());
-        self.time += 1;
         self.stats.refs += 1;
         if write {
             self.stats.writes += 1;
@@ -763,8 +882,8 @@ impl MultiSim {
 
         let outcome = match self.caches[p].find(block) {
             Some(way) => {
-                self.caches[p].sets[way].lru = self.time;
-                match (self.caches[p].sets[way].state, write) {
+                self.caches[p].lru[way] = self.time;
+                match (self.caches[p].state[way], write) {
                     (LineState::Modified, _)
                     | (LineState::Shared, false)
                     | (LineState::Exclusive, false) => Outcome {
@@ -776,7 +895,7 @@ impl MultiSim {
                     },
                     (LineState::Exclusive, true) => {
                         // Silent upgrade: the only copy, no transaction.
-                        self.caches[p].sets[way].state = LineState::Modified;
+                        self.caches[p].state[way] = LineState::Modified;
                         self.stats.exclusive_hits += 1;
                         self.per_block_events[bs][CoherenceEvent::ExclusiveHit as usize] += 1;
                         Outcome {
@@ -790,7 +909,7 @@ impl MultiSim {
                     (LineState::Shared, true) => {
                         // Upgrade: invalidate all other sharers.
                         let inv = self.invalidate_others(block, pid);
-                        self.caches[p].sets[way].state = LineState::Modified;
+                        self.caches[p].state[way] = LineState::Modified;
                         self.owner[bs] = pid;
                         self.stats.upgrades += 1;
                         self.per_block_events[bs][CoherenceEvent::Upgrade as usize] += 1;
@@ -837,7 +956,7 @@ impl MultiSim {
                     if o != NO_OWNER && o != pid {
                         let oc = &mut self.caches[o as usize];
                         if let Some(oway) = oc.find(block) {
-                            oc.sets[oway].state = LineState::Shared;
+                            oc.state[oway] = LineState::Shared;
                             self.stats.interventions += 1;
                             self.per_block_events[bs][CoherenceEvent::Intervention as usize] += 1;
                         }
@@ -908,21 +1027,232 @@ impl MultiSim {
 
     fn install(&mut self, p: usize, block: u32, state: LineState) {
         let way = self.caches[p].victim(block);
-        let old = self.caches[p].sets[way];
-        if old.state != LineState::Invalid {
-            let ob = old.block;
-            let obs = (ob / self.nbanks) as usize;
+        if self.caches[p].state[way] != LineState::Invalid {
+            let obs = (self.caches[p].tag[way] / self.nbanks) as usize;
             self.caches[p].lose(way, self.time, LostReason::Eviction);
             self.sharers[obs] &= !(1u64 << p);
             if self.owner[obs] == p as u8 {
                 self.owner[obs] = NO_OWNER;
             }
         }
-        self.caches[p].sets[way] = Line {
-            block,
-            state,
-            lru: self.time,
-        };
+        let c = &mut self.caches[p];
+        c.tag[way] = block;
+        c.state[way] = state;
+        c.lru[way] = self.time;
+    }
+
+    /// Simulate one reference on the [`SimEngine::Soa`] path: probe the
+    /// SoA planes first and apply the dominant hit cases — read hits in
+    /// any valid state, write hits on Modified, and the silent
+    /// Exclusive→Modified upgrade — without entering the transition
+    /// match. Everything else (misses, Shared-write upgrades) falls
+    /// through to [`Self::step`]. Bit-identical to [`Self::access`].
+    pub fn access_soa(&mut self, pid: u8, addr: u32, write: bool) -> Outcome {
+        self.time += 1;
+        let p = pid as usize;
+        let block = addr >> self.block_shift;
+        if let Some(way) = self.caches[p].find(block) {
+            let st = self.caches[p].state[way];
+            if !write || st == LineState::Modified || st == LineState::Exclusive {
+                let bs = self.slot(block);
+                self.stats.refs += 1;
+                self.per_block_refs[bs] += 1;
+                self.caches[p].lru[way] = self.time;
+                if write {
+                    self.stats.writes += 1;
+                    if st == LineState::Exclusive {
+                        // Silent upgrade: the only copy, no transaction.
+                        self.caches[p].state[way] = LineState::Modified;
+                        self.stats.exclusive_hits += 1;
+                        self.per_block_events[bs][CoherenceEvent::ExclusiveHit as usize] += 1;
+                    }
+                    let word = bs * self.wpb as usize + ((addr / 4) % self.wpb) as usize;
+                    self.word_write_time[word] = self.time;
+                } else {
+                    self.stats.reads += 1;
+                }
+                return Outcome {
+                    miss: None,
+                    block,
+                    supplier: None,
+                    upgrade: false,
+                    invalidations: 0,
+                };
+            }
+        }
+        self.step(pid, addr, write)
+    }
+
+    /// Simulate one reference on the engine's per-reference path —
+    /// the routing shim the chunked sinks use for leftovers and that
+    /// [`BankedSim::access_with`] forwards to.
+    pub fn access_with(&mut self, engine: SimEngine, pid: u8, addr: u32, write: bool) -> Outcome {
+        match engine {
+            SimEngine::Scalar => self.access(pid, addr, write),
+            // The chunked engine's per-reference fallback *is* the SoA
+            // path (chunking only changes how references are batched).
+            SimEngine::Soa | SimEngine::SoaChunked => self.access_soa(pid, addr, write),
+        }
+    }
+
+    /// Replay one chunk of up to [`CHUNK_LANES`] references
+    /// lane-parallel ([`SimEngine::SoaChunked`]). Lane `i` carries
+    /// `(pids[i], addrs[i], write_mask bit i)`; `outs[i]` receives its
+    /// outcome. Equivalent to calling [`Self::access`] per lane in lane
+    /// order, bit-for-bit (asserted by the equivalence proptests).
+    ///
+    /// Strategy: decode all lanes with `fsr-simdlite` array kernels
+    /// (block index, bank-local set, word offset — strength-reduced to
+    /// shifts and masks, since geometry is power-of-two on the
+    /// negotiated chunked path), then run one fused in-order pass with
+    /// a set-granular taint rule: a lane is applied fast iff it probes
+    /// as a read hit, Modified-write hit, or Exclusive-write hit AND no
+    /// earlier *slow* lane of this chunk touched its cache set. Slow
+    /// lanes — misses, Shared-write upgrades, and tainted lanes — are
+    /// deferred and replayed through [`Self::step`] in lane order with
+    /// the clock pinned to their serial timestamp `base + lane + 1`.
+    /// Hits never taint, so the common trace shape — a run of
+    /// consecutive references to one hot block — stays on the fast
+    /// path. The taint state is a single `u64` bitmap indexed by
+    /// `set & 63` held in a register: exact for the default geometry
+    /// (64 sets per bank or fewer), conservatively aliased — never
+    /// unsound — beyond it.
+    ///
+    /// Why set tainting is sufficient: every mutation a slow lane can
+    /// make lands in its own block's set — tag-matched ways of that
+    /// block in *any* cache (invalidations, downgrades; [`Cache::lose`]
+    /// never clears tags), victim selection and install in its own
+    /// `(pid, set)` (the victim, by construction, maps to the same
+    /// set), and that block's word clock, sharers, and per-block
+    /// counters. A fast lane reads and writes only its own way's
+    /// `lru`/`state` plane lanes (state only the silent
+    /// Exclusive→Modified flip, which no probe distinguishes from
+    /// Modified), its own block's word clock, and commutative counters
+    /// — all within its own set. Demoting every later lane whose set an
+    /// earlier slow lane touched therefore leaves no read or write
+    /// overlap between fast applications and deferred slow transitions.
+    pub fn access_chunk(
+        &mut self,
+        pids: &[u8],
+        addrs: &[u32],
+        write_mask: u64,
+        outs: &mut [Outcome],
+    ) {
+        let n = addrs.len();
+        debug_assert!(n <= CHUNK_LANES);
+        debug_assert_eq!(pids.len(), n);
+        debug_assert_eq!(outs.len(), n);
+        if n == 0 {
+            return;
+        }
+        let num_sets = self.caches[0].num_sets;
+        // The decode below strength-reduces to shifts and masks, which
+        // needs power-of-two geometry — guaranteed on the negotiated
+        // chunked path ([`BankedSim::negotiate_banks`]); any other
+        // caller replays per reference, bit-identically.
+        if !num_sets.is_power_of_two() || !self.nbanks.is_power_of_two() {
+            for i in 0..n {
+                outs[i] = self.access_soa(pids[i], addrs[i], write_mask >> i & 1 == 1);
+            }
+            return;
+        }
+        let base = self.time;
+        let bank_shift = self.nbanks.trailing_zeros();
+        let wpb_shift = self.wpb.trailing_zeros();
+        let assoc = self.caches[0].assoc as usize;
+
+        // Lane decode, whole chunk at once: block index, bank-local
+        // set, word offset within the block.
+        let mut block = [0u32; CHUNK_LANES];
+        let mut lset = [0u32; CHUNK_LANES];
+        let mut woff = [0u32; CHUNK_LANES];
+        fsr_simdlite::shr(&mut block[..n], addrs, self.block_shift);
+        {
+            let mut setq = [0u32; CHUNK_LANES];
+            fsr_simdlite::and(&mut setq[..n], &block[..n], num_sets - 1);
+            fsr_simdlite::shr(&mut lset[..n], &setq[..n], bank_shift);
+        }
+        {
+            let mut w4 = [0u32; CHUNK_LANES];
+            fsr_simdlite::shr(&mut w4[..n], addrs, 2);
+            fsr_simdlite::and(&mut woff[..n], &w4[..n], self.wpb - 1);
+        }
+
+        // Fused in-order pass: probe, apply hits fast with chunk-local
+        // counter accumulation, taint and defer everything else. The
+        // taint bitmap lives in a register; within one bank every block
+        // with the same bank-local set has the same set, so `lset` is
+        // the exact key (aliased through `& 63` only for geometries
+        // with more than 64 sets per bank).
+        let mut taint: u64 = 0;
+        let mut slow = [0u8; CHUNK_LANES];
+        let mut nslow = 0usize;
+        let mut fast_reads = 0u64;
+        let mut fast_writes = 0u64;
+        let mut fast_ex = 0u64;
+        for i in 0..n {
+            let b = block[i];
+            let bs = (b >> bank_shift) as usize;
+            let p = pids[i] as usize;
+            let write = write_mask >> i & 1 == 1;
+            if taint & (1u64 << (lset[i] & 63)) == 0 {
+                let w0 = lset[i] as usize * assoc;
+                let c = &self.caches[p];
+                // First *valid* tag match, exactly as [`Cache::find`]
+                // (a stale tag can linger in an Invalid way).
+                let mut way = usize::MAX;
+                for w in w0..w0 + assoc {
+                    if c.tag[w] == b && c.state[w] != LineState::Invalid {
+                        way = w;
+                        break;
+                    }
+                }
+                if way != usize::MAX {
+                    let st = self.caches[p].state[way];
+                    if !write || st != LineState::Shared {
+                        let t = base + i as u64 + 1;
+                        self.caches[p].lru[way] = t;
+                        if write {
+                            if st == LineState::Exclusive {
+                                self.caches[p].state[way] = LineState::Modified;
+                                fast_ex += 1;
+                                self.per_block_events[bs][CoherenceEvent::ExclusiveHit as usize] +=
+                                    1;
+                            }
+                            self.word_write_time[(bs << wpb_shift) + woff[i] as usize] = t;
+                            fast_writes += 1;
+                        } else {
+                            fast_reads += 1;
+                        }
+                        self.per_block_refs[bs] += 1;
+                        outs[i] = Outcome {
+                            miss: None,
+                            block: b,
+                            supplier: None,
+                            upgrade: false,
+                            invalidations: 0,
+                        };
+                        continue;
+                    }
+                }
+            }
+            taint |= 1u64 << (lset[i] & 63);
+            slow[nslow] = i as u8;
+            nslow += 1;
+        }
+        self.stats.refs += fast_reads + fast_writes;
+        self.stats.reads += fast_reads;
+        self.stats.writes += fast_writes;
+        self.stats.exclusive_hits += fast_ex;
+
+        // Slow pass: tainted lanes and non-trivial transitions, in lane
+        // order at their serial timestamps.
+        for &li in &slow[..nslow] {
+            let i = li as usize;
+            self.time = base + i as u64 + 1;
+            outs[i] = self.step(pids[i], addrs[i], write_mask >> i & 1 == 1);
+        }
+        self.time = base + n as u64;
     }
 }
 
@@ -977,6 +1307,10 @@ impl BankedSim {
     /// Largest bank count that is at most `cap` and divides the
     /// configuration's set count — the invariant [`MultiSim::new_bank`]
     /// requires. Always at least 1.
+    ///
+    /// Engine-oblivious and infallible; callers that know the replay
+    /// engine (and want a loud failure instead of a silent degrade to
+    /// one bank) should use [`BankedSim::negotiate_banks`].
     pub fn auto_banks(cfg: &CacheConfig, cap: usize) -> u32 {
         let sets = cfg.num_sets();
         let mut k = (cap.min(u32::MAX as usize) as u32).clamp(1, sets);
@@ -984,6 +1318,46 @@ impl BankedSim {
             k -= 1;
         }
         k
+    }
+
+    /// Engine-aware bank negotiation: the largest bank count at most
+    /// `cap` that (a) divides the configuration's set count — the
+    /// correctness invariant banking rests on — and (b) is
+    /// chunk-friendly for the engine: the chunked engine routes lanes
+    /// to banks with mask/shift arithmetic, so its bank counts must be
+    /// powers of two.
+    ///
+    /// Unlike [`BankedSim::auto_banks`], asking for parallelism the
+    /// geometry cannot deliver is an *error*: if `cap > 1` and the
+    /// cache has more than one set but no admissible count above 1
+    /// exists, this returns [`BankPlanError`] instead of silently
+    /// planning a single bank. A `cap` of 1 (or a single-set cache) is
+    /// an explicit request for unbanked replay and stays `Ok(1)`.
+    pub fn negotiate_banks(
+        cfg: &CacheConfig,
+        engine: SimEngine,
+        cap: usize,
+    ) -> Result<u32, BankPlanError> {
+        let sets = cfg.num_sets();
+        let cap32 = (cap.min(u32::MAX as usize) as u32).min(sets);
+        let mut best = 1u32;
+        for k in 1..=cap32 {
+            if !sets.is_multiple_of(k) {
+                continue;
+            }
+            if engine.chunked() && !k.is_power_of_two() {
+                continue;
+            }
+            best = k;
+        }
+        if best == 1 && cap > 1 && sets > 1 {
+            return Err(BankPlanError {
+                engine,
+                num_sets: sets,
+                cap,
+            });
+        }
+        Ok(best)
     }
 
     /// One banked simulator per configuration, each over the same
@@ -1062,6 +1436,69 @@ impl BankedSim {
     pub fn access(&mut self, pid: u8, addr: u32, write: bool) -> Outcome {
         let b = self.bank_of_addr(addr);
         self.banks[b].access(pid, addr, write)
+    }
+
+    /// Simulate one reference on the chosen engine's per-reference
+    /// path, routed to the owning bank.
+    pub fn access_with(&mut self, engine: SimEngine, pid: u8, addr: u32, write: bool) -> Outcome {
+        let b = self.bank_of_addr(addr);
+        self.banks[b].access_with(engine, pid, addr, write)
+    }
+
+    /// Replay one chunk of up to [`CHUNK_LANES`] references
+    /// lane-parallel, routed per bank: lanes are partitioned by owning
+    /// bank (order-preserving, so each bank sees its sub-stream in
+    /// program order — exactly what the banking equivalence argument
+    /// requires), each bank replays its sub-chunk via
+    /// [`MultiSim::access_chunk`], and outcomes are scattered back to
+    /// lane positions. Bit-identical to per-reference routed replay.
+    pub fn access_chunk(
+        &mut self,
+        pids: &[u8],
+        addrs: &[u32],
+        write_mask: u64,
+        outs: &mut [Outcome],
+    ) {
+        if self.nbanks == 1 {
+            return self.banks[0].access_chunk(pids, addrs, write_mask, outs);
+        }
+        let n = addrs.len();
+        debug_assert!(n <= CHUNK_LANES);
+        let mut sub_pid = [0u8; CHUNK_LANES];
+        let mut sub_addr = [0u32; CHUNK_LANES];
+        let mut sub_lane = [0u8; CHUNK_LANES];
+        let mut sub_out = [Outcome {
+            miss: None,
+            block: 0,
+            supplier: None,
+            upgrade: false,
+            invalidations: 0,
+        }; CHUNK_LANES];
+        for b in 0..self.nbanks as usize {
+            let mut m = 0usize;
+            let mut sub_writes = 0u64;
+            for i in 0..n {
+                if self.bank_of_addr(addrs[i]) == b {
+                    sub_pid[m] = pids[i];
+                    sub_addr[m] = addrs[i];
+                    sub_writes |= (write_mask >> i & 1) << m;
+                    sub_lane[m] = i as u8;
+                    m += 1;
+                }
+            }
+            if m == 0 {
+                continue;
+            }
+            self.banks[b].access_chunk(
+                &sub_pid[..m],
+                &sub_addr[..m],
+                sub_writes,
+                &mut sub_out[..m],
+            );
+            for j in 0..m {
+                outs[sub_lane[j] as usize] = sub_out[j];
+            }
+        }
     }
 
     /// Aggregate statistics, merged across banks — bit-identical to an
@@ -1584,6 +2021,187 @@ mod tests {
             protocol: ProtocolKind::Msi,
         };
         MultiSim::new_bank(cfg, 1 << 14, 0, 3);
+    }
+
+    /// Replay `stream` on each engine (per-reference for Scalar/Soa,
+    /// chunked with the given chunk sizes for SoaChunked) and assert
+    /// outcomes and every observable counter are bit-identical.
+    fn assert_engines_equivalent(kind: ProtocolKind, nbanks: u32, chunk_sizes: &[usize]) {
+        let cfg = CacheConfig {
+            nproc: 4,
+            block_bytes: 64,
+            cache_bytes: 1024,
+            assoc: 2,
+            protocol: kind,
+        };
+        let stream = stress_stream(4);
+        let mut scalar = BankedSim::new(cfg, 1 << 14, nbanks);
+        let mut soa = BankedSim::new(cfg, 1 << 14, nbanks);
+        let mut chunked = BankedSim::new(cfg, 1 << 14, nbanks);
+        let scalar_outs: Vec<Outcome> = stream
+            .iter()
+            .map(|&(pid, addr, w)| scalar.access(pid, addr, w))
+            .collect();
+        let soa_outs: Vec<Outcome> = stream
+            .iter()
+            .map(|&(pid, addr, w)| soa.access_with(SimEngine::Soa, pid, addr, w))
+            .collect();
+        assert_eq!(scalar_outs, soa_outs, "{} soa", kind.name());
+        let mut chunk_outs = vec![
+            Outcome {
+                miss: None,
+                block: 0,
+                supplier: None,
+                upgrade: false,
+                invalidations: 0,
+            };
+            stream.len()
+        ];
+        let mut at = 0usize;
+        let mut csz = chunk_sizes.iter().cycle();
+        while at < stream.len() {
+            let n = (*csz.next().unwrap()).min(stream.len() - at).max(1);
+            let pids: Vec<u8> = stream[at..at + n].iter().map(|r| r.0).collect();
+            let addrs: Vec<u32> = stream[at..at + n].iter().map(|r| r.1).collect();
+            let mut wmask = 0u64;
+            for (i, r) in stream[at..at + n].iter().enumerate() {
+                wmask |= (r.2 as u64) << i;
+            }
+            chunked.access_chunk(&pids, &addrs, wmask, &mut chunk_outs[at..at + n]);
+            at += n;
+        }
+        assert_eq!(scalar_outs, chunk_outs, "{} chunked", kind.name());
+        assert_eq!(scalar.snapshot(), soa.snapshot(), "{}", kind.name());
+        assert_eq!(scalar.snapshot(), chunked.snapshot(), "{}", kind.name());
+        assert_eq!(scalar.per_block_misses(), chunked.per_block_misses());
+        assert_eq!(scalar.per_block_events(), chunked.per_block_events());
+        assert_eq!(scalar.per_block_refs(), chunked.per_block_refs());
+    }
+
+    #[test]
+    fn engines_are_bit_identical_for_every_protocol() {
+        for &kind in &ProtocolKind::ALL {
+            assert_engines_equivalent(kind, 1, &[CHUNK_LANES]);
+        }
+    }
+
+    #[test]
+    fn engines_are_bit_identical_with_ragged_chunks() {
+        for &kind in &ProtocolKind::ALL {
+            assert_engines_equivalent(kind, 1, &[1, 7, 64, 3, 33]);
+        }
+    }
+
+    #[test]
+    fn engines_are_bit_identical_under_banking() {
+        for &kind in &ProtocolKind::ALL {
+            for nbanks in [2u32, 4, 8] {
+                assert_engines_equivalent(kind, nbanks, &[CHUNK_LANES, 13]);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_timestamps_continue_the_scalar_clock() {
+        // A chunked replay must leave the bank clock exactly where a
+        // scalar replay would, so mixing entry points mid-stream (the
+        // sinks flush partial chunks at sync boundaries) stays exact.
+        let cfg = CacheConfig {
+            nproc: 2,
+            block_bytes: 64,
+            cache_bytes: 1024,
+            assoc: 2,
+            protocol: ProtocolKind::Msi,
+        };
+        let stream = stress_stream(2);
+        let mut a = MultiSim::new(cfg, 1 << 14);
+        let mut b = MultiSim::new(cfg, 1 << 14);
+        let mut outs = [Outcome {
+            miss: None,
+            block: 0,
+            supplier: None,
+            upgrade: false,
+            invalidations: 0,
+        }; CHUNK_LANES];
+        for (i, &(pid, addr, w)) in stream.iter().enumerate() {
+            let want = a.access(pid, addr, w);
+            // Alternate chunk-of-one and scalar calls.
+            let got = if i % 2 == 0 {
+                b.access_chunk(&[pid], &[addr], w as u64, &mut outs[..1]);
+                outs[0]
+            } else {
+                b.access(pid, addr, w)
+            };
+            assert_eq!(want, got, "ref {i}");
+        }
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn negotiate_banks_respects_engine_constraints() {
+        // 1024B / 64B / assoc 2 -> 8 sets.
+        let cfg = CacheConfig {
+            nproc: 2,
+            block_bytes: 64,
+            cache_bytes: 1024,
+            assoc: 2,
+            protocol: ProtocolKind::Msi,
+        };
+        for engine in SimEngine::ALL {
+            let k = BankedSim::negotiate_banks(&cfg, engine, 8).unwrap();
+            assert_eq!(k, 8, "{engine}");
+            assert_eq!(BankedSim::negotiate_banks(&cfg, engine, 1).unwrap(), 1);
+        }
+        // 4096B / 64B / assoc 1 -> 64 sets; cap 6: scalar may take 4
+        // (largest divisor <= 6 that is... 4), chunked also 4.
+        let cfg64 = CacheConfig {
+            nproc: 2,
+            block_bytes: 64,
+            cache_bytes: 4096,
+            assoc: 1,
+            protocol: ProtocolKind::Msi,
+        };
+        assert_eq!(
+            BankedSim::negotiate_banks(&cfg64, SimEngine::SoaChunked, 6).unwrap(),
+            4
+        );
+    }
+
+    #[test]
+    fn negotiate_banks_errors_instead_of_silently_degrading() {
+        // 1152B / 64B / assoc 2 -> 9 sets: divisors are {1, 3, 9}, none
+        // a power of two, so the chunked engine cannot bank at all.
+        let cfg = CacheConfig {
+            nproc: 2,
+            block_bytes: 64,
+            cache_bytes: 1152,
+            assoc: 2,
+            protocol: ProtocolKind::Msi,
+        };
+        assert_eq!(cfg.num_sets(), 9);
+        let err = BankedSim::negotiate_banks(&cfg, SimEngine::SoaChunked, 2).unwrap_err();
+        assert_eq!(err.num_sets, 9);
+        assert!(err.to_string().contains("power of two"), "{err}");
+        // The scalar engine can still take 3 banks within a cap of 4...
+        assert_eq!(
+            BankedSim::negotiate_banks(&cfg, SimEngine::Scalar, 4).unwrap(),
+            3
+        );
+        // ...but a cap of 2 admits nothing above 1 for any engine.
+        assert!(BankedSim::negotiate_banks(&cfg, SimEngine::Scalar, 2).is_err());
+        // auto_banks keeps its engine-oblivious quiet-degrade contract.
+        assert_eq!(BankedSim::auto_banks(&cfg, 2), 1);
+    }
+
+    #[test]
+    fn sim_engine_parse_round_trips() {
+        for engine in SimEngine::ALL {
+            assert_eq!(SimEngine::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(SimEngine::parse("chunked"), Some(SimEngine::SoaChunked));
+        assert_eq!(SimEngine::parse("AVX-512"), None);
+        assert_eq!(SimEngine::default(), SimEngine::SoaChunked);
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Minimal portable SIMD shim: lane-parallel kernels over plain `u32`
+//! / `u64` slices, written as straight-line loops the compiler
+//! auto-vectorizes, with an optional accelerated path compiled under
+//! `#[target_feature(enable = "avx2")]` and selected at runtime.
+//!
+//! This crate exists so the simulator's chunked replay
+//! (`fsr-sim::MultiSim::access_chunk`) can express its decode stage —
+//! block index, set index, word index for a whole chunk of trace
+//! references — as array kernels without depending on unstable
+//! `std::simd` or an external SIMD crate (the workspace builds
+//! offline). Two rules keep it honest:
+//!
+//! - **Bit-identical results.** Every kernel computes exactly the same
+//!   lanes on every backend; the accelerated path is the *same Rust
+//!   loop* compiled with wider vector units enabled, never a
+//!   reformulation. The crate's tests compare backends lane-for-lane.
+//! - **Runtime dispatch, honest reporting.** The `accel` feature only
+//!   *compiles* the wide path; it is used only when the CPU reports the
+//!   feature at runtime. [`active_backend`] and [`detected_features`]
+//!   say what actually ran, for benchmark provenance
+//!   (`BENCH_simd.json` records both).
+
+/// Lane-wise `dst[i] = src[i] >> sh`.
+#[inline]
+pub fn shr(dst: &mut [u32], src: &[u32], sh: u32) {
+    dispatch!(shr_impl(dst, src, sh));
+}
+
+/// Lane-wise `dst[i] = src[i] & mask`.
+#[inline]
+pub fn and(dst: &mut [u32], src: &[u32], mask: u32) {
+    dispatch!(and_impl(dst, src, mask));
+}
+
+/// Lane-wise `dst[i] = src[i] % d` (`d > 0`; power-of-two divisors
+/// compile to a mask).
+#[inline]
+pub fn rem(dst: &mut [u32], src: &[u32], d: u32) {
+    debug_assert!(d > 0);
+    if d.is_power_of_two() {
+        and(dst, src, d - 1);
+    } else {
+        dispatch!(rem_impl(dst, src, d));
+    }
+}
+
+/// Lane-wise `dst[i] = src[i] / d` (`d > 0`; power-of-two divisors
+/// compile to a shift).
+#[inline]
+pub fn div(dst: &mut [u32], src: &[u32], d: u32) {
+    debug_assert!(d > 0);
+    if d.is_power_of_two() {
+        shr(dst, src, d.trailing_zeros());
+    } else {
+        dispatch!(div_impl(dst, src, d));
+    }
+}
+
+/// Lane-wise fused index arithmetic: `dst[i] = a[i] * m + b[i]`.
+#[inline]
+pub fn mul_add(dst: &mut [u32], a: &[u32], m: u32, b: &[u32]) {
+    dispatch!(mul_add_impl(dst, a, m, b));
+}
+
+/// Ballot: bit `i` of the result is set iff `a[i] == x`. At most 64
+/// lanes.
+#[inline]
+pub fn eq_ballot(a: &[u32], x: u32) -> u64 {
+    debug_assert!(a.len() <= 64);
+    dispatch!(eq_ballot_impl(a, x))
+}
+
+/// Gather: `dst[i] = table[idx[i]]`. Bounds-checked; the caller
+/// guarantees indices are in range (a translation map covers every
+/// resolvable address).
+#[inline]
+pub fn gather(dst: &mut [u32], table: &[u32], idx: &[u32]) {
+    for (d, &i) in dst.iter_mut().zip(idx) {
+        *d = table[i as usize];
+    }
+}
+
+/// The kernel bodies. Each is written once and compiled twice: at the
+/// crate's baseline target features, and (with `accel`, on x86_64)
+/// under `#[target_feature(enable = "avx2")]`.
+macro_rules! kernels {
+    () => {
+        #[inline(always)]
+        fn shr_body(dst: &mut [u32], src: &[u32], sh: u32) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s >> sh;
+            }
+        }
+
+        #[inline(always)]
+        fn and_body(dst: &mut [u32], src: &[u32], mask: u32) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s & mask;
+            }
+        }
+
+        #[inline(always)]
+        fn rem_body(dst: &mut [u32], src: &[u32], m: u32) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s % m;
+            }
+        }
+
+        #[inline(always)]
+        fn div_body(dst: &mut [u32], src: &[u32], m: u32) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s / m;
+            }
+        }
+
+        #[inline(always)]
+        fn mul_add_body(dst: &mut [u32], a: &[u32], m: u32, b: &[u32]) {
+            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                *d = x.wrapping_mul(m).wrapping_add(y);
+            }
+        }
+
+        #[inline(always)]
+        fn eq_ballot_body(a: &[u32], x: u32) -> u64 {
+            let mut out = 0u64;
+            for (i, &v) in a.iter().enumerate() {
+                out |= ((v == x) as u64) << i;
+            }
+            out
+        }
+    };
+}
+
+/// Baseline backend: plain Rust, auto-vectorized at whatever target
+/// features the build enables (SSE2 on x86_64 by default).
+mod portable {
+    kernels!();
+
+    #[inline]
+    pub fn shr_impl(dst: &mut [u32], src: &[u32], sh: u32) {
+        shr_body(dst, src, sh)
+    }
+    #[inline]
+    pub fn and_impl(dst: &mut [u32], src: &[u32], mask: u32) {
+        and_body(dst, src, mask)
+    }
+    #[inline]
+    pub fn rem_impl(dst: &mut [u32], src: &[u32], m: u32) {
+        rem_body(dst, src, m)
+    }
+    #[inline]
+    pub fn div_impl(dst: &mut [u32], src: &[u32], m: u32) {
+        div_body(dst, src, m)
+    }
+    #[inline]
+    pub fn mul_add_impl(dst: &mut [u32], a: &[u32], m: u32, b: &[u32]) {
+        mul_add_body(dst, a, m, b)
+    }
+    #[inline]
+    pub fn eq_ballot_impl(a: &[u32], x: u32) -> u64 {
+        eq_ballot_body(a, x)
+    }
+}
+
+/// Accelerated backend: the same loop bodies compiled with AVX2
+/// enabled. Safety: each wrapper is only called after
+/// [`avx2_available`] confirmed the CPU supports AVX2 at runtime.
+#[cfg(all(feature = "accel", target_arch = "x86_64"))]
+mod accel {
+    kernels!();
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn shr_impl(dst: &mut [u32], src: &[u32], sh: u32) {
+        shr_body(dst, src, sh)
+    }
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_impl(dst: &mut [u32], src: &[u32], mask: u32) {
+        and_body(dst, src, mask)
+    }
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn rem_impl(dst: &mut [u32], src: &[u32], m: u32) {
+        rem_body(dst, src, m)
+    }
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn div_impl(dst: &mut [u32], src: &[u32], m: u32) {
+        div_body(dst, src, m)
+    }
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_add_impl(dst: &mut [u32], a: &[u32], m: u32, b: &[u32]) {
+        mul_add_body(dst, a, m, b)
+    }
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn eq_ballot_impl(a: &[u32], x: u32) -> u64 {
+        eq_ballot_body(a, x)
+    }
+}
+
+/// Whether the accelerated path is compiled in *and* the CPU supports
+/// it (checked once, cached).
+#[cfg(all(feature = "accel", target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| std::arch::is_x86_feature_detected!("avx2"))
+}
+
+#[cfg(all(feature = "accel", target_arch = "x86_64"))]
+macro_rules! dispatch {
+    ($f:ident($($arg:expr),*)) => {
+        if crate::avx2_available() {
+            // SAFETY: AVX2 presence was verified at runtime.
+            unsafe { crate::accel::$f($($arg),*) }
+        } else {
+            crate::portable::$f($($arg),*)
+        }
+    };
+}
+
+#[cfg(not(all(feature = "accel", target_arch = "x86_64")))]
+macro_rules! dispatch {
+    ($f:ident($($arg:expr),*)) => {
+        crate::portable::$f($($arg),*)
+    };
+}
+
+use dispatch;
+
+/// The backend kernels actually execute on this host: `"accel-avx2"`
+/// when the accelerated path is compiled in and the CPU has AVX2,
+/// `"portable"` otherwise.
+pub fn active_backend() -> &'static str {
+    #[cfg(all(feature = "accel", target_arch = "x86_64"))]
+    if avx2_available() {
+        return "accel-avx2";
+    }
+    "portable"
+}
+
+/// CPU vector features detected at runtime, for benchmark provenance.
+/// Reports detection, not use — cross-reference [`active_backend`].
+pub fn detected_features() -> Vec<&'static str> {
+    #[allow(unused_mut)]
+    let mut out: Vec<&'static str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        out.push("sse2"); // baseline on x86_64
+        if std::arch::is_x86_feature_detected!("avx2") {
+            out.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            out.push("avx512f");
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    out.push("neon"); // baseline on aarch64
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> Vec<u32> {
+        // Deterministic xorshift stream with edge values mixed in.
+        let mut v = vec![0, 1, u32::MAX, 0x8000_0000, 0x7fff_ffff];
+        let mut x = 0x9e37_79b9u32;
+        for _ in 0..123 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            v.push(x);
+        }
+        v
+    }
+
+    #[test]
+    fn shr_matches_scalar() {
+        let src = inputs();
+        let mut dst = vec![0u32; src.len()];
+        for sh in [0u32, 1, 7, 31] {
+            shr(&mut dst, &src, sh);
+            for (d, s) in dst.iter().zip(&src) {
+                assert_eq!(*d, s >> sh);
+            }
+        }
+    }
+
+    #[test]
+    fn rem_and_div_match_scalar_for_pow2_and_odd_divisors() {
+        let src = inputs();
+        let mut dst = vec![0u32; src.len()];
+        for d in [1u32, 2, 8, 64, 3, 7, 12, 1000] {
+            rem(&mut dst, &src, d);
+            for (r, s) in dst.iter().zip(&src) {
+                assert_eq!(*r, s % d, "rem {d}");
+            }
+            div(&mut dst, &src, d);
+            for (q, s) in dst.iter().zip(&src) {
+                assert_eq!(*q, s / d, "div {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_wraps_like_scalar() {
+        let a = inputs();
+        let b: Vec<u32> = a.iter().rev().copied().collect();
+        let mut dst = vec![0u32; a.len()];
+        mul_add(&mut dst, &a, 37, &b);
+        for i in 0..a.len() {
+            assert_eq!(dst[i], a[i].wrapping_mul(37).wrapping_add(b[i]));
+        }
+    }
+
+    #[test]
+    fn eq_ballot_sets_exactly_matching_lanes() {
+        let a = [5u32, 9, 5, 0, 5, u32::MAX];
+        assert_eq!(eq_ballot(&a, 5), 0b010101);
+        assert_eq!(eq_ballot(&a, u32::MAX), 0b100000);
+        assert_eq!(eq_ballot(&a, 42), 0);
+        assert_eq!(eq_ballot(&[], 1), 0);
+    }
+
+    #[test]
+    fn gather_reads_table() {
+        let table = [10u32, 20, 30, 40];
+        let idx = [3u32, 0, 2];
+        let mut dst = [0u32; 3];
+        gather(&mut dst, &table, &idx);
+        assert_eq!(dst, [40, 10, 30]);
+    }
+
+    /// The portable and (when compiled) accelerated backends agree
+    /// lane-for-lane; on hosts without the feature this degenerates to
+    /// portable-vs-portable, which still pins the dispatch plumbing.
+    #[test]
+    fn backends_are_bit_identical() {
+        let src = inputs();
+        let mut via_dispatch = vec![0u32; src.len()];
+        let mut via_portable = vec![0u32; src.len()];
+        shr(&mut via_dispatch, &src, 5);
+        portable::shr_impl(&mut via_portable, &src, 5);
+        assert_eq!(via_dispatch, via_portable);
+        rem(&mut via_dispatch, &src, 12);
+        portable::rem_impl(&mut via_portable, &src, 12);
+        assert_eq!(via_dispatch, via_portable);
+        assert_eq!(eq_ballot(&src[..64], src[3]), {
+            portable::eq_ballot_impl(&src[..64], src[3])
+        });
+    }
+
+    #[test]
+    fn backend_report_is_consistent() {
+        let b = active_backend();
+        assert!(b == "portable" || b == "accel-avx2");
+        if b == "accel-avx2" {
+            assert!(detected_features().contains(&"avx2"));
+        }
+    }
+}

@@ -21,7 +21,8 @@ cargo test -q -p fsr-integration --test coherence_props --test directory
 # the pinned knobs (the report is thread-count invariant).
 abl_out="$(mktemp)"
 scale_out="$(mktemp)"
-trap 'rm -f "$abl_out" "$scale_out"' EXIT
+simd_out="$(mktemp)"
+trap 'rm -f "$abl_out" "$scale_out" "$simd_out"' EXIT
 FSR_NPROC=8 FSR_SCALE=1 FSR_BENCH_OUT="$abl_out" \
     cargo run -q --release --bin directory_ablation >/dev/null
 diff -u tests/golden/directory_ablation.json "$abl_out"
@@ -36,4 +37,17 @@ cargo test -q -p fsr-integration --test shard
 FSR_NPROC=8 FSR_SCALE=1 FSR_SCALE_THREADS=1,2 FSR_BENCH_OUT="$scale_out" \
     cargo run -q --release --bin scale_sweep -- --golden >/dev/null
 diff -u tests/golden/scale_sweep.json "$scale_out"
+# Engine equivalence (scalar vs SoA vs chunked SoA replay): the simd
+# suite again in the accelerated-kernel build (the portable build
+# already ran in the workspace test pass), then the bench_simd per-cell
+# digest against the checked-in golden at pinned knobs — in both
+# feature builds, so the portable and runtime-dispatched AVX2 kernel
+# paths are held to the same bits.
+cargo test -q -p fsr-integration --test simd --release --features accel
+FSR_NPROC=8 FSR_SCALE=1 FSR_BENCH_OUT="$simd_out" \
+    cargo run -q --release --bin bench_simd -- --golden >/dev/null 2>&1
+diff -u tests/golden/simd.json "$simd_out"
+FSR_NPROC=8 FSR_SCALE=1 FSR_BENCH_OUT="$simd_out" \
+    cargo run -q --release -p fsr-bench --features accel --bin bench_simd -- --golden >/dev/null 2>&1
+diff -u tests/golden/simd.json "$simd_out"
 echo "tier1: OK"
