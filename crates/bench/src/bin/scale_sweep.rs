@@ -19,7 +19,7 @@
 //! tier-1 golden diff. Knobs: `FSR_NPROC`, `FSR_SCALE` as usual.
 
 use fsr_bench::{Knobs, Table};
-use fsr_core::driver::{run_batch_sharded, segments_processed, Job, PlanSourceSpec, ShardMode};
+use fsr_core::driver::{run_batch_sharded_with_stats, Job, PlanSourceSpec, ShardMode};
 use fsr_core::{MissKind, PipelineConfig, RunResult};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -35,13 +35,11 @@ fn run_cell(w: &fsr_workloads::Workload, k: &Knobs, threads: usize) -> (f64, u64
         PlanSourceSpec::Unoptimized,
         PipelineConfig::with_block(BLOCK),
     );
-    let seg0 = segments_processed();
     let start = Instant::now();
-    let mut out = run_batch_sharded(vec![job], 1, ShardMode::Force(threads));
+    let (mut out, stats) = run_batch_sharded_with_stats(vec![job], 1, ShardMode::Force(threads));
     let wall = start.elapsed().as_secs_f64();
-    let segments = segments_processed() - seg0;
     let r = out.remove(0).1.expect("scale cell runs clean");
-    (wall, segments, r)
+    (wall, stats.segments, r)
 }
 
 fn main() {

@@ -1,0 +1,176 @@
+//! Cold-vs-warm latency of the `fsr-serve` daemon.
+//!
+//! Boots an in-process daemon on a TCP loopback socket (port 0 — the
+//! OS picks), then measures one scripted client session: the first
+//! `simulate` of a workload pays the full pipeline (compile, analyze,
+//! interpret, simulate); every identical repeat must be served from the
+//! world's result cache with *zero* interpreter passes — asserted here
+//! from the per-request `BatchStats` on the wire, not inferred from
+//! wall-clock.
+//!
+//! Writes `BENCH_serve.json` (override with `FSR_BENCH_OUT`). Honesty
+//! fields: `detected_cores` so CI timings are legible, and the
+//! daemon-reported cache hit/miss counts so "warm" is evidenced rather
+//! than asserted. Knobs: `FSR_NPROC`, `FSR_SCALE` as usual.
+
+use fsr_bench::Knobs;
+use fsr_serve::json::Value;
+use fsr_serve::{serve_tcp_on, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+const BLOCK: u32 = 128;
+const WORKLOAD: &str = "water";
+const WARM_REPEATS: usize = 5;
+
+/// Send one request line; read lines until the response (the line
+/// carrying an `id`), skipping streamed notifications. Returns the
+/// round-trip wall time and the parsed response.
+fn rpc(reader: &mut impl BufRead, writer: &mut impl Write, req: &str) -> (f64, Value) {
+    let start = Instant::now();
+    writeln!(writer, "{req}").expect("daemon accepts request");
+    writer.flush().expect("flush request");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("daemon responds");
+        assert!(n > 0, "daemon hung up mid-request");
+        let v = fsr_serve::json::parse(line.trim()).expect("daemon speaks JSON");
+        if v.get("id").is_some() {
+            let wall = start.elapsed().as_secs_f64();
+            assert!(
+                v.get("error").is_none(),
+                "request failed: {line} (sent {req})"
+            );
+            return (wall, v);
+        }
+        // A notification — part of the same request's stream.
+    }
+}
+
+fn stat_of(resp: &Value, key: &str) -> i64 {
+    resp.get("result")
+        .and_then(|r| r.get("stats"))
+        .and_then(|s| s.get(key))
+        .and_then(Value::as_i64)
+        .unwrap_or_else(|| panic!("response missing stats.{key}"))
+}
+
+fn main() {
+    let k = Knobs::from_env();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let daemon = std::thread::spawn(move || {
+        serve_tcp_on(Arc::new(Server::new()), listener).expect("daemon runs");
+    });
+    eprintln!(
+        "serve_bench: daemon on {addr}, workload={WORKLOAD} nproc={} scale={} \
+         block={BLOCK} detected_cores={cores}",
+        k.nproc, k.scale
+    );
+
+    let conn = TcpStream::connect(addr).expect("connect to daemon");
+    let mut reader = BufReader::new(conn.try_clone().expect("clone stream"));
+    let mut writer = conn;
+
+    let open = format!(
+        r#"{{"id": 1, "method": "open", "params": {{"name": "w", "workload": "{WORKLOAD}"}}}}"#
+    );
+    rpc(&mut reader, &mut writer, &open);
+
+    let simulate = format!(
+        r#"{{"id": 2, "method": "simulate", "params": {{"name": "w", "plan": "compiler",
+           "params": {{"NPROC": {}, "SCALE": {}}}, "config": {{"block": {BLOCK}}}}}}}"#,
+        k.nproc, k.scale
+    )
+    .replace('\n', " ");
+
+    let (cold_s, cold_resp) = rpc(&mut reader, &mut writer, &simulate);
+    assert!(
+        stat_of(&cold_resp, "interpretations") >= 1,
+        "cold request must interpret"
+    );
+
+    let mut warm_s = Vec::with_capacity(WARM_REPEATS);
+    for _ in 0..WARM_REPEATS {
+        let (wall, resp) = rpc(&mut reader, &mut writer, &simulate);
+        // The acceptance criterion, from the daemon's own accounting:
+        // a repeated identical request is a pure result-cache hit.
+        assert_eq!(stat_of(&resp, "interpretations"), 0, "warm re-interpreted");
+        assert_eq!(stat_of(&resp, "front_ends"), 0, "warm recompiled");
+        assert_eq!(stat_of(&resp, "result_hits"), 1, "warm missed the cache");
+        assert_eq!(
+            resp.get("result")
+                .and_then(|r| r.get("result"))
+                .map(|r| r.to_string()),
+            cold_resp
+                .get("result")
+                .and_then(|r| r.get("result"))
+                .map(|r| r.to_string()),
+            "warm result must be bit-identical to cold"
+        );
+        warm_s.push(wall);
+    }
+    warm_s.sort_by(f64::total_cmp);
+    let warm_median = warm_s[WARM_REPEATS / 2];
+
+    let lint = r#"{"id": 3, "method": "lint", "params": {"name": "w"}}"#;
+    let (lint_cold_s, _) = rpc(&mut reader, &mut writer, lint);
+    let (lint_warm_s, lint_resp) = rpc(&mut reader, &mut writer, lint);
+    assert_eq!(
+        lint_resp
+            .get("result")
+            .and_then(|r| r.get("warm"))
+            .and_then(Value::as_bool),
+        Some(true),
+        "second lint must be served warm"
+    );
+
+    let (_, stats_resp) = rpc(&mut reader, &mut writer, r#"{"id": 4, "method": "stats"}"#);
+    let caches = stats_resp
+        .get("result")
+        .and_then(|r| r.get("caches"))
+        .expect("stats carries cache counters")
+        .clone();
+
+    rpc(
+        &mut reader,
+        &mut writer,
+        r#"{"id": 5, "method": "shutdown"}"#,
+    );
+    daemon.join().expect("daemon exits cleanly");
+
+    println!(
+        "cold {:.1} ms -> warm {:.3} ms (x{:.0}); lint {:.1} ms -> {:.3} ms",
+        cold_s * 1e3,
+        warm_median * 1e3,
+        cold_s / warm_median,
+        lint_cold_s * 1e3,
+        lint_warm_s * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"suite\": \"serve\",\n  \"workload\": \"{WORKLOAD}\",\n  \
+         \"nproc\": {},\n  \"scale\": {},\n  \"block\": {BLOCK},\n  \
+         \"detected_cores\": {cores},\n  \"cold_ms\": {:.3},\n  \
+         \"warm_ms_median\": {:.3},\n  \"warm_speedup\": {:.1},\n  \
+         \"warm_interpretations\": 0,\n  \"warm_result_hits\": 1,\n  \
+         \"lint_cold_ms\": {:.3},\n  \"lint_warm_ms\": {:.3},\n  \
+         \"caches\": {caches}\n}}\n",
+        k.nproc,
+        k.scale,
+        cold_s * 1e3,
+        warm_median * 1e3,
+        cold_s / warm_median,
+        lint_cold_s * 1e3,
+        lint_warm_s * 1e3
+    );
+    let out = std::env::var("FSR_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    std::fs::write(&out, json).expect("write serve results");
+    eprintln!("wrote {out}");
+}

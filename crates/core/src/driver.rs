@@ -47,8 +47,9 @@
 //! engine is bit-identical to the serial [`TeeSink`] path (asserted by
 //! `tests/shard.rs` across protocols, interconnects and workloads).
 
+use crate::world::{CachedTrace, Caches, FeKey, FrontEnd, RunCounters, World};
 use crate::{run_pipeline, PipelineConfig, PipelineError, PlanSource, RunResult};
-use fsr_interp::{MemRef, TeeSink, TraceEvent, TraceSink};
+use fsr_interp::{MemRef, RunStats, TeeSink, TraceEvent, TraceSink};
 use fsr_lang::ast::WORD_BYTES;
 use fsr_layout::Layout;
 use fsr_machine::TimingModel;
@@ -56,7 +57,7 @@ use fsr_sim::{BankedSim, CacheConfig, MultiSim, Outcome, SimEngine, CHUNK_LANES}
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Mutex};
 
@@ -260,6 +261,10 @@ fn parallel_map<T: Sync, R: Send>(
 /// order, paired with its pipeline result.
 pub type JobResults<M> = Vec<(Job<M>, Result<RunResult, PipelineError>)>;
 
+/// Per-job completion callback for streaming batch runs: fires exactly
+/// once per job, from whichever worker resolved it.
+pub type BatchNotify<'a> = &'a (dyn Fn(usize, &Result<RunResult, PipelineError>) + Sync);
+
 /// Run all jobs independently, using up to `threads` worker threads
 /// (0 = available parallelism). Results keep job order.
 pub fn run_jobs<M: Sync + fmt::Debug>(jobs: Vec<Job<M>>, threads: usize) -> JobResults<M> {
@@ -278,14 +283,19 @@ pub fn run_jobs<M: Sync + fmt::Debug>(jobs: Vec<Job<M>>, threads: usize) -> JobR
     jobs.into_iter().zip(results).collect()
 }
 
-/// What a batch actually cost, versus `jobs` full pipelines.
+/// What a batch actually cost, versus `jobs` full pipelines. Every
+/// counter is *per run* — a long-lived daemon reports each request's own
+/// cost (the old process-global segment counter accumulated forever).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BatchStats {
     /// Jobs submitted.
     pub jobs: usize,
-    /// Distinct (source, params) front ends compiled.
+    /// Distinct (source, params) front ends compiled fresh this run.
     pub front_ends: usize,
-    /// Front ends that additionally ran the sharing analysis.
+    /// Front ends served from a warm [`World`] cache instead of
+    /// compiling (always 0 on the transient `run_batch*` entry points).
+    pub fe_hits: usize,
+    /// Sharing analyses computed fresh this run.
     pub analyses: usize,
     /// Trace groups after fingerprinting: sets of jobs whose layouts are
     /// address-identical and so share one trace verbatim.
@@ -294,8 +304,17 @@ pub struct BatchStats {
     /// direct-only groups of the same (front end, run config) are merged
     /// into one pass via per-group address translation
     /// ([`Layout::word_map_to`]), so `jobs - interpretations` interpreter
-    /// runs were saved in total.
+    /// runs were saved in total. On a warm [`World`], units whose
+    /// reference trace was recorded earlier replay it instead of
+    /// re-interpreting (`trace_hits`) and don't count here.
     pub interpretations: usize,
+    /// Units replayed from a recorded trace instead of interpreting.
+    pub trace_hits: usize,
+    /// Jobs answered whole from a warm [`World`]'s result cache, without
+    /// entering the engine at all.
+    pub result_hits: usize,
+    /// Phase segments the sharded engine simulated this run.
+    pub segments: u64,
 }
 
 /// How [`run_batch_sharded`] spends worker threads *within* each
@@ -314,21 +333,23 @@ pub enum ShardMode {
     Off,
 }
 
-/// Shared front-end artifacts for one (source, params) key.
-struct FrontEnd {
-    prog: Arc<crate::Program>,
-    code: Arc<fsr_interp::Compiled>,
-    nproc: u32,
-    /// Present iff some job of this front end uses the compiler plan;
-    /// kept as a `Result` so an analysis failure fails only those jobs.
-    analysis: Option<Result<Arc<crate::Analysis>, PipelineError>>,
-}
-
 /// Per-job prepared state: the plan and the concrete address map.
+/// (Front-end artifacts live in [`crate::world::FrontEnd`], shared
+/// across batches by a [`World`]'s content-addressed cache.)
 struct Prep {
     plan: crate::LayoutPlan,
     layout: Layout,
     fingerprint: u64,
+}
+
+/// The prepared state of job `j` (only called for jobs the engine has
+/// proven prepared — skipped and failed jobs never reach here).
+fn prep_of(preps: &[Option<Result<Prep, PipelineError>>], j: usize) -> &Prep {
+    preps[j]
+        .as_ref()
+        .expect("job entered the engine")
+        .as_ref()
+        .expect("job prepared successfully")
 }
 
 /// Run all jobs through the batched engine. Results keep job order and
@@ -356,11 +377,36 @@ pub fn run_batch_sharded<M: Sync + fmt::Debug>(
 }
 
 /// [`run_batch_sharded`], additionally reporting how much work was
-/// shared.
+/// shared. Runs on a throwaway transient [`World`]: front-end artifacts
+/// are shared within the batch exactly as before, and nothing outlives
+/// the call. Persistent sharing across calls is the [`World`] /
+/// [`crate::world::Snapshot`] API.
 pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
     jobs: Vec<Job<M>>,
     threads: usize,
     shard: ShardMode,
+) -> (JobResults<M>, BatchStats) {
+    let world = World::transient();
+    let snapshot = world.snapshot();
+    run_batch_in(snapshot.caches(), jobs, threads, shard, None)
+}
+
+/// The batch engine, running against a [`World`]'s caches. All public
+/// batch entry points funnel here — transient worlds reproduce the
+/// classic one-shot behavior bit-for-bit, persistent worlds additionally
+/// consult and feed the result and trace caches.
+///
+/// `notify`, when given, fires once per job with its final result, from
+/// whichever worker resolved it: result-cache hits immediately (in
+/// submission order), prepare failures as soon as phase B settles, and
+/// engine-run jobs the moment their translation unit finishes — this is
+/// how `fsr-serve` streams per-cell results before the batch completes.
+pub(crate) fn run_batch_in<M: Sync + fmt::Debug>(
+    caches: &Caches,
+    jobs: Vec<Job<M>>,
+    threads: usize,
+    shard: ShardMode,
+    notify: Option<BatchNotify<'_>>,
 ) -> (JobResults<M>, BatchStats) {
     let n = jobs.len();
     let mut stats = BatchStats {
@@ -370,15 +416,50 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
     if n == 0 {
         return (Vec::new(), stats);
     }
+    let rc = RunCounters::default();
+    let notify_one = |j: usize, r: &Result<RunResult, PipelineError>| {
+        if let Some(f) = notify {
+            f(j, r);
+        }
+    };
+    let mut slots: Vec<Option<Result<RunResult, PipelineError>>> = (0..n).map(|_| None).collect();
 
-    // Phase A — front ends: one compile (+ bytecode, + analysis when any
-    // job needs the compiler plan) per distinct (source, params).
-    type FeKey = (Arc<str>, Vec<(String, i64)>);
+    // Phase R — whole-result probe (persistent worlds only): a job
+    // identical to one served before (same source content, params, plan
+    // spec and full config) is answered from the result cache without
+    // entering the engine at all.
+    let mut rkeys: Vec<Option<ResultKey>> = (0..n).map(|_| None).collect();
+    if caches.cache_results {
+        for (j, job) in jobs.iter().enumerate() {
+            let key: ResultKey = (
+                (job.src.clone(), job.params.clone()),
+                format!("{:?}", job.plan),
+                format!("{:?}", job.cfg),
+            );
+            match caches.result_get(&key) {
+                Some(r) => {
+                    stats.result_hits += 1;
+                    let r = Ok((*r).clone());
+                    notify_one(j, &r);
+                    slots[j] = Some(r);
+                }
+                None => rkeys[j] = Some(key),
+            }
+        }
+    }
+
+    // Phase A — front ends through the world cache: one compile (+
+    // bytecode, + analysis when any job needs the compiler plan) per
+    // distinct (source, params) content — per batch on a transient
+    // world, *ever* on a persistent one.
     let mut fe_ids: HashMap<FeKey, usize> = HashMap::new();
-    let mut fe_of_job: Vec<usize> = Vec::with_capacity(n);
+    let mut fe_of_job: Vec<usize> = vec![usize::MAX; n];
     let mut fe_needs_analysis: Vec<bool> = Vec::new();
     let mut fe_rep: Vec<usize> = Vec::new();
     for (j, job) in jobs.iter().enumerate() {
+        if slots[j].is_some() {
+            continue;
+        }
         let next_id = fe_ids.len();
         let id = *fe_ids
             .entry((job.src.clone(), job.params.clone()))
@@ -390,35 +471,18 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
         if matches!(job.plan, PlanSourceSpec::Compiler) {
             fe_needs_analysis[id] = true;
         }
-        fe_of_job.push(id);
+        fe_of_job[j] = id;
     }
-    stats.front_ends = fe_rep.len();
-    stats.analyses = fe_needs_analysis.iter().filter(|&&b| b).count();
 
     let fe_inputs: Vec<(usize, bool)> = fe_rep
         .iter()
         .copied()
         .zip(fe_needs_analysis.iter().copied())
         .collect();
-    let fronts: Vec<Result<FrontEnd, PipelineError>> =
+    let fronts: Vec<Result<Arc<FrontEnd>, PipelineError>> =
         parallel_map(&fe_inputs, threads, |&(j, needs_analysis)| {
             let job = &jobs[j];
-            let params: Vec<(&str, i64)> =
-                job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-            let prog = fsr_lang::compile_with_params(&job.src, &params)?;
-            let nproc = crate::resolve_nproc(&prog)?;
-            let code = fsr_interp::compile_program(&prog)?;
-            let analysis = needs_analysis.then(|| {
-                fsr_analysis::analyze(&prog)
-                    .map(Arc::new)
-                    .map_err(PipelineError::from)
-            });
-            Ok(FrontEnd {
-                prog: Arc::new(prog),
-                code: Arc::new(code),
-                nproc,
-                analysis,
-            })
+            caches.front_end(&job.src, &job.params, needs_analysis, &rc)
         })
         .into_iter()
         .zip(&fe_inputs)
@@ -428,25 +492,21 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
         })
         .collect();
 
-    // Phase B — per-job plan, layout and trace fingerprint.
-    let idxs: Vec<usize> = (0..n).collect();
-    let preps: Vec<Result<Prep, PipelineError>> = parallel_map(&idxs, threads, |&j| {
-        let fe = fronts[fe_of_job[j]]
+    // Phase B — per-job plan, layout and trace fingerprint (jobs already
+    // answered from the result cache are skipped).
+    let active: Vec<usize> = (0..n).filter(|&j| slots[j].is_none()).collect();
+    let prep_results = parallel_map(&active, threads, |&j| {
+        let fe: &FrontEnd = fronts[fe_of_job[j]]
             .as_ref()
             .map_err(PipelineError::clone)?;
         let job = &jobs[j];
         let plan = match &job.plan {
             PlanSourceSpec::Unoptimized => crate::LayoutPlan::unoptimized(job.cfg.block_bytes),
             PlanSourceSpec::Compiler => {
-                let analysis = fe
-                    .analysis
-                    .as_ref()
-                    .expect("analysis computed for compiler-planned front ends")
-                    .as_ref()
-                    .map_err(PipelineError::clone)?;
+                let analysis = fe.analysis()?;
                 let mut plan_cfg = job.cfg.plan_cfg;
                 plan_cfg.block_bytes = job.cfg.block_bytes;
-                fsr_transform::plan_for(&fe.prog, analysis, &plan_cfg)
+                fsr_transform::plan_for(&fe.prog, &analysis, &plan_cfg)
             }
             PlanSourceSpec::Programmer(f) => f(&fe.prog, job.cfg.block_bytes),
             PlanSourceSpec::Explicit(p) => {
@@ -462,22 +522,29 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
             layout,
             fingerprint,
         })
-    })
-    .into_iter()
-    .enumerate()
-    .map(|(j, r)| match r {
-        Ok(r) => r,
-        Err(payload) => Err(worker_panic("plan/layout", j, &jobs, payload)),
-    })
-    .collect();
+    });
+    let mut preps: Vec<Option<Result<Prep, PipelineError>>> = (0..n).map(|_| None).collect();
+    for (r, &j) in prep_results.into_iter().zip(&active) {
+        preps[j] = Some(match r {
+            Ok(r) => r,
+            Err(payload) => Err(worker_panic("plan/layout", j, &jobs, payload)),
+        });
+    }
+    for j in 0..n {
+        if let Some(Err(e)) = &preps[j] {
+            let r = Err(e.clone());
+            notify_one(j, &r);
+            slots[j] = Some(r);
+        }
+    }
 
     // Phase C — group jobs whose traces are provably identical: same
     // front end, same interpreter config, same address map. The
     // fingerprint buckets candidates; exact `trace_eq` splits any hash
     // collision.
     let mut buckets: HashMap<(usize, fsr_interp::RunConfig, u64), Vec<usize>> = HashMap::new();
-    for (j, prep) in preps.iter().enumerate() {
-        if let Ok(p) = prep {
+    for &j in &active {
+        if let Some(Ok(p)) = &preps[j] {
             buckets
                 .entry((fe_of_job[j], jobs[j].cfg.run, p.fingerprint))
                 .or_default()
@@ -488,10 +555,10 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
     for bucket in buckets.into_values() {
         let mut parts: Vec<Vec<usize>> = Vec::new();
         for j in bucket {
-            let lay = &preps[j].as_ref().unwrap().layout;
+            let lay = &prep_of(&preps, j).layout;
             match parts
                 .iter_mut()
-                .find(|p| preps[p[0]].as_ref().unwrap().layout.trace_eq(lay))
+                .find(|p| prep_of(&preps, p[0]).layout.trace_eq(lay))
             {
                 Some(p) => p.push(j),
                 None => parts.push(vec![j]),
@@ -514,7 +581,7 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
     let mut units: Vec<Vec<Vec<usize>>> = Vec::new();
     for group in groups {
         let rep = group[0];
-        if preps[rep].as_ref().unwrap().layout.direct_only() {
+        if prep_of(&preps, rep).layout.direct_only() {
             let next = units.len();
             let id = *unit_ids
                 .entry((fe_of_job[rep], jobs[rep].cfg.run))
@@ -527,12 +594,12 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
             units.push(vec![group]);
         }
     }
-    stats.interpretations = units.len();
 
-    // Phase D — one interpretation per unit, fanned out to per-job
-    // simulators + timing models. Two-level split of the thread budget:
-    // the outer pool takes as many threads as there are units to run
-    // concurrently; the remainder shards each unit internally.
+    // Phase D — one interpretation (or trace replay, on a warm world)
+    // per unit, fanned out to per-job simulators + timing models.
+    // Two-level split of the thread budget: the outer pool takes as many
+    // threads as there are units to run concurrently; the remainder
+    // shards each unit internally.
     let outer = effective_threads(threads, units.len());
     let shard_threads = match shard {
         ShardMode::Off => 1,
@@ -542,7 +609,7 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
     let use_sharded = matches!(shard, ShardMode::Force(_)) || shard_threads > 1;
     let strict_banks = matches!(shard, ShardMode::Force(_));
     let group_outputs = parallel_map(&units, threads, |unit| {
-        run_unit(
+        let out = run_unit(
             &jobs,
             &fronts,
             &fe_of_job,
@@ -551,15 +618,15 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
             shard_threads,
             use_sharded,
             strict_banks,
-        )
+            caches,
+            &rc,
+        );
+        for (j, r) in &out {
+            notify_one(*j, r);
+        }
+        out
     });
 
-    let mut slots: Vec<Option<Result<RunResult, PipelineError>>> = (0..n).map(|_| None).collect();
-    for (j, prep) in preps.iter().enumerate() {
-        if let Err(e) = prep {
-            slots[j] = Some(Err(e.clone()));
-        }
-    }
     for (u, out) in group_outputs.into_iter().enumerate() {
         match out {
             Ok(out) => {
@@ -571,11 +638,31 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
             // assembly) is charged to every member job of the unit.
             Err(payload) => {
                 for &j in units[u].iter().flatten() {
-                    slots[j] = Some(Err(worker_panic("simulate", j, &jobs, payload.clone())));
+                    let r = Err(worker_panic("simulate", j, &jobs, payload.clone()));
+                    notify_one(j, &r);
+                    slots[j] = Some(r);
                 }
             }
         }
     }
+
+    stats.front_ends = rc.fe_fresh.load(Ordering::Relaxed);
+    stats.fe_hits = rc.fe_hits.load(Ordering::Relaxed);
+    stats.analyses = rc.analyses.load(Ordering::Relaxed);
+    stats.interpretations = rc.interpretations.load(Ordering::Relaxed);
+    stats.trace_hits = rc.trace_hits.load(Ordering::Relaxed);
+    stats.segments = rc.segments.load(Ordering::Relaxed);
+
+    // Feed fresh successes back into the result cache (persistent
+    // worlds only), so the next identical job takes phase R.
+    if caches.cache_results {
+        for (j, key) in rkeys.iter_mut().enumerate() {
+            if let (Some(key), Some(Ok(r))) = (key.take(), &slots[j]) {
+                caches.result_put(key, Arc::new(r.clone()));
+            }
+        }
+    }
+
     let results = jobs
         .into_iter()
         .zip(slots)
@@ -583,6 +670,11 @@ pub fn run_batch_sharded_with_stats<M: Sync + fmt::Debug>(
         .collect();
     (results, stats)
 }
+
+/// Result-cache key: front-end key plus the `Debug` renderings of the
+/// plan spec and the full pipeline config (exhaustive over every knob,
+/// so equal keys mean identical jobs).
+type ResultKey = (FeKey, String, String);
 
 /// Identify a layout in diagnostics.
 fn layout_desc(lay: &Layout) -> String {
@@ -606,26 +698,76 @@ fn translate(map: Option<&Vec<u32>>, addr: u32) -> u32 {
     }
 }
 
-/// Interpret a unit's shared trace once, driving every member job's
-/// cache simulator and timing model — serially through a [`TeeSink`] of
-/// per-group translating [`GroupSink`]s, or via the phase/bank-sharded
-/// engine when the thread budget allows ([`run_unit_sharded`]).
+/// Where a unit's event stream comes from: a live interpreter pass, or
+/// a recorded trace a warm [`World`] replays (the trace depends only on
+/// the program, params, run config and driving layout — never on the
+/// protocol, interconnect or engine — so one recording serves every
+/// backend combination, exactly like [`crate::record_trace`]).
+#[derive(Clone, Copy)]
+enum UnitSource<'a> {
+    Interp,
+    Replay {
+        events: &'a [TraceEvent],
+        interp: &'a RunStats,
+    },
+}
+
+/// Dispatch one recorded event into a sink.
+fn feed(sink: &mut dyn TraceSink, e: &TraceEvent) {
+    match e {
+        TraceEvent::Access(r) => sink.access(*r),
+        TraceEvent::Sync(pids) => sink.sync(pids),
+        TraceEvent::Handoff { from, to } => sink.handoff(*from, *to),
+    }
+}
+
+/// Tee that captures the interpreter's event stream for the trace cache
+/// while forwarding it unchanged to the real consumer.
+struct RecordingSink<'a> {
+    events: &'a mut Vec<TraceEvent>,
+    inner: &'a mut dyn TraceSink,
+}
+
+impl TraceSink for RecordingSink<'_> {
+    fn access(&mut self, r: MemRef) {
+        self.events.push(TraceEvent::Access(r));
+        self.inner.access(r);
+    }
+
+    fn sync(&mut self, pids: &[u32]) {
+        self.events.push(TraceEvent::Sync(pids.to_vec()));
+        self.inner.sync(pids);
+    }
+
+    fn handoff(&mut self, from: u32, to: u32) {
+        self.events.push(TraceEvent::Handoff { from, to });
+        self.inner.handoff(from, to);
+    }
+}
+
+/// Interpret a unit's shared trace once (or replay a cached recording),
+/// driving every member job's cache simulator and timing model —
+/// serially through a [`TeeSink`] of per-group translating
+/// [`GroupSink`]s, or via the phase/bank-sharded engine when the thread
+/// budget allows ([`run_unit_sharded`]).
 #[allow(clippy::too_many_arguments)]
 fn run_unit<M: Sync + fmt::Debug>(
     jobs: &[Job<M>],
-    fronts: &[Result<FrontEnd, PipelineError>],
+    fronts: &[Result<Arc<FrontEnd>, PipelineError>],
     fe_of_job: &[usize],
-    preps: &[Result<Prep, PipelineError>],
+    preps: &[Option<Result<Prep, PipelineError>>],
     unit: &[Vec<usize>],
     shard_threads: usize,
     use_sharded: bool,
     strict_banks: bool,
+    caches: &Caches,
+    rc: &RunCounters,
 ) -> Vec<(usize, Result<RunResult, PipelineError>)> {
     let rep = unit[0][0];
-    let fe = fronts[fe_of_job[rep]]
+    let fe: &FrontEnd = fronts[fe_of_job[rep]]
         .as_ref()
         .expect("units only contain prepared jobs");
-    let rep_layout = &preps[rep].as_ref().unwrap().layout;
+    let rep_layout = &prep_of(preps, rep).layout;
 
     // Per-group translation maps up front: a group whose layout turns
     // out not to be reachable from the driving layout gets a structured
@@ -638,7 +780,7 @@ fn run_unit<M: Sync + fmt::Debug>(
             live.push((group, None));
             continue;
         }
-        let glay = &preps[group[0]].as_ref().unwrap().layout;
+        let glay = &prep_of(preps, group[0]).layout;
         match rep_layout.word_map_to(glay) {
             Some(map) => live.push((group, Some(map))),
             None => {
@@ -651,11 +793,63 @@ fn run_unit<M: Sync + fmt::Debug>(
         }
     }
 
-    let mut out = if use_sharded {
-        run_unit_sharded(jobs, fe, rep, preps, &live, shard_threads, strict_banks)
+    // Trace cache (persistent worlds): this unit's reference trace is
+    // keyed by (source content, params, run config, driving-layout
+    // fingerprint); a hit — confirmed exact with `trace_eq` — replays
+    // the recording instead of re-running the interpreter.
+    let tkey = (
+        (jobs[rep].src.clone(), jobs[rep].params.clone()),
+        jobs[rep].cfg.run,
+        prep_of(preps, rep).fingerprint,
+    );
+    let cached = if caches.cache_traces {
+        caches.trace_get(&tkey, rep_layout)
     } else {
-        run_unit_serial(jobs, fe, rep, preps, live)
+        None
     };
+    let (source, record) = match &cached {
+        Some(ct) => {
+            rc.trace_hits.fetch_add(1, Ordering::Relaxed);
+            (
+                UnitSource::Replay {
+                    events: &ct.events,
+                    interp: &ct.interp,
+                },
+                false,
+            )
+        }
+        None => {
+            rc.interpretations.fetch_add(1, Ordering::Relaxed);
+            (UnitSource::Interp, caches.cache_traces)
+        }
+    };
+
+    let (mut out, recorded) = if use_sharded {
+        run_unit_sharded(
+            jobs,
+            fe,
+            rep,
+            preps,
+            &live,
+            shard_threads,
+            strict_banks,
+            source,
+            record,
+            rc,
+        )
+    } else {
+        run_unit_serial(jobs, fe, rep, preps, live, source, record)
+    };
+    if let Some((events, interp)) = recorded {
+        caches.trace_put(
+            tkey,
+            CachedTrace {
+                events: Arc::new(events),
+                interp,
+                layout: rep_layout.clone(),
+            },
+        );
+    }
     out.append(&mut failed);
     out
 }
@@ -710,26 +904,35 @@ fn sim_cfg_of<M>(jobs: &[Job<M>], j: usize, nproc: u32) -> CacheConfig {
 /// One address-space bound per group: group members differ at most in
 /// trailing alignment slack, and a larger bound only sizes vectors —
 /// statistics are unaffected.
-fn group_bound_bytes(preps: &[Result<Prep, PipelineError>], group: &[usize]) -> u32 {
+fn group_bound_bytes(preps: &[Option<Result<Prep, PipelineError>>], group: &[usize]) -> u32 {
     group
         .iter()
-        .map(|&j| preps[j].as_ref().unwrap().layout.total_words())
+        .map(|&j| prep_of(preps, j).layout.total_words())
         .max()
         .unwrap()
         * WORD_BYTES
 }
 
-/// Serial unit engine: the interpreter drives a [`TeeSink`] of group
-/// sinks in one thread.
+/// Serial unit engine: the interpreter (or the trace replay) drives a
+/// [`TeeSink`] of group sinks in one thread. When `record` is set, the
+/// interpreter's event stream is captured and returned alongside the
+/// results for the world's trace cache.
+type UnitOutput = (
+    Vec<(usize, Result<RunResult, PipelineError>)>,
+    Option<(Vec<TraceEvent>, RunStats)>,
+);
+
 fn run_unit_serial<M>(
     jobs: &[Job<M>],
     fe: &FrontEnd,
     rep: usize,
-    preps: &[Result<Prep, PipelineError>],
+    preps: &[Option<Result<Prep, PipelineError>>],
     live: Vec<(&Vec<usize>, Option<Vec<u32>>)>,
-) -> Vec<(usize, Result<RunResult, PipelineError>)> {
+    source: UnitSource<'_>,
+    record: bool,
+) -> UnitOutput {
     let nproc = fe.nproc;
-    let rep_layout = &preps[rep].as_ref().unwrap().layout;
+    let rep_layout = &prep_of(preps, rep).layout;
     let members: Vec<&Vec<usize>> = live.iter().map(|(g, _)| *g).collect();
     let group_sinks: Vec<GroupSink> = live
         .into_iter()
@@ -752,49 +955,71 @@ fn run_unit_serial<M>(
         })
         .collect();
     let mut tee = TeeSink::new(group_sinks);
+    let mut recorded: Vec<TraceEvent> = Vec::new();
 
-    match fsr_interp::run(&fe.prog, rep_layout, &fe.code, jobs[rep].cfg.run, &mut tee) {
-        Err(e) => members
-            .iter()
-            .flat_map(|g| g.iter())
-            .map(|&j| (j, Err(PipelineError::Runtime(e.clone()))))
-            .collect(),
-        Ok(fin) => tee
-            .into_inner()
-            .into_iter()
-            .zip(members)
-            .flat_map(|(gs, group)| {
-                gs.sinks
-                    .into_iter()
-                    .zip(group)
-                    .map(|(sink, &j)| {
-                        let prep = preps[j].as_ref().unwrap();
-                        let r =
-                            sink.into_result(nproc, prep.plan.clone(), fin.stats.clone(), |addr| {
-                                prep.layout
-                                    .attribute(addr)
-                                    .map(|oid| fe.prog.object(oid).name.clone())
-                            });
-                        (j, Ok(r))
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect(),
+    let run_out: Result<RunStats, fsr_interp::RuntimeError> = match source {
+        UnitSource::Replay { events, interp } => {
+            for e in events {
+                feed(&mut tee, e);
+            }
+            Ok(interp.clone())
+        }
+        UnitSource::Interp if record => {
+            let mut rec = RecordingSink {
+                events: &mut recorded,
+                inner: &mut tee,
+            };
+            fsr_interp::run(&fe.prog, rep_layout, &fe.code, jobs[rep].cfg.run, &mut rec)
+                .map(|fin| fin.stats)
+        }
+        UnitSource::Interp => {
+            fsr_interp::run(&fe.prog, rep_layout, &fe.code, jobs[rep].cfg.run, &mut tee)
+                .map(|fin| fin.stats)
+        }
+    };
+
+    match run_out {
+        Err(e) => (
+            members
+                .iter()
+                .flat_map(|g| g.iter())
+                .map(|&j| (j, Err(PipelineError::Runtime(e.clone()))))
+                .collect(),
+            None,
+        ),
+        Ok(stats) => {
+            let out = tee
+                .into_inner()
+                .into_iter()
+                .zip(members)
+                .flat_map(|(gs, group)| {
+                    gs.sinks
+                        .into_iter()
+                        .zip(group)
+                        .map(|(sink, &j)| {
+                            let prep = prep_of(preps, j);
+                            let r =
+                                sink.into_result(nproc, prep.plan.clone(), stats.clone(), |addr| {
+                                    prep.layout
+                                        .attribute(addr)
+                                        .map(|oid| fe.prog.object(oid).name.clone())
+                                });
+                            (j, Ok(r))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            (out, record.then_some((recorded, stats)))
+        }
     }
 }
 
 /// Per-segment event cap, so barrier-free programs still stream in
 /// bounded pieces and the producer/consumer pipeline overlaps.
+/// (Segment counts are reported per run in [`BatchStats::segments`] —
+/// the old process-global counter accumulated stale totals in
+/// long-lived daemons.)
 const SEGMENT_CAP: usize = 1 << 15;
-
-/// Process-wide count of phase segments the sharded engine simulated —
-/// observability for tests (cf. [`fsr_interp::runs_started`]).
-static SEGMENTS: AtomicU64 = AtomicU64::new(0);
-
-/// Total phase segments simulated by the sharded engine in this process.
-pub fn segments_processed() -> u64 {
-    SEGMENTS.load(Ordering::Relaxed)
-}
 
 /// Sink on the interpreter's producer thread: buffers events and ships
 /// them as segments, splitting after synchronization events (barrier
@@ -807,21 +1032,28 @@ struct SegmentSink {
     /// Receiver hung up (the consumer recorded a failure); keep
     /// interpreting for the final state but stop shipping.
     dead: bool,
+    /// `Some` when the world's trace cache wants this unit's stream:
+    /// every flushed segment is appended here too.
+    recorded: Option<Vec<TraceEvent>>,
 }
 
 impl SegmentSink {
-    fn new(tx: SyncSender<Vec<TraceEvent>>, split_at_sync: bool) -> SegmentSink {
+    fn new(tx: SyncSender<Vec<TraceEvent>>, split_at_sync: bool, record: bool) -> SegmentSink {
         SegmentSink {
             tx,
             buf: Vec::with_capacity(SEGMENT_CAP),
             split_at_sync,
             dead: false,
+            recorded: record.then(Vec::new),
         }
     }
 
     fn flush(&mut self) {
         if self.buf.is_empty() {
             return;
+        }
+        if let Some(rec) = &mut self.recorded {
+            rec.extend_from_slice(&self.buf);
         }
         if self.dead {
             self.buf.clear();
@@ -890,17 +1122,21 @@ struct ShardJob<'a> {
 /// segment per job in original event order against the timing model,
 /// consuming round A's outcomes — so each job's clocks and channel
 /// occupancy evolve exactly as in a serial run.
+#[allow(clippy::too_many_arguments)]
 fn run_unit_sharded<M: Sync + fmt::Debug>(
     jobs: &[Job<M>],
     fe: &FrontEnd,
     rep: usize,
-    preps: &[Result<Prep, PipelineError>],
+    preps: &[Option<Result<Prep, PipelineError>>],
     live: &[(&Vec<usize>, Option<Vec<u32>>)],
     shard_threads: usize,
     strict_banks: bool,
-) -> Vec<(usize, Result<RunResult, PipelineError>)> {
+    source: UnitSource<'_>,
+    record: bool,
+    rc: &RunCounters,
+) -> UnitOutput {
     let nproc = fe.nproc;
-    let rep_layout = &preps[rep].as_ref().unwrap().layout;
+    let rep_layout = &prep_of(preps, rep).layout;
     let split_at_sync = fsr_analysis::phase_profile(&fe.prog).splittable();
 
     // Jobs whose bank negotiation fails under forced sharding are
@@ -1126,29 +1362,55 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
         }
     };
 
-    // Producer/consumer: the interpreter streams segments from its own
-    // thread through a bounded channel, so segment k+1 is interpreted
-    // while segment k simulates.
+    // Producer/consumer: the interpreter (or the trace replay) streams
+    // segments from its own thread through a bounded channel, so segment
+    // k+1 is produced while segment k simulates.
     let (tx, rx) = sync_channel::<Vec<TraceEvent>>(2);
     let run_cfg = jobs[rep].cfg.run;
     let produced = std::thread::scope(|scope| {
         let producer = scope.spawn(move || {
-            let mut sink = SegmentSink::new(tx, split_at_sync);
-            let r = fsr_interp::run(&fe.prog, rep_layout, &fe.code, run_cfg, &mut sink);
+            let mut sink = SegmentSink::new(tx, split_at_sync, record);
+            let r = match source {
+                UnitSource::Interp => {
+                    fsr_interp::run(&fe.prog, rep_layout, &fe.code, run_cfg, &mut sink)
+                        .map(|fin| fin.stats)
+                }
+                UnitSource::Replay { events, interp } => {
+                    for e in events {
+                        feed(&mut sink, e);
+                    }
+                    Ok(interp.clone())
+                }
+            };
             sink.flush();
-            r
+            (r, sink.recorded)
         });
         for seg in rx.iter() {
-            SEGMENTS.fetch_add(1, Ordering::Relaxed);
+            rc.segments.fetch_add(1, Ordering::Relaxed);
             run_round(bank_tasks.len(), shard_threads, |t| round_a(&seg, t));
             run_round(shard_jobs.len(), shard_threads, |s| round_b(&seg, s));
         }
         producer.join()
     });
 
-    let mut out: Vec<(usize, Result<RunResult, PipelineError>)> = match produced {
+    let (mut out, recorded): UnitOutput = match produced {
         Err(p) => {
             let payload = panic_message(&*p);
+            (
+                shard_jobs
+                    .into_iter()
+                    .map(|sj| {
+                        let ShardJob { job, failed, .. } = sj;
+                        let e = failed.into_inner().unwrap().unwrap_or_else(|| {
+                            worker_panic("interpret", job, jobs, payload.clone())
+                        });
+                        (job, Err(e))
+                    })
+                    .collect(),
+                None,
+            )
+        }
+        Ok((Err(e), _)) => (
             shard_jobs
                 .into_iter()
                 .map(|sj| {
@@ -1156,60 +1418,53 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
                     let e = failed
                         .into_inner()
                         .unwrap()
-                        .unwrap_or_else(|| worker_panic("interpret", job, jobs, payload.clone()));
+                        .unwrap_or(PipelineError::Runtime(e.clone()));
                     (job, Err(e))
                 })
-                .collect()
+                .collect(),
+            None,
+        ),
+        Ok((Ok(stats), rec_events)) => {
+            let out = shard_jobs
+                .into_iter()
+                .map(|sj| {
+                    let ShardJob {
+                        job: j,
+                        engine,
+                        banks,
+                        timing,
+                        failed,
+                        ..
+                    } = sj;
+                    if let Some(e) = failed.into_inner().unwrap() {
+                        return (j, Err(e));
+                    }
+                    let sims: Vec<MultiSim> = banks
+                        .into_iter()
+                        .map(|m| m.into_inner().unwrap().sim)
+                        .collect();
+                    let (timing, block_queue) = timing.into_inner().unwrap();
+                    let sink = crate::PipelineSink {
+                        sim: BankedSim::from_banks(sims),
+                        timing,
+                        block_queue,
+                        engine,
+                        chunk: crate::ChunkBuf::new(),
+                    };
+                    let prep = prep_of(preps, j);
+                    let r = sink.into_result(nproc, prep.plan.clone(), stats.clone(), |addr| {
+                        prep.layout
+                            .attribute(addr)
+                            .map(|oid| fe.prog.object(oid).name.clone())
+                    });
+                    (j, Ok(r))
+                })
+                .collect();
+            (out, rec_events.map(|ev| (ev, stats)))
         }
-        Ok(Err(e)) => shard_jobs
-            .into_iter()
-            .map(|sj| {
-                let ShardJob { job, failed, .. } = sj;
-                let e = failed
-                    .into_inner()
-                    .unwrap()
-                    .unwrap_or(PipelineError::Runtime(e.clone()));
-                (job, Err(e))
-            })
-            .collect(),
-        Ok(Ok(fin)) => shard_jobs
-            .into_iter()
-            .map(|sj| {
-                let ShardJob {
-                    job: j,
-                    engine,
-                    banks,
-                    timing,
-                    failed,
-                    ..
-                } = sj;
-                if let Some(e) = failed.into_inner().unwrap() {
-                    return (j, Err(e));
-                }
-                let sims: Vec<MultiSim> = banks
-                    .into_iter()
-                    .map(|m| m.into_inner().unwrap().sim)
-                    .collect();
-                let (timing, block_queue) = timing.into_inner().unwrap();
-                let sink = crate::PipelineSink {
-                    sim: BankedSim::from_banks(sims),
-                    timing,
-                    block_queue,
-                    engine,
-                    chunk: crate::ChunkBuf::new(),
-                };
-                let prep = preps[j].as_ref().unwrap();
-                let r = sink.into_result(nproc, prep.plan.clone(), fin.stats.clone(), |addr| {
-                    prep.layout
-                        .attribute(addr)
-                        .map(|oid| fe.prog.object(oid).name.clone())
-                });
-                (j, Ok(r))
-            })
-            .collect(),
     };
     out.append(&mut no_plan);
-    out
+    (out, recorded)
 }
 
 /// Run `n` indexed tasks on up to `threads` scoped workers, clamped to
@@ -1326,12 +1581,9 @@ mod tests {
     fn sharded_batch_is_bit_identical_to_serial() {
         let blocks = [16u32, 32, 64, 128];
         let serial = run_batch_sharded(block_jobs(&blocks), 1, ShardMode::Off);
-        let before = segments_processed();
-        let sharded = run_batch_sharded(block_jobs(&blocks), 1, ShardMode::Force(3));
-        assert!(
-            segments_processed() > before,
-            "Force must engage the segment engine"
-        );
+        let (sharded, stats) =
+            run_batch_sharded_with_stats(block_jobs(&blocks), 1, ShardMode::Force(3));
+        assert!(stats.segments > 0, "Force must engage the segment engine");
         for ((_, want), (job, got)) in serial.iter().zip(&sharded) {
             let want = want.as_ref().unwrap();
             let got = got.as_ref().unwrap();

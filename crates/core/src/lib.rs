@@ -24,6 +24,9 @@
 pub mod cost;
 pub mod driver;
 pub mod experiments;
+pub mod world;
+
+pub use world::{CacheStats, Evicted, LintSummary, Snapshot, World};
 
 pub use fsr_analysis::{Analysis, Pattern};
 pub use fsr_lang::Program;
@@ -128,8 +131,9 @@ impl PipelineConfig {
     }
 }
 
-/// Result of one pipeline run.
-#[derive(Debug)]
+/// Result of one pipeline run. `Clone` lets a warm [`World`] serve a
+/// cached result to any number of identical requests.
+#[derive(Debug, Clone)]
 pub struct RunResult {
     pub nproc: u32,
     pub plan: LayoutPlan,

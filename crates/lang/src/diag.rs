@@ -206,6 +206,79 @@ impl Diagnostic {
     }
 }
 
+/// Escape `s` for embedding in a JSON string literal. Control
+/// characters use `\u` escapes; everything else (including multi-byte
+/// UTF-8) passes through verbatim.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// Stable machine-readable rendering, one JSON object per
+    /// diagnostic. The schema is part of the tool's external interface
+    /// (the `fsr-serve` wire protocol and CI filters consume it):
+    ///
+    /// ```json
+    /// {"severity": "warning", "code": "FSR-W001",
+    ///  "slug": "unsynchronized-write-share",
+    ///  "span": {"start": 4, "end": 5}, "line": 2, "col": 2,
+    ///  "msg": "...", "related": [
+    ///    {"span": {"start": 0, "end": 1}, "line": 1, "col": 1,
+    ///     "caption": "..."}]}
+    /// ```
+    ///
+    /// `code`/`slug` are `null` for uncoded (front-end) errors. `line`
+    /// and `col` are 1-based and column counts *characters*, not bytes,
+    /// so clients need no UTF-8 handling of their own. Key order is
+    /// fixed; never reorder or rename existing keys.
+    pub fn to_json(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        let (code, slug) = match self.code {
+            Some(c) => (format!("\"{}\"", c.id()), format!("\"{}\"", c.slug())),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        let related: Vec<String> = self
+            .related
+            .iter()
+            .map(|(span, caption)| {
+                let (l, c) = span.line_col(src);
+                format!(
+                    "{{\"span\": {{\"start\": {}, \"end\": {}}}, \
+                     \"line\": {l}, \"col\": {c}, \"caption\": \"{}\"}}",
+                    span.start,
+                    span.end,
+                    json_escape(caption)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"severity\": \"{}\", \"code\": {code}, \"slug\": {slug}, \
+             \"span\": {{\"start\": {}, \"end\": {}}}, \
+             \"line\": {line}, \"col\": {col}, \"msg\": \"{}\", \
+             \"related\": [{}]}}",
+            self.severity,
+            self.span.start,
+            self.span.end,
+            json_escape(&self.msg),
+            related.join(", ")
+        )
+    }
+}
+
 impl From<Error> for Diagnostic {
     fn from(e: Error) -> Diagnostic {
         Diagnostic {
@@ -277,6 +350,12 @@ impl Diagnostics {
             .map(|d| d.render(src))
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    /// All diagnostics as a JSON array (see [`Diagnostic::to_json`]).
+    pub fn to_json(&self, src: &str) -> String {
+        let items: Vec<String> = self.list.iter().map(|d| d.to_json(src)).collect();
+        format!("[{}]", items.join(", "))
     }
 }
 
@@ -355,6 +434,78 @@ mod tests {
         assert!(s.contains("warning[FSR-W001 unsynchronized-write-share]"));
         assert!(s.contains("2:2"));
         assert!(s.contains("note at 1:1: conflicting write here"));
+    }
+
+    #[test]
+    fn diagnostic_json_schema_is_stable() {
+        let src = "ab\ncd\nef";
+        let d = Diagnostic::warning(
+            Code::UnsynchronizedWriteShare,
+            "`hot` written without a lock",
+            Span::new(4, 5),
+        )
+        .with_related(Span::new(0, 1), "conflicting write here");
+        assert_eq!(
+            d.to_json(src),
+            "{\"severity\": \"warning\", \"code\": \"FSR-W001\", \
+             \"slug\": \"unsynchronized-write-share\", \
+             \"span\": {\"start\": 4, \"end\": 5}, \"line\": 2, \"col\": 2, \
+             \"msg\": \"`hot` written without a lock\", \
+             \"related\": [{\"span\": {\"start\": 0, \"end\": 1}, \
+             \"line\": 1, \"col\": 1, \"caption\": \"conflicting write here\"}]}"
+        );
+        // Uncoded front-end errors serialize code/slug as null.
+        let e = Diagnostic::from(Error::new(Stage::Check, "boom", Span::new(0, 1)));
+        let j = e.to_json(src);
+        assert!(j.contains("\"severity\": \"error\""), "{j}");
+        assert!(j.contains("\"code\": null, \"slug\": null"), "{j}");
+        assert!(j.contains("\"related\": []"), "{j}");
+    }
+
+    #[test]
+    fn diagnostic_json_line_col_counts_chars_on_multibyte_sources() {
+        // `∞` is 3 bytes but one character: the `x` after it sits at
+        // byte 7 of its line, but the wire schema must report col 5 —
+        // clients index by character, not byte.
+        let src = "ab\n// ∞x\ncd";
+        let x_byte = src.find('x').unwrap() as u32;
+        let d = Diagnostic::warning(
+            Code::BarrierCountMismatch,
+            "arms cross different barrier counts — see ∞ note",
+            Span::new(x_byte, x_byte + 1),
+        );
+        let j = d.to_json(src);
+        assert!(j.contains("\"line\": 2, \"col\": 5"), "{j}");
+        // Multi-byte characters in the message pass through unescaped
+        // (JSON strings are UTF-8); quotes and control chars don't.
+        assert!(j.contains("∞ note"), "{j}");
+        let tricky = Diagnostic::warning(
+            Code::BarrierCountMismatch,
+            "say \"hi\"\n\tdone\u{1}",
+            Span::new(0, 1),
+        );
+        let tj = tricky.to_json(src);
+        assert!(tj.contains("say \\\"hi\\\"\\n\\tdone\\u0001"), "{tj}");
+    }
+
+    #[test]
+    fn diagnostics_json_is_an_array() {
+        let src = "ab\ncd";
+        let mut ds = Diagnostics::new();
+        assert_eq!(ds.to_json(src), "[]");
+        ds.push(Diagnostic::warning(
+            Code::UnsynchronizedWriteShare,
+            "one",
+            Span::new(0, 1),
+        ));
+        ds.push(Diagnostic::warning(
+            Code::LockNotHeldOnAllPaths,
+            "two",
+            Span::new(3, 4),
+        ));
+        let j = ds.to_json(src);
+        assert!(j.starts_with("[{") && j.ends_with("}]"), "{j}");
+        assert_eq!(j.matches("\"severity\"").count(), 2, "{j}");
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! `fsr-serve`: a long-lived analysis/simulation daemon.
+//!
+//! The one-shot pipeline recompiles, re-analyzes and re-interprets a
+//! source on every invocation; this crate keeps a
+//! [`fsr_core::World`] alive across requests so an editor or driver
+//! script pays those costs once per source *content*. The protocol is
+//! newline-delimited JSON-RPC (see [`proto`]); a scripted session looks
+//! like
+//!
+//! ```text
+//! {"id": 1, "method": "open", "params": {"name": "w", "workload": "water"}}
+//! {"id": 2, "method": "lint", "params": {"name": "w"}}
+//! {"id": 3, "method": "simulate", "params": {"name": "w", "plan": "compiler",
+//!   "config": {"block": 128}, "params": {"NPROC": 8}}}
+//! {"id": 4, "method": "shutdown"}
+//! ```
+//!
+//! See DESIGN.md §11 for the architecture and README.md for a runnable
+//! quickstart.
+
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use server::{serve_lines, serve_tcp, serve_tcp_on, Flow, Output, Server};

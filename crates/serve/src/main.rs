@@ -1,0 +1,28 @@
+//! CLI entry point: `fsr-serve` speaks the protocol on stdin/stdout;
+//! `fsr-serve --tcp ADDR` listens on a socket instead (ADDR like
+//! `127.0.0.1:0` — port 0 picks a free port, announced on stderr).
+
+use fsr_serve::{serve_lines, serve_tcp, Output, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            let server = Server::new();
+            let out = Output::new(std::io::stdout());
+            serve_lines(&server, std::io::stdin().lock(), &out);
+        }
+        Some("--tcp") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:0");
+            let server = std::sync::Arc::new(Server::new());
+            if let Err(e) = serve_tcp(server, addr) {
+                eprintln!("fsr-serve: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some(other) => {
+            eprintln!("fsr-serve: unknown argument `{other}` (usage: fsr-serve [--tcp ADDR])");
+            std::process::exit(2);
+        }
+    }
+}

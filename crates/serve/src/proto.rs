@@ -1,0 +1,398 @@
+//! Wire protocol: newline-delimited JSON-RPC requests and the stable
+//! JSON renderings of the pipeline's result and statistics types.
+//!
+//! Every response/notification is one line of JSON with deterministic
+//! field order (objects preserve insertion order; per-object maps come
+//! from `BTreeMap`s, so their iteration order is the sort order), which
+//! is what lets the tier-1 smoke test diff a scripted session against a
+//! pinned golden byte-for-byte.
+
+use crate::json::Value;
+use fsr_core::driver::{BatchStats, PlanSourceSpec};
+use fsr_core::{
+    CacheStats, CoherenceEvent, Evicted, InterconnectKind, LayoutPlan, MissKind, ObjPlan,
+    PipelineConfig, PipelineError, Program, ProtocolKind, RunResult, SimEngine,
+};
+
+/// One parsed request line. `id` is echoed verbatim in the response;
+/// requests without an id still get a response with `"id": null`.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: Value,
+    pub method: String,
+    pub params: Value,
+}
+
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = crate::json::parse(line)?;
+    let method = v
+        .get("method")
+        .and_then(Value::as_str)
+        .ok_or("request needs a string `method`")?
+        .to_string();
+    let id = v.get("id").cloned().unwrap_or(Value::Null);
+    let params = v.get("params").cloned().unwrap_or(Value::Obj(vec![]));
+    Ok(Request { id, method, params })
+}
+
+pub fn response(id: &Value, result: Value) -> String {
+    format!("{{\"id\": {id}, \"result\": {result}}}")
+}
+
+pub fn error_response(id: &Value, msg: &str) -> String {
+    format!(
+        "{{\"id\": {id}, \"error\": {{\"message\": {}}}}}",
+        Value::str(msg)
+    )
+}
+
+pub fn notification(method: &str, params: Value) -> String {
+    format!(
+        "{{\"method\": {}, \"params\": {params}}}",
+        Value::str(method)
+    )
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn u64v(n: u64) -> Value {
+    Value::Int(n as i64)
+}
+
+fn u64s(ns: &[u64]) -> Value {
+    Value::Arr(ns.iter().map(|&n| u64v(n)).collect())
+}
+
+fn misses_obj(misses: &[u64; MissKind::COUNT]) -> Value {
+    Value::Obj(
+        MissKind::ALL
+            .iter()
+            .map(|&k| (k.name().to_string(), u64v(misses[k as usize])))
+            .collect(),
+    )
+}
+
+fn plan_kind(p: &ObjPlan) -> &'static str {
+    match p {
+        ObjPlan::Transpose { .. } => "transpose",
+        ObjPlan::Indirect { .. } => "indirect",
+        ObjPlan::PadElems => "pad-elems",
+        ObjPlan::PadLock => "pad-lock",
+    }
+}
+
+/// The layout plan on the wire: block size plus one entry per
+/// transformed object, in object-id order.
+pub fn plan_json(plan: &LayoutPlan, prog: &Program) -> Value {
+    let transformed: Vec<Value> = plan
+        .directives
+        .iter()
+        .map(|(&oid, p)| {
+            let mut fields = vec![
+                ("obj", Value::str(prog.object(oid).name.clone())),
+                ("kind", Value::str(plan_kind(p))),
+            ];
+            if let Some(reason) = plan.reasons.get(&oid) {
+                fields.push(("reason", Value::str(reason.clone())));
+            }
+            obj(fields)
+        })
+        .collect();
+    obj(vec![
+        ("block", Value::Int(plan.block_bytes as i64)),
+        ("transformed", Value::Arr(transformed)),
+    ])
+}
+
+/// Full stable rendering of one pipeline result. Field order and names
+/// are part of the external interface; only ever append.
+pub fn run_result_json(r: &RunResult, prog: &Program) -> Value {
+    let per_obj = Value::Obj(
+        r.per_obj
+            .iter()
+            .map(|(name, m)| (name.clone(), misses_obj(&m.misses)))
+            .collect(),
+    );
+    let per_obj_coherence = Value::Obj(
+        r.per_obj_coherence
+            .iter()
+            .map(|(name, c)| {
+                let mut fields: Vec<(String, Value)> = CoherenceEvent::ALL
+                    .iter()
+                    .map(|&e| (e.name().to_string(), u64v(c.events[e as usize])))
+                    .collect();
+                fields.push(("queue_stall".to_string(), u64v(c.queue_stall)));
+                (name.clone(), Value::Obj(fields))
+            })
+            .collect(),
+    );
+    let per_obj_refs = Value::Obj(
+        r.per_obj_refs
+            .iter()
+            .map(|(name, &n)| (name.clone(), u64v(n)))
+            .collect(),
+    );
+    let sim = obj(vec![
+        ("refs", u64v(r.sim.refs)),
+        ("reads", u64v(r.sim.reads)),
+        ("writes", u64v(r.sim.writes)),
+        ("misses", misses_obj(&r.sim.misses)),
+        ("upgrades", u64v(r.sim.upgrades)),
+        ("invalidations", u64v(r.sim.invalidations)),
+        ("interventions", u64v(r.sim.interventions)),
+        ("exclusive_hits", u64v(r.sim.exclusive_hits)),
+        ("dir_txns", u64v(r.sim.dir_txns)),
+    ]);
+    let timing = obj(vec![
+        ("busy", u64s(&r.timing.busy)),
+        ("stall", u64s(&r.timing.stall)),
+        ("queue", u64s(&r.timing.queue)),
+        ("stall_by_kind", misses_obj(&r.timing.stall_by_kind)),
+        ("upgrade_stall", u64v(r.timing.upgrade_stall)),
+        ("channel_busy", u64s(&r.timing.channel_busy)),
+        ("two_hop", u64v(r.timing.two_hop)),
+        ("three_hop", u64v(r.timing.three_hop)),
+    ]);
+    let interp = obj(vec![
+        ("instructions", u64v(r.interp.instructions)),
+        ("refs", u64v(r.interp.refs)),
+        ("spin_rereads", u64v(r.interp.spin_rereads)),
+        ("barriers_crossed", u64v(r.interp.barriers_crossed)),
+        ("lock_acquires", u64v(r.interp.lock_acquires)),
+    ]);
+    obj(vec![
+        ("nproc", Value::Int(r.nproc as i64)),
+        ("plan", plan_json(&r.plan, prog)),
+        ("sim", sim),
+        ("per_obj", per_obj),
+        ("per_obj_coherence", per_obj_coherence),
+        ("per_obj_refs", per_obj_refs),
+        ("exec_cycles", u64v(r.exec_cycles)),
+        ("timing", timing),
+        ("interp", interp),
+        ("miss_rate", Value::Num(r.miss_rate())),
+        ("fs_miss_rate", Value::Num(r.false_sharing_miss_rate())),
+        ("fs_stall_frac", Value::Num(r.fs_stall_frac)),
+    ])
+}
+
+pub fn batch_stats_json(s: &BatchStats) -> Value {
+    obj(vec![
+        ("jobs", Value::Int(s.jobs as i64)),
+        ("front_ends", Value::Int(s.front_ends as i64)),
+        ("fe_hits", Value::Int(s.fe_hits as i64)),
+        ("analyses", Value::Int(s.analyses as i64)),
+        ("trace_groups", Value::Int(s.trace_groups as i64)),
+        ("interpretations", Value::Int(s.interpretations as i64)),
+        ("trace_hits", Value::Int(s.trace_hits as i64)),
+        ("result_hits", Value::Int(s.result_hits as i64)),
+        ("segments", u64v(s.segments)),
+    ])
+}
+
+pub fn evicted_json(e: &Evicted) -> Value {
+    obj(vec![
+        ("front_ends", Value::Int(e.front_ends as i64)),
+        ("lints", Value::Int(e.lints as i64)),
+        ("traces", Value::Int(e.traces as i64)),
+        ("results", Value::Int(e.results as i64)),
+    ])
+}
+
+pub fn cache_stats_json(s: &CacheStats) -> Value {
+    obj(vec![
+        ("front_ends", Value::Int(s.front_ends as i64)),
+        ("fe_hits", u64v(s.fe_hits)),
+        ("fe_misses", u64v(s.fe_misses)),
+        ("lints", Value::Int(s.lints as i64)),
+        ("lint_hits", u64v(s.lint_hits)),
+        ("lint_misses", u64v(s.lint_misses)),
+        ("traces", Value::Int(s.traces as i64)),
+        ("trace_hits", u64v(s.trace_hits)),
+        ("trace_misses", u64v(s.trace_misses)),
+        ("results", Value::Int(s.results as i64)),
+        ("result_hits", u64v(s.result_hits)),
+        ("result_misses", u64v(s.result_misses)),
+    ])
+}
+
+/// Render a pipeline error as a one-line message (plus the structured
+/// diagnostic JSON when the failure is a front-end error with a span).
+pub fn pipeline_error_json(e: &PipelineError, src: &str) -> Value {
+    match e {
+        PipelineError::Lang(err) => obj(vec![
+            ("message", Value::str(err.render(src))),
+            (
+                "diagnostic",
+                crate::json::parse(&fsr_lang::Diagnostic::from(err.clone()).to_json(src))
+                    .unwrap_or(Value::Null),
+            ),
+        ]),
+        other => obj(vec![("message", Value::str(format!("{other:?}")))]),
+    }
+}
+
+/// `params` on the wire is a JSON object of `name -> integer`;
+/// normalized to sorted order so equal bindings always produce the same
+/// cache key regardless of client field order.
+pub fn parse_params(v: Option<&Value>) -> Result<Vec<(String, i64)>, String> {
+    let mut out = Vec::new();
+    if let Some(v) = v {
+        let fields = v.as_obj().ok_or("`params` must be an object")?;
+        for (k, val) in fields {
+            let n = val
+                .as_i64()
+                .ok_or_else(|| format!("param `{k}` must be an integer"))?;
+            out.push((k.clone(), n));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `plan` on the wire: `"unoptimized"` (default) or `"compiler"`.
+pub fn parse_plan(v: Option<&Value>) -> Result<PlanSourceSpec, String> {
+    match v {
+        None | Some(Value::Null) => Ok(PlanSourceSpec::Unoptimized),
+        Some(v) => match v.as_str() {
+            Some("unoptimized") => Ok(PlanSourceSpec::Unoptimized),
+            Some("compiler") => Ok(PlanSourceSpec::Compiler),
+            _ => Err(format!(
+                "unknown plan {v} (use \"unoptimized\" or \"compiler\")"
+            )),
+        },
+    }
+}
+
+fn parse_protocol(s: &str) -> Result<ProtocolKind, String> {
+    ProtocolKind::ALL
+        .into_iter()
+        .find(|p| p.name() == s)
+        .ok_or_else(|| format!("unknown protocol `{s}`"))
+}
+
+fn parse_interconnect(s: &str) -> Result<InterconnectKind, String> {
+    InterconnectKind::ALL
+        .into_iter()
+        .find(|i| i.name() == s)
+        .ok_or_else(|| format!("unknown interconnect `{s}`"))
+}
+
+/// `config` on the wire: a flat object over the pipeline's axes. Every
+/// key is optional; omitted keys take [`PipelineConfig`] defaults.
+///
+/// ```json
+/// {"block": 128, "cache_bytes": 32768, "assoc": 4,
+///  "protocol": "msi", "interconnect": "ksr2-ring",
+///  "engine": "soa-chunked", "seed": 1592510158, "max_steps": 2000000000}
+/// ```
+pub fn parse_config(v: Option<&Value>) -> Result<PipelineConfig, String> {
+    let block = match v.and_then(|v| v.get("block")) {
+        Some(b) => b.as_i64().ok_or("`block` must be an integer")? as u32,
+        None => 128,
+    };
+    let mut cfg = PipelineConfig::with_block(block);
+    let v = match v {
+        Some(v) => v,
+        None => return Ok(cfg),
+    };
+    if let Some(c) = v.get("cache_bytes") {
+        cfg.cache_bytes = c.as_i64().ok_or("`cache_bytes` must be an integer")? as u32;
+    }
+    if let Some(a) = v.get("assoc") {
+        cfg.assoc = a.as_i64().ok_or("`assoc` must be an integer")? as u32;
+    }
+    if let Some(p) = v.get("protocol") {
+        cfg.protocol = parse_protocol(p.as_str().ok_or("`protocol` must be a string")?)?;
+    }
+    if let Some(i) = v.get("interconnect") {
+        cfg.machine.interconnect =
+            parse_interconnect(i.as_str().ok_or("`interconnect` must be a string")?)?;
+    }
+    if let Some(e) = v.get("engine") {
+        let name = e.as_str().ok_or("`engine` must be a string")?;
+        cfg.engine = SimEngine::parse(name).ok_or_else(|| format!("unknown engine `{name}`"))?;
+    }
+    if let Some(s) = v.get("seed") {
+        cfg.run.seed = s.as_i64().ok_or("`seed` must be an integer")? as u64;
+    }
+    if let Some(m) = v.get("max_steps") {
+        cfg.run.max_steps = m.as_i64().ok_or("`max_steps` must be an integer")? as u64;
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_parsing_extracts_fields() {
+        let r = parse_request(r#"{"id": 7, "method": "lint", "params": {"name": "w"}}"#).unwrap();
+        assert_eq!(r.id, Value::Int(7));
+        assert_eq!(r.method, "lint");
+        assert_eq!(r.params.get("name").unwrap().as_str(), Some("w"));
+        // id and params are optional.
+        let r = parse_request(r#"{"method": "stats"}"#).unwrap();
+        assert_eq!(r.id, Value::Null);
+        assert!(parse_request(r#"{"params": {}}"#).is_err());
+    }
+
+    #[test]
+    fn params_normalize_to_sorted_order() {
+        let v = crate::json::parse(r#"{"SCALE": 2, "NPROC": 8}"#).unwrap();
+        let p = parse_params(Some(&v)).unwrap();
+        assert_eq!(p, vec![("NPROC".to_string(), 8), ("SCALE".to_string(), 2)]);
+        assert_eq!(parse_params(None).unwrap(), vec![]);
+        let bad = crate::json::parse(r#"{"NPROC": "eight"}"#).unwrap();
+        assert!(parse_params(Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn config_parsing_covers_every_axis() {
+        let v = crate::json::parse(
+            r#"{"block": 64, "cache_bytes": 16384, "assoc": 2,
+                "protocol": "directory", "interconnect": "home-dir",
+                "engine": "scalar", "seed": 99, "max_steps": 1000}"#,
+        )
+        .unwrap();
+        let cfg = parse_config(Some(&v)).unwrap();
+        assert_eq!(cfg.block_bytes, 64);
+        assert_eq!(cfg.plan_cfg.block_bytes, 64, "plan block follows");
+        assert_eq!(cfg.cache_bytes, 16384);
+        assert_eq!(cfg.assoc, 2);
+        assert_eq!(cfg.protocol, ProtocolKind::Directory);
+        assert_eq!(cfg.machine.interconnect, InterconnectKind::HomeDir);
+        assert_eq!(cfg.engine, SimEngine::Scalar);
+        assert_eq!(cfg.run.seed, 99);
+        assert_eq!(cfg.run.max_steps, 1000);
+        // Defaults when omitted.
+        let d = parse_config(None).unwrap();
+        assert_eq!(d.block_bytes, PipelineConfig::default().block_bytes);
+        // Unknown names are errors, not silent defaults.
+        let bad = crate::json::parse(r#"{"protocol": "moesi"}"#).unwrap();
+        assert!(parse_config(Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn plan_spec_parses() {
+        assert!(matches!(
+            parse_plan(None).unwrap(),
+            PlanSourceSpec::Unoptimized
+        ));
+        let c = crate::json::parse("\"compiler\"").unwrap();
+        assert!(matches!(
+            parse_plan(Some(&c)).unwrap(),
+            PlanSourceSpec::Compiler
+        ));
+        let bad = crate::json::parse("\"programmer\"").unwrap();
+        assert!(parse_plan(Some(&bad)).is_err());
+    }
+}

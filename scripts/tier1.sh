@@ -50,4 +50,13 @@ diff -u tests/golden/simd.json "$simd_out"
 FSR_NPROC=8 FSR_SCALE=1 FSR_BENCH_OUT="$simd_out" \
     cargo run -q --release -p fsr-bench --features accel --bin bench_simd -- --golden >/dev/null 2>&1
 diff -u tests/golden/simd.json "$simd_out"
+# Daemon smoke: a scripted fsr-serve session (open a workload, lint with
+# streamed diagnostics, one cold figure-3-style simulate, the identical
+# request again) must reproduce the pinned transcript byte-for-byte —
+# which pins, among everything else, that the warm repeat is served from
+# the result cache with zero interpreter passes (`"result_hits": 1`,
+# `"interpretations": 0` in the second simulate's stats). fmt/clippy
+# coverage of the serve crate rides on the --all/--workspace gates above.
+cargo run -q --release --bin fsr-serve < tests/golden/serve_smoke_session.jsonl \
+    | diff -u tests/golden/serve_smoke.txt -
 echo "tier1: OK"

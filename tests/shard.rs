@@ -9,19 +9,12 @@
 //! workloads and random configurations.
 
 use fsr_core::driver::{
-    effective_threads, run_batch_sharded, segments_processed, Job, PlanSourceSpec, ShardMode,
+    effective_threads, run_batch_sharded, run_batch_sharded_with_stats, Job, PlanSourceSpec,
+    ShardMode,
 };
 use fsr_core::{InterconnectKind, PipelineConfig, PipelineError, ProtocolKind, RunResult};
 use proptest::prelude::*;
-use std::sync::{Arc, Mutex, MutexGuard};
-
-/// Serialize tests in this binary: the interpreter-run and segment
-/// counters are process-global, so concurrent tests would perturb each
-/// other's deltas.
-fn gate() -> MutexGuard<'static, ()> {
-    static GATE: Mutex<()> = Mutex::new(());
-    GATE.lock().unwrap_or_else(|e| e.into_inner())
-}
+use std::sync::Arc;
 
 /// Each protocol on its natural interconnect (directory traffic needs
 /// the home-node fabric for its 2/3-hop costs to be exercised).
@@ -82,12 +75,14 @@ fn workload_jobs(
 }
 
 /// Serial vs sharded on the same job list, every statistic compared.
+/// The segment counter is per-run `BatchStats` state now (the old
+/// process-global counter accumulated across requests in a long-lived
+/// daemon), so the assertion needs no cross-test serialization gate.
 fn assert_shard_equivalent(jobs: Vec<Job<String>>, shard_threads: usize) {
     let serial = run_batch_sharded(jobs.clone(), 1, ShardMode::Off);
-    let before = segments_processed();
-    let sharded = run_batch_sharded(jobs, 1, ShardMode::Force(shard_threads));
+    let (sharded, stats) = run_batch_sharded_with_stats(jobs, 1, ShardMode::Force(shard_threads));
     assert!(
-        segments_processed() > before,
+        stats.segments > 0,
         "forced sharding must run the segment engine"
     );
     for ((_, want), (job, got)) in serial.iter().zip(&sharded) {
@@ -102,7 +97,6 @@ fn assert_shard_equivalent(jobs: Vec<Job<String>>, shard_threads: usize) {
 /// phase-parallel + banked bit-identical to serial.
 #[test]
 fn sharded_engine_matches_serial_for_every_workload_and_protocol() {
-    let _g = gate();
     for w in fsr_workloads::all() {
         for backend in backend_pairs() {
             assert_shard_equivalent(workload_jobs(&w, 4, &[128], backend), 3);
@@ -125,7 +119,6 @@ proptest! {
         nproc in 2i64..6,
         shard_threads in 2usize..5,
     ) {
-        let _g = gate();
         let blocks = [16u32, 32, 64, 128];
         let set = fsr_workloads::all();
         let w = &set[wi % set.len()];
@@ -147,7 +140,6 @@ const COUNTERS: &str = "param NPROC = 4; shared int c[NPROC];
 /// whole batch).
 #[test]
 fn panicking_job_reports_meta_without_wedging_siblings() {
-    let _g = gate();
     let src: Arc<str> = Arc::from(COUNTERS);
     let mk = |meta: &str, plan| Job {
         meta: meta.to_string(),
