@@ -36,13 +36,15 @@ pub mod classify;
 pub mod lin;
 pub mod phase;
 pub mod races;
+pub mod rel;
 pub mod report;
 pub mod section;
 pub mod summary;
 
 pub use classify::{AccessClass, Analysis, OwnerMap, Pattern, SideSummary, MAX_DESCRIPTORS};
 pub use phase::{phase_profile, PhaseProfile, PhaseSpan};
-pub use races::{access_label, detect, RaceReport};
+pub use races::{access_label, detect, detect_with, RaceReport, SuppressedGroup};
+pub use rel::{RefineFacts, RelFacts, RelVal, RelVerdict};
 pub use section::{Bound, ProcCond, Rsd, Section};
 pub use summary::{FinalAccess, LockIdx, LockSym, ProgramSummary};
 

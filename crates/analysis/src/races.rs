@@ -25,11 +25,22 @@
 
 use crate::classify::Analysis;
 use crate::phase::{PhaseSpan, PHASE_MAX};
+use crate::rel::{self, RefineFacts, RelVerdict};
 use crate::section::{progressions_intersect, Concrete};
 use crate::summary::{FinalAccess, LockIdx};
 use fsr_lang::ast::{ElemTy, FieldId, ObjId, ObjectKind, Program};
 use fsr_lang::diag::{Code, Diagnostic, Diagnostics};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// One `(obj, field)` group whose conflicting pairs were all suppressed,
+/// with a human-readable reason derived from the relational facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuppressedGroup {
+    pub obj: ObjId,
+    pub field: Option<FieldId>,
+    /// Why the overlap stayed unprovable (see [`rel::suppression_reason`]).
+    pub reason: &'static str,
+}
 
 /// Result of the race lint pass.
 #[derive(Debug, Clone)]
@@ -39,7 +50,10 @@ pub struct RaceReport {
     pub racy: BTreeSet<(ObjId, Option<FieldId>)>,
     /// Conflicting pairs suppressed because the element overlap could not
     /// be proven (symbolic partition bounds / data-dependent indices).
+    /// Always equals `suppressed.len()`.
     pub suppressed_pairs: usize,
+    /// Per-group suppression reasons, sorted by `(obj, field)`.
+    pub suppressed: Vec<SuppressedGroup>,
 }
 
 impl RaceReport {
@@ -92,9 +106,20 @@ enum LockVerdict {
 
 /// Run the race lint over an analyzed program.
 pub fn detect(prog: &Program, analysis: &Analysis) -> RaceReport {
+    detect_with(prog, analysis, None)
+}
+
+/// [`detect`] with optional dynamic refinement facts from a recorded
+/// trace: a statically-unprovable (`Possible`) overlap whose group was
+/// observed conflicting at run time is reported instead of suppressed.
+pub fn detect_with(
+    prog: &Program,
+    analysis: &Analysis,
+    refine: Option<&RefineFacts>,
+) -> RaceReport {
     let mut diagnostics = Diagnostics::new();
     let mut racy = BTreeSet::new();
-    let mut suppressed = 0usize;
+    let mut suppressed_groups = Vec::new();
 
     for &span in &analysis.summary.barrier_mismatches {
         diagnostics.push(Diagnostic::warning(
@@ -126,6 +151,8 @@ pub fn detect(prog: &Program, analysis: &Analysis) -> RaceReport {
         let mut w001: Option<(&FinalAccess, &FinalAccess)> = None;
         let mut w002: Option<(&FinalAccess, &FinalAccess)> = None;
         let mut possible_only = false;
+        let mut supp_example: Option<(&FinalAccess, &FinalAccess)> = None;
+        let observed_conflict = refine.is_some_and(|r| r.conflicting.contains(&(*oid, *field)));
         for i in 0..accs.len() {
             for j in i..accs.len() {
                 let (a, b) = (accs[i], accs[j]);
@@ -146,8 +173,30 @@ pub fn detect(prog: &Program, analysis: &Analysis) -> RaceReport {
                         match pair_overlap(a, b, p, q, &dims) {
                             Overlap::No => continue,
                             Overlap::Possible => {
-                                possible_only = true;
-                                continue;
+                                // Re-judge with the relational domain:
+                                // a proven separation drops the pair, a
+                                // proven (uniform, full-dimension)
+                                // overlap reports it, and a dynamic
+                                // conflict witness from a recorded
+                                // trace breaks the remaining ties.
+                                match rel::judge_pair(
+                                    &analysis.summary.rel,
+                                    a.span,
+                                    b.span,
+                                    &dims,
+                                    p,
+                                    q,
+                                ) {
+                                    RelVerdict::Disjoint => continue,
+                                    RelVerdict::Overlap => {}
+                                    RelVerdict::Unknown => {
+                                        if !observed_conflict {
+                                            possible_only = true;
+                                            supp_example.get_or_insert((a, b));
+                                            continue;
+                                        }
+                                    }
+                                }
                             }
                             Overlap::Definite => {}
                         }
@@ -197,7 +246,15 @@ pub fn detect(prog: &Program, analysis: &Analysis) -> RaceReport {
             racy.insert((*oid, *field));
         }
         if possible_only && w001.is_none() && w002.is_none() {
-            suppressed += 1;
+            let reason = match supp_example {
+                Some((a, b)) => rel::suppression_reason(&analysis.summary.rel, a.span, b.span),
+                None => "index ranges may alias but cover only part of the dimension",
+            };
+            suppressed_groups.push(SuppressedGroup {
+                obj: *oid,
+                field: *field,
+                reason,
+            });
         }
     }
 
@@ -205,7 +262,8 @@ pub fn detect(prog: &Program, analysis: &Analysis) -> RaceReport {
     RaceReport {
         diagnostics,
         racy,
-        suppressed_pairs: suppressed,
+        suppressed_pairs: suppressed_groups.len(),
+        suppressed: suppressed_groups,
     }
 }
 
@@ -260,7 +318,15 @@ fn pair_overlap(a: &FinalAccess, b: &FinalAccess, p: i64, q: i64, dims: &[i64]) 
     let mut verdict = Overlap::Definite;
     for (k, (sa, sb)) in a.rsd.sections.iter().zip(&b.rsd.sections).enumerate() {
         let dim = dims.get(k).copied().unwrap_or(1);
-        match (sa.concretize(p, dim), sb.concretize(q, dim)) {
+        let (ca, cb) = (sa.concretize(p, dim), sb.concretize(q, dim));
+        if !ca.is_exact() || !cb.is_exact() {
+            // Symbolic partition bounds or data-dependent indices: the
+            // overlap cannot be decided here (the caller re-judges with
+            // the relational domain).
+            verdict = Overlap::Possible;
+            continue;
+        }
+        match (ca, cb) {
             (Concrete::Empty, _) | (_, Concrete::Empty) => return Overlap::No,
             (
                 Concrete::Progression {
@@ -278,9 +344,7 @@ fn pair_overlap(a: &FinalAccess, b: &FinalAccess, p: i64, q: i64, dims: &[i64]) 
                     return Overlap::No;
                 }
             }
-            // Symbolic partition bounds or data-dependent indices: the
-            // overlap cannot be proven either way.
-            _ => verdict = Overlap::Possible,
+            _ => unreachable!("is_exact covers Empty/Progression only"),
         }
     }
     verdict

@@ -1,0 +1,1550 @@
+//! Relational index domain: linear congruences + difference constraints
+//! over loop induction variables, the process id, and symbolic partition
+//! bounds.
+//!
+//! The bounded-regular-section layer ([`crate::section`]) degrades every
+//! index it cannot express as a pdv-affine progression to
+//! [`crate::section::Section::Unknown`], and the race pass then
+//! suppresses the pair (precision over recall). This module runs a
+//! second, relational abstract interpretation over the checked AST and
+//! records, for every shared-array access site, a per-dimension
+//! [`RelVal`]: pdv-affine range bounds (`lo`/`hi`), a linear congruence
+//! (`value ≡ residue(pid) mod modulus`), a guaranteed dense-run width
+//! (`span`), and a process-uniformity bit. The race pass uses these
+//! facts to *re-judge* suppressed pairs (see [`judge_pair`]): a proven
+//! per-(p,q) separation upgrades the pair to disjoint, while a
+//! process-uniform index that provably covers the whole dimension
+//! upgrades it to an overlap worth reporting.
+//!
+//! Two transfer rules do most of the recall work:
+//!
+//! * **wrap-to-full**: `x % m` where `x`'s feasible set contains dense
+//!   runs of length `>= m` yields exactly `[0, m-1]` for *every*
+//!   process — the result is uniform even when `x` itself is
+//!   process-biased (`(prand(..) % N + k*NPROC + p) % N`).
+//! * **congruence survival**: `x % m` preserves `x ≡ r (mod g)`
+//!   whenever `g | m` and `x >= 0` (`(i + (n+1)*NPROC) % NB` keeps
+//!   `i ≡ p (mod NPROC)`).
+//!
+//! Shared-array *contents* get the same treatment via a fixed-point
+//! content map (`(obj, field) -> RelVal` join of all stored values), so
+//! an index loaded from another array (`cell_count[px[i] / 16]`,
+//! `gates[gates[i].fan1].val`) inherits the stored values' range. A
+//! store whose value shares a dependency (a local slot or the process
+//! id) with its own store index marks the entry *index-correlated*:
+//! loading such an entry at a process-dependent index yields a
+//! process-dependent value (the revolving / static partition-bound
+//! arrays), which taints everything computed from it and keeps those
+//! accesses suppressed. `prand` launders dependencies: its output set
+//! is the full non-negative range no matter the seed.
+
+use crate::lin::{Lin, PDV_SLOT};
+use fsr_lang::ast::{
+    BinOp, Block, Builtin, Callee, Expr, ExprKind, FieldId, FuncId, ObjId, ObjectKind, Place,
+    Program, Stmt, StmtKind, Target, UnOp, VarRef,
+};
+use fsr_lang::diag::Span;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Upper bound used for `prand`'s non-negative chaotic output.
+const PRAND_MAX: i64 = (1 << 31) - 1;
+
+/// Relational abstract value for one integer expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelVal {
+    /// Inclusive pdv-affine lower bound, if known.
+    pub lo: Option<Lin>,
+    /// Inclusive pdv-affine upper bound, if known.
+    pub hi: Option<Lin>,
+    /// Congruence modulus: `0` = none, else `>= 2` and
+    /// `value ≡ residue (mod modulus)`.
+    pub modulus: i64,
+    /// Congruence residue (pdv-affine); meaningful iff `modulus >= 2`.
+    pub residue: Lin,
+    /// The feasible set contains, for every process, a dense integer run
+    /// of length `>= span` (`span >= 1` always holds trivially).
+    pub span: i64,
+    /// The feasible-value *set* is identical for every process id.
+    pub uniform: bool,
+    /// Local slots (plus [`PDV_SLOT`]) the value depends on, used only
+    /// for store/load index-correlation. `None` = unknown dependencies
+    /// (treated as "depends on everything").
+    pub deps: Option<BTreeSet<u32>>,
+}
+
+impl RelVal {
+    pub fn unknown() -> RelVal {
+        RelVal {
+            lo: None,
+            hi: None,
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: 1,
+            uniform: false,
+            deps: None,
+        }
+    }
+
+    pub fn constant(c: i64) -> RelVal {
+        RelVal {
+            lo: Some(Lin::constant(c)),
+            hi: Some(Lin::constant(c)),
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: 1,
+            uniform: true,
+            deps: Some(BTreeSet::new()),
+        }
+    }
+
+    pub fn pdv() -> RelVal {
+        RelVal {
+            lo: Some(Lin::pdv()),
+            hi: Some(Lin::pdv()),
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: 1,
+            uniform: false,
+            deps: Some([PDV_SLOT].into_iter().collect()),
+        }
+    }
+
+    /// The chaotic non-negative range `prand` produces: dense, uniform,
+    /// dependency-free regardless of its seed.
+    pub fn chaos() -> RelVal {
+        RelVal {
+            lo: Some(Lin::constant(0)),
+            hi: Some(Lin::constant(PRAND_MAX)),
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: PRAND_MAX, // saturated; exact value is irrelevant past any array dim
+            uniform: true,
+            deps: Some(BTreeSet::new()),
+        }
+    }
+
+    /// Exactly `[0, m-1]`, every value feasible for every process.
+    fn full_mod(m: i64) -> RelVal {
+        RelVal {
+            lo: Some(Lin::constant(0)),
+            hi: Some(Lin::constant(m - 1)),
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: m,
+            uniform: true,
+            deps: Some(BTreeSet::new()),
+        }
+    }
+
+    /// Singleton value, if `lo == hi` and both are known.
+    pub fn as_single(&self) -> Option<&Lin> {
+        match (&self.lo, &self.hi) {
+            (Some(l), Some(h)) if l == h => Some(l),
+            _ => None,
+        }
+    }
+
+    fn dep_union(a: &Option<BTreeSet<u32>>, b: &Option<BTreeSet<u32>>) -> Option<BTreeSet<u32>> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(x.union(y).cloned().collect()),
+            _ => None,
+        }
+    }
+
+    /// Concrete `[min, max]` of a pdv-affine bound over all pids.
+    fn bound_range(l: &Lin, nproc: i64) -> Option<(i64, i64)> {
+        if !l.is_pdv_affine() {
+            return None;
+        }
+        let mut mn = i64::MAX;
+        let mut mx = i64::MIN;
+        for p in 0..nproc.max(1) {
+            let v = l.eval_pdv(p)?;
+            mn = mn.min(v);
+            mx = mx.max(v);
+        }
+        Some((mn, mx))
+    }
+
+    /// Concrete min of `lo` / max of `hi` over all pids.
+    pub fn concrete_bounds(&self, nproc: i64) -> (Option<i64>, Option<i64>) {
+        let mn = self
+            .lo
+            .as_ref()
+            .and_then(|l| Self::bound_range(l, nproc))
+            .map(|(a, _)| a);
+        let mx = self
+            .hi
+            .as_ref()
+            .and_then(|l| Self::bound_range(l, nproc))
+            .map(|(_, b)| b);
+        (mn, mx)
+    }
+
+    /// Join (set union over-approximation).
+    pub fn join(&self, other: &RelVal, nproc: i64) -> RelVal {
+        let pick = |a: &Option<Lin>, b: &Option<Lin>, want_min: bool| -> Option<Lin> {
+            let (x, y) = (a.as_ref()?, b.as_ref()?);
+            if x == y {
+                return Some(x.clone());
+            }
+            // Different Lins: a joined bound must dominate *both*
+            // operands at every pid (keeping whichever has the looser
+            // global extreme is unsound when the Lins cross over pids,
+            // e.g. lo = pdv vs lo = 1). Keep a pointwise-looser
+            // operand if one exists, else fall back to the constant
+            // envelope, which dominates both by construction.
+            let (xr, yr) = (Self::bound_range(x, nproc)?, Self::bound_range(y, nproc)?);
+            let pointwise_le = |l: &Lin, r: &Lin| -> bool {
+                (0..nproc.max(1)).all(|p| match (l.eval_pdv(p), r.eval_pdv(p)) {
+                    (Some(lv), Some(rv)) => lv <= rv,
+                    _ => false,
+                })
+            };
+            if want_min {
+                if pointwise_le(x, y) {
+                    Some(x.clone())
+                } else if pointwise_le(y, x) {
+                    Some(y.clone())
+                } else {
+                    Some(Lin::constant(xr.0.min(yr.0)))
+                }
+            } else if pointwise_le(y, x) {
+                Some(x.clone())
+            } else if pointwise_le(x, y) {
+                Some(y.clone())
+            } else {
+                Some(Lin::constant(xr.1.max(yr.1)))
+            }
+        };
+        let (modulus, residue) = if self.modulus >= 2
+            && self.modulus == other.modulus
+            && self.residue == other.residue
+        {
+            (self.modulus, self.residue.clone())
+        } else {
+            (0, Lin::constant(0))
+        };
+        RelVal {
+            lo: pick(&self.lo, &other.lo, true),
+            hi: pick(&self.hi, &other.hi, false),
+            modulus,
+            residue,
+            span: self.span.min(other.span).max(1),
+            uniform: self.uniform && other.uniform,
+            deps: Self::dep_union(&self.deps, &other.deps),
+        }
+    }
+
+    /// Widen against a previous iterate: any bound that changed is
+    /// dropped; congruence/span/uniform degrade monotonically via join.
+    fn widen_from(&self, prev: &RelVal, nproc: i64) -> RelVal {
+        let mut w = self.join(prev, nproc);
+        if self.lo != prev.lo {
+            w.lo = None;
+        }
+        if self.hi != prev.hi {
+            w.hi = None;
+        }
+        w
+    }
+
+    pub fn add(&self, other: &RelVal) -> RelVal {
+        let lift = |a: &Option<Lin>, b: &Option<Lin>| -> Option<Lin> {
+            checked_add(a.as_ref()?, b.as_ref()?)
+        };
+        // Congruence of a sum: a singleton operand shifts the residue;
+        // two real congruences combine at gcd.
+        let (modulus, residue) = if let Some(s) = other.as_single() {
+            if self.modulus >= 2 {
+                (self.modulus, self.residue.add(s))
+            } else {
+                (0, Lin::constant(0))
+            }
+        } else if let Some(s) = self.as_single() {
+            if other.modulus >= 2 {
+                (other.modulus, other.residue.add(s))
+            } else {
+                (0, Lin::constant(0))
+            }
+        } else if self.modulus >= 2 && other.modulus >= 2 {
+            let g = gcd(self.modulus, other.modulus);
+            if g >= 2 {
+                (g, self.residue.add(&other.residue))
+            } else {
+                (0, Lin::constant(0))
+            }
+        } else {
+            (0, Lin::constant(0))
+        };
+        RelVal {
+            lo: lift(&self.lo, &other.lo),
+            hi: lift(&self.hi, &other.hi),
+            modulus,
+            residue: norm_res(residue, modulus),
+            // Every element of the sum lies inside a shifted dense run
+            // of the denser operand, so runs never get shorter than
+            // either operand's guarantee.
+            span: self.span.max(other.span),
+            uniform: self.uniform && other.uniform,
+            deps: Self::dep_union(&self.deps, &other.deps),
+        }
+    }
+
+    pub fn neg(&self) -> RelVal {
+        RelVal {
+            lo: self.hi.as_ref().map(Lin::neg),
+            hi: self.lo.as_ref().map(Lin::neg),
+            modulus: self.modulus,
+            residue: self.residue.neg(),
+            span: self.span,
+            uniform: self.uniform,
+            deps: self.deps.clone(),
+        }
+    }
+
+    pub fn sub(&self, other: &RelVal) -> RelVal {
+        self.add(&other.neg())
+    }
+
+    pub fn mul_const(&self, c: i64) -> RelVal {
+        if c == 0 {
+            return RelVal::constant(0);
+        }
+        if c == 1 {
+            return self.clone();
+        }
+        let scale = |l: &Option<Lin>| -> Option<Lin> { checked_scale(l.as_ref()?, c) };
+        let (lo, hi) = if c > 0 {
+            (scale(&self.lo), scale(&self.hi))
+        } else {
+            (scale(&self.hi), scale(&self.lo))
+        };
+        let (modulus, residue) = if self.as_single().is_some() {
+            (0, Lin::constant(0)) // singleton bounds already say it all
+        } else if self.modulus >= 2 {
+            match self.modulus.checked_mul(c.abs()) {
+                Some(m) => (m, self.residue.scale(c)),
+                None => (0, Lin::constant(0)),
+            }
+        } else if c.abs() >= 2 {
+            (c.abs(), Lin::constant(0)) // x*c ≡ 0 (mod |c|)
+        } else {
+            (0, Lin::constant(0))
+        };
+        RelVal {
+            lo,
+            hi,
+            modulus,
+            residue: norm_res(residue, modulus),
+            span: if c == -1 { self.span } else { 1 },
+            uniform: self.uniform,
+            deps: self.deps.clone(),
+        }
+    }
+
+    pub fn mul(&self, other: &RelVal, nproc: i64) -> RelVal {
+        if let Some(c) = other.as_single().and_then(Lin::as_constant) {
+            return self.mul_const(c);
+        }
+        if let Some(c) = self.as_single().and_then(Lin::as_constant) {
+            return other.mul_const(c);
+        }
+        // General product: concrete corner bounds when available.
+        let (alo, ahi) = self.concrete_bounds(nproc);
+        let (blo, bhi) = other.concrete_bounds(nproc);
+        let (mut lo, mut hi) = (None, None);
+        if let (Some(al), Some(ah), Some(bl), Some(bh)) = (alo, ahi, blo, bhi) {
+            let corners = [
+                al.checked_mul(bl),
+                al.checked_mul(bh),
+                ah.checked_mul(bl),
+                ah.checked_mul(bh),
+            ];
+            if corners.iter().all(Option::is_some) {
+                let vals: Vec<i64> = corners.into_iter().flatten().collect();
+                lo = Some(Lin::constant(*vals.iter().min().unwrap()));
+                hi = Some(Lin::constant(*vals.iter().max().unwrap()));
+            }
+        }
+        RelVal {
+            lo,
+            hi,
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: 1,
+            uniform: self.uniform && other.uniform,
+            deps: Self::dep_union(&self.deps, &other.deps),
+        }
+    }
+
+    /// `self % m` for a positive constant modulus (PSL `%` truncates
+    /// toward zero like Rust's).
+    pub fn rem_const(&self, m: i64, nproc: i64) -> RelVal {
+        if m <= 0 {
+            return RelVal {
+                uniform: self.uniform,
+                deps: self.deps.clone(),
+                ..RelVal::unknown()
+            };
+        }
+        if m == 1 {
+            return RelVal::constant(0);
+        }
+        let (clo, chi) = self.concrete_bounds(nproc);
+        let nonneg = clo.map(|l| l >= 0).unwrap_or(false);
+        // Wrap-to-full: a dense run of >= m consecutive feasible values
+        // covers every residue class, so the result is exactly
+        // [0, m-1] for every process — uniform and dependency-free
+        // even when the operand is process-biased. Only sound for
+        // non-negative operands: truncating rem maps a run of m
+        // consecutive negatives onto (-(m-1)..=0], not [0, m-1].
+        if nonneg && self.span >= m {
+            return RelVal::full_mod(m);
+        }
+        // No-wrap: the operand already lives in [0, m-1].
+        if let (Some(l), Some(h)) = (clo, chi) {
+            if l >= 0 && h < m {
+                return self.clone();
+            }
+        }
+        // Congruence survival: for x >= 0 and g | m, x % m ≡ x (mod g).
+        let (modulus, residue) = if nonneg && self.modulus >= 2 && m % self.modulus == 0 {
+            (self.modulus, self.residue.clone())
+        } else {
+            (0, Lin::constant(0))
+        };
+        RelVal {
+            lo: Some(Lin::constant(if nonneg { 0 } else { -(m - 1) })),
+            hi: Some(Lin::constant(m - 1)),
+            modulus,
+            residue,
+            span: 1,
+            uniform: self.uniform,
+            deps: self.deps.clone(),
+        }
+    }
+
+    /// `self / c` for a positive constant divisor (truncating).
+    pub fn div_const(&self, c: i64, nproc: i64) -> RelVal {
+        if c <= 0 {
+            return RelVal {
+                uniform: self.uniform,
+                deps: self.deps.clone(),
+                ..RelVal::unknown()
+            };
+        }
+        if c == 1 {
+            return self.clone();
+        }
+        let (clo, chi) = self.concrete_bounds(nproc);
+        let (lo, hi) = match (clo, chi) {
+            (Some(l), Some(h)) => (Some(Lin::constant(l / c)), Some(Lin::constant(h / c))),
+            _ => (None, None),
+        };
+        RelVal {
+            lo,
+            hi,
+            modulus: 0,
+            residue: Lin::constant(0),
+            // A dense run of length L maps onto a dense quotient run of
+            // length >= L/c (truncating division is monotone with unit
+            // steps).
+            span: (self.span / c).max(1),
+            uniform: self.uniform,
+            deps: self.deps.clone(),
+        }
+    }
+
+    /// `abs(self)`.
+    pub fn abs(&self, nproc: i64) -> RelVal {
+        let (clo, chi) = self.concrete_bounds(nproc);
+        if clo.map(|l| l >= 0).unwrap_or(false) {
+            return self.clone();
+        }
+        let hi = match (clo, chi) {
+            (Some(l), Some(h)) => Some(Lin::constant(l.abs().max(h.abs()))),
+            _ => None,
+        };
+        RelVal {
+            lo: Some(Lin::constant(0)),
+            hi,
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: 1,
+            uniform: self.uniform,
+            deps: self.deps.clone(),
+        }
+    }
+
+    /// A boolean-producing comparison/logical operator: value in
+    /// `[0, 1]`, uniform iff both operands are.
+    fn boolean(&self, other: &RelVal) -> RelVal {
+        RelVal {
+            lo: Some(Lin::constant(0)),
+            hi: Some(Lin::constant(1)),
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: 1,
+            uniform: self.uniform && other.uniform,
+            deps: Self::dep_union(&self.deps, &other.deps),
+        }
+    }
+
+    /// Does the feasible set provably cover the full dimension
+    /// `[0, dim-1]`, identically for every process?
+    pub fn uniform_full(&self, dim: i64, nproc: i64) -> bool {
+        if !self.uniform {
+            return false;
+        }
+        let (lo, hi) = self.concrete_bounds(nproc);
+        // The dense-run guarantee pins the run's *location* only when
+        // the run must fill the whole interval `[lo, hi]` (then the
+        // set IS that interval); coverage of `[0, dim-1]` follows from
+        // the bounds. A mere `span >= dim` with looser bounds leaves
+        // the run free to sit anywhere inside them.
+        matches!(
+            (lo, hi),
+            (Some(l), Some(h)) if self.span > h - l && l <= 0 && h >= dim - 1
+        )
+    }
+}
+
+/// Canonicalize a residue's constant term into `[0, m)` so equal
+/// congruences compare equal in joins.
+fn norm_res(r: Lin, m: i64) -> Lin {
+    if m >= 2 {
+        Lin {
+            c0: r.c0.rem_euclid(m),
+            ..r
+        }
+    } else {
+        r
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn checked_add(a: &Lin, b: &Lin) -> Option<Lin> {
+    // Lin arithmetic wraps; guard against runaway constants from
+    // chaos-range arithmetic silently overflowing.
+    a.c0.checked_add(b.c0)?;
+    let c = a.add(b);
+    (c.c0.unsigned_abs() < (1 << 62)).then_some(c)
+}
+
+fn checked_scale(l: &Lin, k: i64) -> Option<Lin> {
+    l.c0.checked_mul(k)?;
+    let s = l.scale(k);
+    (s.c0.unsigned_abs() < (1 << 62)).then_some(s)
+}
+
+/// Per-`(obj, field)` join of every stored value, plus whether any
+/// store's value shares a dependency with its own store index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentEntry {
+    pub rel: RelVal,
+    pub index_correlated: bool,
+}
+
+/// The relational facts for one program: per-dimension [`RelVal`]s for
+/// every shared-data access site (keyed by the access's source span)
+/// plus the shared-content map they were derived with.
+#[derive(Debug, Clone, Default)]
+pub struct RelFacts {
+    /// Access-site span -> per-declared-dimension index values.
+    pub at: BTreeMap<Span, Vec<RelVal>>,
+    /// `(obj, field)` -> stored-value join.
+    pub content: BTreeMap<(ObjId, Option<FieldId>), ContentEntry>,
+    /// Process count the facts were computed at.
+    pub nproc: i64,
+}
+
+impl RelFacts {
+    pub fn idx(&self, span: Span) -> Option<&[RelVal]> {
+        self.at.get(&span).map(Vec::as_slice)
+    }
+}
+
+/// Dynamic value-range facts extracted from a recorded trace (the
+/// `--refine` path): `(obj, field)` groups where two *different*
+/// processes touched the same element inside the same barrier
+/// generation with at least one write. Such an observation is a
+/// concrete witness that a statically-unprovable overlap really
+/// happens, so the race pass upgrades the pair instead of suppressing
+/// it. The converse (no observed conflict) never *adds* suppression —
+/// dynamic absence is not a proof.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefineFacts {
+    pub conflicting: BTreeSet<(ObjId, Option<FieldId>)>,
+}
+
+/// Verdict of re-judging one suppressed pair at one `(p, q)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelVerdict {
+    /// Provably disjoint for this `(p, q)`: range separation or
+    /// congruence separation in some dimension.
+    Disjoint,
+    /// Provable (process-uniform, dimension-covering) overlap in every
+    /// dimension: worth reporting.
+    Overlap,
+    /// No proof either way: stay suppressed.
+    Unknown,
+}
+
+/// Re-judge a `Section::Unknown`-degraded pair using relational facts.
+///
+/// `dims` are the declared dimensions of the object. Disjointness needs
+/// only one separating dimension; an overlap verdict needs *every*
+/// dimension to either carry a uniform full-dimension index on one side
+/// or agree on a singleton.
+pub fn judge_pair(
+    facts: &RelFacts,
+    a_span: Span,
+    b_span: Span,
+    dims: &[i64],
+    p: i64,
+    q: i64,
+) -> RelVerdict {
+    let (Some(ra), Some(rb)) = (facts.idx(a_span), facts.idx(b_span)) else {
+        return RelVerdict::Unknown;
+    };
+    if ra.len() != rb.len() || ra.len() != dims.len() {
+        return RelVerdict::Unknown;
+    }
+    let mut all_overlap = !dims.is_empty();
+    for d in 0..dims.len() {
+        match judge_dim(&ra[d], &rb[d], dims[d], p, q, facts.nproc) {
+            DimRel::Disjoint => return RelVerdict::Disjoint,
+            DimRel::Overlap => {}
+            DimRel::Unknown => all_overlap = false,
+        }
+    }
+    if all_overlap {
+        RelVerdict::Overlap
+    } else {
+        RelVerdict::Unknown
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DimRel {
+    Disjoint,
+    Overlap,
+    Unknown,
+}
+
+fn judge_dim(a: &RelVal, b: &RelVal, dim: i64, p: i64, q: i64, nproc: i64) -> DimRel {
+    // Range separation at this (p, q).
+    let eval = |l: &Option<Lin>, pid: i64| -> Option<i64> { l.as_ref()?.eval_pdv(pid) };
+    if let (Some(ahi), Some(blo)) = (eval(&a.hi, p), eval(&b.lo, q)) {
+        if ahi < blo {
+            return DimRel::Disjoint;
+        }
+    }
+    if let (Some(bhi), Some(alo)) = (eval(&b.hi, q), eval(&a.lo, p)) {
+        if bhi < alo {
+            return DimRel::Disjoint;
+        }
+    }
+    // Congruence separation: both residues known modulo a common g.
+    if a.modulus >= 2 && b.modulus >= 2 {
+        let g = gcd(a.modulus, b.modulus);
+        if g >= 2 {
+            if let (Some(ra), Some(rb)) = (a.residue.eval_pdv(p), b.residue.eval_pdv(q)) {
+                if (ra - rb).rem_euclid(g) != 0 {
+                    return DimRel::Disjoint;
+                }
+            }
+        }
+    }
+    // Uniform full-dimension coverage on either side meets any feasible
+    // index on the other.
+    if a.uniform_full(dim, nproc) || b.uniform_full(dim, nproc) {
+        return DimRel::Overlap;
+    }
+    // Agreeing singletons.
+    if let (Some(sa), Some(sb)) = (a.as_single(), b.as_single()) {
+        if let (Some(va), Some(vb)) = (sa.eval_pdv(p), sb.eval_pdv(q)) {
+            if va == vb {
+                return DimRel::Overlap;
+            }
+        }
+    }
+    DimRel::Unknown
+}
+
+/// A human-readable reason why a pair stayed suppressed, derived from
+/// the rel facts of its two sides.
+pub fn suppression_reason(facts: &RelFacts, a_span: Span, b_span: Span) -> &'static str {
+    let sides = [facts.idx(a_span), facts.idx(b_span)];
+    if sides.iter().any(Option::is_none) {
+        return "no relational facts for the index expression";
+    }
+    let vals: Vec<&RelVal> = sides.into_iter().flatten().flat_map(|s| s.iter()).collect();
+    if vals
+        .iter()
+        .any(|v| !v.uniform && v.lo.is_none() && v.hi.is_none())
+    {
+        return "index is data-dependent with no derivable bounds";
+    }
+    if vals.iter().any(|v| !v.uniform) {
+        return "index range depends on run-time partition values";
+    }
+    "index ranges may alias but cover only part of the dimension"
+}
+
+// ---------------------------------------------------------------------
+// The relational walker.
+// ---------------------------------------------------------------------
+
+/// Content-map fixed-point rounds; the penultimate round widens entries
+/// still in motion so the final round is stable by construction.
+const CONTENT_ROUNDS: usize = 4;
+/// Call-inlining depth bound (the call graph is checked acyclic by the
+/// front end, but stay defensive).
+const MAX_DEPTH: usize = 16;
+
+/// Compute relational facts for a checked program at `nproc` processes.
+pub fn compute(prog: &Program, nproc: i64) -> RelFacts {
+    let mut content: BTreeMap<(ObjId, Option<FieldId>), ContentEntry> = BTreeMap::new();
+    // Ascend from "nothing stored": a store whose value read a
+    // still-unwritten entry contributes nothing that round, so
+    // self-referential updates (`x[i] = x[i] + ..`) cannot poison the
+    // entry before its generating stores have registered.
+    for round in 0..CONTENT_ROUNDS {
+        let mut w = RelWalker {
+            prog,
+            nproc,
+            content: &content,
+            next_content: BTreeMap::new(),
+            at: BTreeMap::new(),
+            depth: 0,
+            read_bottom: false,
+        };
+        w.run();
+        let mut next = w.next_content;
+        if round == CONTENT_ROUNDS - 2 {
+            for (k, e) in next.iter_mut() {
+                if let Some(prev) = content.get(k) {
+                    if prev.rel != e.rel {
+                        e.rel = e.rel.widen_from(&prev.rel, nproc);
+                    }
+                    e.index_correlated |= prev.index_correlated;
+                }
+            }
+        }
+        if next == content {
+            break;
+        }
+        content = next;
+    }
+    // Final pass: record per-site index facts against the settled map.
+    let mut w = RelWalker {
+        prog,
+        nproc,
+        content: &content,
+        next_content: BTreeMap::new(),
+        at: BTreeMap::new(),
+        depth: 0,
+        read_bottom: false,
+    };
+    w.run();
+    RelFacts {
+        at: w.at,
+        content,
+        nproc,
+    }
+}
+
+struct RelWalker<'a> {
+    prog: &'a Program,
+    nproc: i64,
+    content: &'a BTreeMap<(ObjId, Option<FieldId>), ContentEntry>,
+    next_content: BTreeMap<(ObjId, Option<FieldId>), ContentEntry>,
+    at: BTreeMap<Span, Vec<RelVal>>,
+    depth: usize,
+    /// Set when a load hit a still-unwritten content entry; used to
+    /// withhold the enclosing store's contribution this round.
+    read_bottom: bool,
+}
+
+/// `None` = value unknown ([`RelVal::unknown`] on read).
+type Env = Vec<Option<RelVal>>;
+
+impl RelWalker<'_> {
+    fn run(&mut self) {
+        let Some(main) = self.prog.main else { return };
+        let f = self.prog.func(main);
+        let mut env: Env = vec![None; f.num_slots as usize];
+        // The `Forall` arm binds the pdv slot when the walk reaches it;
+        // everything before/after is the serial prologue/epilogue.
+        self.block(&f.body, &mut env);
+    }
+
+    fn env_get(env: &Env, slot: u32) -> RelVal {
+        env.get(slot as usize)
+            .and_then(|v| v.clone())
+            .unwrap_or_else(RelVal::unknown)
+    }
+
+    /// Slots assigned anywhere in a block (loop-carried smashing).
+    fn assigned(block: &Block, out: &mut BTreeSet<u32>) {
+        for s in &block.stmts {
+            match &s.kind {
+                StmtKind::Assign {
+                    target: Target::Local(slot),
+                    ..
+                } => {
+                    out.insert(*slot);
+                }
+                StmtKind::VarDecl {
+                    slot,
+                    init: Some(_),
+                    ..
+                } => {
+                    out.insert(*slot);
+                }
+                StmtKind::If {
+                    then_blk, else_blk, ..
+                } => {
+                    Self::assigned(then_blk, out);
+                    if let Some(e) = else_blk {
+                        Self::assigned(e, out);
+                    }
+                }
+                StmtKind::While { body, .. } => Self::assigned(body, out),
+                StmtKind::For { slot, body, .. } | StmtKind::Forall { slot, body, .. } => {
+                    out.insert(*slot);
+                    Self::assigned(body, out);
+                }
+                StmtKind::Block(b) => Self::assigned(b, out),
+                _ => {}
+            }
+        }
+    }
+
+    fn smash(env: &mut Env, slots: &BTreeSet<u32>, keep: Option<u32>) {
+        for &s in slots {
+            if Some(s) != keep && (s as usize) < env.len() {
+                env[s as usize] = None;
+            }
+        }
+    }
+
+    fn block(&mut self, b: &Block, env: &mut Env) {
+        for s in b.stmts.iter() {
+            self.stmt(s, env);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, env: &mut Env) {
+        match &s.kind {
+            StmtKind::VarDecl { slot, init, .. } => {
+                let v = init.as_ref().map(|e| self.eval(e, env));
+                if (*slot as usize) < env.len() {
+                    env[*slot as usize] = v;
+                }
+            }
+            StmtKind::Assign { target, value } => match target {
+                Target::Local(slot) => {
+                    let v = self.eval(value, env);
+                    if (*slot as usize) < env.len() {
+                        env[*slot as usize] = Some(v);
+                    }
+                }
+                Target::Place(place) => {
+                    let saved = self.read_bottom;
+                    self.read_bottom = false;
+                    let v = self.eval(value, env);
+                    let value_read_bottom = self.read_bottom;
+                    self.read_bottom |= saved;
+                    self.store(place, v, env, value_read_bottom);
+                }
+                Target::Path(_) => {}
+            },
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let _ = self.eval(cond, env);
+                let mut then_env = env.clone();
+                self.block(then_blk, &mut then_env);
+                let mut else_env = env.clone();
+                if let Some(e) = else_blk {
+                    self.block(e, &mut else_env);
+                }
+                for i in 0..env.len() {
+                    env[i] = match (&then_env[i], &else_env[i]) {
+                        (Some(a), Some(b)) => Some(a.join(b, self.nproc)),
+                        _ => None,
+                    };
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let mut carried = BTreeSet::new();
+                Self::assigned(body, &mut carried);
+                Self::smash(env, &carried, None);
+                let _ = self.eval(cond, env);
+                let mut benv = env.clone();
+                self.block(body, &mut benv);
+                // Carried slots stay smashed in the post-loop env.
+            }
+            StmtKind::For {
+                slot,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
+                let mut carried = BTreeSet::new();
+                Self::assigned(body, &mut carried);
+                Self::smash(env, &carried, Some(*slot));
+                let lo_v = self.eval(lo, env);
+                let hi_v = self.eval(hi, env);
+                let step_c = step
+                    .as_ref()
+                    .map(|e| self.eval(e, env))
+                    .and_then(|v| v.as_single().and_then(Lin::as_constant))
+                    .unwrap_or(1);
+                let iv = self.induction_value(&lo_v, &hi_v, step_c);
+                if (*slot as usize) < env.len() {
+                    env[*slot as usize] = Some(iv);
+                }
+                let mut benv = env.clone();
+                self.block(body, &mut benv);
+                if (*slot as usize) < env.len() {
+                    env[*slot as usize] = None;
+                }
+            }
+            StmtKind::Forall { slot, body, .. } => {
+                if (*slot as usize) < env.len() {
+                    env[*slot as usize] = Some(RelVal::pdv());
+                }
+                self.block(body, env);
+            }
+            StmtKind::Lock { .. } | StmtKind::Unlock { .. } | StmtKind::Barrier { .. } => {}
+            StmtKind::CallStmt { callee, args, .. } => {
+                let argv: Vec<RelVal> = args.iter().map(|a| self.eval(a, env)).collect();
+                if let Some(Callee::User(fid)) = callee {
+                    self.call(*fid, argv);
+                }
+            }
+            StmtKind::Return(Some(e)) => {
+                let _ = self.eval(e, env);
+            }
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.block(b, env),
+        }
+    }
+
+    /// Abstract value of a `for` induction variable across the whole
+    /// iteration space.
+    fn induction_value(&self, lo: &RelVal, hi: &RelVal, step: i64) -> RelVal {
+        let one = RelVal::constant(1);
+        let hi_m1 = hi.sub(&one);
+        if step == 1 {
+            // v takes every integer in [lo, hi-1]: the guaranteed
+            // per-process dense run is (min possible hi-1) - (max
+            // possible lo) + 1, evaluated per pid.
+            let mut span = i64::MAX;
+            for p in 0..self.nproc.max(1) {
+                let start_max = lo.hi.as_ref().and_then(|l| l.eval_pdv(p));
+                let end_min = hi_m1.lo.as_ref().and_then(|l| l.eval_pdv(p));
+                match (start_max, end_min) {
+                    (Some(s), Some(e)) if e >= s => span = span.min(e - s + 1),
+                    _ => {
+                        span = 1;
+                        break;
+                    }
+                }
+            }
+            if span == i64::MAX {
+                span = 1;
+            }
+            RelVal {
+                lo: lo.lo.clone(),
+                hi: hi_m1.hi.clone(),
+                modulus: 0,
+                residue: Lin::constant(0),
+                span: span.max(1),
+                uniform: lo.uniform && hi.uniform,
+                deps: RelVal::dep_union(&lo.deps, &hi.deps),
+            }
+        } else if step > 1 {
+            let (modulus, residue) = match lo.as_single() {
+                Some(l) => (step, norm_res(l.clone(), step)),
+                None => (0, Lin::constant(0)),
+            };
+            RelVal {
+                lo: lo.lo.clone(),
+                hi: hi_m1.hi.clone(),
+                modulus,
+                residue,
+                span: 1,
+                uniform: lo.uniform && hi.uniform,
+                deps: RelVal::dep_union(&lo.deps, &hi.deps),
+            }
+        } else {
+            // Negative/zero step: iterates downward while v > hi.
+            RelVal {
+                lo: hi.lo.as_ref().map(|l| l.add(&Lin::constant(1))),
+                hi: lo.hi.clone(),
+                modulus: 0,
+                residue: Lin::constant(0),
+                span: 1,
+                uniform: lo.uniform && hi.uniform,
+                deps: RelVal::dep_union(&lo.deps, &hi.deps),
+            }
+        }
+    }
+
+    fn call(&mut self, fid: FuncId, args: Vec<RelVal>) {
+        if self.depth >= MAX_DEPTH {
+            return;
+        }
+        self.depth += 1;
+        let f = self.prog.func(fid);
+        let mut env: Env = vec![None; f.num_slots as usize];
+        for (i, v) in args.into_iter().enumerate() {
+            if i < env.len() {
+                env[i] = Some(v);
+            }
+        }
+        // Bodies are re-walked per call site (the call graph is checked
+        // acyclic and small), so facts at a span join across contexts.
+        self.block(&f.body, &mut env);
+        self.depth -= 1;
+    }
+
+    /// Record a shared-data access site's per-dimension index facts,
+    /// joining across loop contexts and call sites.
+    fn record(&mut self, place: &Place, idx_vals: &[RelVal]) {
+        if self.prog.object(place.obj).kind != ObjectKind::SharedData {
+            return;
+        }
+        let joined = match self.at.remove(&place.span) {
+            Some(prev) if prev.len() == idx_vals.len() => prev
+                .iter()
+                .zip(idx_vals)
+                .map(|(a, b)| a.join(b, self.nproc))
+                .collect(),
+            _ => idx_vals.to_vec(),
+        };
+        self.at.insert(place.span, joined);
+    }
+
+    fn store(&mut self, place: &Place, val: RelVal, env: &mut Env, value_read_bottom: bool) {
+        let idx_vals: Vec<RelVal> = place.idx.iter().map(|e| self.eval(e, env)).collect();
+        if let Some((_, Some(fi))) = &place.field {
+            let _ = self.eval(fi, env);
+        }
+        self.record(place, &idx_vals);
+        if self.prog.object(place.obj).kind != ObjectKind::SharedData || value_read_bottom {
+            return;
+        }
+        let key = (place.obj, place.field.as_ref().map(|(f, _)| *f));
+        let mut idx_deps: BTreeSet<u32> = BTreeSet::new();
+        let mut idx_deps_known = true;
+        for iv in &idx_vals {
+            match &iv.deps {
+                Some(d) => idx_deps.extend(d.iter().copied()),
+                None => idx_deps_known = false,
+            }
+        }
+        let correlated = match (&val.deps, idx_deps_known) {
+            (Some(vd), true) => vd.iter().any(|d| idx_deps.contains(d)),
+            // Unknown dependencies on either side: assume correlated.
+            _ => true,
+        };
+        let entry = ContentEntry {
+            rel: val,
+            index_correlated: correlated,
+        };
+        let nproc = self.nproc;
+        self.next_content
+            .entry(key)
+            .and_modify(|e| {
+                e.rel = e.rel.join(&entry.rel, nproc);
+                e.index_correlated |= entry.index_correlated;
+            })
+            .or_insert(entry);
+    }
+
+    fn load(&mut self, place: &Place, env: &mut Env) -> RelVal {
+        let idx_vals: Vec<RelVal> = place.idx.iter().map(|e| self.eval(e, env)).collect();
+        if let Some((_, Some(fi))) = &place.field {
+            let _ = self.eval(fi, env);
+        }
+        self.record(place, &idx_vals);
+        let key = (place.obj, place.field.as_ref().map(|(f, _)| *f));
+        let Some(entry) = self.content.get(&key) else {
+            if self.prog.object(place.obj).kind == ObjectKind::SharedData {
+                self.read_bottom = true;
+            }
+            return RelVal::unknown();
+        };
+        let idx_uniform = idx_vals.iter().all(|v| v.uniform);
+        let mut v = entry.rel.clone();
+        // A correlated entry read at a process-dependent index yields a
+        // process-dependent value (partition bounds). An uncorrelated
+        // entry's value set is index-independent, so uniformity of the
+        // stored values carries over regardless of the index.
+        v.uniform = entry.rel.uniform && (idx_uniform || !entry.index_correlated);
+        v.deps = if entry.index_correlated {
+            // The chosen element's value tracks the index.
+            let mut deps: Option<BTreeSet<u32>> = Some(BTreeSet::new());
+            for iv in &idx_vals {
+                deps = RelVal::dep_union(&deps, &iv.deps);
+            }
+            deps
+        } else {
+            // Laundered contents carry no usable correlation with the
+            // seed index.
+            Some(BTreeSet::new())
+        };
+        v
+    }
+
+    fn eval(&mut self, e: &Expr, env: &mut Env) -> RelVal {
+        match &e.kind {
+            ExprKind::Int(v) => RelVal::constant(*v),
+            ExprKind::Var(VarRef::Local(slot)) => {
+                let mut v = Self::env_get(env, *slot);
+                if let Some(d) = &mut v.deps {
+                    d.insert(*slot);
+                }
+                v
+            }
+            ExprKind::Var(VarRef::Param(i)) => self
+                .prog
+                .params
+                .get(*i as usize)
+                .and_then(|p| p.value)
+                .map(RelVal::constant)
+                .unwrap_or_else(RelVal::unknown),
+            ExprKind::Var(VarRef::Const(i)) => self
+                .prog
+                .consts
+                .get(*i as usize)
+                .and_then(|c| c.value)
+                .map(RelVal::constant)
+                .unwrap_or_else(RelVal::unknown),
+            ExprKind::Load(place) => self.load(place, env),
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval(inner, env);
+                match op {
+                    UnOp::Neg => v.neg(),
+                    UnOp::Not => v.boolean(&RelVal::constant(0)),
+                }
+            }
+            ExprKind::Binary(op, a, b) => {
+                let va = self.eval(a, env);
+                let vb = self.eval(b, env);
+                self.binop(*op, va, vb)
+            }
+            ExprKind::Call(Callee::Builtin(b), args) => {
+                let argv: Vec<RelVal> = args.iter().map(|a| self.eval(a, env)).collect();
+                match b {
+                    Builtin::Prand => RelVal::chaos(),
+                    Builtin::Abs => argv
+                        .first()
+                        .map(|v| v.abs(self.nproc))
+                        .unwrap_or_else(RelVal::unknown),
+                    Builtin::Min | Builtin::Max => {
+                        let (Some(x), Some(y)) = (argv.first(), argv.get(1)) else {
+                            return RelVal::unknown();
+                        };
+                        self.min_max(*b == Builtin::Max, x, y)
+                    }
+                }
+            }
+            ExprKind::Call(Callee::User(fid), args) => {
+                // Walk the callee for its access-site effects; scalar
+                // return values are out of scope for the rel domain.
+                let argv: Vec<RelVal> = args.iter().map(|a| self.eval(a, env)).collect();
+                self.call(*fid, argv);
+                RelVal::unknown()
+            }
+            ExprKind::Path(_) | ExprKind::CallNamed(..) => RelVal::unknown(),
+        }
+    }
+
+    fn min_max(&self, is_max: bool, x: &RelVal, y: &RelVal) -> RelVal {
+        let (xl, xh) = x.concrete_bounds(self.nproc);
+        let (yl, yh) = y.concrete_bounds(self.nproc);
+        let comb = |a: Option<i64>, b: Option<i64>| -> Option<Lin> {
+            let (a, b) = (a?, b?);
+            Some(Lin::constant(if is_max { a.max(b) } else { a.min(b) }))
+        };
+        RelVal {
+            lo: comb(xl, yl),
+            hi: comb(xh, yh),
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: 1,
+            uniform: x.uniform && y.uniform,
+            deps: RelVal::dep_union(&x.deps, &y.deps),
+        }
+    }
+
+    fn binop(&mut self, op: BinOp, a: RelVal, b: RelVal) -> RelVal {
+        // Exact fold for two singleton constants.
+        if let (Some(ca), Some(cb)) = (
+            a.as_single().and_then(Lin::as_constant),
+            b.as_single().and_then(Lin::as_constant),
+        ) {
+            if let Some(v) = fold_const(op, ca, cb) {
+                return RelVal::constant(v);
+            }
+        }
+        match op {
+            BinOp::Add => a.add(&b),
+            BinOp::Sub => a.sub(&b),
+            BinOp::Mul => a.mul(&b, self.nproc),
+            BinOp::Rem => match b.as_single().and_then(Lin::as_constant) {
+                Some(m) => a.rem_const(m, self.nproc),
+                None => RelVal {
+                    uniform: a.uniform && b.uniform,
+                    deps: RelVal::dep_union(&a.deps, &b.deps),
+                    ..RelVal::unknown()
+                },
+            },
+            BinOp::Div => match b.as_single().and_then(Lin::as_constant) {
+                Some(c) => a.div_const(c, self.nproc),
+                None => RelVal {
+                    uniform: a.uniform && b.uniform,
+                    deps: RelVal::dep_union(&a.deps, &b.deps),
+                    ..RelVal::unknown()
+                },
+            },
+            BinOp::Shl => match b.as_single().and_then(Lin::as_constant) {
+                Some(c) if (0..62).contains(&c) => a.mul_const(1i64 << c),
+                _ => RelVal::unknown(),
+            },
+            BinOp::Shr => match b.as_single().and_then(Lin::as_constant) {
+                Some(c) if (0..62).contains(&c) => a.div_const(1i64 << c, self.nproc),
+                _ => RelVal::unknown(),
+            },
+            BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or => a.boolean(&b),
+            BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor => RelVal {
+                uniform: a.uniform && b.uniform,
+                deps: RelVal::dep_union(&a.deps, &b.deps),
+                ..RelVal::unknown()
+            },
+        }
+    }
+}
+
+fn fold_const(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.checked_add(b)?,
+        BinOp::Sub => a.checked_sub(b)?,
+        BinOp::Mul => a.checked_mul(b)?,
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.checked_div(b)?
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.checked_rem(b)?
+        }
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::And => ((a != 0) && (b != 0)) as i64,
+        BinOp::Or => ((a != 0) || (b != 0)) as i64,
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => {
+            if !(0..62).contains(&b) {
+                return None;
+            }
+            a.checked_shl(b as u32)?
+        }
+        BinOp::Shr => {
+            if !(0..62).contains(&b) {
+                return None;
+            }
+            a >> b
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Program {
+        fsr_lang::compile_with_params(src, &[("NPROC", 4), ("SCALE", 1)]).unwrap()
+    }
+
+    #[test]
+    fn wrap_to_full_makes_uniform() {
+        // span >= modulus => exactly [0, m-1], uniform, no deps.
+        let mut biased = RelVal::chaos().add(&RelVal::pdv());
+        assert!(!biased.uniform);
+        biased = biased.rem_const(100, 4);
+        assert!(biased.uniform);
+        assert_eq!(biased.concrete_bounds(4), (Some(0), Some(99)));
+        assert_eq!(biased.span, 100);
+    }
+
+    #[test]
+    fn no_wrap_is_identity() {
+        // p in [0,4) stays itself under % 16.
+        let p = RelVal::pdv();
+        let r = p.rem_const(16, 4);
+        assert_eq!(r.as_single(), Some(&Lin::pdv()));
+        assert!(!r.uniform);
+    }
+
+    #[test]
+    fn division_scales_span() {
+        // [0, 767] dense / 16 covers [0, 47] densely.
+        let full = RelVal::full_mod(768);
+        let q = full.div_const(16, 4);
+        assert_eq!(q.concrete_bounds(4), (Some(0), Some(47)));
+        assert_eq!(q.span, 48);
+        assert!(q.uniform_full(48, 4));
+    }
+
+    #[test]
+    fn congruence_survives_dividing_modulus() {
+        // i = 4k + p  =>  (i + 8) % 192 ≡ p (mod 4).
+        let k = RelVal {
+            lo: Some(Lin::constant(0)),
+            hi: Some(Lin::constant(47)),
+            modulus: 0,
+            residue: Lin::constant(0),
+            span: 48,
+            uniform: true,
+            deps: Some(BTreeSet::new()),
+        };
+        let i = k.mul_const(4).add(&RelVal::pdv());
+        assert_eq!(i.modulus, 4);
+        assert_eq!(i.residue, Lin::pdv());
+        let j = i.add(&RelVal::constant(8)).rem_const(192, 4);
+        assert_eq!(j.modulus, 4);
+        assert_eq!(j.residue, Lin::pdv());
+        // Residues p vs q differ mod 4 for p != q in [0, 4).
+        assert_eq!(judge_dim(&j, &i, 192, 1, 2, 4), DimRel::Disjoint);
+    }
+
+    #[test]
+    fn pdv_affine_ranges_separate_per_pair() {
+        // a = [64p, 64p+63]: disjoint across distinct pids.
+        let base = RelVal::pdv().mul_const(64);
+        let a = RelVal {
+            lo: base.lo.clone(),
+            hi: base.hi.clone().map(|h| h.add(&Lin::constant(63))),
+            ..base
+        };
+        assert_eq!(judge_dim(&a, &a, 256, 0, 1, 4), DimRel::Disjoint);
+        assert_eq!(judge_dim(&a, &a, 256, 3, 0, 4), DimRel::Disjoint);
+        // Same pid overlaps (not judged disjoint).
+        assert_ne!(judge_dim(&a, &a, 256, 2, 2, 4), DimRel::Disjoint);
+    }
+
+    #[test]
+    fn uniform_full_requires_exact_coverage() {
+        let full = RelVal::full_mod(48);
+        assert!(full.uniform_full(48, 4));
+        assert!(!full.uniform_full(49, 4));
+        let mut partial = RelVal::full_mod(48);
+        partial.span = 1;
+        assert!(!partial.uniform_full(48, 4));
+        let mut biased = RelVal::full_mod(48);
+        biased.uniform = false;
+        assert!(!biased.uniform_full(48, 4));
+    }
+
+    #[test]
+    fn partition_loads_taint_loop_bounds() {
+        // The revolving-partition shape: bounds loaded from an array
+        // whose stores correlate with their index must not look
+        // process-uniform (that would fabricate an overlap proof).
+        let prog = compile(
+            r#"
+            param NPROC = 4;
+            param SCALE = 1;
+            const Z = 64;
+            shared int zf[NPROC + 1];
+            shared int zone[Z];
+            fn main() {
+                forall p in 0 .. NPROC {
+                    if (p == 0) {
+                        var q;
+                        for q in 0 .. NPROC + 1 {
+                            zf[q] = (q * (Z / NPROC) + 3) % Z;
+                        }
+                    }
+                    barrier;
+                    var j;
+                    for j in zf[p] .. zf[p] + Z / NPROC {
+                        var jj = j % Z;
+                        zone[jj] = zone[jj] + 1;
+                    }
+                }
+            }
+            "#,
+        );
+        let facts = compute(&prog, 4);
+        let zf = prog.object_by_name("zf").unwrap().0;
+        let e = facts.content.get(&(zf, None)).unwrap();
+        assert!(e.index_correlated, "zf stores correlate with index");
+        for vals in facts.at.values() {
+            for v in vals {
+                assert!(
+                    !v.uniform_full(64, 4),
+                    "taint lost: uniform-full index on revolving partition"
+                );
+            }
+        }
+        assert!(!facts.at.is_empty());
+    }
+
+    #[test]
+    fn chaotic_content_loads_stay_uniform() {
+        // The particle-in-cell shape: contents seeded by prand are
+        // uncorrelated, so a derived cell index is uniform full-range.
+        let prog = compile(
+            r#"
+            param NPROC = 4;
+            param SCALE = 1;
+            const N = 64;
+            const CELLS = 16;
+            shared int px[N];
+            shared int hist[CELLS];
+            fn main() {
+                forall p in 0 .. NPROC {
+                    var k;
+                    for k in 0 .. N / NPROC {
+                        var i = k * NPROC + p;
+                        px[i] = prand(i) % (CELLS * 4);
+                    }
+                    barrier;
+                    for k in 0 .. N / NPROC {
+                        var i = k * NPROC + p;
+                        var c = px[i] / 4;
+                        hist[c] = hist[c] + 1;
+                    }
+                }
+            }
+            "#,
+        );
+        let facts = compute(&prog, 4);
+        let px = prog.object_by_name("px").unwrap().0;
+        let e = facts.content.get(&(px, None)).unwrap();
+        assert!(!e.index_correlated, "prand launders the seed");
+        assert!(e.rel.uniform);
+        let hit = facts
+            .at
+            .values()
+            .any(|vals| vals.iter().any(|v| v.uniform_full(16, 4)));
+        assert!(hit, "expected a uniform-full hist index");
+    }
+
+    #[test]
+    fn self_referential_updates_do_not_poison_content() {
+        // x[i] = (x[i] + ..) % N must keep x's entry uniform-full: the
+        // strict-bottom fixpoint withholds the self-referential store
+        // until the prand store has registered, and wrap-to-full then
+        // re-uniformizes the update.
+        let prog = compile(
+            r#"
+            param NPROC = 4;
+            param SCALE = 1;
+            const N = 64;
+            shared int x[N * 2];
+            fn main() {
+                forall p in 0 .. NPROC {
+                    var k;
+                    for k in 0 .. N / NPROC {
+                        var i = k * NPROC + p;
+                        x[i] = prand(i) % (N * 2);
+                    }
+                    barrier;
+                    for k in 0 .. N / NPROC {
+                        var i = k * NPROC + p;
+                        x[i] = (x[i] + p + 1) % (N * 2);
+                    }
+                }
+            }
+            "#,
+        );
+        let facts = compute(&prog, 4);
+        let x = prog.object_by_name("x").unwrap().0;
+        let e = facts.content.get(&(x, None)).unwrap();
+        assert!(e.rel.uniform, "wrap-to-full keeps contents uniform");
+        assert!(e.rel.uniform_full(128, 4));
+    }
+
+    #[test]
+    fn judge_pair_disjoint_wins_over_overlap() {
+        // dim0 uniform-full both sides, dim1 pdv-singletons: disjoint
+        // for p != q (any separating dim wins), overlap for p == q.
+        let mut facts = RelFacts {
+            nproc: 4,
+            ..Default::default()
+        };
+        let sa = Span::new(1, 2);
+        let sb = Span::new(3, 4);
+        facts
+            .at
+            .insert(sa, vec![RelVal::full_mod(16), RelVal::pdv()]);
+        facts
+            .at
+            .insert(sb, vec![RelVal::full_mod(16), RelVal::pdv()]);
+        assert_eq!(
+            judge_pair(&facts, sa, sb, &[16, 4], 0, 1),
+            RelVerdict::Disjoint
+        );
+        assert_eq!(
+            judge_pair(&facts, sa, sb, &[16, 4], 2, 2),
+            RelVerdict::Overlap
+        );
+    }
+
+    #[test]
+    fn scalars_are_never_rejudged() {
+        let mut facts = RelFacts {
+            nproc: 4,
+            ..Default::default()
+        };
+        let sa = Span::new(1, 2);
+        let sb = Span::new(3, 4);
+        facts.at.insert(sa, vec![]);
+        facts.at.insert(sb, vec![]);
+        let no_dims: &[i64] = &[];
+        assert_eq!(
+            judge_pair(&facts, sa, sb, no_dims, 0, 1),
+            RelVerdict::Unknown
+        );
+    }
+}

@@ -13,6 +13,12 @@
 //! counts are small) with exact intersection of arithmetic progressions,
 //! and *by assumption* for symbolic partition bounds (validated separately
 //! by phase analysis; see `crate::classify`).
+//!
+//! Sections that degrade to [`Section::Unknown`] (data-dependent or
+//! non-affine indices) are not the end of the road: the race pass
+//! re-judges such points with the relational index domain
+//! ([`crate::rel`]), which tracks congruences and value ranges the RSD
+//! algebra cannot express.
 
 use crate::lin::Lin;
 use crate::phase::PhaseSpan;
@@ -176,6 +182,15 @@ pub enum Concrete {
     Symbolic,
     /// Statically unknown positions — assume anything.
     Opaque,
+}
+
+impl Concrete {
+    /// Whether the evaluation produced an exact index set (so overlap
+    /// against another exact set is decidable). `Symbolic` and `Opaque`
+    /// evaluations leave the verdict to the relational domain.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Concrete::Empty | Concrete::Progression { .. })
+    }
 }
 
 /// Exact emptiness test for the intersection of two arithmetic

@@ -166,6 +166,10 @@ pub struct ProgramSummary {
     /// Spans of branches whose arms cross different numbers of barriers,
     /// collected across all functions.
     pub barrier_mismatches: Vec<Span>,
+    /// Relational index facts for every shared-data access site, used by
+    /// the race pass to re-judge pairs whose sections degraded to
+    /// [`Section::Unknown`] (see [`crate::rel`]).
+    pub rel: crate::rel::RelFacts,
 }
 
 struct LoopCtx {
@@ -1212,6 +1216,7 @@ pub fn summarize(prog: &Program, graph: &CallGraph) -> Result<ProgramSummary, Er
         accesses,
         write_phases,
         barrier_mismatches,
+        rel: crate::rel::compute(prog, crate::nproc_of(prog).unwrap_or(1)),
     })
 }
 

@@ -4,13 +4,23 @@
 //! - (default) human-readable report over the ten workloads;
 //! - `--json` stable machine report (diffed against the checked-in
 //!   golden by `scripts/tier1.sh`);
+//! - `--refine` same report with dynamic refinement: a recorded
+//!   reference trace supplies conflict witnesses that upgrade
+//!   statically-unprovable suppressed pairs (`fsr-core`'s
+//!   `Snapshot::lint_refined` — the analysis-as-a-service loop);
+//! - `--advise` static false-sharing advisor (`FSR-W004`) validated
+//!   against the simulator's per-object miss taxonomy under the
+//!   unoptimized layout (exit 1 when an object with false-sharing
+//!   misses is unflagged, or a flagged object lives in a block with no
+//!   false sharing at all);
 //! - `--mutants` checks the seeded-race suite's static verdicts against
 //!   each mutant's expected diagnostic codes (exit 1 on mismatch);
 //! - `--validate` replays every workload and mutant in the interpreter
 //!   under the happens-before trace checker and scores the static lint
 //!   against the dynamic ground truth (precision/recall JSON; exit 1 on
 //!   a workload false positive, a mutant verdict mismatch, an
-//!   unconfirmed seeded race, or a dirty control).
+//!   unconfirmed seeded race, a dirty control, or totals below the
+//!   precision = 1.0 / recall ≥ 0.85 floor).
 //!
 //! Both dimensions are fixed at `NPROC=4, SCALE=1` so reports are
 //! byte-stable.
@@ -92,6 +102,36 @@ fn replay(name: &str, prog: &Program) -> BTreeSet<String> {
     racy
 }
 
+/// `(object label, reason)` pairs for the suppressed groups, sorted.
+fn suppressed_of(prog: &Program, report: &fsr_analysis::RaceReport) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = report
+        .suppressed
+        .iter()
+        .map(|g| {
+            (
+                fsr_analysis::access_label(prog, g.obj, g.field),
+                g.reason.to_string(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn suppressed_json(suppressed: &[(String, String)]) -> String {
+    let inner: Vec<String> = suppressed
+        .iter()
+        .map(|(o, r)| {
+            format!(
+                "{{\"object\": {}, \"reason\": {}}}",
+                json_str(o),
+                json_str(r)
+            )
+        })
+        .collect();
+    format!("[{}]", inner.join(", "))
+}
+
 fn static_codes(report: &fsr_analysis::RaceReport) -> Vec<&'static str> {
     let mut got: Vec<&'static str> = report
         .diagnostics
@@ -126,6 +166,22 @@ fn human() {
     }
 }
 
+fn diagnostics_json(out: &mut String, source: &str, diagnostics: &fsr_lang::diag::Diagnostics) {
+    for (j, d) in diagnostics.iter().enumerate() {
+        let (line, col) = d.span.line_col(source);
+        let _ = write!(
+            out,
+            "{}\n      {{\"code\": {}, \"line\": {line}, \"col\": {col}, \"msg\": {}}}",
+            if j == 0 { "" } else { "," },
+            json_str(d.code.map(|c| c.id()).unwrap_or("")),
+            json_str(&d.msg)
+        );
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n    ");
+    }
+}
+
 fn json() {
     let mut out = String::new();
     out.push_str(&format!(
@@ -137,27 +193,171 @@ fn json() {
         let (report, _) = lint(w.name, &prog);
         let _ = write!(
             out,
-            "    {{\"name\": {}, \"suppressed_pairs\": {}, \"diagnostics\": [",
+            "    {{\"name\": {}, \"suppressed_pairs\": {}, \"suppressed\": {}, \"diagnostics\": [",
             json_str(w.name),
-            report.suppressed_pairs
+            report.suppressed_pairs,
+            suppressed_json(&suppressed_of(&prog, &report))
         );
-        for (j, d) in report.diagnostics.iter().enumerate() {
-            let (line, col) = d.span.line_col(w.source);
-            let _ = write!(
-                out,
-                "{}\n      {{\"code\": {}, \"line\": {line}, \"col\": {col}, \"msg\": {}}}",
-                if j == 0 { "" } else { "," },
-                json_str(d.code.map(|c| c.id()).unwrap_or("")),
-                json_str(&d.msg)
-            );
-        }
-        if !report.diagnostics.is_empty() {
-            out.push_str("\n    ");
-        }
+        diagnostics_json(&mut out, w.source, &report.diagnostics);
         out.push_str(if i + 1 == ws.len() { "]}\n" } else { "]},\n" });
     }
     out.push_str("  ]\n}");
     println!("{out}");
+}
+
+/// `--refine`: the `--json` report recomputed through `fsr-core`'s
+/// world snapshot with trace-backed refinement. Suppressed pairs whose
+/// conflict is witnessed in the recorded reference trace are upgraded
+/// to reported races (locusroute's partition array `grid` is the
+/// motivating case: its index ranges come from run-time partition
+/// values the static domain cannot bound).
+fn refine() -> i32 {
+    let world = fsr_core::World::new();
+    let snap = world.snapshot();
+    let params: Vec<(String, i64)> = vec![("NPROC".into(), NPROC), ("SCALE".into(), SCALE)];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"nproc\": {NPROC},\n  \"scale\": {SCALE},\n  \"refined\": true,\n  \"workloads\": [\n"
+    ));
+    let ws = workloads::all();
+    for (i, w) in ws.iter().enumerate() {
+        let src: std::sync::Arc<str> = std::sync::Arc::from(w.source);
+        let (summary, _warm) = snap
+            .lint_refined(&src, &params)
+            .unwrap_or_else(|e| panic!("{}: refine: {e:?}", w.name));
+        let racy: BTreeSet<String> = summary.racy.iter().cloned().collect();
+        let _ = write!(
+            out,
+            "    {{\"name\": {}, \"racy\": {}, \"suppressed_pairs\": {}, \"suppressed\": {}, \"diagnostics\": [",
+            json_str(w.name),
+            json_list(&racy),
+            summary.suppressed_pairs,
+            suppressed_json(&summary.suppressed)
+        );
+        diagnostics_json(&mut out, w.source, &summary.diagnostics);
+        out.push_str(if i + 1 == ws.len() { "]}\n" } else { "]},\n" });
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+    0
+}
+
+/// `--advise`: run the static false-sharing advisor, then validate it
+/// against the simulator's per-object miss taxonomy under the
+/// unoptimized layout. The agreement contract (see `fsr-transform`'s
+/// `advise` docs): every object with false-sharing misses must be
+/// flagged (completeness, per object); every flagged object must share
+/// an unoptimized block with measured false sharing (soundness, per
+/// block — within a block, miss attribution is interleaving noise).
+fn advise() -> i32 {
+    use fsr_lang::ast::ObjId;
+    let mut fail = false;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"nproc\": {NPROC},\n  \"scale\": {SCALE},\n  \"workloads\": [\n"
+    ));
+    let cfg = fsr_core::PipelineConfig::default();
+    let plan_cfg = fsr_transform::PlanConfig::with_block(cfg.block_bytes);
+    let ws = workloads::all();
+    for (i, w) in ws.iter().enumerate() {
+        let prog = compile(w.name, w.source);
+        let analysis =
+            fsr_analysis::analyze(&prog).unwrap_or_else(|e| panic!("{}: analysis: {e}", w.name));
+        let plan = fsr_transform::LayoutPlan::unoptimized(cfg.block_bytes);
+        let layout = fsr_layout::Layout::build(&prog, &plan, NPROC as u32);
+        let regions: Vec<(ObjId, u32, u32)> = layout
+            .regions()
+            .iter()
+            .map(|r| {
+                (
+                    r.obj,
+                    r.start_word * fsr_lang::ast::WORD_BYTES,
+                    r.end_word * fsr_lang::ast::WORD_BYTES,
+                )
+            })
+            .collect();
+        let advice = fsr_transform::advise(&prog, &analysis, &plan_cfg, &regions);
+        let diags = fsr_transform::advise_diagnostics(&prog, &analysis, &plan_cfg, &regions);
+        let res = fsr_core::run_pipeline(
+            w.source,
+            &[("NPROC", NPROC), ("SCALE", SCALE)],
+            fsr_core::PlanSource::Unoptimized,
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("{}: pipeline: {e:?}", w.name));
+        let fs_of = |name: &str| {
+            res.per_obj
+                .get(name)
+                .map(|m| m.false_sharing())
+                .unwrap_or(0)
+        };
+        let block = |b: u32| b / cfg.block_bytes;
+        let shares_block = |a: ObjId, b: ObjId| {
+            regions.iter().filter(|r| r.0 == a).any(|&(_, s1, e1)| {
+                regions.iter().filter(|r| r.0 == b).any(|&(_, s2, e2)| {
+                    block(e1.saturating_sub(1)) >= block(s2)
+                        && block(s1) <= block(e2.saturating_sub(1))
+                })
+            })
+        };
+        let mut rows = String::new();
+        let mut agree = true;
+        for (j, obj) in prog.objects.iter().enumerate() {
+            let oid = ObjId(j as u32);
+            if !matches!(obj.kind, ObjectKind::SharedData | ObjectKind::Lock) {
+                continue;
+            }
+            let fs = fs_of(&obj.name);
+            let rec = advice
+                .iter()
+                .find(|a| a.obj == oid)
+                .map(|a| a.recommendation);
+            // Completeness: measured false sharing must be flagged.
+            if fs > 0 && rec.is_none() {
+                agree = false;
+                eprintln!(
+                    "FAIL {}: `{}` has {fs} false-sharing misses but no advice",
+                    w.name, obj.name
+                );
+            }
+            // Soundness: advice must point at a block that false-shares.
+            if let Some(r) = rec {
+                let block_fs = prog
+                    .objects
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| shares_block(oid, ObjId(*k as u32)))
+                    .map(|(_, o)| fs_of(&o.name))
+                    .sum::<u64>();
+                if block_fs == 0 {
+                    agree = false;
+                    eprintln!(
+                        "FAIL {}: `{}` advised ({r}) but its blocks have no false sharing",
+                        w.name, obj.name
+                    );
+                }
+            }
+            let _ = write!(
+                rows,
+                "{}\n      {{\"object\": {}, \"fs_misses\": {fs}, \"flagged\": {}, \"recommendation\": {}}}",
+                if rows.is_empty() { "" } else { "," },
+                json_str(&obj.name),
+                rec.is_some(),
+                rec.map(json_str).unwrap_or_else(|| "null".into())
+            );
+        }
+        fail |= !agree;
+        let _ = write!(
+            out,
+            "    {{\"name\": {}, \"agree\": {agree}, \"objects\": [{rows}\n    ], \"diagnostics\": [",
+            json_str(w.name)
+        );
+        diagnostics_json(&mut out, w.source, &diags);
+        out.push_str(if i + 1 == ws.len() { "]}\n" } else { "]},\n" });
+    }
+    out.push_str("  ]\n}");
+    println!("{out}");
+    i32::from(fail)
 }
 
 fn mutants() -> i32 {
@@ -280,6 +480,17 @@ fn validate() -> i32 {
          \"precision\": {precision:.3}, \"recall\": {recall:.3}}}\n}}"
     );
     println!("{out}");
+    // The headline floor `scripts/tier1.sh` gates on: no unconfirmed
+    // static report anywhere, and at least 85% of the dynamically
+    // confirmed races recovered statically.
+    if precision < 1.0 {
+        eprintln!("FAIL precision {precision:.3} < 1.000");
+        fail = true;
+    }
+    if recall < 0.85 {
+        eprintln!("FAIL recall {recall:.3} < 0.850");
+        fail = true;
+    }
     i32::from(fail)
 }
 
@@ -294,10 +505,14 @@ fn main() {
             json();
             0
         }
+        Some("--refine") => refine(),
+        Some("--advise") => advise(),
         Some("--mutants") => mutants(),
         Some("--validate") => validate(),
         Some(other) => {
-            eprintln!("unknown mode {other}; use --json, --mutants or --validate");
+            eprintln!(
+                "unknown mode {other}; use --json, --refine, --advise, --mutants or --validate"
+            );
             2
         }
     };

@@ -26,7 +26,7 @@ pub mod driver;
 pub mod experiments;
 pub mod world;
 
-pub use world::{CacheStats, Evicted, LintSummary, Snapshot, World};
+pub use world::{refine_facts_from, CacheStats, Evicted, LintSummary, Snapshot, World};
 
 pub use fsr_analysis::{Analysis, Pattern};
 pub use fsr_lang::Program;

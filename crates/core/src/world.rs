@@ -37,6 +37,7 @@
 use crate::driver::{self, BatchStats, Job, JobResults, ShardMode};
 use crate::{PipelineError, RunResult};
 use fsr_interp::{RunConfig, RunStats, TraceEvent};
+use fsr_lang::ast::{ElemTy, FieldId, ObjectKind};
 use fsr_lang::diag::Diagnostics;
 use fsr_layout::Layout;
 use std::collections::HashMap;
@@ -117,6 +118,75 @@ pub struct LintSummary {
     pub racy: Vec<String>,
     /// Conflicting pairs suppressed as unprovable (see `fsr-analysis`).
     pub suppressed_pairs: usize,
+    /// `(object label, reason)` for every suppressed access group,
+    /// sorted by label.
+    pub suppressed: Vec<(String, String)>,
+    /// Whether dynamic refinement facts from a recorded trace were
+    /// folded into the verdicts.
+    pub refined: bool,
+}
+
+/// Extract dynamic refinement facts from a recorded reference trace:
+/// shared-data objects where two *different* processes touched the same
+/// word inside the same barrier generation, at least one writing. The
+/// per-generation scoping mirrors the static phase analysis — accesses
+/// ordered by an intervening barrier are never counted as conflicting,
+/// so partition-rotation patterns (each process visiting every element
+/// across *different* generations) produce no spurious witnesses.
+///
+/// Lock-ordered conflicts *are* reported here (handoff events are
+/// ignored); the race pass's static lockset check is what decides
+/// whether a witnessed overlap is actually unsynchronized, so a
+/// lock-guarded counter still lints clean.
+///
+/// Granularity is per object: a witness on any field of a struct
+/// object marks every `(obj, field)` group of that object.
+pub fn refine_facts_from(
+    prog: &crate::Program,
+    layout: &Layout,
+    events: &[TraceEvent],
+) -> fsr_analysis::RefineFacts {
+    let mut conflicted: std::collections::BTreeSet<fsr_lang::ast::ObjId> = Default::default();
+    // Per-word (reader, writer) pid masks within the current generation.
+    let mut readers: HashMap<u32, u64> = HashMap::new();
+    let mut writers: HashMap<u32, u64> = HashMap::new();
+    for e in events {
+        match e {
+            TraceEvent::Sync(_) => {
+                readers.clear();
+                writers.clear();
+            }
+            TraceEvent::Handoff { .. } => {}
+            TraceEvent::Access(r) => {
+                let bit = 1u64 << u32::from(r.pid).min(63);
+                let wr = writers.entry(r.addr).or_insert(0);
+                let rd = readers.entry(r.addr).or_insert(0);
+                if r.write {
+                    *wr |= bit;
+                } else {
+                    *rd |= bit;
+                }
+                let conflict = (*wr & !bit) != 0 || (r.write && ((*rd | *wr) & !bit) != 0);
+                if conflict {
+                    if let Some(oid) = layout.attribute(r.addr) {
+                        if prog.object(oid).kind == ObjectKind::SharedData {
+                            conflicted.insert(oid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut facts = fsr_analysis::RefineFacts::default();
+    for oid in conflicted {
+        facts.conflicting.insert((oid, None));
+        if let ElemTy::Struct(sid) = prog.object(oid).elem {
+            for f in 0..prog.struct_(sid).fields.len() {
+                facts.conflicting.insert((oid, Some(FieldId(f as u32))));
+            }
+        }
+    }
+    facts
 }
 
 /// One cached reference trace: the event stream of a translation unit,
@@ -171,7 +241,10 @@ pub(crate) struct Caches {
     /// Record and replay per-unit reference traces.
     pub cache_traces: bool,
     fronts: Mutex<HashMap<FeKey, Result<Arc<FrontEnd>, PipelineError>>>,
-    lints: Mutex<HashMap<FeKey, Arc<LintSummary>>>,
+    /// Keyed by (content, refined?): a refined summary folds dynamic
+    /// trace facts into the verdicts, so it must never be served for a
+    /// plain request (or vice versa).
+    lints: Mutex<HashMap<(FeKey, bool), Arc<LintSummary>>>,
     traces: Mutex<HashMap<TraceKey, Arc<CachedTrace>>>,
     results: Mutex<HashMap<ResultKey, Arc<RunResult>>>,
     fe_ctr: HitMiss,
@@ -235,30 +308,75 @@ impl Caches {
     }
 
     /// Race-lint summary for (src, params), computed at most once per
-    /// content. Returns the summary and whether it was served warm.
+    /// (content, refined?). Returns the summary and whether it was
+    /// served warm. With `refine`, a reference trace is recorded (or
+    /// reused from the trace cache) under the unoptimized layout and
+    /// its conflict witnesses upgrade statically-unprovable pairs (see
+    /// [`refine_facts_from`]).
     pub(crate) fn lint(
         &self,
         src: &Arc<str>,
         params: &[(String, i64)],
+        refine: bool,
     ) -> Result<(Arc<LintSummary>, bool), PipelineError> {
         let rc = RunCounters::default();
         let fe = self.front_end(src, params, false, &rc)?;
-        let key: FeKey = (src.clone(), params.to_vec());
+        let fe_key: FeKey = (src.clone(), params.to_vec());
+        let key = (fe_key.clone(), refine);
         if let Some(s) = self.lints.lock().unwrap().get(&key).cloned() {
             self.lint_ctr.hit();
             return Ok((s, true));
         }
         self.lint_ctr.miss();
         let analysis = fe.analysis()?;
-        let report = fsr_analysis::detect(&fe.prog, &analysis);
+        let refine_facts = if refine {
+            let cfg = crate::PipelineConfig::default();
+            let plan = crate::LayoutPlan::unoptimized(cfg.block_bytes);
+            let layout = Layout::try_build(&fe.prog, &plan, fe.nproc)?;
+            let tkey: TraceKey = (fe_key, cfg.run, layout.trace_fingerprint());
+            let events = match self.trace_get(&tkey, &layout) {
+                Some(ct) => ct.events.clone(),
+                None => {
+                    let rec = crate::record_trace(&fe.prog, crate::PlanSource::Unoptimized, &cfg)?;
+                    let events = Arc::new(rec.events);
+                    if self.cache_traces {
+                        self.trace_put(
+                            tkey,
+                            CachedTrace {
+                                events: events.clone(),
+                                interp: rec.interp,
+                                layout: layout.clone(),
+                            },
+                        );
+                    }
+                    events
+                }
+            };
+            Some(refine_facts_from(&fe.prog, &layout, &events))
+        } else {
+            None
+        };
+        let report = fsr_analysis::detect_with(&fe.prog, &analysis, refine_facts.as_ref());
         let racy = report
             .racy_objects()
             .iter()
             .map(|&o| fe.prog.object(o).name.clone())
             .collect();
+        let suppressed = report
+            .suppressed
+            .iter()
+            .map(|g| {
+                (
+                    fsr_analysis::access_label(&fe.prog, g.obj, g.field),
+                    g.reason.to_string(),
+                )
+            })
+            .collect();
         let summary = Arc::new(LintSummary {
             racy,
             suppressed_pairs: report.suppressed_pairs,
+            suppressed,
+            refined: refine,
             diagnostics: report.diagnostics,
         });
         let s = self
@@ -319,7 +437,7 @@ impl Caches {
         drop(fronts);
         let mut lints = self.lints.lock().unwrap();
         let before = lints.len();
-        lints.retain(|(s, _), _| **s != *src);
+        lints.retain(|((s, _), _), _| **s != *src);
         ev.lints = before - lints.len();
         drop(lints);
         let mut traces = self.traces.lock().unwrap();
@@ -516,7 +634,19 @@ impl Snapshot {
         src: &Arc<str>,
         params: &[(String, i64)],
     ) -> Result<(Arc<LintSummary>, bool), PipelineError> {
-        self.caches.lint(src, params)
+        self.caches.lint(src, params, false)
+    }
+
+    /// [`Snapshot::lint`] with dynamic refinement: a recorded reference
+    /// trace supplies conflict witnesses that upgrade
+    /// statically-unprovable pairs (cached separately from the plain
+    /// summary; the recording itself lands in the shared trace cache).
+    pub fn lint_refined(
+        &self,
+        src: &Arc<str>,
+        params: &[(String, i64)],
+    ) -> Result<(Arc<LintSummary>, bool), PipelineError> {
+        self.caches.lint(src, params, true)
     }
 
     /// [`crate::driver::run_batch`] on this world's caches.

@@ -3,7 +3,19 @@
 use std::fmt;
 
 /// A byte range in the original source text, used to locate diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub struct Span {
     pub start: u32,
     pub end: u32,
@@ -125,6 +137,10 @@ pub enum Code {
     /// The two arms of a branch cross different numbers of barriers, so
     /// processes taking different arms rendezvous at different points.
     BarrierCountMismatch,
+    /// The object's layout makes cross-process false sharing likely; the
+    /// message names the recommended compile-time transformation
+    /// (group/transpose, pad, align, or indirection).
+    FalseSharingProne,
 }
 
 impl Code {
@@ -134,6 +150,7 @@ impl Code {
             Code::UnsynchronizedWriteShare => "FSR-W001",
             Code::LockNotHeldOnAllPaths => "FSR-W002",
             Code::BarrierCountMismatch => "FSR-W003",
+            Code::FalseSharingProne => "FSR-W004",
         }
     }
 
@@ -143,6 +160,7 @@ impl Code {
             Code::UnsynchronizedWriteShare => "unsynchronized-write-share",
             Code::LockNotHeldOnAllPaths => "lock-not-held-on-all-paths",
             Code::BarrierCountMismatch => "barrier-count-mismatch",
+            Code::FalseSharingProne => "false-sharing-prone",
         }
     }
 
@@ -150,10 +168,11 @@ impl Code {
         Severity::Warning
     }
 
-    pub const ALL: [Code; 3] = [
+    pub const ALL: [Code; 4] = [
         Code::UnsynchronizedWriteShare,
         Code::LockNotHeldOnAllPaths,
         Code::BarrierCountMismatch,
+        Code::FalseSharingProne,
     ];
 }
 
@@ -245,6 +264,24 @@ impl Diagnostic {
     /// and `col` are 1-based and column counts *characters*, not bytes,
     /// so clients need no UTF-8 handling of their own. Key order is
     /// fixed; never reorder or rename existing keys.
+    ///
+    /// Lint reports (`fsr-lint --json`, the `fsr-serve` `lint` method)
+    /// wrap these objects per workload together with the race pass's
+    /// suppression accounting:
+    ///
+    /// ```json
+    /// {"workload": "...", "diagnostics": [...],
+    ///  "suppressed_pairs": 2, "suppressed": [
+    ///    {"object": "grid", "reason": "index is data-dependent ..."}]}
+    /// ```
+    ///
+    /// `suppressed` lists each `(object, field)` access group whose
+    /// conflicting pairs were all suppressed, with a human-readable
+    /// reason derived from the relational index domain; `"object"` uses
+    /// the same `name` / `name.field` labels as diagnostic messages.
+    /// The list is sorted by object label. Per the append-only wire
+    /// policy, new keys may be added but existing ones never change
+    /// meaning.
     pub fn to_json(&self, src: &str) -> String {
         let (line, col) = self.span.line_col(src);
         let (code, slug) = match self.code {
@@ -337,10 +374,14 @@ impl Diagnostics {
         self.list.iter().filter(|d| d.code == Some(code)).count()
     }
 
-    /// Sort by source position, then severity (stable report order).
+    /// Fully deterministic report order: source position, then severity,
+    /// then code, then message. The message tiebreak means emission
+    /// order never depends on analysis iteration order, so goldens stay
+    /// byte-stable even for co-located same-code findings.
     pub fn sort(&mut self) {
-        self.list
-            .sort_by_key(|d| (d.span.start, d.span.end, d.severity, d.code));
+        self.list.sort_by(|a, b| {
+            (a.span, a.severity, a.code, &a.msg).cmp(&(b.span, b.severity, b.code, &b.msg))
+        });
     }
 
     /// Render every diagnostic against the source, one per line.
@@ -415,11 +456,31 @@ mod tests {
         assert_eq!(Code::UnsynchronizedWriteShare.id(), "FSR-W001");
         assert_eq!(Code::LockNotHeldOnAllPaths.id(), "FSR-W002");
         assert_eq!(Code::BarrierCountMismatch.id(), "FSR-W003");
+        assert_eq!(Code::FalseSharingProne.id(), "FSR-W004");
         assert_eq!(
             Code::UnsynchronizedWriteShare.slug(),
             "unsynchronized-write-share"
         );
-        assert_eq!(Code::ALL.len(), 3);
+        assert_eq!(Code::FalseSharingProne.slug(), "false-sharing-prone");
+        assert_eq!(Code::ALL.len(), 4);
+    }
+
+    #[test]
+    fn sort_breaks_ties_on_message() {
+        let mut ds = Diagnostics::new();
+        ds.push(Diagnostic::warning(
+            Code::UnsynchronizedWriteShare,
+            "zebra",
+            Span::new(2, 3),
+        ));
+        ds.push(Diagnostic::warning(
+            Code::UnsynchronizedWriteShare,
+            "aardvark",
+            Span::new(2, 3),
+        ));
+        ds.sort();
+        assert_eq!(ds.list[0].msg, "aardvark");
+        assert_eq!(ds.list[1].msg, "zebra");
     }
 
     #[test]

@@ -183,9 +183,19 @@ impl Server {
         let src = Self::doc_of(&snapshot, params)?;
         let name = Self::name_of(params)?;
         let p = proto::parse_params(params.get("params"))?;
-        let (summary, warm) = snapshot
-            .lint(&src, &p)
-            .map_err(|e| pipeline_error_json(&e, &src).to_string())?;
+        // Opt-in dynamic refinement: record a reference trace and use
+        // its conflict witnesses to upgrade statically-unprovable
+        // suppressed pairs (cached separately from the plain lint).
+        let refine = params
+            .get("refine")
+            .and_then(Value::as_bool)
+            .unwrap_or(false);
+        let (summary, warm) = if refine {
+            snapshot.lint_refined(&src, &p)
+        } else {
+            snapshot.lint(&src, &p)
+        }
+        .map_err(|e| pipeline_error_json(&e, &src).to_string())?;
         // Stream each finding before the summary, in report order.
         for (i, d) in summary.diagnostics.iter().enumerate() {
             let diag = crate::json::parse(&d.to_json(&src)).expect("diagnostic JSON is valid");
@@ -212,6 +222,23 @@ impl Server {
                 Value::Int(summary.suppressed_pairs as i64),
             ),
             ("warm".to_string(), Value::Bool(warm)),
+            // Appended fields (wire policy: never reorder or remove).
+            (
+                "suppressed".to_string(),
+                Value::Arr(
+                    summary
+                        .suppressed
+                        .iter()
+                        .map(|(obj, reason)| {
+                            Value::Obj(vec![
+                                ("object".to_string(), Value::str(obj)),
+                                ("reason".to_string(), Value::str(reason)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("refined".to_string(), Value::Bool(summary.refined)),
         ]))
     }
 

@@ -23,9 +23,11 @@
 //! property) while changing the address stream — exactly what a
 //! source-to-source restructurer effects through declarations.
 
+pub mod advise;
 pub mod heuristics;
 pub mod plan;
 pub mod report;
 
+pub use advise::{advise, advise_diagnostics, Advice};
 pub use heuristics::{plan_for, PlanConfig};
 pub use plan::{LayoutPlan, ObjPlan};

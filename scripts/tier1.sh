@@ -13,6 +13,15 @@ cargo run -q --release --bin fig3 -- --smoke
 # seeded-race mutant suite must get every static verdict right.
 cargo run -q --release --bin fsr-lint -- --json | diff -u tests/golden/lint.json -
 cargo run -q --release --bin fsr-lint -- --mutants
+# Static-vs-dynamic scoring: exit 1 unless precision == 1.000 (no
+# unconfirmed static report anywhere) and recall >= 0.85 against the
+# happens-before ground truth (relational index domain recovers the
+# pairs the section domain alone had to suppress).
+cargo run -q --release --bin fsr-lint -- --validate >/dev/null
+# False-sharing advisor: FSR-W004 must agree with the simulator's
+# per-object miss taxonomy on every workload (completeness per object,
+# soundness per block), and the full report is pinned byte-for-byte.
+cargo run -q --release --bin fsr-lint -- --advise | diff -u tests/golden/advise.json -
 # Coherence protocol invariants on random traces (the vendored proptest
 # engine is fixed-seed, so this is deterministic) plus the directory
 # backend's cross-protocol equivalence and goldens.

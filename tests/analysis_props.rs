@@ -1,4 +1,5 @@
-//! Property-based tests of the analysis algebra and the layout engine.
+//! Property-based tests of the analysis algebra, the relational index
+//! domain, and the layout engine.
 
 use fsr_analysis::lin::Lin;
 use fsr_analysis::phase::PhaseSpan;
@@ -274,6 +275,300 @@ proptest! {
                 // layouts attribute exactly.
                 prop_assert!(got.is_some(), "unattributed address {addr}");
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Relational index domain vs brute-force enumeration.
+//
+// Leaves are chosen so the concrete feasible set is small and *exact*
+// (constants, the process id, and dense ranges built through the public
+// `chaos % m + off` path). Every operator is then applied both
+// abstractly (RelVal transfer functions) and concretely (exact image
+// sets), and every claim the abstract value makes — bounds, congruence,
+// dense-run span, process-uniformity — is checked against the exact
+// sets. This is the soundness contract `judge_pair` relies on: a wrong
+// congruence or bound would let the race pass prove disjointness for
+// overlapping accesses, and a wrong `uniform`/`span` would fabricate
+// full-range overlaps (static false positives).
+// ---------------------------------------------------------------------
+
+use fsr_analysis::RelVal;
+use std::collections::BTreeSet;
+
+const REL_NPROC: i64 = 4;
+
+#[derive(Debug, Clone)]
+enum RelExpr {
+    Const(i64),
+    Pdv,
+    /// Dense run `{off, .., off + m - 1}`, uniform across processes.
+    Range {
+        m: i64,
+        off: i64,
+    },
+    Add(Box<RelExpr>, Box<RelExpr>),
+    Sub(Box<RelExpr>, Box<RelExpr>),
+    Mul(Box<RelExpr>, Box<RelExpr>),
+    MulC(Box<RelExpr>, i64),
+    RemC(Box<RelExpr>, i64),
+    DivC(Box<RelExpr>, i64),
+    Abs(Box<RelExpr>),
+    Join(Box<RelExpr>, Box<RelExpr>),
+}
+
+fn rel_abstract(e: &RelExpr) -> RelVal {
+    match e {
+        RelExpr::Const(c) => RelVal::constant(*c),
+        RelExpr::Pdv => RelVal::pdv(),
+        RelExpr::Range { m, off } => RelVal::chaos()
+            .rem_const(*m, REL_NPROC)
+            .add(&RelVal::constant(*off)),
+        RelExpr::Add(a, b) => rel_abstract(a).add(&rel_abstract(b)),
+        RelExpr::Sub(a, b) => rel_abstract(a).sub(&rel_abstract(b)),
+        RelExpr::Mul(a, b) => rel_abstract(a).mul(&rel_abstract(b), REL_NPROC),
+        RelExpr::MulC(a, c) => rel_abstract(a).mul_const(*c),
+        RelExpr::RemC(a, m) => rel_abstract(a).rem_const(*m, REL_NPROC),
+        RelExpr::DivC(a, c) => rel_abstract(a).div_const(*c, REL_NPROC),
+        RelExpr::Abs(a) => rel_abstract(a).abs(REL_NPROC),
+        RelExpr::Join(a, b) => rel_abstract(a).join(&rel_abstract(b), REL_NPROC),
+    }
+}
+
+/// Exact feasible set of the expression for one process id.
+fn rel_concrete(e: &RelExpr, pid: i64) -> BTreeSet<i64> {
+    let pair = |a: &RelExpr, b: &RelExpr, f: fn(i64, i64) -> i64| -> BTreeSet<i64> {
+        let (sa, sb) = (rel_concrete(a, pid), rel_concrete(b, pid));
+        sa.iter()
+            .flat_map(|&x| sb.iter().map(move |&y| f(x, y)))
+            .collect()
+    };
+    match e {
+        RelExpr::Const(c) => [*c].into(),
+        RelExpr::Pdv => [pid].into(),
+        RelExpr::Range { m, off } => (*off..*off + *m).collect(),
+        RelExpr::Add(a, b) => pair(a, b, |x, y| x + y),
+        RelExpr::Sub(a, b) => pair(a, b, |x, y| x - y),
+        RelExpr::Mul(a, b) => pair(a, b, |x, y| x * y),
+        RelExpr::MulC(a, c) => rel_concrete(a, pid).iter().map(|&x| x * c).collect(),
+        // PSL `%` and `/` truncate toward zero like Rust's.
+        RelExpr::RemC(a, m) => rel_concrete(a, pid).iter().map(|&x| x % m).collect(),
+        RelExpr::DivC(a, c) => rel_concrete(a, pid).iter().map(|&x| x / c).collect(),
+        RelExpr::Abs(a) => rel_concrete(a, pid).iter().map(|&x| x.abs()).collect(),
+        RelExpr::Join(a, b) => {
+            let mut s = rel_concrete(a, pid);
+            s.extend(rel_concrete(b, pid));
+            s
+        }
+    }
+}
+
+fn longest_dense_run(s: &BTreeSet<i64>) -> i64 {
+    let (mut best, mut run, mut prev) = (0i64, 0i64, None::<i64>);
+    for &x in s {
+        run = match prev {
+            Some(p) if x == p + 1 => run + 1,
+            _ => 1,
+        };
+        best = best.max(run);
+        prev = Some(x);
+    }
+    best
+}
+
+/// Every claim `v` makes must hold of the exact set `s` at `pid`.
+fn assert_rel_sound(e: &RelExpr, v: &RelVal, pid: i64, s: &BTreeSet<i64>) {
+    for &x in s {
+        if let Some(l) = &v.lo {
+            let l = l.eval_pdv(pid).expect("test Lins are pdv-affine");
+            assert!(l <= x, "{e:?} pid {pid}: lo {l} > member {x} ({v:?})");
+        }
+        if let Some(h) = &v.hi {
+            let h = h.eval_pdv(pid).expect("test Lins are pdv-affine");
+            assert!(x <= h, "{e:?} pid {pid}: member {x} > hi {h} ({v:?})");
+        }
+        if v.modulus >= 2 {
+            let r = v.residue.eval_pdv(pid).expect("test Lins are pdv-affine");
+            assert!(
+                (x - r).rem_euclid(v.modulus) == 0,
+                "{e:?} pid {pid}: member {x} violates ≡ {r} (mod {}) ({v:?})",
+                v.modulus
+            );
+        }
+    }
+    // The sets here are exact, so the advertised dense run must exist.
+    assert!(
+        longest_dense_run(s) >= v.span,
+        "{e:?} pid {pid}: span {} but longest dense run {} in {s:?}",
+        v.span,
+        longest_dense_run(s)
+    );
+}
+
+/// Random expression trees, depth <= 2 so the exact sets stay small.
+/// (The vendored proptest has no recursive combinators; this implements
+/// `Strategy` directly against the deterministic runner.)
+struct ArbRelExpr;
+
+fn gen_rel_expr(r: &mut proptest::test_runner::TestRunner, depth: u32) -> RelExpr {
+    fn draw(r: &mut proptest::test_runner::TestRunner, lo: i64, hi: i64) -> i64 {
+        lo + (r.next_u64() % (hi - lo) as u64) as i64
+    }
+    fn leaf(r: &mut proptest::test_runner::TestRunner) -> RelExpr {
+        match draw(r, 0, 3) {
+            0 => RelExpr::Const(draw(r, -12, 12)),
+            1 => RelExpr::Pdv,
+            _ => RelExpr::Range {
+                m: draw(r, 1, 8),
+                off: draw(r, -9, 9),
+            },
+        }
+    }
+    if depth == 0 {
+        return leaf(r);
+    }
+    match draw(r, 0, 11) {
+        0..=2 => leaf(r),
+        3 | 4 | 5 | 10 => {
+            let op = draw(r, 0, 4);
+            let a = Box::new(gen_rel_expr(r, depth - 1));
+            let b = Box::new(gen_rel_expr(r, depth - 1));
+            match op {
+                0 => RelExpr::Add(a, b),
+                1 => RelExpr::Sub(a, b),
+                2 => RelExpr::Mul(a, b),
+                _ => RelExpr::Join(a, b),
+            }
+        }
+        6 => {
+            let c = draw(r, -4, 5);
+            RelExpr::MulC(Box::new(gen_rel_expr(r, depth - 1)), c)
+        }
+        7 => {
+            let m = draw(r, 1, 10);
+            RelExpr::RemC(Box::new(gen_rel_expr(r, depth - 1)), m)
+        }
+        8 => {
+            let c = draw(r, 1, 5);
+            RelExpr::DivC(Box::new(gen_rel_expr(r, depth - 1)), c)
+        }
+        _ => RelExpr::Abs(Box::new(gen_rel_expr(r, depth - 1))),
+    }
+}
+
+impl Strategy for ArbRelExpr {
+    type Value = RelExpr;
+    fn pick(&self, runner: &mut proptest::test_runner::TestRunner) -> RelExpr {
+        gen_rel_expr(runner, 2)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness of every RelVal transfer function against exact
+    /// enumeration: bounds, congruence, span, and uniformity all hold
+    /// of the brute-forced feasible sets, and `uniform_full` never
+    /// claims a coverage the sets do not have.
+    #[test]
+    fn rel_domain_sound_vs_brute_force(e in ArbRelExpr) {
+        let v = rel_abstract(&e);
+        let sets: Vec<BTreeSet<i64>> =
+            (0..REL_NPROC).map(|p| rel_concrete(&e, p)).collect();
+        for (p, s) in sets.iter().enumerate() {
+            assert_rel_sound(&e, &v, p as i64, s);
+        }
+        if v.uniform {
+            for s in &sets[1..] {
+                prop_assert_eq!(
+                    s, &sets[0],
+                    "{:?}: claimed uniform but sets differ ({:?})", &e, &v
+                );
+            }
+        }
+        for dim in 1..6i64 {
+            if v.uniform_full(dim, REL_NPROC) {
+                for (p, s) in sets.iter().enumerate() {
+                    for x in 0..dim {
+                        prop_assert!(
+                            s.contains(&x),
+                            "{e:?}: uniform_full({dim}) but pid {p} set {s:?} misses {x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Join is an upper bound: every member of either operand's exact
+    /// set is still licensed by the joined abstract value.
+    #[test]
+    fn rel_join_is_upper_bound(a in ArbRelExpr, b in ArbRelExpr) {
+        let j = rel_abstract(&a).join(&rel_abstract(&b), REL_NPROC);
+        for p in 0..REL_NPROC {
+            let mut u = rel_concrete(&a, p);
+            u.extend(rel_concrete(&b, p));
+            for &x in &u {
+                if let Some(l) = &j.lo {
+                    prop_assert!(l.eval_pdv(p).unwrap() <= x);
+                }
+                if let Some(h) = &j.hi {
+                    prop_assert!(x <= h.eval_pdv(p).unwrap());
+                }
+                if j.modulus >= 2 {
+                    let r = j.residue.eval_pdv(p).unwrap();
+                    prop_assert!((x - r).rem_euclid(j.modulus) == 0);
+                }
+            }
+        }
+    }
+
+    /// Wrap-to-full is exact: a non-negative dense run of length >= m
+    /// reduced mod m is the full `[0, m-1]` for every process.
+    #[test]
+    fn rel_wrap_to_full_exact(m in 2i64..12, excess in 0i64..6, bias in 0i64..5) {
+        // A process-biased, non-negative operand with span >= m.
+        let x = RelVal::chaos()
+            .rem_const(m + excess, REL_NPROC)
+            .add(&RelVal::pdv().mul_const(bias));
+        let r = x.rem_const(m, REL_NPROC);
+        prop_assert!(r.uniform_full(m, REL_NPROC), "{r:?}");
+        let (lo, hi) = r.concrete_bounds(REL_NPROC);
+        prop_assert_eq!((lo, hi), (Some(0), Some(m - 1)));
+    }
+}
+
+/// Congruence survival, the second advertised transfer rule: for a
+/// non-negative `x ≡ pid (mod NPROC)`, `x % m` with `NPROC | m` keeps
+/// the process-distinguishing congruence — this is what lets
+/// `judge_pair` prove the interleaved-banking idiom disjoint.
+#[test]
+fn rel_congruence_survives_wraparound() {
+    // x = pid + NPROC * t, t in [0, 5): modulus NPROC, residue pdv.
+    let t = RelVal::chaos().rem_const(5, REL_NPROC);
+    let x = RelVal::pdv().add(&t.mul_const(REL_NPROC));
+    assert_eq!(x.modulus, REL_NPROC);
+    let wrapped = x.rem_const(2 * REL_NPROC, REL_NPROC);
+    assert_eq!(wrapped.modulus, REL_NPROC, "{wrapped:?}");
+    assert_eq!(wrapped.residue, Lin::pdv(), "{wrapped:?}");
+    // And the brute-force sets really are pairwise disjoint across pids.
+    let e = RelExpr::RemC(
+        Box::new(RelExpr::Add(
+            Box::new(RelExpr::Pdv),
+            Box::new(RelExpr::MulC(
+                Box::new(RelExpr::Range { m: 5, off: 0 }),
+                REL_NPROC,
+            )),
+        )),
+        2 * REL_NPROC,
+    );
+    for p in 0..REL_NPROC {
+        for q in 0..p {
+            assert!(
+                rel_concrete(&e, p).is_disjoint(&rel_concrete(&e, q)),
+                "pids {p}/{q} collide"
+            );
         }
     }
 }

@@ -57,12 +57,22 @@ fn workload_lint_matches_golden_facts() {
         (
             "maxflow",
             &[
+                // Data-dependent node arrays: the relational domain
+                // proves their prand-laundered index ranges cover the
+                // whole dimension, so the pairs are reported, not
+                // suppressed.
+                ("excess", Code::UnsynchronizedWriteShare),
+                ("height", Code::UnsynchronizedWriteShare),
+                ("cap", Code::UnsynchronizedWriteShare),
                 ("push_ops", Code::UnsynchronizedWriteShare),
                 ("relabel_ops", Code::UnsynchronizedWriteShare),
                 ("active_count", Code::LockNotHeldOnAllPaths),
                 ("excess_total", Code::LockNotHeldOnAllPaths),
             ],
         ),
+        // The shared `val` field is written through data-dependent
+        // fan-in indices spanning the whole gate array.
+        ("pverify", &[("gates", Code::UnsynchronizedWriteShare)]),
         (
             "raytrace",
             &[
@@ -71,7 +81,22 @@ fn workload_lint_matches_golden_facts() {
                 ("bound_tests", Code::UnsynchronizedWriteShare),
             ],
         ),
-        ("pthor", &[("sim_clock", Code::LockNotHeldOnAllPaths)]),
+        // Cell accumulators are indexed by particle positions (prand
+        // residues mod the cell count — provably full-range).
+        (
+            "mp3d",
+            &[
+                ("cell_count", Code::UnsynchronizedWriteShare),
+                ("cell_energy", Code::UnsynchronizedWriteShare),
+            ],
+        ),
+        (
+            "pthor",
+            &[
+                ("active", Code::UnsynchronizedWriteShare),
+                ("sim_clock", Code::LockNotHeldOnAllPaths),
+            ],
+        ),
     ];
     for w in fsr_workloads::all() {
         let (prog, report) = lint(w.name, w.source);
@@ -107,7 +132,7 @@ fn workload_lint_matches_golden_facts() {
 /// the happens-before checker confirms each racy object dynamically.
 #[test]
 fn workload_reports_are_dynamically_confirmed() {
-    for name in ["maxflow", "raytrace", "pthor"] {
+    for name in ["maxflow", "pverify", "raytrace", "mp3d", "pthor"] {
         let w = fsr_workloads::by_name(name).unwrap();
         let (prog, report) = lint(w.name, w.source);
         let stat = racy_names(&prog, &report);
