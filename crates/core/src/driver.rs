@@ -718,6 +718,7 @@ fn feed(sink: &mut dyn TraceSink, e: &TraceEvent) {
         TraceEvent::Access(r) => sink.access(*r),
         TraceEvent::Sync(pids) => sink.sync(pids),
         TraceEvent::Handoff { from, to } => sink.handoff(*from, *to),
+        TraceEvent::Steal { thief, victim } => sink.steal(*thief, *victim),
     }
 }
 
@@ -742,6 +743,11 @@ impl TraceSink for RecordingSink<'_> {
     fn handoff(&mut self, from: u32, to: u32) {
         self.events.push(TraceEvent::Handoff { from, to });
         self.inner.handoff(from, to);
+    }
+
+    fn steal(&mut self, thief: u32, victim: u32) {
+        self.events.push(TraceEvent::Steal { thief, victim });
+        self.inner.steal(thief, victim);
     }
 }
 
@@ -885,6 +891,12 @@ impl TraceSink for GroupSink {
     fn handoff(&mut self, from: u32, to: u32) {
         for s in &mut self.sinks {
             s.handoff(from, to);
+        }
+    }
+
+    fn steal(&mut self, thief: u32, victim: u32) {
+        for s in &mut self.sinks {
+            s.steal(thief, victim);
         }
     }
 }
@@ -1083,6 +1095,10 @@ impl TraceSink for SegmentSink {
 
     fn handoff(&mut self, from: u32, to: u32) {
         self.buf.push(TraceEvent::Handoff { from, to });
+    }
+
+    fn steal(&mut self, thief: u32, victim: u32) {
+        self.buf.push(TraceEvent::Steal { thief, victim });
     }
 }
 
@@ -1325,6 +1341,11 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
                             n = 0;
                             timing.handoff(*from, *to);
                         }
+                        TraceEvent::Steal { thief, victim } => {
+                            flush(timing, block_queue, &pid, &gap, &outs, &blocks, n);
+                            n = 0;
+                            timing.steal(*thief, *victim);
+                        }
                     }
                 }
                 flush(timing, block_queue, &pid, &gap, &outs, &blocks, n);
@@ -1344,6 +1365,7 @@ fn run_unit_sharded<M: Sync + fmt::Debug>(
                         }
                         TraceEvent::Sync(pids) => timing.sync(pids),
                         TraceEvent::Handoff { from, to } => timing.handoff(*from, *to),
+                        TraceEvent::Steal { thief, victim } => timing.steal(*thief, *victim),
                     }
                 }
             }

@@ -29,6 +29,7 @@ pub mod world;
 pub use world::{refine_facts_from, CacheStats, Evicted, LintSummary, Snapshot, World};
 
 pub use fsr_analysis::{Analysis, Pattern};
+pub use fsr_interp::{RunConfig, Schedule};
 pub use fsr_lang::Program;
 pub use fsr_machine::{
     Interconnect, InterconnectKind, MachineConfig, SpeedupCurve, TimingStats, TxCost,
@@ -39,7 +40,7 @@ pub use fsr_sim::{
 };
 pub use fsr_transform::{LayoutPlan, ObjPlan, PlanConfig};
 
-use fsr_interp::{MemRef, RunConfig, RunStats, TraceEvent, TraceSink};
+use fsr_interp::{MemRef, RunStats, TraceEvent, TraceSink};
 use fsr_machine::TimingModel;
 use fsr_sim::{BankedSim, Outcome, CHUNK_LANES};
 use std::collections::BTreeMap;
@@ -406,6 +407,13 @@ impl TraceSink for PipelineSink {
         self.flush_chunk();
         self.timing.handoff(from, to);
     }
+
+    fn steal(&mut self, thief: u32, victim: u32) {
+        // The steal joins the thief's clock to the victim's, so pending
+        // lanes must land first, exactly like a hand-off.
+        self.flush_chunk();
+        self.timing.steal(thief, victim);
+    }
 }
 
 /// Build the layout plan for a checked program.
@@ -526,6 +534,9 @@ pub fn record_trace(
         fn handoff(&mut self, from: u32, to: u32) {
             self.events.push(TraceEvent::Handoff { from, to });
         }
+        fn steal(&mut self, thief: u32, victim: u32) {
+            self.events.push(TraceEvent::Steal { thief, victim });
+        }
     }
     let nproc = resolve_nproc(prog)?;
     let plan = plan_of(prog, &plan_source, cfg)?;
@@ -572,6 +583,7 @@ pub fn replay_trace(trace: &RecordedTrace, cfg: &PipelineConfig) -> ReplayResult
             TraceEvent::Access(r) => sink.access(*r),
             TraceEvent::Sync(pids) => TraceSink::sync(&mut sink, pids),
             TraceEvent::Handoff { from, to } => TraceSink::handoff(&mut sink, *from, *to),
+            TraceEvent::Steal { thief, victim } => TraceSink::steal(&mut sink, *thief, *victim),
         }
     }
     sink.flush_chunk();

@@ -156,7 +156,11 @@ pub fn refine_facts_from(
                 readers.clear();
                 writers.clear();
             }
-            TraceEvent::Handoff { .. } => {}
+            // Hand-off and steal edges are ordering-only: like
+            // lock-ordered conflicts, steal-ordered overlaps stay
+            // visible as witnesses and the static passes decide what
+            // they mean.
+            TraceEvent::Handoff { .. } | TraceEvent::Steal { .. } => {}
             TraceEvent::Access(r) => {
                 let bit = 1u64 << u32::from(r.pid).min(63);
                 let wr = writers.entry(r.addr).or_insert(0);

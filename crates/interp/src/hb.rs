@@ -4,12 +4,18 @@
 //! vector clocks and flags word-level data races: two accesses to the
 //! same word from different processes, at least one a write, with
 //! neither ordered before the other by the trace's synchronization
-//! events. Ordering comes from two edge kinds:
+//! events. Ordering comes from three edge kinds:
 //!
 //! - [`sync`](TraceSink::sync) — barrier releases and process
 //!   spawn/join: every listed process's clock is joined and advanced.
 //! - [`handoff`](TraceSink::handoff) — lock hand-offs: the acquirer
 //!   joins the releaser's clock.
+//! - [`steal`](TraceSink::steal) — work steals: the thief joins the
+//!   victim's clock. The thief reads the deque slot the victim
+//!   published when it last pushed the stolen task, so everything the
+//!   victim did before the steal — in particular the stolen task's own
+//!   prior writes, which happened on the victim worker — is ordered
+//!   before everything the thief does with it afterwards.
 //!
 //! The hand-off edge over-approximates lock ordering: it orders *all*
 //! of the releaser's prior events (not just those inside the critical
@@ -146,6 +152,13 @@ impl TraceSink for HbChecker {
         }
         self.vc[to][to] += 1;
     }
+
+    fn steal(&mut self, thief: u32, victim: u32) {
+        // The thief's deque read observes the victim's publish of the
+        // stolen task — a release/acquire pair, shaped exactly like a
+        // lock hand-off: the thief joins the victim's clock.
+        self.handoff(victim, thief);
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +241,31 @@ mod tests {
         c.access(rd(0, 0));
         c.access(w(0, 0));
         assert!(c.is_clean());
+    }
+
+    /// Regression: a task writes a word while running on worker 0, gets
+    /// stolen by worker 1, and reads the word back there. The write and
+    /// read carry different trace pids (the task migrated between
+    /// caches), but the steal edge orders them — this must not be
+    /// flagged as a race.
+    #[test]
+    fn stolen_task_write_read_pair_is_not_a_race() {
+        let mut c = HbChecker::new(2);
+        c.access(w(0, 16));
+        c.steal(1, 0);
+        c.access(rd(1, 16));
+        c.access(w(1, 16));
+        assert!(c.is_clean(), "steal edge must order victim before thief");
+    }
+
+    /// Without the steal edge the same pair *does* race — pins that the
+    /// regression test above is actually exercising the edge.
+    #[test]
+    fn unstolen_cross_worker_pair_still_races() {
+        let mut c = HbChecker::new(2);
+        c.access(w(0, 16));
+        c.access(rd(1, 16));
+        assert!(c.racy_words().contains(&16));
     }
 
     #[test]

@@ -31,8 +31,9 @@ pub use bytecode::{Compiled, Instr};
 pub use compile::compile_program;
 pub use hb::HbChecker;
 pub use vm::{
-    runs_started, CountingSink, FinalState, Interp, MemRef, RecordedTrace, RunConfig, RunStats,
-    RuntimeError, TeeSink, TraceEvent, TraceSink, VecSink,
+    runs_started, CountingSink, FinalState, Interp, MemRef, RecordedTrace, RoundRobin, RunConfig,
+    RunStats, RuntimeError, Schedule, Scheduler, Slot, TeeSink, TraceEvent, TraceSink, VecSink,
+    WorkSteal,
 };
 
 use fsr_lang::ast::Program;

@@ -411,12 +411,13 @@ fn indirection_access_works_end_to_end() {
     }
 }
 
-/// Sink that records sync/handoff events.
+/// Sink that records sync/handoff/steal events.
 #[derive(Default)]
 struct EventSink {
     refs: u64,
     syncs: Vec<Vec<u32>>,
     handoffs: Vec<(u32, u32)>,
+    steals: Vec<(u32, u32)>,
 }
 
 impl TraceSink for EventSink {
@@ -428,6 +429,9 @@ impl TraceSink for EventSink {
     }
     fn handoff(&mut self, from: u32, to: u32) {
         self.handoffs.push((from, to));
+    }
+    fn steal(&mut self, thief: u32, victim: u32) {
+        self.steals.push((thief, victim));
     }
 }
 
@@ -557,4 +561,128 @@ fn runs_started_counts_interpreter_constructions() {
     )
     .unwrap();
     assert!(runs_started() - before >= 2);
+}
+
+/// A kernel with barrier skew and lock contention: processes block at
+/// different times, so the work-stealing deques go out of balance and
+/// steals actually happen.
+const STEALY: &str = "param NPROC = 4;
+    shared int c[NPROC]; shared lock lk; shared int total;
+    fn main() { forall p in 0 .. NPROC { var i; var j;
+        for i in 0 .. (5 + p * 7) { c[p] = c[p] + 1; }
+        barrier;
+        for j in 0 .. 10 { lock(lk); total = total + 1; unlock(lk); }
+        barrier;
+        for i in 0 .. (20 - p * 4) { c[p] = c[p] + 1; }
+    } }";
+
+fn run_sched(src: &str, nproc: u32, schedule: Schedule) -> (RecordedTrace, FinalState) {
+    let prog = fsr_lang::compile(src).unwrap();
+    let plan = LayoutPlan::unoptimized(64);
+    let layout = fsr_layout::Layout::build(&prog, &plan, nproc);
+    let code = compile_program(&prog).unwrap();
+    let mut rec = RecordedTrace::default();
+    let cfg = RunConfig {
+        schedule,
+        ..RunConfig::default()
+    };
+    let fin = run(&prog, &layout, &code, cfg, &mut rec).unwrap();
+    (rec, fin)
+}
+
+#[test]
+fn work_steal_fixed_seed_is_bit_identical_across_runs() {
+    let a = run_sched(STEALY, 4, Schedule::WorkSteal { seed: 42 });
+    let b = run_sched(STEALY, 4, Schedule::WorkSteal { seed: 42 });
+    assert_eq!(a.0.events, b.0.events, "same seed, same trace");
+    assert_eq!(a.1.stats, b.1.stats, "same seed, same stats");
+    assert_eq!(a.1.mem, b.1.mem, "same seed, same memory image");
+}
+
+#[test]
+fn work_steal_emits_steals_that_match_the_counter() {
+    let (rec, fin) = run_sched(STEALY, 4, Schedule::WorkSteal { seed: 7 });
+    let steal_events = rec
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Steal { .. }))
+        .count() as u64;
+    assert!(fin.stats.steals > 0, "imbalanced kernel must steal");
+    assert_eq!(steal_events, fin.stats.steals);
+    for e in &rec.events {
+        if let TraceEvent::Steal { thief, victim } = e {
+            assert_ne!(thief, victim, "no self-steals");
+            assert!(*thief < 4 && *victim < 4, "worker ids in range");
+        }
+    }
+}
+
+#[test]
+fn work_steal_preserves_program_semantics() {
+    let prog = fsr_lang::compile(STEALY).unwrap();
+    let plan = LayoutPlan::unoptimized(64);
+    let layout = fsr_layout::Layout::build(&prog, &plan, 4);
+    let (_, rr) = run_sched(STEALY, 4, Schedule::RoundRobin);
+    for seed in [1u64, 99, 0xdead_beef] {
+        let (_, ws) = run_sched(STEALY, 4, Schedule::WorkSteal { seed });
+        assert_eq!(
+            rr.logical_snapshot(&prog, &layout),
+            ws.logical_snapshot(&prog, &layout),
+            "schedule must not change program results (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn different_steal_seeds_produce_different_traces() {
+    let a = run_sched(STEALY, 4, Schedule::WorkSteal { seed: 1 });
+    let b = run_sched(STEALY, 4, Schedule::WorkSteal { seed: 2 });
+    assert_ne!(
+        a.0.events, b.0.events,
+        "distinct seeds must perturb the interleaving"
+    );
+}
+
+#[test]
+fn round_robin_traces_never_contain_steals() {
+    let (rec, fin) = run_sched(STEALY, 4, Schedule::RoundRobin);
+    assert_eq!(fin.stats.steals, 0);
+    assert!(rec
+        .events
+        .iter()
+        .all(|e| !matches!(e, TraceEvent::Steal { .. })));
+}
+
+#[test]
+fn explicit_round_robin_matches_the_default_schedule() {
+    let prog = fsr_lang::compile(STEALY).unwrap();
+    let plan = LayoutPlan::unoptimized(64);
+    let layout = fsr_layout::Layout::build(&prog, &plan, 4);
+    let code = compile_program(&prog).unwrap();
+    let mut def = RecordedTrace::default();
+    run(&prog, &layout, &code, RunConfig::default(), &mut def).unwrap();
+    let (rr, _) = run_sched(STEALY, 4, Schedule::RoundRobin);
+    assert_eq!(def.events, rr.events);
+}
+
+#[test]
+fn work_steal_trace_is_race_free_under_the_steal_edge() {
+    // The kernel is fully synchronized (barriers + one lock); replaying
+    // a work-stealing trace through the happens-before checker must
+    // stay clean on the data words — the steal edge orders migrated
+    // tasks' accesses. Lock words race by construction; filter them.
+    let prog = fsr_lang::compile(STEALY).unwrap();
+    let plan = LayoutPlan::unoptimized(64);
+    let layout = fsr_layout::Layout::build(&prog, &plan, 4);
+    let (lk, _) = prog.object_by_name("lk").unwrap();
+    let (rec, _) = run_sched(STEALY, 4, Schedule::WorkSteal { seed: 3 });
+    let mut hb = HbChecker::new(4);
+    rec.replay(&mut hb);
+    let data_races: Vec<u32> = hb
+        .racy_words()
+        .iter()
+        .copied()
+        .filter(|&w| layout.attribute(w) != Some(lk))
+        .collect();
+    assert!(data_races.is_empty(), "racy data words: {data_races:?}");
 }

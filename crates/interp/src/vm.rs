@@ -43,6 +43,15 @@ pub trait TraceSink {
     fn handoff(&mut self, from: u32, to: u32) {
         let _ = (from, to);
     }
+
+    /// Work steal: worker `thief` took its next task from worker
+    /// `victim`'s deque. The thief reads the deque top the victim
+    /// published, so this orders the thief after the victim (a
+    /// happens-before edge, like a hand-off). Only emitted under
+    /// [`Schedule::WorkSteal`]; round-robin traces never contain it.
+    fn steal(&mut self, thief: u32, victim: u32) {
+        let _ = (thief, victim);
+    }
 }
 
 /// Count-only sink.
@@ -108,14 +117,47 @@ impl<S: TraceSink> TraceSink for TeeSink<S> {
             s.handoff(from, to);
         }
     }
+
+    fn steal(&mut self, thief: u32, victim: u32) {
+        for s in &mut self.sinks {
+            s.steal(thief, victim);
+        }
+    }
 }
 
-/// One recorded trace event (access, barrier sync, or lock hand-off).
+/// One recorded trace event (access, barrier sync, lock hand-off, or
+/// work steal).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     Access(MemRef),
     Sync(Vec<u32>),
     Handoff { from: u32, to: u32 },
+    Steal { thief: u32, victim: u32 },
+}
+
+impl TraceEvent {
+    /// Number of event kinds. Accounting tests assert every kind has a
+    /// name and a dense index, so adding a variant without updating the
+    /// counters that consume the stream fails loudly.
+    pub const KIND_COUNT: usize = 4;
+
+    /// All kind names, indexed by [`TraceEvent::kind_index`].
+    pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] = ["access", "sync", "handoff", "steal"];
+
+    /// Dense index of this event's kind.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            TraceEvent::Access(_) => 0,
+            TraceEvent::Sync(_) => 1,
+            TraceEvent::Handoff { .. } => 2,
+            TraceEvent::Steal { .. } => 3,
+        }
+    }
+
+    /// Name of this event's kind.
+    pub fn kind_name(&self) -> &'static str {
+        Self::KIND_NAMES[self.kind_index()]
+    }
 }
 
 /// Sink that records the full event stream for later replay.
@@ -136,6 +178,7 @@ impl RecordedTrace {
                 TraceEvent::Access(r) => sink.access(*r),
                 TraceEvent::Sync(pids) => sink.sync(pids),
                 TraceEvent::Handoff { from, to } => sink.handoff(*from, *to),
+                TraceEvent::Steal { thief, victim } => sink.steal(*thief, *victim),
             }
         }
     }
@@ -152,6 +195,10 @@ impl TraceSink for RecordedTrace {
 
     fn handoff(&mut self, from: u32, to: u32) {
         self.events.push(TraceEvent::Handoff { from, to });
+    }
+
+    fn steal(&mut self, thief: u32, victim: u32) {
+        self.events.push(TraceEvent::Steal { thief, victim });
     }
 }
 
@@ -181,6 +228,26 @@ impl std::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
+/// Scheduling policy for mapping logical processes onto workers.
+///
+/// `PartialEq`/`Hash`/`Debug` matter: the schedule (kind *and* seed) is
+/// part of every trace-group fingerprint and cache key — two jobs that
+/// differ only in the work-stealing seed produce different traces and
+/// must never share a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Schedule {
+    /// The paper's fixed interleaving: worker `p` always executes
+    /// logical process `p`, one instruction per round, in pid order.
+    #[default]
+    RoundRobin,
+    /// Randomized work stealing: each worker owns a deque of runnable
+    /// tasks, pops its own back, and steals from a seeded-random
+    /// victim's front when empty. Steals migrate a task's working set
+    /// between caches and are recorded as [`TraceEvent::Steal`]. Fully
+    /// deterministic for a fixed seed.
+    WorkSteal { seed: u64 },
+}
+
 /// Interpreter configuration.
 ///
 /// `PartialEq`/`Hash` matter: the batched driver groups jobs whose
@@ -195,6 +262,8 @@ pub struct RunConfig {
     pub max_steps: u64,
     /// While blocked on a lock, emit a spin reread every this many rounds.
     pub spin_probe_period: u32,
+    /// Scheduling policy (kind + seed). Part of the trace identity.
+    pub schedule: Schedule,
 }
 
 impl Default for RunConfig {
@@ -203,6 +272,7 @@ impl Default for RunConfig {
             seed: 0x5eed_cafe,
             max_steps: 2_000_000_000,
             spin_probe_period: 2,
+            schedule: Schedule::RoundRobin,
         }
     }
 }
@@ -215,6 +285,8 @@ pub struct RunStats {
     pub spin_rereads: u64,
     pub barriers_crossed: u64,
     pub lock_acquires: u64,
+    /// Work-steal events (always 0 under [`Schedule::RoundRobin`]).
+    pub steals: u64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -255,6 +327,186 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// One scheduling decision within a lock-step round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Worker `worker` gets one turn with task `task`: execute one
+    /// instruction if it is runnable, otherwise service its blocked
+    /// state (barrier arrival, spin probe, join check).
+    Visit { worker: u32, task: usize },
+    /// Service task `task`'s blocked state only (never execute). Used
+    /// for tasks that no worker currently holds.
+    Poll { task: usize },
+    /// The round is over; the VM checks progress/deadlock and a new
+    /// round begins.
+    EndRound,
+}
+
+/// A scheduling policy: decides, slot by slot, which worker gets which
+/// task each round. The VM drives the policy pull-style so decisions
+/// always see live process states, and notifies it when tasks block or
+/// become runnable.
+///
+/// Each task receives at most one slot per round (the lock-step
+/// invariant), so a schedule can reorder *who* runs *where*, never how
+/// much anyone runs.
+pub trait Scheduler {
+    /// Produce the next slot of the current round. A work-stealing
+    /// policy records its steal events here (into `sink`/`stats`), at
+    /// the moment the steal happens, so the trace interleaves steals
+    /// with the accesses they cause.
+    fn next(&mut self, sink: &mut dyn TraceSink, stats: &mut RunStats) -> Slot;
+
+    /// Task `task` just executed one instruction on `worker`;
+    /// `still_run` says whether it remains runnable.
+    fn stepped(&mut self, task: usize, worker: u32, still_run: bool);
+
+    /// A blocked (or fresh) `task` became runnable; `worker` is the
+    /// worker that last executed it (its cache holds the working set).
+    fn unblocked(&mut self, task: usize, worker: u32);
+}
+
+/// The paper's fixed interleaving: worker `p` visits task `p`, in pid
+/// order, every round. Produces exactly the event stream the original
+/// scheduler-less VM produced.
+#[derive(Debug)]
+pub struct RoundRobin {
+    n: usize,
+    cursor: usize,
+}
+
+impl RoundRobin {
+    pub fn new(n: usize) -> Self {
+        RoundRobin { n, cursor: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next(&mut self, _sink: &mut dyn TraceSink, _stats: &mut RunStats) -> Slot {
+        if self.cursor == self.n {
+            self.cursor = 0;
+            return Slot::EndRound;
+        }
+        let p = self.cursor;
+        self.cursor += 1;
+        Slot::Visit {
+            worker: p as u32,
+            task: p,
+        }
+    }
+
+    fn stepped(&mut self, _task: usize, _worker: u32, _still_run: bool) {}
+
+    fn unblocked(&mut self, _task: usize, _worker: u32) {}
+}
+
+/// Seeded randomized work stealing over per-worker deques.
+///
+/// Each round, worker `w` pops the back of its own deque; if empty it
+/// draws seeded-random victims and steals the *front* of a non-empty
+/// victim deque (FIFO steal end, LIFO owner end — the classic deque
+/// discipline), emitting a [`TraceEvent::Steal`]. A task keeps at most
+/// one slot per round, so a steal migrates work without duplicating
+/// it; blocked tasks leave the deques and re-enter at the deque of the
+/// worker that last ran them. Everything is driven by one splitmix64
+/// stream from `seed`, so a fixed seed reproduces the schedule —
+/// steals, migrations, trace — bit-identically.
+#[derive(Debug)]
+pub struct WorkSteal {
+    n: usize,
+    rng: u64,
+    deques: Vec<std::collections::VecDeque<usize>>,
+    in_deque: Vec<bool>,
+    /// Tasks that already had their slot this round (lock-step cap).
+    had_slot: Vec<bool>,
+    wcur: usize,
+    pcur: usize,
+}
+
+impl WorkSteal {
+    pub fn new(n: usize, seed: u64) -> Self {
+        WorkSteal {
+            n,
+            rng: splitmix64(seed),
+            deques: vec![std::collections::VecDeque::new(); n],
+            in_deque: vec![false; n],
+            had_slot: vec![false; n],
+            wcur: 0,
+            pcur: 0,
+        }
+    }
+}
+
+impl Scheduler for WorkSteal {
+    fn next(&mut self, sink: &mut dyn TraceSink, stats: &mut RunStats) -> Slot {
+        // Phase A: each worker takes one task — own deque first, then
+        // steal. A task pushed back after running this round is fenced
+        // by `had_slot`, so no task runs twice per round.
+        while self.wcur < self.n {
+            let w = self.wcur;
+            self.wcur += 1;
+            if let Some(&t) = self.deques[w].back() {
+                if !self.had_slot[t] {
+                    self.deques[w].pop_back();
+                    self.in_deque[t] = false;
+                    self.had_slot[t] = true;
+                    return Slot::Visit {
+                        worker: w as u32,
+                        task: t,
+                    };
+                }
+                continue;
+            }
+            for _ in 0..2 * self.n {
+                self.rng = splitmix64(self.rng);
+                let v = (self.rng % self.n as u64) as usize;
+                if v == w {
+                    continue;
+                }
+                if let Some(&t) = self.deques[v].front() {
+                    if !self.had_slot[t] {
+                        self.deques[v].pop_front();
+                        self.in_deque[t] = false;
+                        self.had_slot[t] = true;
+                        stats.steals += 1;
+                        sink.steal(w as u32, v as u32);
+                        return Slot::Visit {
+                            worker: w as u32,
+                            task: t,
+                        };
+                    }
+                }
+            }
+        }
+        // Phase B: service blocked tasks (not in any deque) in pid
+        // order, so barrier releases and lock acquisitions stay
+        // deterministic.
+        while self.pcur < self.n {
+            let p = self.pcur;
+            self.pcur += 1;
+            if !self.in_deque[p] && !self.had_slot[p] {
+                return Slot::Poll { task: p };
+            }
+        }
+        self.wcur = 0;
+        self.pcur = 0;
+        self.had_slot.iter_mut().for_each(|s| *s = false);
+        Slot::EndRound
+    }
+
+    fn stepped(&mut self, task: usize, worker: u32, still_run: bool) {
+        if still_run {
+            self.deques[worker as usize].push_back(task);
+            self.in_deque[task] = true;
+        }
+    }
+
+    fn unblocked(&mut self, task: usize, worker: u32) {
+        self.deques[worker as usize].push_back(task);
+        self.in_deque[task] = true;
+    }
+}
+
 /// The interpreter for one (program, layout) configuration.
 pub struct Interp<'a> {
     layout: &'a Layout,
@@ -266,8 +518,21 @@ pub struct Interp<'a> {
     cfg: RunConfig,
     stats: RunStats,
     barrier_arrived: u32,
-    /// Last releaser of each lock word (for hand-off ordering).
+    /// Last releaser of each lock word (for hand-off ordering), in
+    /// worker-id space: the cache that last owned the lock line.
     lock_releaser: std::collections::HashMap<u32, u32>,
+    /// Worker currently (or last) executing each task. Trace events are
+    /// attributed to workers — the caches references actually go
+    /// through — so a stolen task's working set migrates in the trace.
+    /// Under round-robin `worker_of[p] == p` always.
+    worker_of: Vec<u32>,
+    /// Tasks that became runnable during the current slot; drained to
+    /// the scheduler after the slot completes.
+    woke: Vec<u32>,
+    /// Emit barrier syncs over *all* workers instead of the released
+    /// pids: under work stealing a released task may resume on any
+    /// worker, so only a global clock alignment is sound.
+    sync_all: bool,
 }
 
 impl<'a> Interp<'a> {
@@ -302,6 +567,9 @@ impl<'a> Interp<'a> {
             stats: RunStats::default(),
             barrier_arrived: 0,
             lock_releaser: std::collections::HashMap::new(),
+            worker_of: (0..nproc).collect(),
+            woke: Vec::new(),
+            sync_all: cfg.schedule != Schedule::RoundRobin,
         }
     }
 
@@ -402,7 +670,7 @@ impl<'a> Interp<'a> {
         self.procs[p].gap = 0;
         self.stats.refs += 1;
         sink.access(MemRef {
-            pid: self.procs[p].pid as u8,
+            pid: self.worker_of[p] as u8,
             addr: word_addr * WORD_BYTES,
             write,
             gap,
@@ -421,97 +689,163 @@ impl<'a> Interp<'a> {
             .count() as u32
     }
 
-    /// Run to completion, streaming references into `sink`.
-    pub fn run(mut self, sink: &mut dyn TraceSink) -> Result<FinalState, RuntimeError> {
-        let nproc = self.procs.len();
-        loop {
-            if matches!(self.procs[0].state, ProcState::Done) {
-                break;
+    /// Run to completion under the configured schedule, streaming
+    /// references into `sink`.
+    pub fn run(self, sink: &mut dyn TraceSink) -> Result<FinalState, RuntimeError> {
+        let n = self.procs.len();
+        match self.cfg.schedule {
+            Schedule::RoundRobin => self.run_with(&mut RoundRobin::new(n), sink),
+            Schedule::WorkSteal { seed } => self.run_with(&mut WorkSteal::new(n, seed), sink),
+        }
+    }
+
+    /// Run to completion under an explicit scheduling policy.
+    ///
+    /// With [`RoundRobin`] this produces, event for event, the stream
+    /// the original fixed-interleaving loop produced: each round visits
+    /// tasks in pid order with worker == pid, and the slot handler is
+    /// the same per-state code the old loop inlined.
+    pub fn run_with(
+        mut self,
+        sched: &mut dyn Scheduler,
+        sink: &mut dyn TraceSink,
+    ) -> Result<FinalState, RuntimeError> {
+        // Hand the scheduler the initially-runnable tasks (process 0).
+        for p in 0..self.procs.len() {
+            if self.procs[p].state == ProcState::Run {
+                sched.unblocked(p, self.worker_of[p]);
             }
-            if self.stats.instructions > self.cfg.max_steps {
-                return Err(self.rt(0, "step limit exceeded (infinite loop?)"));
-            }
-            let mut progressed = false;
-            for p in 0..nproc {
-                match self.procs[p].state {
-                    ProcState::Run => {
-                        self.step(p, sink)?;
+        }
+        let mut progressed = false;
+        while !matches!(self.procs[0].state, ProcState::Done) {
+            match sched.next(sink, &mut self.stats) {
+                Slot::Visit { worker, task } => {
+                    if self.procs[task].state == ProcState::Run {
+                        self.worker_of[task] = worker;
+                        self.step(task, sink)?;
                         progressed = true;
+                        let still_run = self.procs[task].state == ProcState::Run;
+                        sched.stepped(task, worker, still_run);
+                    } else {
+                        progressed |= self.poll(task, sink);
                     }
-                    ProcState::AtBarrier => {
-                        if self.barrier_arrived >= self.active_count() {
-                            // Release everyone at the barrier.
-                            let mut released = Vec::new();
-                            for q in self.procs.iter_mut() {
-                                if q.state == ProcState::AtBarrier {
-                                    q.state = ProcState::Run;
-                                    released.push(q.pid);
-                                }
-                            }
-                            self.barrier_arrived = 0;
-                            self.stats.barriers_crossed += 1;
-                            progressed = !released.is_empty();
-                            sink.sync(&released);
-                        }
-                    }
-                    ProcState::Spin { addr, rounds } => {
-                        // Test the lock word; reread goes into the trace
-                        // every probe period.
-                        let word = addr / WORD_BYTES;
-                        let probe = rounds % self.cfg.spin_probe_period == 0;
-                        if probe {
-                            self.emit(p, word, false, sink);
-                            self.stats.spin_rereads += 1;
-                        }
-                        if self.mem[word as usize] == 0 {
-                            // Acquire: read saw it free; now test-and-set.
-                            self.emit(p, word, true, sink);
-                            self.mem[word as usize] = 1;
-                            self.stats.lock_acquires += 1;
-                            let pid = self.procs[p].pid;
-                            if let Some(&from) = self.lock_releaser.get(&word) {
-                                if from != pid {
-                                    sink.handoff(from, pid);
-                                }
-                            }
-                            self.procs[p].state = ProcState::Run;
-                            progressed = true;
+                    self.drain_woke(sched);
+                }
+                Slot::Poll { task } => {
+                    progressed |= self.poll(task, sink);
+                    self.drain_woke(sched);
+                }
+                Slot::EndRound => {
+                    if !progressed {
+                        // Barrier release is handled in the slots;
+                        // reaching here without a pending release means
+                        // a real deadlock (e.g. everyone spinning on a
+                        // held lock whose holder is blocked).
+                        if self.barrier_arrived >= self.active_count() && self.barrier_arrived > 0 {
+                            // Release fires next round.
                         } else {
-                            self.procs[p].state = ProcState::Spin {
-                                addr,
-                                rounds: rounds + 1,
-                            };
+                            return Err(self.rt(0, "deadlock: no process can make progress"));
                         }
                     }
-                    ProcState::Joining => {
-                        let all_idle = self.procs.iter().all(|q| {
-                            q.pid == self.procs[p].pid
-                                || matches!(q.state, ProcState::Idle | ProcState::Done)
-                        });
-                        if all_idle {
-                            self.procs[p].state = ProcState::Run;
-                            progressed = true;
-                            let all: Vec<u32> = self.procs.iter().map(|q| q.pid).collect();
-                            sink.sync(&all);
-                        }
+                    if self.stats.instructions > self.cfg.max_steps {
+                        return Err(self.rt(0, "step limit exceeded (infinite loop?)"));
                     }
-                    ProcState::Idle | ProcState::Done => {}
+                    progressed = false;
                 }
-            }
-            if !progressed {
-                // Barrier release is handled above; reaching here means a
-                // real deadlock (e.g. everyone spinning on a held lock
-                // whose holder is blocked).
-                if self.barrier_arrived >= self.active_count() && self.barrier_arrived > 0 {
-                    continue;
-                }
-                return Err(self.rt(0, "deadlock: no process can make progress"));
             }
         }
         Ok(FinalState {
             mem: self.mem,
             stats: self.stats,
         })
+    }
+
+    /// Report tasks that became runnable during the last slot.
+    fn drain_woke(&mut self, sched: &mut dyn Scheduler) {
+        for i in 0..self.woke.len() {
+            let q = self.woke[i] as usize;
+            sched.unblocked(q, self.worker_of[q]);
+        }
+        self.woke.clear();
+    }
+
+    /// Service one blocked task: barrier arrival, spin probe, or join
+    /// check. Returns whether anything progressed.
+    fn poll(&mut self, p: usize, sink: &mut dyn TraceSink) -> bool {
+        match self.procs[p].state {
+            ProcState::AtBarrier => {
+                if self.barrier_arrived >= self.active_count() {
+                    // Release everyone at the barrier.
+                    let mut released = Vec::new();
+                    for q in self.procs.iter_mut() {
+                        if q.state == ProcState::AtBarrier {
+                            q.state = ProcState::Run;
+                            released.push(q.pid);
+                        }
+                    }
+                    self.barrier_arrived = 0;
+                    self.stats.barriers_crossed += 1;
+                    self.woke.extend_from_slice(&released);
+                    if self.sync_all {
+                        let all: Vec<u32> = (0..self.procs.len() as u32).collect();
+                        sink.sync(&all);
+                    } else {
+                        sink.sync(&released);
+                    }
+                    !released.is_empty()
+                } else {
+                    false
+                }
+            }
+            ProcState::Spin { addr, rounds } => {
+                // Test the lock word; reread goes into the trace every
+                // probe period, charged to the worker that last ran the
+                // task (its cache is doing the spinning).
+                let word = addr / WORD_BYTES;
+                let probe = rounds % self.cfg.spin_probe_period == 0;
+                if probe {
+                    self.emit(p, word, false, sink);
+                    self.stats.spin_rereads += 1;
+                }
+                if self.mem[word as usize] == 0 {
+                    // Acquire: read saw it free; now test-and-set.
+                    self.emit(p, word, true, sink);
+                    self.mem[word as usize] = 1;
+                    self.stats.lock_acquires += 1;
+                    let me = self.worker_of[p];
+                    if let Some(&from) = self.lock_releaser.get(&word) {
+                        if from != me {
+                            sink.handoff(from, me);
+                        }
+                    }
+                    self.procs[p].state = ProcState::Run;
+                    self.woke.push(self.procs[p].pid);
+                    true
+                } else {
+                    self.procs[p].state = ProcState::Spin {
+                        addr,
+                        rounds: rounds + 1,
+                    };
+                    false
+                }
+            }
+            ProcState::Joining => {
+                let all_idle = self.procs.iter().all(|q| {
+                    q.pid == self.procs[p].pid
+                        || matches!(q.state, ProcState::Idle | ProcState::Done)
+                });
+                if all_idle {
+                    self.procs[p].state = ProcState::Run;
+                    self.woke.push(self.procs[p].pid);
+                    let all: Vec<u32> = self.procs.iter().map(|q| q.pid).collect();
+                    sink.sync(&all);
+                    true
+                } else {
+                    false
+                }
+            }
+            ProcState::Run | ProcState::Idle | ProcState::Done => false,
+        }
     }
 
     /// Execute one instruction of process `p`.
@@ -634,9 +968,10 @@ impl<'a> Interp<'a> {
                     self.emit(p, word, true, sink);
                     self.mem[word as usize] = 1;
                     self.stats.lock_acquires += 1;
+                    let me = self.worker_of[p];
                     if let Some(&from) = self.lock_releaser.get(&word) {
-                        if from != pid {
-                            sink.handoff(from, pid);
+                        if from != me {
+                            sink.handoff(from, me);
                         }
                     }
                 } else {
@@ -653,7 +988,7 @@ impl<'a> Interp<'a> {
                 };
                 self.emit(p, word, true, sink);
                 self.mem[word as usize] = 0;
-                self.lock_releaser.insert(word, pid);
+                self.lock_releaser.insert(word, self.worker_of[p]);
             }
             Instr::Prand { dst, src } => {
                 let x = regs(&self.procs, src);
@@ -692,6 +1027,9 @@ impl<'a> Interp<'a> {
                         is_body: true,
                     };
                     self.procs[q].frames.push(frame);
+                    if self.procs[q].state != ProcState::Run {
+                        self.woke.push(self.procs[q].pid);
+                    }
                     self.procs[q].state = ProcState::Run;
                 }
                 let all: Vec<u32> = self.procs.iter().map(|q| q.pid).collect();

@@ -387,6 +387,9 @@ pub struct TimingStats {
     pub two_hop: u64,
     /// Directory transactions forwarded to a dirty owner (3-hop).
     pub three_hop: u64,
+    /// Work-steal clock joins applied (one per steal event in the
+    /// trace; always 0 under the round-robin schedule).
+    pub steal_joins: u64,
 }
 
 impl TimingStats {
@@ -578,6 +581,14 @@ impl TimingModel {
         if *me < t {
             *me = t;
         }
+    }
+
+    /// Work steal: the thief read the victim's deque top, so it cannot
+    /// proceed before the victim's current time — the same one-way clock
+    /// join as a lock hand-off.
+    pub fn steal(&mut self, thief: u32, victim: u32) {
+        self.stats.steal_joins += 1;
+        self.handoff(victim, thief);
     }
 
     /// Execution time = the slowest processor.

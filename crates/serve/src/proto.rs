@@ -11,7 +11,7 @@ use crate::json::Value;
 use fsr_core::driver::{BatchStats, PlanSourceSpec};
 use fsr_core::{
     CacheStats, CoherenceEvent, Evicted, InterconnectKind, LayoutPlan, MissKind, ObjPlan,
-    PipelineConfig, PipelineError, Program, ProtocolKind, RunResult, SimEngine,
+    PipelineConfig, PipelineError, Program, ProtocolKind, RunResult, Schedule, SimEngine,
 };
 
 /// One parsed request line. `id` is echoed verbatim in the response;
@@ -159,6 +159,7 @@ pub fn run_result_json(r: &RunResult, prog: &Program) -> Value {
         ("channel_busy", u64s(&r.timing.channel_busy)),
         ("two_hop", u64v(r.timing.two_hop)),
         ("three_hop", u64v(r.timing.three_hop)),
+        ("steal_joins", u64v(r.timing.steal_joins)),
     ]);
     let interp = obj(vec![
         ("instructions", u64v(r.interp.instructions)),
@@ -166,6 +167,7 @@ pub fn run_result_json(r: &RunResult, prog: &Program) -> Value {
         ("spin_rereads", u64v(r.interp.spin_rereads)),
         ("barriers_crossed", u64v(r.interp.barriers_crossed)),
         ("lock_acquires", u64v(r.interp.lock_acquires)),
+        ("steals", u64v(r.interp.steals)),
     ]);
     obj(vec![
         ("nproc", Value::Int(r.nproc as i64)),
@@ -285,13 +287,44 @@ fn parse_interconnect(s: &str) -> Result<InterconnectKind, String> {
         .ok_or_else(|| format!("unknown interconnect `{s}`"))
 }
 
+/// `schedule` on the wire: the string `"round_robin"` (the default) or
+/// an object `{"kind": "work_steal", "seed": N}`.
+fn parse_schedule(v: &Value) -> Result<Schedule, String> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "round_robin" => Ok(Schedule::RoundRobin),
+            _ => Err(format!(
+                "unknown schedule `{s}` (use \"round_robin\" or \
+                 {{\"kind\": \"work_steal\", \"seed\": N}})"
+            )),
+        };
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("`schedule` object needs a string `kind`")?;
+    match kind {
+        "round_robin" => Ok(Schedule::RoundRobin),
+        "work_steal" => {
+            let seed = v
+                .get("seed")
+                .ok_or("work_steal schedule needs a `seed`")?
+                .as_i64()
+                .ok_or("`schedule.seed` must be an integer")? as u64;
+            Ok(Schedule::WorkSteal { seed })
+        }
+        _ => Err(format!("unknown schedule kind `{kind}`")),
+    }
+}
+
 /// `config` on the wire: a flat object over the pipeline's axes. Every
 /// key is optional; omitted keys take [`PipelineConfig`] defaults.
 ///
 /// ```json
 /// {"block": 128, "cache_bytes": 32768, "assoc": 4,
 ///  "protocol": "msi", "interconnect": "ksr2-ring",
-///  "engine": "soa-chunked", "seed": 1592510158, "max_steps": 2000000000}
+///  "engine": "soa-chunked", "seed": 1592510158, "max_steps": 2000000000,
+///  "schedule": {"kind": "work_steal", "seed": 7}}
 /// ```
 pub fn parse_config(v: Option<&Value>) -> Result<PipelineConfig, String> {
     let block = match v.and_then(|v| v.get("block")) {
@@ -325,6 +358,9 @@ pub fn parse_config(v: Option<&Value>) -> Result<PipelineConfig, String> {
     }
     if let Some(m) = v.get("max_steps") {
         cfg.run.max_steps = m.as_i64().ok_or("`max_steps` must be an integer")? as u64;
+    }
+    if let Some(s) = v.get("schedule") {
+        cfg.run.schedule = parse_schedule(s)?;
     }
     Ok(cfg)
 }
@@ -360,7 +396,8 @@ mod tests {
         let v = crate::json::parse(
             r#"{"block": 64, "cache_bytes": 16384, "assoc": 2,
                 "protocol": "directory", "interconnect": "home-dir",
-                "engine": "scalar", "seed": 99, "max_steps": 1000}"#,
+                "engine": "scalar", "seed": 99, "max_steps": 1000,
+                "schedule": {"kind": "work_steal", "seed": 7}}"#,
         )
         .unwrap();
         let cfg = parse_config(Some(&v)).unwrap();
@@ -373,12 +410,36 @@ mod tests {
         assert_eq!(cfg.engine, SimEngine::Scalar);
         assert_eq!(cfg.run.seed, 99);
         assert_eq!(cfg.run.max_steps, 1000);
+        assert_eq!(cfg.run.schedule, Schedule::WorkSteal { seed: 7 });
         // Defaults when omitted.
         let d = parse_config(None).unwrap();
         assert_eq!(d.block_bytes, PipelineConfig::default().block_bytes);
+        assert_eq!(d.run.schedule, Schedule::RoundRobin);
         // Unknown names are errors, not silent defaults.
         let bad = crate::json::parse(r#"{"protocol": "moesi"}"#).unwrap();
         assert!(parse_config(Some(&bad)).is_err());
+    }
+
+    #[test]
+    fn schedule_parsing_accepts_both_forms_and_rejects_junk() {
+        let rr = crate::json::parse("\"round_robin\"").unwrap();
+        assert_eq!(parse_schedule(&rr).unwrap(), Schedule::RoundRobin);
+        let rr_obj = crate::json::parse(r#"{"kind": "round_robin"}"#).unwrap();
+        assert_eq!(parse_schedule(&rr_obj).unwrap(), Schedule::RoundRobin);
+        let ws = crate::json::parse(r#"{"kind": "work_steal", "seed": 42}"#).unwrap();
+        assert_eq!(
+            parse_schedule(&ws).unwrap(),
+            Schedule::WorkSteal { seed: 42 }
+        );
+        for bad in [
+            "\"work_steal\"",            // WS needs a seed, so string form is rejected
+            r#"{"kind": "work_steal"}"#, // ... even as an object
+            r#"{"kind": "lottery"}"#,    // unknown kind
+            r#"{"seed": 3}"#,            // missing kind
+        ] {
+            let v = crate::json::parse(bad).unwrap();
+            assert!(parse_schedule(&v).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

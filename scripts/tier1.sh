@@ -39,6 +39,10 @@ diff -u tests/golden/directory_ablation.json "$abl_out"
 # on (shard threads >= 2) must be bit-identical to the serial path on
 # every workload and protocol, including the randomized property cases.
 cargo test -q -p fsr-integration --test shard
+# Schedule determinism: a fixed work-steal seed is bit-identical across
+# engines, shard modes and batch widths; distinct seeds never collide
+# into one trace group or cached result.
+cargo test -q -p fsr-integration --test scheduler
 # Scale-sweep smoke at pinned knobs: the machine-independent half of
 # BENCH_scale.json (exec cycles, refs, miss classes, segment count,
 # asserted bit-identical across 1 and 2 shard threads inside the bin)
@@ -46,6 +50,15 @@ cargo test -q -p fsr-integration --test shard
 FSR_NPROC=8 FSR_SCALE=1 FSR_SCALE_THREADS=1,2 FSR_BENCH_OUT="$scale_out" \
     cargo run -q --release --bin scale_sweep -- --golden >/dev/null
 diff -u tests/golden/scale_sweep.json "$scale_out"
+# Steal-sweep smoke at pinned knobs: per-workload steal counts and the
+# false-sharing miss deltas of the work-steal schedule vs round-robin,
+# with serial-vs-sharded bit-identity asserted inside the bin, must
+# match the checked-in golden.
+steal_out="$(mktemp)"
+trap 'rm -f "$abl_out" "$scale_out" "$simd_out" "$steal_out"' EXIT
+FSR_NPROC=8 FSR_SCALE=1 FSR_BENCH_OUT="$steal_out" \
+    cargo run -q --release --bin steal_sweep -- --golden >/dev/null
+diff -u tests/golden/steal_sweep.json "$steal_out"
 # Engine equivalence (scalar vs SoA vs chunked SoA replay): the simd
 # suite again in the accelerated-kernel build (the portable build
 # already ran in the workspace test pass), then the bench_simd per-cell

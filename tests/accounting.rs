@@ -11,8 +11,9 @@
 use fsr_core::driver::{run_batch, Job, PlanSourceSpec};
 use fsr_core::{
     run_pipeline, InterconnectKind, MissKind, PipelineConfig, PipelineError, PlanSource,
-    ProtocolKind,
+    ProtocolKind, Schedule,
 };
+use fsr_interp::{compile_program, MemRef, RecordedTrace, RunConfig, TraceEvent};
 use fsr_layout::{Layout, LayoutError, MAX_WORDS};
 use fsr_sim::{CacheConfig, CoherenceEvent, MultiSim};
 use fsr_transform::{LayoutPlan, ObjPlan};
@@ -50,6 +51,88 @@ fn per_kind_enums_are_self_consistent() {
     names.sort_unstable();
     names.dedup();
     assert_eq!(names.len(), InterconnectKind::ALL.len());
+}
+
+#[test]
+fn trace_event_kind_tables_are_self_consistent() {
+    // Same discipline as the miss/event enums: `KIND_NAMES` is sized by
+    // `KIND_COUNT` at compile time, so a new trace-event variant added
+    // without a name fails to build; here we pin that `kind_index` is
+    // dense, in table order, and that the names are unique.
+    let one_of_each: [TraceEvent; TraceEvent::KIND_COUNT] = [
+        TraceEvent::Access(MemRef {
+            pid: 0,
+            addr: 0,
+            write: false,
+            gap: 0,
+        }),
+        TraceEvent::Sync(vec![0]),
+        TraceEvent::Handoff { from: 0, to: 1 },
+        TraceEvent::Steal {
+            thief: 1,
+            victim: 0,
+        },
+    ];
+    for (i, e) in one_of_each.iter().enumerate() {
+        assert_eq!(e.kind_index(), i, "kind_index out of table order");
+        assert_eq!(e.kind_name(), TraceEvent::KIND_NAMES[i]);
+    }
+    let mut names = TraceEvent::KIND_NAMES.to_vec();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), TraceEvent::KIND_COUNT, "duplicate kind name");
+}
+
+/// A kernel whose per-process work is deliberately skewed, so the
+/// work-stealing schedule actually steals.
+const SKEWED: &str = "param NPROC = 4; shared int c[NPROC]; shared lock lk;
+    fn main() { forall p in 0 .. NPROC { var i;
+        for i in 0 .. (5 + p * 40) { c[p] = c[p] + 1; }
+        barrier;
+        for i in 0 .. 10 { lock(lk); c[0] = c[0] + 1; unlock(lk); }
+        barrier;
+        for i in 0 .. (160 - p * 40) { c[p] = c[p] + 2; } } }";
+
+#[test]
+fn steal_counters_close_over_the_trace() {
+    // The steal counter must agree at every layer: recorded trace
+    // events, interpreter stats, and the timing model's applied joins.
+    let prog = fsr_lang::compile(SKEWED).unwrap();
+    let plan = LayoutPlan::unoptimized(64);
+    let layout = Layout::build(&prog, &plan, 4);
+    let code = compile_program(&prog).unwrap();
+    let cfg = RunConfig {
+        schedule: Schedule::WorkSteal { seed: 3 },
+        ..Default::default()
+    };
+    let mut rec = RecordedTrace::default();
+    let fin = fsr_interp::run(&prog, &layout, &code, cfg, &mut rec).unwrap();
+    let recorded = rec
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Steal { .. }))
+        .count() as u64;
+    assert!(recorded > 0, "skewed kernel must provoke steals");
+    assert_eq!(fin.stats.steals, recorded, "interp counter vs trace");
+
+    // Whole pipeline: the interpreter's count survives to the result
+    // and matches the timing model's join count exactly.
+    let mut pcfg = PipelineConfig::with_block(64);
+    pcfg.run.schedule = Schedule::WorkSteal { seed: 3 };
+    let r = run_pipeline(SKEWED, &[], PlanSource::Unoptimized, &pcfg).unwrap();
+    assert!(r.interp.steals > 0);
+    assert_eq!(r.interp.steals, r.timing.steal_joins, "one join per steal");
+
+    // And round-robin reports zero on both sides.
+    let r0 = run_pipeline(
+        SKEWED,
+        &[],
+        PlanSource::Unoptimized,
+        &PipelineConfig::with_block(64),
+    )
+    .unwrap();
+    assert_eq!(r0.interp.steals, 0);
+    assert_eq!(r0.timing.steal_joins, 0);
 }
 
 const COUNTERS: &str = "param NPROC = 4; shared int c[NPROC];
